@@ -1,0 +1,140 @@
+// Package repro's root benchmarks regenerate every table and figure of the
+// paper's evaluation. Each benchmark runs the corresponding experiment from
+// the internal/core registry and reports domain metrics (req/s, joules,
+// seconds) alongside the usual ns/op. Run all of them with:
+//
+//	go test -bench=. -benchmem
+//
+// Benchmarks use Quick mode under -short; full fidelity otherwise.
+package main
+
+import (
+	"os"
+	"testing"
+
+	"edisim/internal/core"
+	"edisim/internal/jobs"
+)
+
+// benchCfg picks fidelity. Sweep-style experiments default to Quick so the
+// whole suite finishes in minutes; set EDISIM_FULL=1 for the full-fidelity
+// sweeps used to produce EXPERIMENTS.md (cmd/paper runs those by default).
+// MapReduce job benches always run at the paper's full cluster scale.
+func benchCfg() core.Config {
+	return core.Config{Seed: 1, Quick: os.Getenv("EDISIM_FULL") == ""}
+}
+
+// runExperiment executes one registered experiment b.N times.
+func runExperiment(b *testing.B, id string) {
+	e, ok := core.Lookup(id)
+	if !ok {
+		b.Fatalf("experiment %q not registered", id)
+	}
+	cfg := benchCfg()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		o := e.Run(cfg)
+		if len(o.Tables)+len(o.Figures)+len(o.Comparisons) == 0 {
+			b.Fatalf("%s produced no artifacts", id)
+		}
+	}
+}
+
+// --- Section 3: testbed ------------------------------------------------------
+
+func BenchmarkTable2_Replacement(b *testing.B) { runExperiment(b, "table2") }
+func BenchmarkTable3_PowerStates(b *testing.B) { runExperiment(b, "table3") }
+
+// --- Section 4: individual server tests --------------------------------------
+
+func BenchmarkSec41_Dhrystone(b *testing.B)       { runExperiment(b, "sec41_dhrystone") }
+func BenchmarkFig2_Fig3_SysbenchCPU(b *testing.B) { runExperiment(b, "fig2_fig3") }
+func BenchmarkSec42_Memory(b *testing.B)          { runExperiment(b, "sec42_memory") }
+func BenchmarkTable5_Storage(b *testing.B)        { runExperiment(b, "table5") }
+func BenchmarkSec44_Network(b *testing.B)         { runExperiment(b, "sec44_network") }
+
+// --- Section 5.1: web service workloads --------------------------------------
+
+func BenchmarkFig4_Fig7_WebLight(b *testing.B)        { runExperiment(b, "fig4_fig7") }
+func BenchmarkFig5_Fig8_WebMixes(b *testing.B)        { runExperiment(b, "fig5_fig8") }
+func BenchmarkFig6_Fig9_WebHeavy(b *testing.B)        { runExperiment(b, "fig6_fig9") }
+func BenchmarkFig10_Fig11_DelayDist(b *testing.B)     { runExperiment(b, "fig10_fig11") }
+func BenchmarkTable7_DelayDecomposition(b *testing.B) { runExperiment(b, "table7") }
+
+// --- Section 5.2: MapReduce workloads -----------------------------------------
+
+// benchJob runs one job on one cluster configuration, reporting simulated
+// seconds and joules as benchmark metrics.
+func benchJob(b *testing.B, job, platform string, slaves int) {
+	var secs, joules float64
+	for i := 0; i < b.N; i++ {
+		r, err := jobs.Run(job, platform, slaves, 1)
+		if err != nil {
+			b.Fatal(err)
+		}
+		secs = r.Duration
+		joules = float64(r.Energy)
+	}
+	b.ReportMetric(secs, "sim-s")
+	b.ReportMetric(joules, "sim-J")
+}
+
+func BenchmarkFig12_Wordcount_Edison(b *testing.B) {
+	benchJob(b, "wordcount", jobs.EdisonPlatform, 35)
+}
+func BenchmarkFig15_Wordcount_Dell(b *testing.B) {
+	benchJob(b, "wordcount", jobs.DellPlatform, 2)
+}
+func BenchmarkFig13_Wordcount2_Edison(b *testing.B) {
+	benchJob(b, "wordcount2", jobs.EdisonPlatform, 35)
+}
+func BenchmarkFig16_Wordcount2_Dell(b *testing.B) {
+	benchJob(b, "wordcount2", jobs.DellPlatform, 2)
+}
+func BenchmarkSec522_Logcount_Edison(b *testing.B) {
+	benchJob(b, "logcount", jobs.EdisonPlatform, 35)
+}
+func BenchmarkSec522_Logcount_Dell(b *testing.B) {
+	benchJob(b, "logcount", jobs.DellPlatform, 2)
+}
+func BenchmarkSec522_Logcount2_Edison(b *testing.B) {
+	benchJob(b, "logcount2", jobs.EdisonPlatform, 35)
+}
+func BenchmarkFig14_Pi_Edison(b *testing.B) {
+	benchJob(b, "pi", jobs.EdisonPlatform, 35)
+}
+func BenchmarkFig17_Pi_Dell(b *testing.B) {
+	benchJob(b, "pi", jobs.DellPlatform, 2)
+}
+func BenchmarkSec524_Terasort_Edison(b *testing.B) {
+	benchJob(b, "terasort", jobs.EdisonPlatform, 35)
+}
+func BenchmarkSec524_Terasort_Dell(b *testing.B) {
+	benchJob(b, "terasort", jobs.DellPlatform, 2)
+}
+
+// --- Section 5.3: scalability --------------------------------------------------
+
+func BenchmarkFig18_Fig19_Table8_Scalability(b *testing.B) {
+	runExperiment(b, "fig18_fig19_table8")
+}
+
+// --- Section 6: TCO ------------------------------------------------------------
+
+func BenchmarkTable10_TCO(b *testing.B) { runExperiment(b, "table10") }
+
+// --- Ablations (design choices called out in DESIGN.md) ------------------------
+
+// BenchmarkAblation_DelayScheduling quantifies what delay scheduling buys:
+// data-locality and runtime of wordcount with the scheduler as configured.
+func BenchmarkAblation_DelayScheduling(b *testing.B) {
+	var locality float64
+	for i := 0; i < b.N; i++ {
+		r, err := jobs.Run("wordcount", jobs.EdisonPlatform, 17, 1)
+		if err != nil {
+			b.Fatal(err)
+		}
+		locality = r.LocalityFraction()
+	}
+	b.ReportMetric(100*locality, "local%")
+}

@@ -1,0 +1,102 @@
+// Command mapreduce reproduces the paper's Hadoop experiments (§5.2–5.3):
+// the six workloads on the 35-Edison/2-Dell clusters (Table 8, Figures
+// 12–17) and the scalability sweep (Figures 18–19).
+//
+// Usage:
+//
+//	mapreduce                 # Table 8 at full scale
+//	mapreduce -scaling        # all cluster sizes (Figs 18–19)
+//	mapreduce -job wordcount -trace   # 1 Hz utilization/power trace
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"edisim/internal/jobs"
+	"edisim/internal/mapred"
+	"edisim/internal/report"
+)
+
+// paperTable8 holds the published numbers for side-by-side comparison:
+// seconds and joules per (job, cluster label).
+var paperTable8 = map[string]map[string][2]float64{
+	"wordcount":  {"35E": {310, 17670}, "17E": {1065, 29485}, "8E": {1817, 23673}, "4E": {3283, 21386}, "2D": {213, 40214}, "1D": {310, 30552}},
+	"wordcount2": {"35E": {182, 10370}, "17E": {270, 7475}, "8E": {450, 5862}, "4E": {1192, 7765}, "2D": {66, 11695}, "1D": {93, 8124}},
+	"logcount":   {"35E": {279, 15903}, "17E": {601, 16860}, "8E": {990, 12898}, "4E": {2233, 14546}, "2D": {206, 40803}, "1D": {516, 53303}},
+	"logcount2":  {"35E": {115, 6555}, "17E": {118, 3267}, "8E": {125, 1629}, "4E": {162, 1055}, "2D": {59, 9486}, "1D": {88, 6905}},
+	"pi":         {"35E": {200, 11445}, "17E": {334, 9247}, "8E": {577, 7517}, "4E": {1076, 7009}, "2D": {50, 9285}, "1D": {77, 6878}},
+	"terasort":   {"35E": {750, 43440}, "17E": {1364, 37763}, "8E": {3736, 48675}, "4E": {8220, 53547}, "2D": {331, 64210}, "1D": {1336, 111422}},
+}
+
+func main() {
+	var (
+		scaling = flag.Bool("scaling", false, "run every cluster size (Figures 18-19)")
+		job     = flag.String("job", "", "run a single job (default: all)")
+		trace   = flag.Bool("trace", false, "print the 1 Hz utilization/power trace")
+		seed    = flag.Int64("seed", 1, "root random seed")
+	)
+	flag.Parse()
+
+	names := jobs.Names()
+	if *job != "" {
+		names = []string{*job}
+	}
+
+	type config struct {
+		label    string
+		platform string
+		slaves   int
+	}
+	configs := []config{
+		{"35E", jobs.EdisonPlatform, 35},
+		{"2D", jobs.DellPlatform, 2},
+	}
+	if *scaling {
+		configs = []config{
+			{"35E", jobs.EdisonPlatform, 35}, {"17E", jobs.EdisonPlatform, 17},
+			{"8E", jobs.EdisonPlatform, 8}, {"4E", jobs.EdisonPlatform, 4},
+			{"2D", jobs.DellPlatform, 2}, {"1D", jobs.DellPlatform, 1},
+		}
+	}
+
+	tab := report.NewTable("Table 8 — execution time and energy",
+		"job", "cluster", "time(s)", "paper(s)", "energy(J)", "paper(J)", "local%")
+	for _, name := range names {
+		for _, cfg := range configs {
+			r, err := jobs.Run(name, cfg.platform, cfg.slaves, *seed)
+			if err != nil {
+				fmt.Fprintf(os.Stderr, "mapreduce: %s on %s: %v\n", name, cfg.label, err)
+				os.Exit(1)
+			}
+			paper := paperTable8[name][cfg.label]
+			tab.AddRow(name, cfg.label, r.Duration, paper[0], float64(r.Energy), paper[1],
+				100*r.LocalityFraction())
+			fmt.Printf("%-11s %-4s time=%6.0fs (paper %5.0f)  energy=%7.0fJ (paper %6.0f)  maps=%d reduces=%d local=%.0f%%\n",
+				name, cfg.label, r.Duration, paper[0], float64(r.Energy), paper[1],
+				r.MapTasks, r.ReduceTasks, 100*r.LocalityFraction())
+			if *trace {
+				printTrace(r)
+			}
+		}
+	}
+	fmt.Println()
+	fmt.Println(tab)
+}
+
+// printTrace renders the Figure 12–17 style 1 Hz trace: CPU%, memory%,
+// map/reduce progress and cluster power.
+func printTrace(r *mapred.JobResult) {
+	fmt.Printf("  %6s %6s %6s %6s %6s %8s\n", "t(s)", "cpu%", "mem%", "map%", "red%", "power(W)")
+	pts := r.Power.Points()
+	step := 1
+	if len(pts) > 40 {
+		step = len(pts) / 40
+	}
+	for i := 0; i < len(pts); i += step {
+		t := pts[i].T
+		fmt.Printf("  %6.0f %6.1f %6.1f %6.1f %6.1f %8.1f\n",
+			t, r.CPU.At(t), r.Mem.At(t), r.MapProgress.At(t), r.ReduceProgress.At(t), pts[i].V)
+	}
+}

@@ -1,0 +1,35 @@
+// Command microbench reproduces the paper's individual-server tests
+// (Section 4): Dhrystone and Sysbench CPU (Figures 2–3), the memory
+// bandwidth sweep (§4.2), dd/ioping storage (Table 5) and the iperf3/ping
+// network matrix (§4.4).
+package main
+
+import (
+	"flag"
+	"fmt"
+
+	"edisim/internal/core"
+)
+
+func main() {
+	seed := flag.Int64("seed", 1, "root random seed")
+	flag.Parse()
+
+	ids := []string{"table2", "table3", "sec41_dhrystone", "fig2_fig3",
+		"sec42_memory", "table5", "sec44_network"}
+	cfg := core.Config{Seed: *seed}
+	for _, id := range ids {
+		e, ok := core.Lookup(id)
+		if !ok {
+			panic("missing experiment " + id)
+		}
+		o := e.Run(cfg)
+		fmt.Printf("== %s (§%s): %s ==\n", e.ID, e.Section, e.Title)
+		for _, t := range o.Tables {
+			fmt.Println(t)
+		}
+		for _, f := range o.Figures {
+			fmt.Println(f)
+		}
+	}
+}

@@ -1,0 +1,96 @@
+// Command paper runs the complete reproduction: every registered
+// experiment, printing each artifact and a final paper-vs-measured ledger.
+// With -experiments it writes the EXPERIMENTS.md comparison section to
+// stdout in markdown.
+//
+// Usage:
+//
+//	paper               # full fidelity, all artifacts (minutes)
+//	paper -quick        # reduced sweeps for a fast smoke run
+//	paper -only fig4_fig7
+//	paper -experiments > comparisons.md
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	"edisim/internal/core"
+)
+
+func main() {
+	var (
+		quick    = flag.Bool("quick", false, "short sweeps (smoke run)")
+		only     = flag.String("only", "", "comma-separated experiment IDs (default all)")
+		seed     = flag.Int64("seed", 1, "root random seed")
+		markdown = flag.Bool("experiments", false, "emit the EXPERIMENTS.md comparison ledger as markdown")
+	)
+	flag.Parse()
+
+	cfg := core.Config{Seed: *seed, Quick: *quick}
+	wanted := map[string]bool{}
+	if *only != "" {
+		for _, id := range strings.Split(*only, ",") {
+			wanted[strings.TrimSpace(id)] = true
+		}
+	}
+
+	var all []core.Experiment
+	for _, e := range core.Experiments() {
+		if len(wanted) > 0 && !wanted[e.ID] {
+			continue
+		}
+		all = append(all, e)
+	}
+	if len(all) == 0 {
+		fmt.Fprintf(os.Stderr, "paper: no experiments match %q (have %v)\n", *only, core.IDs())
+		os.Exit(2)
+	}
+
+	type ran struct {
+		e core.Experiment
+		o *core.Outcome
+	}
+	var results []ran
+	for _, e := range all {
+		if !*markdown {
+			fmt.Printf("==== %s (§%s) — %s ====\n", e.ID, e.Section, e.Title)
+		}
+		o := e.Run(cfg)
+		results = append(results, ran{e, o})
+		if *markdown {
+			continue
+		}
+		for _, t := range o.Tables {
+			fmt.Println(t)
+		}
+		for _, f := range o.Figures {
+			fmt.Println(f)
+		}
+		for _, n := range o.Notes {
+			fmt.Printf("note: %s\n", n)
+		}
+		fmt.Println()
+	}
+
+	if *markdown {
+		fmt.Println("| artifact | metric | paper | simulated | ratio |")
+		fmt.Println("|---|---|---:|---:|---:|")
+		for _, r := range results {
+			for _, c := range r.o.Comparisons {
+				fmt.Printf("| %s | %s | %.4g | %.4g | %.2f |\n",
+					c.Artifact, c.Metric, c.Paper, c.Measured, c.RatioError())
+			}
+		}
+		return
+	}
+
+	fmt.Println("==== paper-vs-simulated ledger ====")
+	for _, r := range results {
+		for _, c := range r.o.Comparisons {
+			fmt.Println(c)
+		}
+	}
+}

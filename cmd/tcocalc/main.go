@@ -1,0 +1,39 @@
+// Command tcocalc evaluates the paper's total-cost-of-ownership model
+// (Section 6, Equation 1): the four Table 10 scenarios by default, or a
+// custom configuration via flags.
+package main
+
+import (
+	"flag"
+	"fmt"
+
+	"edisim/internal/report"
+	"edisim/internal/tco"
+)
+
+func main() {
+	var (
+		custom  = flag.Bool("custom", false, "evaluate a custom scenario instead of Table 10")
+		edisons = flag.Int("edison", 35, "Edison node count (custom)")
+		dells   = flag.Int("dell", 3, "Dell server count (custom)")
+		util    = flag.Float64("util", 0.5, "utilization in [0,1] (custom)")
+	)
+	flag.Parse()
+
+	if *custom {
+		e := tco.Compute(tco.EdisonInputs(*edisons, *util))
+		d := tco.Compute(tco.DellInputs(*dells, *util))
+		fmt.Printf("Edison x%d @ %.0f%%: equipment $%.0f + electricity $%.0f = $%.0f\n",
+			*edisons, *util*100, e.Equipment, e.Electricity, e.Total())
+		fmt.Printf("Dell   x%d @ %.0f%%: equipment $%.0f + electricity $%.0f = $%.0f\n",
+			*dells, *util*100, d.Equipment, d.Electricity, d.Total())
+		fmt.Printf("Savings: %.0f%%\n", 100*(1-e.Total()/d.Total()))
+		return
+	}
+
+	t := report.NewTable("Table 10 — 3-year TCO (USD)", "scenario", "Dell", "Edison", "savings %")
+	for _, s := range tco.Table10() {
+		t.AddRow(s.Name, s.Dell.Total(), s.Edison.Total(), 100*s.Savings())
+	}
+	fmt.Println(t)
+}

@@ -1,0 +1,101 @@
+// Command websvc reproduces the paper's web-service experiments (§5.1):
+// httperf concurrency sweeps over the Edison and Dell middle tiers,
+// reporting throughput, response delay, error onset, cluster power
+// (Figures 4–9), delay distributions (Figures 10–11) and the Table 7
+// delay decomposition.
+//
+// Usage:
+//
+//	websvc -image 0.20 -cachehit 0.93 -duration 30 -scale full
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"edisim/internal/cluster"
+	"edisim/internal/report"
+	"edisim/internal/web"
+)
+
+func main() {
+	var (
+		image    = flag.Float64("image", 0.0, "image query fraction (paper: 0, 0.06, 0.10, 0.20)")
+		cacheHit = flag.Float64("cachehit", 0.93, "cache hit ratio (paper: 0.93, 0.77, 0.60)")
+		duration = flag.Float64("duration", 20, "simulated seconds per concurrency level")
+		scale    = flag.String("scale", "full", "cluster scale: full, 1/2, 1/4, 1/8")
+		seed     = flag.Int64("seed", 1, "root random seed")
+	)
+	flag.Parse()
+
+	var ws *cluster.WebScale
+	for _, s := range cluster.Table6() {
+		if s.Name == *scale {
+			s := s
+			ws = &s
+		}
+	}
+	if ws == nil {
+		fmt.Fprintf(os.Stderr, "websvc: unknown scale %q\n", *scale)
+		os.Exit(2)
+	}
+
+	concurrencies := []float64{8, 16, 32, 64, 128, 256, 512, 1024, 2048}
+	fig := report.NewFigure("Throughput", "conn/s", "req/s", concurrencies)
+	dfig := report.NewFigure("Response delay", "conn/s", "ms", concurrencies)
+	pfig := report.NewFigure("Cluster power", "conn/s", "W", concurrencies)
+
+	run := func(p web.Platform, nWeb, nCache int) {
+		var tput, delay, pow []float64
+		for _, c := range concurrencies {
+			r := sweepPoint(p, nWeb, nCache, c, *image, *cacheHit, *duration, *seed)
+			mark := ""
+			if r.ErrorRate > 0.01 {
+				mark = " [errors]"
+			}
+			fmt.Printf("%-7s web=%-2d conc=%-6.0f tput=%-7.0f delay=%-8.2fms err=%-6.3f power=%-7.1fW cpu(web)=%.0f%% cpu(cache)=%.0f%% hit=%.2f%s\n",
+				p, nWeb, c, r.Throughput, r.MeanDelay*1e3, r.ErrorRate,
+				float64(r.MeanPower), r.WebCPU*100, r.CacheCPU*100, r.HitRatio, mark)
+			tput = append(tput, r.Throughput)
+			delay = append(delay, r.MeanDelay*1e3)
+			pow = append(pow, float64(r.MeanPower))
+		}
+		label := fmt.Sprintf("%d %s", nWeb, p)
+		fig.Add(label, tput)
+		dfig.Add(label, delay)
+		pfig.Add(label, pow)
+	}
+
+	if ws.EdisonWeb > 0 {
+		run(web.Edison, ws.EdisonWeb, ws.EdisonCache)
+	}
+	if ws.DellWeb > 0 {
+		run(web.Dell, ws.DellWeb, ws.DellCache)
+	}
+
+	fmt.Println()
+	fmt.Println(fig)
+	fmt.Println(dfig)
+	fmt.Println(pfig)
+}
+
+// sweepPoint runs one concurrency level on a fresh testbed so runs are
+// independent and reproducible.
+func sweepPoint(p web.Platform, nWeb, nCache int, conc, image, hit, duration float64, seed int64) web.Result {
+	cfg := cluster.Config{DBNodes: 2, Clients: 8}
+	if p == web.Edison {
+		cfg.EdisonNodes = nWeb + nCache
+	} else {
+		cfg.DellNodes = nWeb + nCache
+	}
+	tb := cluster.New(cfg)
+	dep := web.NewDeployment(tb, p, nWeb, nCache, seed)
+	dep.Warm(hit)
+	return dep.Run(web.RunConfig{
+		Concurrency: conc,
+		ImageFrac:   image,
+		CacheHit:    hit,
+		Duration:    duration,
+	})
+}

@@ -1,0 +1,48 @@
+// Mapreduce: run the paper's wordcount and its combine-input optimization
+// on both simulated clusters, printing the per-phase trace the paper plots
+// in Figures 12–16 and the container-allocation-overhead story of §5.2.1.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"edisim/internal/jobs"
+	"edisim/internal/mapred"
+)
+
+func main() {
+	for _, name := range []string{"wordcount", "wordcount2"} {
+		fmt.Printf("== %s ==\n", name)
+		for _, side := range []struct {
+			platform string
+			slaves   int
+			label    string
+		}{
+			{jobs.EdisonPlatform, 35, "35 Edison slaves"},
+			{jobs.DellPlatform, 2, "2 Dell slaves"},
+		} {
+			r, err := jobs.Run(name, side.platform, side.slaves, 1)
+			if err != nil {
+				log.Fatal(err)
+			}
+			fmt.Printf("%s: %.0f s, %.0f J, %d maps (%d%% data-local), %d reduces\n",
+				side.label, r.Duration, float64(r.Energy),
+				r.MapTasks, int(100*r.LocalityFraction()), r.ReduceTasks)
+			printPhases(r)
+		}
+		fmt.Println()
+	}
+	fmt.Println("combining 200 small inputs into one split per vcore removes most")
+	fmt.Println("container-allocation overhead — and most of Edison's advantage (§5.2.1)")
+}
+
+// printPhases prints a compact five-point trace of the job.
+func printPhases(r *mapred.JobResult) {
+	fmt.Printf("   %8s %8s %8s %8s %8s\n", "t(s)", "cpu%", "map%", "reduce%", "power(W)")
+	for i := 0; i <= 4; i++ {
+		t := r.Duration * float64(i) / 4
+		fmt.Printf("   %8.0f %8.0f %8.0f %8.0f %8.1f\n",
+			t, r.CPU.At(t), r.MapProgress.At(t), r.ReduceProgress.At(t), r.Power.At(t))
+	}
+}

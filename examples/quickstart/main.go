@@ -1,0 +1,49 @@
+// Quickstart: build the paper's testbed, check the back-of-the-envelope
+// sizing (Table 2), run a small MapReduce job both functionally (real
+// records through LocalRun) and on the simulated cluster (time + energy),
+// and print the work-done-per-joule comparison that motivates the paper.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"edisim/internal/hw"
+	"edisim/internal/jobs"
+	"edisim/internal/mapred"
+)
+
+func main() {
+	// 1. How many Edison micro servers replace one Dell R620? (§3.1)
+	est := hw.EstimateReplacement(hw.EdisonSpec(), hw.DellR620Spec())
+	fmt.Printf("Table 2: %d Edison nodes match one Dell R620 (CPU %d, RAM %d, NIC %d)\n\n",
+		est.Required, est.ByCPU, est.ByRAM, est.ByNIC)
+
+	// 2. Functional check: the real wordcount counts real words.
+	job := jobs.Wordcount(4, 4, jobs.EdisonPlatform)
+	local, err := mapred.LocalRun(job, map[string][]string{
+		"part-0": jobs.GenerateTextLines(1, 200, 8),
+		"part-1": jobs.GenerateTextLines(2, 200, 8),
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("wordcount (local executor): %d input records -> %d distinct words\n\n",
+		local.MapInputRecords, local.ReduceInputGroups)
+
+	// 3. The same workload on both simulated clusters (small scale for a
+	// fast demo): who does more work per joule?
+	fmt.Println("logcount2 on simulated clusters:")
+	edison, err := jobs.Run("logcount2", jobs.EdisonPlatform, 8, 1)
+	if err != nil {
+		log.Fatal(err)
+	}
+	dell, err := jobs.Run("logcount2", jobs.DellPlatform, 1, 1)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("  8 Edison slaves: %5.0f s, %6.0f J\n", edison.Duration, float64(edison.Energy))
+	fmt.Printf("  1 Dell slave:    %5.0f s, %6.0f J\n", dell.Duration, float64(dell.Energy))
+	fmt.Printf("  Edison work-done-per-joule advantage: %.2fx\n",
+		float64(dell.Energy)/float64(edison.Energy))
+}

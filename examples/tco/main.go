@@ -1,0 +1,29 @@
+// TCO: evaluate the paper's cost model (Section 6) for the published
+// scenarios and a sensitivity sweep over electricity price, showing when
+// the micro cluster's lower equipment + energy cost wins.
+package main
+
+import (
+	"fmt"
+
+	"edisim/internal/tco"
+)
+
+func main() {
+	fmt.Println("Table 10 — 3-year TCO:")
+	for _, s := range tco.Table10() {
+		fmt.Printf("  %-34s Dell $%7.1f   Edison $%7.1f   savings %4.1f%%\n",
+			s.Name, s.Dell.Total(), s.Edison.Total(), 100*s.Savings())
+	}
+
+	fmt.Println("\nSensitivity: web-service high utilization vs electricity price")
+	for _, price := range []float64{0.05, 0.10, 0.20, 0.40} {
+		d := tco.DellInputs(3, 0.75)
+		e := tco.EdisonInputs(35, 0.75)
+		d.PricePerKWh, e.PricePerKWh = price, price
+		rd, re := tco.Compute(d), tco.Compute(e)
+		fmt.Printf("  $%.2f/kWh: Dell $%8.1f  Edison $%7.1f  savings %4.1f%%\n",
+			price, rd.Total(), re.Total(), 100*(1-re.Total()/rd.Total()))
+	}
+	fmt.Println("\nhigher electricity prices widen the micro cluster's advantage")
+}

@@ -1,0 +1,45 @@
+// Webservice: drive the LLMP stack (Lighttpd + memcached + MySQL behind
+// HAProxy) on both middle tiers at a few httperf concurrency levels,
+// showing the paper's headline trade-off: comparable peak throughput,
+// higher Edison latency, and ≈3.5× better energy efficiency (§5.1).
+package main
+
+import (
+	"fmt"
+
+	"edisim/internal/cluster"
+	"edisim/internal/web"
+)
+
+func main() {
+	fmt.Println("httperf sweep, 93% cache hit, no image queries (Figure 4 excerpt)")
+	fmt.Printf("%-8s %-8s %-10s %-10s %-10s %-12s\n",
+		"tier", "conn/s", "req/s", "delay", "power", "req/joule")
+
+	for _, conc := range []float64{128, 512, 1024} {
+		for _, tier := range []struct {
+			p            web.Platform
+			nWeb, nCache int
+		}{
+			{web.Edison, 24, 11},
+			{web.Dell, 2, 1},
+		} {
+			ccfg := cluster.Config{DBNodes: 2, Clients: 8}
+			if tier.p == web.Edison {
+				ccfg.EdisonNodes = tier.nWeb + tier.nCache
+			} else {
+				ccfg.DellNodes = tier.nWeb + tier.nCache
+			}
+			tb := cluster.New(ccfg)
+			dep := web.NewDeployment(tb, tier.p, tier.nWeb, tier.nCache, 1)
+			dep.Warm(0.93)
+			r := dep.Run(web.RunConfig{Concurrency: conc, Duration: 8})
+			fmt.Printf("%-8s %-8.0f %-10.0f %-10s %-10s %-12.1f\n",
+				tier.p, conc, r.Throughput,
+				fmt.Sprintf("%.1fms", r.MeanDelay*1e3),
+				fmt.Sprintf("%.1fW", float64(r.MeanPower)),
+				r.Throughput/float64(r.MeanPower))
+		}
+	}
+	fmt.Println("\nreq/joule at peak is the paper's 3.5x energy-efficiency result")
+}

@@ -1,0 +1,161 @@
+// Package cluster assembles the paper's testbed (§3, Figure 1): a 35-node
+// Edison cluster packed as five boxes of seven nodes each with a per-box
+// switch, a Dell PowerEdge R620 cluster under a top-of-rack switch, two Dell
+// database servers, and the client machines — all joined by a core switch.
+// Link capacities and propagation delays reproduce the measured §4.4
+// numbers: 1.3 ms RTT Edison–Edison, 0.8 ms Dell–Edison, 0.24 ms Dell–Dell,
+// and the 1 Gbps aggregate path between the clients' room and the Edison
+// room that motivates the paper's "20% image" fairness argument.
+package cluster
+
+import (
+	"fmt"
+
+	"edisim/internal/hw"
+	"edisim/internal/netsim"
+	"edisim/internal/power"
+	"edisim/internal/sim"
+	"edisim/internal/units"
+)
+
+// Topology constants (one-way propagation delays in seconds), chosen so the
+// fabric reproduces the paper's measured RTTs.
+const (
+	edisonAccessDelay = 0.30e-3 // Edison host <-> box switch
+	boxUplinkDelay    = 0.05e-3 // box switch <-> Edison root switch
+	dellAccessDelay   = 0.06e-3 // Dell host <-> ToR
+	coreDelay         = 0       // room interconnects
+)
+
+// Testbed is the full experimental setup on one engine and one fabric.
+type Testbed struct {
+	Eng *sim.Engine
+	Fab *netsim.Fabric
+
+	Edison  []*hw.Node // up to 35 micro servers
+	Dell    []*hw.Node // up to 3 brawny servers
+	DB      []*hw.Node // 2 Dell R620 database servers (shared by both clusters)
+	Clients []string   // client machine vertex names (load generators)
+
+	EdisonMeter *power.Meter // the Mastech DC supply
+	DellMeter   *power.Meter // the rack PDU
+}
+
+// Config sizes the testbed.
+type Config struct {
+	EdisonNodes int // 0..35
+	DellNodes   int // 0..3
+	DBNodes     int // database servers, paper uses 2
+	Clients     int // load generator machines, paper uses 8 httperf + 30 logger
+}
+
+// DefaultConfig is the paper's full setup.
+func DefaultConfig() Config {
+	return Config{EdisonNodes: 35, DellNodes: 3, DBNodes: 2, Clients: 8}
+}
+
+// New builds a testbed on a fresh engine.
+func New(cfg Config) *Testbed {
+	eng := sim.NewEngine()
+	return NewOn(eng, cfg)
+}
+
+// NewOn builds a testbed on an existing engine.
+func NewOn(eng *sim.Engine, cfg Config) *Testbed {
+	if cfg.EdisonNodes < 0 || cfg.EdisonNodes > 200 {
+		panic(fmt.Sprintf("cluster: invalid Edison node count %d", cfg.EdisonNodes))
+	}
+	tb := &Testbed{Eng: eng, Fab: netsim.NewFabric(eng)}
+	f := tb.Fab
+
+	f.AddVertex("core")
+
+	// --- Edison room: boxes of 7 under per-box switches, root switch,
+	// 1 Gbps uplink to the core (the inter-room bottleneck).
+	if cfg.EdisonNodes > 0 {
+		f.AddVertex("edison-root")
+		f.Connect("edison-root", "core", units.Gbps(1), coreDelay)
+		spec := hw.EdisonSpec()
+		nBoxes := (cfg.EdisonNodes + 6) / 7
+		for b := 0; b < nBoxes; b++ {
+			sw := fmt.Sprintf("edison-box%d", b)
+			f.AddVertex(sw)
+			f.Connect(sw, "edison-root", units.Gbps(1), boxUplinkDelay)
+		}
+		for i := 0; i < cfg.EdisonNodes; i++ {
+			name := fmt.Sprintf("edison%02d", i)
+			f.AddVertex(name)
+			f.Connect(name, fmt.Sprintf("edison-box%d", i/7), spec.NIC.TCPGoodput, edisonAccessDelay)
+			tb.Edison = append(tb.Edison, hw.NewNode(eng, spec, name))
+		}
+	}
+
+	// --- Dell room: ToR switch directly on the core (same machine room as
+	// the clients; aggregate bandwidth limited only by the hosts' own NICs).
+	f.AddVertex("dell-tor")
+	f.Connect("dell-tor", "core", units.Gbps(10), coreDelay)
+	dellSpec := hw.DellR620Spec()
+	for i := 0; i < cfg.DellNodes; i++ {
+		name := fmt.Sprintf("dell%d", i)
+		f.AddVertex(name)
+		f.Connect(name, "dell-tor", dellSpec.NIC.TCPGoodput, dellAccessDelay)
+		tb.Dell = append(tb.Dell, hw.NewNode(eng, dellSpec, name))
+	}
+	for i := 0; i < cfg.DBNodes; i++ {
+		name := fmt.Sprintf("db%d", i)
+		f.AddVertex(name)
+		f.Connect(name, "dell-tor", dellSpec.NIC.TCPGoodput, dellAccessDelay)
+		tb.DB = append(tb.DB, hw.NewNode(eng, dellSpec, name))
+	}
+
+	// --- Clients: in the Dell room, each with its own 1 Gbps access link.
+	for i := 0; i < cfg.Clients; i++ {
+		name := fmt.Sprintf("client%d", i)
+		f.AddVertex(name)
+		f.Connect(name, "dell-tor", units.Mbps(942), dellAccessDelay)
+		tb.Clients = append(tb.Clients, name)
+	}
+
+	tb.EdisonMeter = power.NewMeter("mastech-supply", tb.Edison)
+	tb.DellMeter = power.NewMeter("rack-pdu", tb.Dell)
+	return tb
+}
+
+// PowerState is one row of Table 3.
+type PowerState struct {
+	Label      string
+	Idle, Busy units.Watts
+}
+
+// Table3 reproduces the paper's measured power states from the specs.
+func Table3() []PowerState {
+	e := hw.EdisonSpec().Power
+	d := hw.DellR620Spec().Power
+	bare := hw.PowerSpec{Idle: e.Idle, Busy: e.Busy}
+	rows := []PowerState{
+		{"1 Edison without Ethernet adaptor", bare.IdleDraw(), bare.BusyDraw()},
+		{"1 Edison with Ethernet adaptor", e.IdleDraw(), e.BusyDraw()},
+		{"Edison cluster of 35 nodes", 35 * e.IdleDraw(), 35 * e.BusyDraw()},
+		{"1 Dell server", d.IdleDraw(), d.BusyDraw()},
+		{"Dell cluster of 3 nodes", 3 * d.IdleDraw(), 3 * d.BusyDraw()},
+	}
+	return rows
+}
+
+// WebScale is a row of Table 6: how many web/cache servers each cluster
+// contributes at each scale factor.
+type WebScale struct {
+	Name                   string
+	EdisonWeb, EdisonCache int
+	DellWeb, DellCache     int
+}
+
+// Table6 returns the paper's cluster scale configurations.
+func Table6() []WebScale {
+	return []WebScale{
+		{Name: "full", EdisonWeb: 24, EdisonCache: 11, DellWeb: 2, DellCache: 1},
+		{Name: "1/2", EdisonWeb: 12, EdisonCache: 6, DellWeb: 1, DellCache: 1},
+		{Name: "1/4", EdisonWeb: 6, EdisonCache: 3},
+		{Name: "1/8", EdisonWeb: 3, EdisonCache: 2},
+	}
+}

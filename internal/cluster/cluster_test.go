@@ -1,0 +1,109 @@
+package cluster
+
+import (
+	"math"
+	"testing"
+
+	"edisim/internal/hw"
+)
+
+func almost(a, b, tol float64) bool { return math.Abs(a-b) <= tol }
+
+func TestTestbedSizes(t *testing.T) {
+	tb := New(DefaultConfig())
+	if len(tb.Edison) != 35 || len(tb.Dell) != 3 || len(tb.DB) != 2 || len(tb.Clients) != 8 {
+		t.Fatalf("sizes: %d edison, %d dell, %d db, %d clients",
+			len(tb.Edison), len(tb.Dell), len(tb.DB), len(tb.Clients))
+	}
+}
+
+func TestMeasuredRTTsMatchSection44(t *testing.T) {
+	tb := New(DefaultConfig())
+	// Edison <-> Edison across boxes: paper measures ≈1.3 ms.
+	ee := tb.Fab.RTT(tb.Edison[0].ID, tb.Edison[34].ID)
+	if ee < 1.0e-3 || ee > 1.5e-3 {
+		t.Errorf("E-E RTT %.2fms, want ≈1.3ms", ee*1e3)
+	}
+	// Dell <-> Dell: ≈0.24 ms.
+	dd := tb.Fab.RTT(tb.Dell[0].ID, tb.Dell[1].ID)
+	if dd < 0.20e-3 || dd > 0.30e-3 {
+		t.Errorf("D-D RTT %.2fms, want ≈0.24ms", dd*1e3)
+	}
+	// Dell <-> Edison: ≈0.8 ms.
+	de := tb.Fab.RTT(tb.Dell[0].ID, tb.Edison[0].ID)
+	if de < 0.6e-3 || de > 1.0e-3 {
+		t.Errorf("D-E RTT %.2fms, want ≈0.8ms", de*1e3)
+	}
+}
+
+func TestClusterIdlePowerMatchesTable3(t *testing.T) {
+	tb := New(DefaultConfig())
+	if got := float64(tb.EdisonMeter.Power()); !almost(got, 49.0, 0.01) {
+		t.Errorf("Edison cluster idle power %.2fW, want 49.0W", got)
+	}
+	if got := float64(tb.DellMeter.Power()); !almost(got, 156, 0.01) {
+		t.Errorf("Dell cluster idle power %.2fW, want 156W", got)
+	}
+}
+
+func TestTable3Rows(t *testing.T) {
+	rows := Table3()
+	want := []struct{ idle, busy float64 }{
+		{0.36, 0.75}, {1.40, 1.68}, {49.0, 58.8}, {52, 109}, {156, 327},
+	}
+	if len(rows) != len(want) {
+		t.Fatalf("got %d rows", len(rows))
+	}
+	for i, w := range want {
+		if !almost(float64(rows[i].Idle), w.idle, 1e-6) || !almost(float64(rows[i].Busy), w.busy, 1e-6) {
+			t.Errorf("row %q: %.2f/%.2f, want %.2f/%.2f",
+				rows[i].Label, float64(rows[i].Idle), float64(rows[i].Busy), w.idle, w.busy)
+		}
+	}
+}
+
+func TestTable6Configuration(t *testing.T) {
+	rows := Table6()
+	if rows[0].EdisonWeb != 24 || rows[0].EdisonCache != 11 || rows[0].DellWeb != 2 || rows[0].DellCache != 1 {
+		t.Fatalf("full-scale row wrong: %+v", rows[0])
+	}
+	// Web servers ≈ 2× cache servers throughout (paper's provisioning rule).
+	for _, r := range rows {
+		if r.EdisonCache > 0 && (r.EdisonWeb < r.EdisonCache || r.EdisonWeb > 3*r.EdisonCache) {
+			t.Errorf("scale %s: web/cache ratio off: %d/%d", r.Name, r.EdisonWeb, r.EdisonCache)
+		}
+	}
+}
+
+func TestEdisonUplinkIsBottleneck(t *testing.T) {
+	// The client room reaches the Edison room through a single 1 Gbps path;
+	// each individual link to a Dell host is also ≈1 Gbps. Verify topology
+	// wiring by comparing hop counts.
+	tb := New(DefaultConfig())
+	pEd := tb.Fab.Route("client0", tb.Edison[0].ID)
+	pDl := tb.Fab.Route("client0", tb.Dell[0].ID)
+	if len(pEd) <= len(pDl) {
+		t.Fatalf("Edison path (%d hops) should be longer than Dell path (%d hops)",
+			len(pEd), len(pDl))
+	}
+}
+
+func TestScaledDownCluster(t *testing.T) {
+	tb := New(Config{EdisonNodes: 8, DellNodes: 1, DBNodes: 2, Clients: 4})
+	if len(tb.Edison) != 8 || len(tb.Dell) != 1 {
+		t.Fatal("scaled config not honored")
+	}
+	// All nodes still mutually routable.
+	tb.Fab.Route(tb.Edison[7].ID, tb.DB[1].ID)
+	tb.Fab.Route(tb.Edison[0].ID, tb.Edison[7].ID)
+}
+
+func TestNodesUseCorrectSpecs(t *testing.T) {
+	tb := New(DefaultConfig())
+	if tb.Edison[0].Spec.Name != hw.EdisonSpec().Name {
+		t.Fatal("Edison node has wrong spec")
+	}
+	if tb.Dell[0].Spec.CPU.Cores != 6 {
+		t.Fatal("Dell node has wrong spec")
+	}
+}

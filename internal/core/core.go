@@ -1,0 +1,87 @@
+// Package core is the evaluation harness: every table and figure of the
+// paper is registered here as a runnable Experiment that regenerates its
+// data on the simulated testbed and records paper-vs-measured comparisons.
+// cmd/paper, the examples and the root benchmarks all drive this registry.
+package core
+
+import (
+	"fmt"
+	"sort"
+
+	"edisim/internal/report"
+)
+
+// Config controls experiment fidelity.
+type Config struct {
+	// Seed is the root random seed; identical seeds reproduce results
+	// bit-for-bit.
+	Seed int64
+	// Quick trades statistical tightness for speed (shorter httperf
+	// windows, fewer sweep points) — used by unit tests and -short benches.
+	Quick bool
+}
+
+// DefaultConfig runs experiments at full fidelity with seed 1.
+func DefaultConfig() Config { return Config{Seed: 1} }
+
+// Outcome is what an experiment produces: renderable artifacts plus
+// paper-vs-measured comparisons for EXPERIMENTS.md.
+type Outcome struct {
+	Tables      []*report.Table
+	Figures     []*report.Figure
+	Comparisons []report.Comparison
+	Notes       []string
+}
+
+// AddComparison records one paper-vs-measured pair.
+func (o *Outcome) AddComparison(artifact, metric string, paper, measured float64) {
+	o.Comparisons = append(o.Comparisons, report.Comparison{
+		Artifact: artifact, Metric: metric, Paper: paper, Measured: measured,
+	})
+}
+
+// Experiment regenerates one paper artifact (or a tightly coupled group).
+type Experiment struct {
+	ID      string // e.g. "fig4_fig7"
+	Title   string
+	Section string // paper section
+	Run     func(cfg Config) *Outcome
+}
+
+var registry []Experiment
+
+func register(e Experiment) {
+	for _, existing := range registry {
+		if existing.ID == e.ID {
+			panic(fmt.Sprintf("core: duplicate experiment %q", e.ID))
+		}
+	}
+	registry = append(registry, e)
+}
+
+// Experiments returns all registered experiments in registration order.
+func Experiments() []Experiment {
+	out := make([]Experiment, len(registry))
+	copy(out, registry)
+	return out
+}
+
+// Lookup finds an experiment by ID.
+func Lookup(id string) (Experiment, bool) {
+	for _, e := range registry {
+		if e.ID == id {
+			return e, true
+		}
+	}
+	return Experiment{}, false
+}
+
+// IDs lists registered experiment IDs, sorted.
+func IDs() []string {
+	out := make([]string, 0, len(registry))
+	for _, e := range registry {
+		out = append(out, e.ID)
+	}
+	sort.Strings(out)
+	return out
+}

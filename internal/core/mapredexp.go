@@ -1,0 +1,194 @@
+package core
+
+import (
+	"fmt"
+
+	"edisim/internal/jobs"
+	"edisim/internal/mapred"
+	"edisim/internal/report"
+)
+
+func init() {
+	register(Experiment{ID: "fig12_fig15", Title: "Wordcount traces", Section: "5.2.1", Run: traceExperiment("wordcount")})
+	register(Experiment{ID: "fig13_fig16", Title: "Wordcount2 traces", Section: "5.2.1", Run: traceExperiment("wordcount2")})
+	register(Experiment{ID: "sec522_logcount", Title: "Logcount & logcount2", Section: "5.2.2", Run: runLogcount})
+	register(Experiment{ID: "fig14_fig17", Title: "Pi estimation traces", Section: "5.2.3", Run: traceExperiment("pi")})
+	register(Experiment{ID: "sec524_terasort", Title: "Terasort", Section: "5.2.4", Run: runTerasort})
+	register(Experiment{ID: "fig18_fig19_table8", Title: "Scalability: time & energy across cluster sizes", Section: "5.3", Run: runScalability})
+}
+
+// PaperTable8 holds the published Table 8: (seconds, joules) per job and
+// cluster label. Exported for the benches and EXPERIMENTS.md generation.
+var PaperTable8 = map[string]map[string][2]float64{
+	"wordcount":  {"35E": {310, 17670}, "17E": {1065, 29485}, "8E": {1817, 23673}, "4E": {3283, 21386}, "2D": {213, 40214}, "1D": {310, 30552}},
+	"wordcount2": {"35E": {182, 10370}, "17E": {270, 7475}, "8E": {450, 5862}, "4E": {1192, 7765}, "2D": {66, 11695}, "1D": {93, 8124}},
+	"logcount":   {"35E": {279, 15903}, "17E": {601, 16860}, "8E": {990, 12898}, "4E": {2233, 14546}, "2D": {206, 40803}, "1D": {516, 53303}},
+	"logcount2":  {"35E": {115, 6555}, "17E": {118, 3267}, "8E": {125, 1629}, "4E": {162, 1055}, "2D": {59, 9486}, "1D": {88, 6905}},
+	"pi":         {"35E": {200, 11445}, "17E": {334, 9247}, "8E": {577, 7517}, "4E": {1076, 7009}, "2D": {50, 9285}, "1D": {77, 6878}},
+	"terasort":   {"35E": {750, 43440}, "17E": {1364, 37763}, "8E": {3736, 48675}, "4E": {8220, 53547}, "2D": {331, 64210}, "1D": {1336, 111422}},
+}
+
+// ClusterLabels lists the Table 8 cluster configurations.
+var ClusterLabels = []struct {
+	Label    string
+	Platform string
+	Slaves   int
+}{
+	{"35E", jobs.EdisonPlatform, 35},
+	{"17E", jobs.EdisonPlatform, 17},
+	{"8E", jobs.EdisonPlatform, 8},
+	{"4E", jobs.EdisonPlatform, 4},
+	{"2D", jobs.DellPlatform, 2},
+	{"1D", jobs.DellPlatform, 1},
+}
+
+// traceFigure converts a JobResult's sampled series into a report figure.
+func traceFigure(name string, r *mapred.JobResult) *report.Figure {
+	pts := r.Power.Points()
+	x := make([]float64, len(pts))
+	power := make([]float64, len(pts))
+	cpu := make([]float64, len(pts))
+	mem := make([]float64, len(pts))
+	mp := make([]float64, len(pts))
+	rp := make([]float64, len(pts))
+	for i, p := range pts {
+		x[i] = p.T
+		power[i] = p.V
+		cpu[i] = r.CPU.At(p.T)
+		mem[i] = r.Mem.At(p.T)
+		mp[i] = r.MapProgress.At(p.T)
+		rp[i] = r.ReduceProgress.At(p.T)
+	}
+	fig := report.NewFigure(name, "time (s)", "% / W", x)
+	fig.Add("CPU %", cpu)
+	fig.Add("Mem %", mem)
+	fig.Add("Map %", mp)
+	fig.Add("Reduce %", rp)
+	fig.Add("Power W", power)
+	return fig
+}
+
+// reduceStartFraction reports when the reduce phase first progresses, as a
+// fraction of total runtime (the paper: 61% on Edison vs 28% on Dell for
+// wordcount).
+func reduceStartFraction(r *mapred.JobResult) float64 {
+	for _, p := range r.ReduceProgress.Points() {
+		if p.V > 0 {
+			return p.T / r.Duration
+		}
+	}
+	return 1
+}
+
+func traceExperiment(job string) func(cfg Config) *Outcome {
+	figNames := map[string][2]string{
+		"wordcount":  {"Figure 12 — wordcount on Edison cluster", "Figure 15 — wordcount on Dell cluster"},
+		"wordcount2": {"Figure 13 — wordcount2 on Edison cluster", "Figure 16 — wordcount2 on Dell cluster"},
+		"pi":         {"Figure 14 — pi on Edison cluster", "Figure 17 — pi on Dell cluster"},
+	}
+	return func(cfg Config) *Outcome {
+		o := &Outcome{}
+		names := figNames[job]
+		re, err := jobs.Run(job, jobs.EdisonPlatform, 35, cfg.Seed)
+		if err != nil {
+			panic(fmt.Sprintf("core: %s on Edison: %v", job, err))
+		}
+		rd, err := jobs.Run(job, jobs.DellPlatform, 2, cfg.Seed)
+		if err != nil {
+			panic(fmt.Sprintf("core: %s on Dell: %v", job, err))
+		}
+		o.Figures = append(o.Figures, traceFigure(names[0], re), traceFigure(names[1], rd))
+		addTable8Comparisons(o, job, "35E", re)
+		addTable8Comparisons(o, job, "2D", rd)
+		if job == "wordcount" {
+			o.AddComparison("Figure 12", "Edison reduce start (fraction of runtime)", 0.61, reduceStartFraction(re))
+			o.AddComparison("Figure 15", "Dell reduce start (fraction of runtime)", 0.28, reduceStartFraction(rd))
+		}
+		return o
+	}
+}
+
+func addTable8Comparisons(o *Outcome, job, label string, r *mapred.JobResult) {
+	p := PaperTable8[job][label]
+	o.AddComparison(fmt.Sprintf("Table 8 / %s / %s", job, label), "time s", p[0], r.Duration)
+	o.AddComparison(fmt.Sprintf("Table 8 / %s / %s", job, label), "energy J", p[1], float64(r.Energy))
+}
+
+func runLogcount(cfg Config) *Outcome {
+	o := &Outcome{}
+	for _, job := range []string{"logcount", "logcount2"} {
+		re, err := jobs.Run(job, jobs.EdisonPlatform, 35, cfg.Seed)
+		if err != nil {
+			panic(err)
+		}
+		rd, err := jobs.Run(job, jobs.DellPlatform, 2, cfg.Seed)
+		if err != nil {
+			panic(err)
+		}
+		addTable8Comparisons(o, job, "35E", re)
+		addTable8Comparisons(o, job, "2D", rd)
+	}
+	o.Notes = append(o.Notes,
+		"logcount: Edison reaches ≈2.6× work-done-per-joule; logcount2 shrinks the gap to ≈1.4× (container-allocation overhead removed)")
+	return o
+}
+
+func runTerasort(cfg Config) *Outcome {
+	o := &Outcome{}
+	re, err := jobs.Run("terasort", jobs.EdisonPlatform, 35, cfg.Seed)
+	if err != nil {
+		panic(err)
+	}
+	rd, err := jobs.Run("terasort", jobs.DellPlatform, 2, cfg.Seed)
+	if err != nil {
+		panic(err)
+	}
+	addTable8Comparisons(o, "terasort", "35E", re)
+	addTable8Comparisons(o, "terasort", "2D", rd)
+	eff := (float64(rd.Energy) / float64(re.Energy))
+	o.AddComparison("§5.2.4", "terasort energy-efficiency gain (x)", 1.48, eff)
+	return o
+}
+
+func runScalability(cfg Config) *Outcome {
+	o := &Outcome{}
+	names := jobs.Names()
+	labels := ClusterLabels
+	if cfg.Quick {
+		names = []string{"wordcount2", "pi"}
+		labels = labels[:1]
+	}
+	timeTab := report.NewTable("Figure 18 / Table 8 — job finish time (s)",
+		append([]string{"job"}, labelNames(labels)...)...)
+	energyTab := report.NewTable("Figure 19 / Table 8 — energy (J)",
+		append([]string{"job"}, labelNames(labels)...)...)
+	for _, job := range names {
+		trow := []any{job}
+		erow := []any{job}
+		for _, l := range labels {
+			r, err := jobs.Run(job, l.Platform, l.Slaves, cfg.Seed)
+			if err != nil {
+				panic(err)
+			}
+			trow = append(trow, r.Duration)
+			erow = append(erow, float64(r.Energy))
+			addTable8Comparisons(o, job, l.Label, r)
+		}
+		timeTab.AddRow(trow...)
+		energyTab.AddRow(erow...)
+	}
+	o.Tables = append(o.Tables, timeTab, energyTab)
+	return o
+}
+
+func labelNames(labels []struct {
+	Label    string
+	Platform string
+	Slaves   int
+}) []string {
+	out := make([]string, len(labels))
+	for i, l := range labels {
+		out[i] = l.Label
+	}
+	return out
+}

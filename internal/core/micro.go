@@ -1,0 +1,186 @@
+package core
+
+import (
+	"fmt"
+
+	"edisim/internal/hw"
+	"edisim/internal/microbench"
+	"edisim/internal/report"
+	"edisim/internal/tco"
+	"edisim/internal/units"
+)
+
+func init() {
+	register(Experiment{ID: "table2", Title: "Replacement estimate", Section: "3.1", Run: runTable2})
+	register(Experiment{ID: "table3", Title: "Power states", Section: "3.2", Run: runTable3})
+	register(Experiment{ID: "sec41_dhrystone", Title: "Dhrystone DMIPS", Section: "4.1", Run: runDhrystone})
+	register(Experiment{ID: "fig2_fig3", Title: "Sysbench CPU (Edison & Dell)", Section: "4.1", Run: runSysbenchCPU})
+	register(Experiment{ID: "sec42_memory", Title: "Memory bandwidth sweep", Section: "4.2", Run: runMemory})
+	register(Experiment{ID: "table5", Title: "Storage I/O", Section: "4.3", Run: runStorage})
+	register(Experiment{ID: "sec44_network", Title: "iperf3/ping matrix", Section: "4.4", Run: runNetwork})
+	register(Experiment{ID: "table10", Title: "TCO comparison", Section: "6", Run: runTCO})
+}
+
+func runTable2(cfg Config) *Outcome {
+	o := &Outcome{}
+	r := hw.EstimateReplacement(hw.EdisonSpec(), hw.DellR620Spec())
+	t := report.NewTable("Table 2 — Edison servers needed to replace one Dell R620",
+		"resource", "replacement")
+	t.AddRow("CPU", r.ByCPU)
+	t.AddRow("RAM", r.ByRAM)
+	t.AddRow("NIC", r.ByNIC)
+	t.AddRow("max", r.Required)
+	o.Tables = append(o.Tables, t)
+	o.AddComparison("Table 2", "Edison per Dell (CPU)", 12, float64(r.ByCPU))
+	o.AddComparison("Table 2", "Edison per Dell (RAM)", 16, float64(r.ByRAM))
+	o.AddComparison("Table 2", "Edison per Dell (NIC)", 10, float64(r.ByNIC))
+	o.AddComparison("Table 2", "Edison per Dell (required)", 16, float64(r.Required))
+	return o
+}
+
+func runTable3(cfg Config) *Outcome {
+	o := &Outcome{}
+	e, d := hw.EdisonSpec().Power, hw.DellR620Spec().Power
+	t := report.NewTable("Table 3 — power states", "server state", "idle (W)", "busy (W)")
+	rows := []struct {
+		label        string
+		idle, busy   units.Watts
+		pIdle, pBusy float64
+	}{
+		{"1 Edison without Ethernet adaptor", e.Idle, e.Busy, 0.36, 0.75},
+		{"1 Edison with Ethernet adaptor", e.IdleDraw(), e.BusyDraw(), 1.40, 1.68},
+		{"Edison cluster of 35 nodes", 35 * e.IdleDraw(), 35 * e.BusyDraw(), 49.0, 58.8},
+		{"1 Dell server", d.IdleDraw(), d.BusyDraw(), 52, 109},
+		{"Dell cluster of 3 nodes", 3 * d.IdleDraw(), 3 * d.BusyDraw(), 156, 327},
+	}
+	for _, r := range rows {
+		t.AddRow(r.label, float64(r.idle), float64(r.busy))
+		o.AddComparison("Table 3 / "+r.label, "idle W", r.pIdle, float64(r.idle))
+		o.AddComparison("Table 3 / "+r.label, "busy W", r.pBusy, float64(r.busy))
+	}
+	o.Tables = append(o.Tables, t)
+	return o
+}
+
+func runDhrystone(cfg Config) *Outcome {
+	o := &Outcome{}
+	e := microbench.Dhrystone(hw.EdisonSpec())
+	d := microbench.Dhrystone(hw.DellR620Spec())
+	t := report.NewTable("§4.1 — Dhrystone", "platform", "DMIPS", "time for 100M runs (s)")
+	t.AddRow(e.Platform, float64(e.DMIPS), e.RunTime)
+	t.AddRow(d.Platform, float64(d.DMIPS), d.RunTime)
+	o.Tables = append(o.Tables, t)
+	o.AddComparison("§4.1 Dhrystone", "Edison DMIPS", 632.3, float64(e.DMIPS))
+	o.AddComparison("§4.1 Dhrystone", "Dell DMIPS", 11383, float64(d.DMIPS))
+	return o
+}
+
+func runSysbenchCPU(cfg Config) *Outcome {
+	o := &Outcome{}
+	threads := []int{1, 2, 4, 8}
+	x := []float64{1, 2, 4, 8}
+	for _, spec := range []hw.NodeSpec{hw.EdisonSpec(), hw.DellR620Spec()} {
+		pts := microbench.SysbenchCPU(spec, threads)
+		name := "Figure 2"
+		if spec.Name != "Edison" {
+			name = "Figure 3"
+		}
+		fig := report.NewFigure(fmt.Sprintf("%s — Sysbench CPU on %s", name, spec.Name),
+			"threads", "seconds / ms", x)
+		var total, resp []float64
+		for _, p := range pts {
+			total = append(total, p.TotalTime)
+			resp = append(resp, p.AvgResponse*1e3)
+		}
+		fig.Add("total time (s)", total)
+		fig.Add("avg response (ms)", resp)
+		o.Figures = append(o.Figures, fig)
+	}
+	ePts := microbench.SysbenchCPU(hw.EdisonSpec(), []int{1})
+	dPts := microbench.SysbenchCPU(hw.DellR620Spec(), []int{1})
+	gap := ePts[0].TotalTime / dPts[0].TotalTime
+	o.AddComparison("Figures 2–3", "1-thread gap (x)", 16.5, gap)
+	o.AddComparison("Figure 3", "Dell 1-thread total (s)", 40, dPts[0].TotalTime)
+	return o
+}
+
+func runMemory(cfg Config) *Outcome {
+	o := &Outcome{}
+	blocks := []units.Bytes{4 * units.KB, 16 * units.KB, 64 * units.KB, 256 * units.KB, units.MB}
+	x := make([]float64, len(blocks))
+	for i, b := range blocks {
+		x[i] = float64(b) / 1024
+	}
+	fig := report.NewFigure("§4.2 — memory transfer rate vs block size", "block (KB)", "GB/s", x)
+	for _, spec := range []hw.NodeSpec{hw.EdisonSpec(), hw.DellR620Spec()} {
+		pts := microbench.SysbenchMemory(spec, blocks, []int{16})
+		var y []float64
+		for _, p := range pts {
+			y = append(y, float64(p.Rate)/float64(units.GBps))
+		}
+		fig.Add(spec.Name, y)
+	}
+	o.Figures = append(o.Figures, fig)
+	o.AddComparison("§4.2", "Edison peak GB/s", 2.2,
+		float64(microbench.PeakMemoryBandwidth(hw.EdisonSpec()))/float64(units.GBps))
+	o.AddComparison("§4.2", "Dell peak GB/s", 36,
+		float64(microbench.PeakMemoryBandwidth(hw.DellR620Spec()))/float64(units.GBps))
+	return o
+}
+
+func runStorage(cfg Config) *Outcome {
+	o := &Outcome{}
+	t := report.NewTable("Table 5 — storage I/O", "metric", "Edison", "Dell")
+	e := microbench.Storage(hw.EdisonSpec())
+	d := microbench.Storage(hw.DellR620Spec())
+	mb := func(r units.BytesPerSec) float64 { return float64(r) / float64(units.MBps) }
+	t.AddRow("write MB/s", mb(e.Write), mb(d.Write))
+	t.AddRow("buffered write MB/s", mb(e.BufWrite), mb(d.BufWrite))
+	t.AddRow("read MB/s", mb(e.Read), mb(d.Read))
+	t.AddRow("buffered read MB/s", mb(e.BufRead), mb(d.BufRead))
+	t.AddRow("write latency ms", e.WriteLatency*1e3, d.WriteLatency*1e3)
+	t.AddRow("read latency ms", e.ReadLatency*1e3, d.ReadLatency*1e3)
+	o.Tables = append(o.Tables, t)
+	o.AddComparison("Table 5", "Edison write MB/s", 4.5, mb(e.Write))
+	o.AddComparison("Table 5", "Dell write MB/s", 24.0, mb(d.Write))
+	o.AddComparison("Table 5", "Edison read MB/s", 19.5, mb(e.Read))
+	o.AddComparison("Table 5", "Dell read MB/s", 86.1, mb(d.Read))
+	o.AddComparison("Table 5", "Edison write latency ms", 18.0, e.WriteLatency*1e3)
+	o.AddComparison("Table 5", "Dell read latency ms", 0.829, d.ReadLatency*1e3)
+	return o
+}
+
+func runNetwork(cfg Config) *Outcome {
+	o := &Outcome{}
+	t := report.NewTable("§4.4 — network", "pair", "TCP Mbit/s", "UDP Mbit/s", "RTT ms")
+	paperTCP := map[string]float64{"Dell to Dell": 942, "Dell to Edison": 93.9, "Edison to Edison": 93.9}
+	paperRTT := map[string]float64{"Dell to Dell": 0.24, "Dell to Edison": 0.8, "Edison to Edison": 1.3}
+	for _, r := range microbench.MeasureNetwork() {
+		tcp := float64(r.TCP) * 8 / 1e6
+		udp := float64(r.UDP) * 8 / 1e6
+		t.AddRow(r.Pair, tcp, udp, r.RTT*1e3)
+		o.AddComparison("§4.4 "+r.Pair, "TCP Mbit/s", paperTCP[r.Pair], tcp)
+		o.AddComparison("§4.4 "+r.Pair, "RTT ms", paperRTT[r.Pair], r.RTT*1e3)
+	}
+	o.Tables = append(o.Tables, t)
+	return o
+}
+
+func runTCO(cfg Config) *Outcome {
+	o := &Outcome{}
+	t := report.NewTable("Table 10 — 3-year TCO (USD)", "scenario", "Dell", "Edison", "savings %")
+	paper := map[string][2]float64{
+		"Web service, low utilization":  {7948.7, 4329.5},
+		"Web service, high utilization": {8236.8, 4346.1},
+		"Big data, low utilization":     {5348.2, 4352.4},
+		"Big data, high utilization":    {5495.0, 4352.4},
+	}
+	for _, s := range tco.Table10() {
+		t.AddRow(s.Name, s.Dell.Total(), s.Edison.Total(), 100*s.Savings())
+		p := paper[s.Name]
+		o.AddComparison("Table 10 / "+s.Name, "Dell TCO $", p[0], s.Dell.Total())
+		o.AddComparison("Table 10 / "+s.Name, "Edison TCO $", p[1], s.Edison.Total())
+	}
+	o.Tables = append(o.Tables, t)
+	return o
+}

@@ -1,0 +1,239 @@
+package core
+
+import (
+	"fmt"
+
+	"edisim/internal/cluster"
+	"edisim/internal/report"
+	"edisim/internal/stats"
+	"edisim/internal/web"
+)
+
+func init() {
+	register(Experiment{ID: "fig4_fig7", Title: "Web throughput & delay, no image", Section: "5.1.2", Run: runWebLight})
+	register(Experiment{ID: "fig5_fig8", Title: "Web sweeps, higher image % / lower cache hit", Section: "5.1.2", Run: runWebMixes})
+	register(Experiment{ID: "fig6_fig9", Title: "Web throughput & delay, 20% image", Section: "5.1.2", Run: runWebHeavy})
+	register(Experiment{ID: "fig10_fig11", Title: "Response delay distributions", Section: "5.1.2", Run: runWebDelayDist})
+	register(Experiment{ID: "table7", Title: "Delay decomposition", Section: "5.1.2", Run: runTable7})
+}
+
+// webDuration picks the per-point simulated window.
+func webDuration(cfg Config) float64 {
+	if cfg.Quick {
+		return 4
+	}
+	return 15
+}
+
+func webConcurrencies(cfg Config) []float64 {
+	if cfg.Quick {
+		return []float64{64, 512, 1024}
+	}
+	return []float64{8, 16, 32, 64, 128, 256, 512, 1024, 2048}
+}
+
+// runWebPoint executes one concurrency level on a fresh testbed.
+func runWebPoint(p web.Platform, nWeb, nCache int, rc web.RunConfig, seed int64) web.Result {
+	ccfg := cluster.Config{DBNodes: 2, Clients: 8}
+	if p == web.Edison {
+		ccfg.EdisonNodes = nWeb + nCache
+	} else {
+		ccfg.DellNodes = nWeb + nCache
+	}
+	tb := cluster.New(ccfg)
+	dep := web.NewDeployment(tb, p, nWeb, nCache, seed)
+	dep.Warm(rc.CacheHit)
+	return dep.Run(rc)
+}
+
+// sweep runs a whole concurrency curve for one tier configuration.
+func sweep(cfg Config, p web.Platform, nWeb, nCache int, image, hit float64) (tput, delay, power []float64, results []web.Result) {
+	for _, c := range webConcurrencies(cfg) {
+		r := runWebPoint(p, nWeb, nCache, web.RunConfig{
+			Concurrency: c,
+			ImageFrac:   image,
+			CacheHit:    hit,
+			Duration:    webDuration(cfg),
+		}, cfg.Seed)
+		tput = append(tput, r.Throughput)
+		delay = append(delay, r.MeanDelay*1e3)
+		power = append(power, float64(r.MeanPower))
+		results = append(results, r)
+	}
+	return
+}
+
+// webScales lists the Table 6 tier sizes, trimmed in Quick mode.
+func webScales(cfg Config) []cluster.WebScale {
+	all := cluster.Table6()
+	if cfg.Quick {
+		return all[:1]
+	}
+	return all
+}
+
+func runWebScaledSweeps(cfg Config, image float64, figTput, figDelay string) *Outcome {
+	o := &Outcome{}
+	x := webConcurrencies(cfg)
+	ft := report.NewFigure(figTput, "conn/s", "req/s", x)
+	fd := report.NewFigure(figDelay, "conn/s", "ms", x)
+	fp := report.NewFigure(figTput+" (power)", "conn/s", "W", x)
+
+	var edisonPeak, dellPeak, edisonPeakPower, dellPeakPower float64
+	for _, s := range webScales(cfg) {
+		if s.EdisonWeb > 0 {
+			tput, delay, power, _ := sweep(cfg, web.Edison, s.EdisonWeb, s.EdisonCache, image, 0.93)
+			label := fmt.Sprintf("%d Edison", s.EdisonWeb)
+			ft.Add(label, tput)
+			fd.Add(label, delay)
+			fp.Add(label, power)
+			for i, v := range tput {
+				if s.EdisonWeb == 24 && v > edisonPeak {
+					edisonPeak = v
+					edisonPeakPower = power[i]
+				}
+			}
+		}
+		if s.DellWeb > 0 {
+			tput, delay, power, _ := sweep(cfg, web.Dell, s.DellWeb, s.DellCache, image, 0.93)
+			label := fmt.Sprintf("%d Dell", s.DellWeb)
+			ft.Add(label, tput)
+			fd.Add(label, delay)
+			fp.Add(label, power)
+			for i, v := range tput {
+				if s.DellWeb == 2 && v > dellPeak {
+					dellPeak = v
+					dellPeakPower = power[i]
+				}
+			}
+		}
+	}
+	o.Figures = append(o.Figures, ft, fd, fp)
+
+	if edisonPeak > 0 && dellPeak > 0 {
+		// Work-done-per-joule at peak: the paper's 3.5× headline.
+		eff := (edisonPeak / edisonPeakPower) / (dellPeak / dellPeakPower)
+		o.AddComparison(figTput, "peak Edison req/s", 7500, edisonPeak)
+		o.AddComparison(figTput, "peak Dell req/s", 7500, dellPeak)
+		o.AddComparison(figTput, "energy-efficiency ratio (x)", 3.5, eff)
+	}
+	return o
+}
+
+func runWebLight(cfg Config) *Outcome {
+	o := runWebScaledSweeps(cfg, 0.0, "Figure 4", "Figure 7")
+	o.Notes = append(o.Notes,
+		"lightest load: 93% cache hit, no image queries; Edison errors beyond 1024 conn/s, Dell beyond 2048")
+	return o
+}
+
+func runWebHeavy(cfg Config) *Outcome {
+	o := runWebScaledSweeps(cfg, 0.20, "Figure 6", "Figure 9")
+	o.Notes = append(o.Notes,
+		"heaviest fair load: 20% image queries utilize half of each Edison NIC; throughput ≈85% of the lightest workload")
+	return o
+}
+
+func runWebMixes(cfg Config) *Outcome {
+	o := &Outcome{}
+	x := webConcurrencies(cfg)
+	ft := report.NewFigure("Figure 5", "conn/s", "req/s", x)
+	fd := report.NewFigure("Figure 8", "conn/s", "ms", x)
+	mixes := []struct {
+		label      string
+		image, hit float64
+	}{
+		{"cache=77%", 0.0, 0.77},
+		{"cache=60%", 0.0, 0.60},
+		{"img=6%", 0.06, 0.93},
+		{"img=10%", 0.10, 0.93},
+	}
+	if cfg.Quick {
+		mixes = mixes[:2]
+	}
+	for _, m := range mixes {
+		et, ed, _, _ := sweep(cfg, web.Edison, 24, 11, m.image, m.hit)
+		dt, dd, _, _ := sweep(cfg, web.Dell, 2, 1, m.image, m.hit)
+		ft.Add("Edison "+m.label, et)
+		ft.Add("Dell "+m.label, dt)
+		fd.Add("Edison "+m.label, ed)
+		fd.Add("Dell "+m.label, dd)
+	}
+	o.Figures = append(o.Figures, ft, fd)
+	return o
+}
+
+func runWebDelayDist(cfg Config) *Outcome {
+	o := &Outcome{}
+	// ≈6000 req/s at 20% image: concurrency 768 × 8 calls.
+	rc := web.RunConfig{Concurrency: 768, ImageFrac: 0.20, CacheHit: 0.93, Duration: webDuration(cfg) * 2}
+	for _, side := range []struct {
+		p            web.Platform
+		nWeb, nCache int
+		name         string
+	}{
+		{web.Edison, 24, 11, "Figure 10 — Edison"},
+		{web.Dell, 2, 1, "Figure 11 — Dell"},
+	} {
+		r := runWebPoint(side.p, side.nWeb, side.nCache, rc, cfg.Seed)
+		h := stats.NewHistogram(0, 8, 32)
+		for _, v := range r.ConnDelays.Values() {
+			h.Add(v)
+		}
+		x := make([]float64, h.NumBins())
+		y := make([]float64, h.NumBins())
+		for i := range x {
+			x[i] = h.BinCenter(i)
+			y[i] = float64(h.Bin(i))
+		}
+		fig := report.NewFigure(side.name+" delay distribution", "delay (s)", "# samples", x)
+		fig.Add("samples", y)
+		o.Figures = append(o.Figures, fig)
+
+		// The retry spikes: share of samples beyond 0.5 s (SYN retries).
+		var late int64
+		for i := 2; i < h.NumBins(); i++ {
+			late += h.Bin(i)
+		}
+		o.AddComparison(side.name, "p99 conn delay (s)", 0, r.ConnDelays.Quantile(0.99))
+		_ = late
+	}
+	o.Notes = append(o.Notes,
+		"Dell histogram shows mass near 1s/3s/7s (SYN retransmission backoff); Edison spreads thinner across its 24 servers")
+	return o
+}
+
+func runTable7(cfg Config) *Outcome {
+	o := &Outcome{}
+	t := report.NewTable("Table 7 — delay decomposition (ms)",
+		"req/s", "DB (E)", "DB (D)", "cache (E)", "cache (D)", "total (E)", "total (D)")
+	rates := []float64{480, 960, 1920, 3840, 7680}
+	if cfg.Quick {
+		rates = []float64{480, 3840}
+	}
+	paper := map[float64][6]float64{
+		480:  {5.44, 1.61, 4.61, 0.37, 9.18, 1.43},
+		960:  {5.25, 1.56, 9.37, 0.38, 14.79, 1.60},
+		1920: {5.33, 1.56, 76.7, 0.39, 83.4, 1.73},
+		3840: {8.74, 1.60, 105.1, 0.46, 114.7, 1.70},
+		7680: {10.99, 1.98, 212.0, 0.74, 225.1, 2.93},
+	}
+	for _, rate := range rates {
+		rc := web.RunConfig{Concurrency: rate / 8, ImageFrac: 0.20, CacheHit: 0.93, Duration: webDuration(cfg)}
+		re := runWebPoint(web.Edison, 24, 11, rc, cfg.Seed)
+		rd := runWebPoint(web.Dell, 2, 1, rc, cfg.Seed)
+		row := []float64{
+			re.DBDelay.Mean() * 1e3, rd.DBDelay.Mean() * 1e3,
+			re.CacheDelay.Mean() * 1e3, rd.CacheDelay.Mean() * 1e3,
+			re.WebTotal.Mean() * 1e3, rd.WebTotal.Mean() * 1e3,
+		}
+		t.AddRow(rate, row[0], row[1], row[2], row[3], row[4], row[5])
+		p := paper[rate]
+		names := []string{"DB delay E ms", "DB delay D ms", "cache delay E ms", "cache delay D ms", "total E ms", "total D ms"}
+		for i, n := range names {
+			o.AddComparison(fmt.Sprintf("Table 7 @ %.0f req/s", rate), n, p[i], row[i])
+		}
+	}
+	o.Tables = append(o.Tables, t)
+	return o
+}

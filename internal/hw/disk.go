@@ -1,0 +1,73 @@
+package hw
+
+import (
+	"edisim/internal/sim"
+	"edisim/internal/units"
+)
+
+// Disk is a FIFO storage device: one operation in service at a time, the
+// rest queued, with per-operation latency plus size/throughput service time
+// taken from the platform's measured DiskSpec (Table 5).
+type Disk struct {
+	eng  *sim.Engine
+	spec DiskSpec
+	q    *sim.Resource
+
+	readBytes, writeBytes units.Bytes
+	ops                   int64
+}
+
+// NewDisk returns an idle disk with the given measured characteristics.
+func NewDisk(eng *sim.Engine, spec DiskSpec) *Disk {
+	return &Disk{eng: eng, spec: spec, q: sim.NewResource(eng, 1)}
+}
+
+// Read schedules a read of size bytes; buffered reads hit the page cache
+// rate, direct reads the device rate. done runs when the data is available.
+func (d *Disk) Read(size units.Bytes, buffered bool, done func()) {
+	rate := d.spec.Read
+	lat := d.spec.ReadLatency
+	if buffered {
+		rate = d.spec.BufRead
+		lat = 0 // page-cache hit: no device latency
+	}
+	d.readBytes += size
+	d.submit(lat+rate.Seconds(size), done)
+}
+
+// Write schedules a write of size bytes; buffered writes return at the
+// page-cache rate, direct (dsync) writes at the committed-to-device rate.
+func (d *Disk) Write(size units.Bytes, buffered bool, done func()) {
+	rate := d.spec.Write
+	lat := d.spec.WriteLatency
+	if buffered {
+		rate = d.spec.BufWrite
+		lat = d.spec.WriteLatency / 4 // amortized by write-back
+	}
+	d.writeBytes += size
+	d.submit(lat+rate.Seconds(size), done)
+}
+
+func (d *Disk) submit(service float64, done func()) {
+	d.ops++
+	d.q.Acquire(func() {
+		d.eng.After(service, func() {
+			d.q.Release()
+			if done != nil {
+				done()
+			}
+		})
+	})
+}
+
+// QueueLen reports queued (not yet in service) operations.
+func (d *Disk) QueueLen() int { return d.q.QueueLen() }
+
+// Ops reports the total number of operations submitted.
+func (d *Disk) Ops() int64 { return d.ops }
+
+// BytesRead reports cumulative read volume.
+func (d *Disk) BytesRead() units.Bytes { return d.readBytes }
+
+// BytesWritten reports cumulative write volume.
+func (d *Disk) BytesWritten() units.Bytes { return d.writeBytes }

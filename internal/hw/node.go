@@ -1,0 +1,132 @@
+package hw
+
+import (
+	"fmt"
+
+	"edisim/internal/sim"
+	"edisim/internal/stats"
+	"edisim/internal/units"
+)
+
+// Node is a running server instance inside a simulation: a processor-sharing
+// CPU, a FIFO disk, a memory accountant and an energy integrator driven by
+// CPU utilization through the platform's linear power model.
+type Node struct {
+	Spec NodeSpec
+	ID   string
+
+	eng *sim.Engine
+	cpu *sim.ProcShare
+	dsk *Disk
+
+	memUsed units.Bytes
+
+	energy *stats.Integrator // integrates watts over time
+	// BusyFloor pins a minimum "busy fraction" for power purposes, modeling
+	// always-on daemons (e.g. datanode+nodemanager keep some load).
+	BusyFloor float64
+}
+
+// NewNode instantiates a node of the given spec on the engine. The CPU's
+// work unit is the DMIPS-second: submitting work W models W DMIPS-seconds of
+// computation, so identical logical work takes ~18× longer per core on
+// Edison than on Dell, exactly as §4.1 measures.
+func NewNode(eng *sim.Engine, spec NodeSpec, id string) *Node {
+	n := &Node{
+		Spec:   spec,
+		ID:     id,
+		eng:    eng,
+		energy: stats.NewIntegrator(float64(eng.Now()), float64(spec.Power.IdleDraw())),
+	}
+	n.cpu = sim.NewProcShare(eng, spec.CPU.EffectiveCores(), float64(spec.CPU.DMIPS))
+	n.cpu.OnActiveChange = func(int) { n.updatePower() }
+	n.dsk = NewDisk(eng, spec.Disk)
+	return n
+}
+
+// Engine returns the engine the node runs on.
+func (n *Node) Engine() *sim.Engine { return n.eng }
+
+// CPU returns the node's processor-sharing CPU.
+func (n *Node) CPU() *sim.ProcShare { return n.cpu }
+
+// Disk returns the node's storage device.
+func (n *Node) Disk() *Disk { return n.dsk }
+
+// updatePower closes the current energy segment at the new utilization.
+func (n *Node) updatePower() {
+	u := n.cpu.Utilization()
+	if u < n.BusyFloor {
+		u = n.BusyFloor
+	}
+	n.energy.Set(float64(n.eng.Now()), float64(n.Spec.Power.Draw(u)))
+}
+
+// SetBusyFloor sets the minimum busy fraction (clamped to [0,1]) and
+// immediately re-evaluates power.
+func (n *Node) SetBusyFloor(f float64) {
+	if f < 0 {
+		f = 0
+	}
+	if f > 1 {
+		f = 1
+	}
+	n.BusyFloor = f
+	n.updatePower()
+}
+
+// Compute submits work DMIPS-seconds to the CPU; done runs on completion.
+func (n *Node) Compute(work float64, done func()) *sim.PSTask {
+	return n.cpu.Submit(work, done)
+}
+
+// ComputeSeconds submits work sized so that it takes roughly seconds of
+// single-core time on THIS platform when the CPU is otherwise idle.
+func (n *Node) ComputeSeconds(seconds float64, done func()) *sim.PSTask {
+	return n.cpu.Submit(seconds*float64(n.Spec.CPU.DMIPS), done)
+}
+
+// Power reports instantaneous draw.
+func (n *Node) Power() units.Watts {
+	u := n.cpu.Utilization()
+	if u < n.BusyFloor {
+		u = n.BusyFloor
+	}
+	return n.Spec.Power.Draw(u)
+}
+
+// Energy reports joules consumed from node creation until now.
+func (n *Node) Energy() units.Joules {
+	return units.Joules(n.energy.Total(float64(n.eng.Now())))
+}
+
+// Utilization reports instantaneous CPU utilization in [0,1].
+func (n *Node) Utilization() float64 { return n.cpu.Utilization() }
+
+// AllocMem reserves bytes of RAM, failing when the node would exceed its
+// physical capacity — this is what disqualifies an Edison node from running
+// the HDFS namenode/YARN resource-manager (§5.2).
+func (n *Node) AllocMem(b units.Bytes) error {
+	if n.memUsed+b > n.Spec.Mem.Capacity {
+		return fmt.Errorf("hw: %s out of memory: used %v + req %v > cap %v",
+			n.ID, n.memUsed, b, n.Spec.Mem.Capacity)
+	}
+	n.memUsed += b
+	return nil
+}
+
+// FreeMem releases bytes of RAM.
+func (n *Node) FreeMem(b units.Bytes) {
+	if b > n.memUsed {
+		panic(fmt.Sprintf("hw: %s freeing %v with only %v used", n.ID, b, n.memUsed))
+	}
+	n.memUsed -= b
+}
+
+// MemUsed reports currently reserved RAM.
+func (n *Node) MemUsed() units.Bytes { return n.memUsed }
+
+// MemUtilization reports reserved/capacity.
+func (n *Node) MemUtilization() float64 {
+	return float64(n.memUsed) / float64(n.Spec.Mem.Capacity)
+}

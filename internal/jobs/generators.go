@@ -1,0 +1,67 @@
+// Package jobs defines the paper's six MapReduce workloads — wordcount,
+// wordcount2, logcount, logcount2, pi estimation and terasort (§5.2) — as
+// real Map/Reduce functions with data generators, plus the per-platform
+// cost models calibrated against Table 8.
+package jobs
+
+import (
+	"fmt"
+	"strings"
+
+	"edisim/internal/rng"
+)
+
+// GenerateTextLines produces synthetic prose lines with a Zipf word
+// distribution (wordcount input; the paper uses 200 files totaling 1 GB).
+func GenerateTextLines(seed int64, lines, wordsPerLine int) []string {
+	src := rng.New(seed).Derive("text")
+	z := src.Zipf(1.2, 5000)
+	out := make([]string, lines)
+	var b strings.Builder
+	for i := range out {
+		b.Reset()
+		for w := 0; w < wordsPerLine; w++ {
+			if w > 0 {
+				b.WriteByte(' ')
+			}
+			fmt.Fprintf(&b, "word%04d", z.Next())
+		}
+		out[i] = b.String()
+	}
+	return out
+}
+
+// logLevels are the Hadoop log levels in descending frequency.
+var logLevels = []string{"INFO", "INFO", "INFO", "INFO", "WARN", "DEBUG", "ERROR"}
+
+// GenerateLogLines produces Yarn/Hadoop-style log lines spanning several
+// days (logcount input; the paper uses 500 files totaling 1 GB).
+func GenerateLogLines(seed int64, lines int) []string {
+	src := rng.New(seed).Derive("logs")
+	out := make([]string, lines)
+	for i := range out {
+		day := 1 + src.Intn(28)
+		level := logLevels[src.Intn(len(logLevels))]
+		out[i] = fmt.Sprintf("2016-02-%02d %02d:%02d:%02d,%03d %s org.apache.hadoop.yarn.server: container_%07d event %d",
+			day, src.Intn(24), src.Intn(60), src.Intn(60), src.Intn(1000), level, src.Intn(1<<20), i)
+	}
+	return out
+}
+
+// TeraRecordLen is the TeraGen record size: 10-byte key + 90-byte payload.
+const TeraRecordLen = 100
+
+// GenerateTeraRecords produces TeraGen-style records: a random 10-byte key
+// (hex-encoded here for printability) followed by a payload.
+func GenerateTeraRecords(seed int64, n int) []string {
+	src := rng.New(seed).Derive("tera")
+	out := make([]string, n)
+	for i := range out {
+		key := make([]byte, 10)
+		for j := range key {
+			key[j] = byte('A' + src.Intn(26))
+		}
+		out[i] = fmt.Sprintf("%s%090d", key, i)
+	}
+	return out
+}

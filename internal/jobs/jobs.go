@@ -1,0 +1,282 @@
+package jobs
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+
+	"edisim/internal/mapred"
+	"edisim/internal/units"
+)
+
+// Platform name keys used by the cost models.
+const (
+	edison = "Edison"
+	dell   = "DellR620"
+)
+
+// Input geometry from §5.2: wordcount reads 200 files totaling 1 GB;
+// logcount reads 500 log files totaling 1 GB; terasort sorts 10 GB in
+// 64 MB blocks (168 input splits).
+const (
+	WordcountFiles = 200
+	WordcountBytes = 1 * units.GB
+	LogcountFiles  = 500
+	LogcountBytes  = 1 * units.GB
+	TerasortBytes  = 10 * units.GB
+	PiSamples      = 10e9
+)
+
+// InputFiles names the HDFS input files for a job with the given count.
+func InputFiles(job string, n int) []string {
+	out := make([]string, n)
+	for i := range out {
+		out[i] = fmt.Sprintf("/input/%s/part-%05d", job, i)
+	}
+	return out
+}
+
+// --- Wordcount -------------------------------------------------------------
+
+// WordcountMap splits a line into words and emits <word,1>.
+func WordcountMap(record string, emit func(k, v string)) {
+	for _, w := range strings.Fields(record) {
+		emit(w, "1")
+	}
+}
+
+// SumReduce adds up integer values — the reducer (and combiner) for both
+// wordcount and logcount.
+func SumReduce(key string, values []string, emit func(k, v string)) {
+	sum := 0
+	for _, v := range values {
+		n, err := strconv.Atoi(v)
+		if err != nil {
+			panic(fmt.Sprintf("jobs: non-numeric count %q for %q", v, key))
+		}
+		sum += n
+	}
+	emit(key, strconv.Itoa(sum))
+}
+
+// Wordcount is the original example: 200 small files, one map container
+// per file, no combiner, no input combining (§5.2.1).
+func Wordcount(edisonReduces, dellReduces int, platform string) *mapred.JobDef {
+	reduces := edisonReduces
+	mapMem, redMem, amMem := 150, 300, 100
+	if platform == dell {
+		reduces = dellReduces
+		mapMem, redMem, amMem = 500, 1024, 500
+	}
+	return &mapred.JobDef{
+		Name:           "wordcount",
+		Inputs:         InputFiles("wordcount", WordcountFiles),
+		NumReduces:     reduces,
+		UseCombiner:    false,
+		MapMemoryMB:    mapMem,
+		ReduceMemoryMB: redMem,
+		AMMemoryMB:     amMem,
+		Cost:           wordcountCost,
+		Map:            WordcountMap,
+		Reduce:         SumReduce,
+	}
+}
+
+// Wordcount2 adds CombineFileInputFormat (15 MB Edison / 44 MB Dell splits,
+// one per vcore) and a combiner (§5.2.1 "optimized wordcount").
+func Wordcount2(edisonReduces, dellReduces int, platform string) *mapred.JobDef {
+	j := Wordcount(edisonReduces, dellReduces, platform)
+	j.Name = "wordcount2"
+	j.CombineInput = true
+	j.UseCombiner = true
+	j.MapMemoryMB = 300
+	j.MaxSplitSize = 15 * units.MB
+	if platform == dell {
+		j.MapMemoryMB = 1024
+		j.MaxSplitSize = 44 * units.MB
+	}
+	j.Cost = wordcount2Cost
+	return j
+}
+
+// --- Logcount ----------------------------------------------------------------
+
+// LogcountMap extracts <"date level", 1> from a Hadoop log line, e.g.
+// <"2016-02-01 INFO", 1> (§5.2.2).
+func LogcountMap(record string, emit func(k, v string)) {
+	fields := strings.Fields(record)
+	if len(fields) < 3 {
+		return
+	}
+	date := fields[0]
+	level := fields[2]
+	switch level {
+	case "INFO", "WARN", "DEBUG", "ERROR", "FATAL", "TRACE":
+		emit(date+" "+level, "1")
+	}
+}
+
+// Logcount counts log entries per (date, level); the original ships a
+// combiner but does not combine input files.
+func Logcount(edisonReduces, dellReduces int, platform string) *mapred.JobDef {
+	reduces := edisonReduces
+	mapMem, redMem, amMem := 150, 300, 100
+	if platform == dell {
+		reduces = dellReduces
+		mapMem, redMem, amMem = 500, 1024, 500
+	}
+	return &mapred.JobDef{
+		Name:           "logcount",
+		Inputs:         InputFiles("logcount", LogcountFiles),
+		NumReduces:     reduces,
+		UseCombiner:    true, // "does set the Combiner class" (§5.2.2)
+		MapMemoryMB:    mapMem,
+		ReduceMemoryMB: redMem,
+		AMMemoryMB:     amMem,
+		Cost:           logcountCost,
+		Map:            LogcountMap,
+		Reduce:         SumReduce,
+	}
+}
+
+// Logcount2 additionally combines the 500 small inputs into one split per
+// vcore (§5.2.2).
+func Logcount2(edisonReduces, dellReduces int, platform string) *mapred.JobDef {
+	j := Logcount(edisonReduces, dellReduces, platform)
+	j.Name = "logcount2"
+	j.CombineInput = true
+	j.MapMemoryMB = 300
+	j.MaxSplitSize = 15 * units.MB
+	if platform == dell {
+		j.MapMemoryMB = 1024
+		j.MaxSplitSize = 44 * units.MB
+	}
+	j.Cost = logcount2Cost
+	return j
+}
+
+// --- Pi estimation -----------------------------------------------------------
+
+// PiMap consumes one "offset numSamples" record and emits inside/outside
+// counts from a quasi-random (Halton-sequence) point set, exactly like the
+// Hadoop example's QuasiMonteCarlo mapper.
+func PiMap(record string, emit func(k, v string)) {
+	parts := strings.Fields(record)
+	if len(parts) != 2 {
+		panic(fmt.Sprintf("jobs: malformed pi record %q", record))
+	}
+	offset, err1 := strconv.ParseInt(parts[0], 10, 64)
+	n, err2 := strconv.ParseInt(parts[1], 10, 64)
+	if err1 != nil || err2 != nil {
+		panic(fmt.Sprintf("jobs: malformed pi record %q", record))
+	}
+	var inside, outside int64
+	for i := int64(0); i < n; i++ {
+		x := halton(offset+i, 2) - 0.5
+		y := halton(offset+i, 3) - 0.5
+		if x*x+y*y <= 0.25 {
+			inside++
+		} else {
+			outside++
+		}
+	}
+	emit("inside", strconv.FormatInt(inside, 10))
+	emit("outside", strconv.FormatInt(outside, 10))
+}
+
+// halton returns element i of the Halton low-discrepancy sequence in the
+// given base.
+func halton(i int64, base int64) float64 {
+	f := 1.0
+	r := 0.0
+	for i > 0 {
+		f /= float64(base)
+		r += f * float64(i%base)
+		i /= base
+	}
+	return r
+}
+
+// PiEstimate folds a pi LocalRun output into the π estimate.
+func PiEstimate(out []mapred.KV) float64 {
+	var inside, total int64
+	for _, kv := range out {
+		n, err := strconv.ParseInt(kv.Value, 10, 64)
+		if err != nil {
+			panic(fmt.Sprintf("jobs: bad pi output %v", kv))
+		}
+		total += n
+		if kv.Key == "inside" {
+			inside += n
+		}
+	}
+	if total == 0 {
+		return 0
+	}
+	return 4 * float64(inside) / float64(total)
+}
+
+// PiReduce sums partial counts per key.
+func PiReduce(key string, values []string, emit func(k, v string)) {
+	SumReduce(key, values, emit)
+}
+
+// Pi is the computationally-intensive job: 10 billion samples over 70
+// Edison or 24 Dell map containers, one reducer (§5.2.3).
+func Pi(platform string) *mapred.JobDef {
+	maps, mapMem, redMem, amMem := 70, 300, 300, 100
+	if platform == dell {
+		maps, mapMem, redMem, amMem = 24, 1024, 1024, 500
+	}
+	return &mapred.JobDef{
+		Name:           "pi",
+		Inputs:         InputFiles("pi", maps),
+		NumReduces:     1,
+		UseCombiner:    false,
+		MapMemoryMB:    mapMem,
+		ReduceMemoryMB: redMem,
+		AMMemoryMB:     amMem,
+		Cost:           piCost(maps),
+		Map:            PiMap,
+		Reduce:         PiReduce,
+	}
+}
+
+// --- Terasort ----------------------------------------------------------------
+
+// TerasortMap emits <key, record> with the 10-byte key prefix.
+func TerasortMap(record string, emit func(k, v string)) {
+	if len(record) < 10 {
+		return
+	}
+	emit(record[:10], record)
+}
+
+// TerasortReduce emits records in key order (values under one key keep
+// their arrival order, which suffices for sortedness by key).
+func TerasortReduce(key string, values []string, emit func(k, v string)) {
+	for _, v := range values {
+		emit(key, v)
+	}
+}
+
+// Terasort sorts 10 GB staged by teragen: 64 MB blocks on BOTH clusters
+// (the paper equalizes block size for fairness), 70 or 24 reducers.
+func Terasort(platform string) *mapred.JobDef {
+	reduces, mapMem, redMem, amMem := 70, 300, 300, 100
+	if platform == dell {
+		reduces, mapMem, redMem, amMem = 24, 1024, 1024, 500
+	}
+	return &mapred.JobDef{
+		Name:           "terasort",
+		Inputs:         InputFiles("terasort", 1), // one big teragen output file
+		NumReduces:     reduces,
+		UseCombiner:    false,
+		MapMemoryMB:    mapMem,
+		ReduceMemoryMB: redMem,
+		AMMemoryMB:     amMem,
+		Cost:           terasortCost,
+		Map:            TerasortMap,
+		Reduce:         TerasortReduce,
+	}
+}

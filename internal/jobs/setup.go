@@ -1,0 +1,153 @@
+package jobs
+
+import (
+	"fmt"
+
+	"edisim/internal/cluster"
+	"edisim/internal/mapred"
+	"edisim/internal/units"
+)
+
+// Hadoop configuration from §5.2: block size and replication are chosen so
+// both clusters see ≈95% data-local maps; terasort equalizes block size.
+const (
+	EdisonBlockSize = 16 * units.MB
+	DellBlockSize   = 64 * units.MB
+	TeraBlockSize   = 64 * units.MB
+	EdisonReplicas  = 2
+	DellReplicas    = 1
+)
+
+// Hadoop is a ready-to-run deployment: cluster + staged inputs.
+type Hadoop struct {
+	*mapred.Cluster
+	Platform string // "Edison" or "DellR620"
+	Slaves   int
+}
+
+// NewEdisonHadoop builds the paper's hybrid deployment: one Dell master
+// (namenode + ResourceManager) and n Edison slaves.
+func NewEdisonHadoop(n int, blockSize units.Bytes, seed int64) (*Hadoop, error) {
+	tb := cluster.New(cluster.Config{EdisonNodes: n, DellNodes: 1})
+	c, err := mapred.NewCluster(tb.Eng, tb.Fab, tb.Dell[0], tb.Edison, blockSize, EdisonReplicas, seed)
+	if err != nil {
+		return nil, err
+	}
+	return &Hadoop{Cluster: c, Platform: edison, Slaves: n}, nil
+}
+
+// NewDellHadoop builds the Dell deployment: one Dell master plus n Dell
+// slaves (the paper uses n = 1 or 2).
+func NewDellHadoop(n int, blockSize units.Bytes, seed int64) (*Hadoop, error) {
+	tb := cluster.New(cluster.Config{DellNodes: n + 1})
+	c, err := mapred.NewCluster(tb.Eng, tb.Fab, tb.Dell[0], tb.Dell[1:], blockSize, DellReplicas, seed)
+	if err != nil {
+		return nil, err
+	}
+	return &Hadoop{Cluster: c, Platform: dell, Slaves: n}, nil
+}
+
+// Stage registers a job's input files in HDFS (the datasets pre-exist when
+// the paper's jobs start).
+func (h *Hadoop) Stage(job string) {
+	switch job {
+	case "wordcount", "wordcount2":
+		per := units.Bytes(int64(WordcountBytes) / WordcountFiles)
+		for _, name := range InputFiles("wordcount", WordcountFiles) {
+			h.FS.CreateInstant(name, per)
+		}
+	case "logcount", "logcount2":
+		per := units.Bytes(int64(LogcountBytes) / LogcountFiles)
+		for _, name := range InputFiles("logcount", LogcountFiles) {
+			h.FS.CreateInstant(name, per)
+		}
+	case "pi":
+		maps := 70
+		if h.Platform == dell {
+			maps = 24
+		}
+		for _, name := range InputFiles("pi", maps) {
+			h.FS.CreateInstant(name, 4*units.KB)
+		}
+	case "terasort":
+		h.FS.CreateInstant(InputFiles("terasort", 1)[0], TerasortBytes)
+	default:
+		panic(fmt.Sprintf("jobs: unknown job %q", job))
+	}
+}
+
+// Def builds the JobDef for this deployment's platform. Reducer counts
+// follow §5.2: one per vcore (70 on the full Edison cluster, 24 on Dell),
+// scaled with cluster size; pi uses a single reducer.
+func (h *Hadoop) Def(job string) *mapred.JobDef {
+	edisonReduces := 2 * h.Slaves
+	dellReduces := 12 * h.Slaves
+	var j *mapred.JobDef
+	switch job {
+	case "wordcount":
+		j = Wordcount(edisonReduces, dellReduces, h.Platform)
+	case "wordcount2":
+		j = Wordcount2(edisonReduces, dellReduces, h.Platform)
+	case "logcount":
+		j = Logcount(edisonReduces, dellReduces, h.Platform)
+	case "logcount2":
+		j = Logcount2(edisonReduces, dellReduces, h.Platform)
+	case "pi":
+		j = Pi(h.Platform)
+	case "terasort":
+		j = Terasort(h.Platform)
+	default:
+		panic(fmt.Sprintf("jobs: unknown job %q", job))
+	}
+	if j.CombineInput {
+		// The paper re-tunes split sizes at each cluster scale so every
+		// vcore gets exactly one map container.
+		slots := edisonReduces
+		if h.Platform == dell {
+			slots = dellReduces
+		}
+		total := int64(WordcountBytes)
+		j.MaxSplitSize = units.Bytes(total/int64(slots) + 1)
+	}
+	return j
+}
+
+// BlockSizeFor reports the paper's block size for a job on a platform.
+func BlockSizeFor(job, platform string) units.Bytes {
+	if job == "terasort" {
+		return TeraBlockSize
+	}
+	if platform == dell {
+		return DellBlockSize
+	}
+	return EdisonBlockSize
+}
+
+// Names lists the six workloads in the paper's order.
+func Names() []string {
+	return []string{"wordcount", "wordcount2", "logcount", "logcount2", "pi", "terasort"}
+}
+
+// Run stages and executes one named job on a fresh deployment, returning
+// the result. This is the one-call path used by experiments and benches.
+func Run(job, platform string, slaves int, seed int64) (*mapred.JobResult, error) {
+	var h *Hadoop
+	var err error
+	if platform == edison {
+		h, err = NewEdisonHadoop(slaves, BlockSizeFor(job, platform), seed)
+	} else {
+		h, err = NewDellHadoop(slaves, BlockSizeFor(job, platform), seed)
+	}
+	if err != nil {
+		return nil, err
+	}
+	h.Stage(job)
+	return h.Cluster.Run(h.Def(job))
+}
+
+// EdisonPlatform and DellPlatform name the platforms for callers outside
+// this package.
+const (
+	EdisonPlatform = edison
+	DellPlatform   = dell
+)

@@ -1,0 +1,58 @@
+package jobs
+
+import (
+	"testing"
+
+	"edisim/internal/mapred"
+	"edisim/internal/units"
+)
+
+func TestTeragenWritesDataset(t *testing.T) {
+	h, err := NewEdisonHadoop(4, TeraBlockSize, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	elapsed, err := Teragen(h, 256*units.MB, 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if elapsed <= 0 {
+		t.Fatalf("teragen took %v", elapsed)
+	}
+	if _, ok := h.FS.Lookup(InputFiles("terasort", 1)[0]); !ok {
+		t.Fatal("terasort input missing after teragen")
+	}
+	// Replication 2: parts stored twice.
+	if got := h.FS.TotalStored(); got < 512*units.MB {
+		t.Fatalf("stored %v, want >= 512MB (2 replicas)", got)
+	}
+}
+
+func TestTeraValidateLocalAcceptsSorted(t *testing.T) {
+	recs := GenerateTeraRecords(3, 200)
+	out, err := mapred.LocalRun(Terasort(edison), map[string][]string{"in": recs})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := TeraValidateLocal(recs, out); err != nil {
+		t.Fatalf("valid output rejected: %v", err)
+	}
+}
+
+func TestTeraValidateLocalRejectsLoss(t *testing.T) {
+	recs := GenerateTeraRecords(4, 100)
+	out, err := mapred.LocalRun(Terasort(edison), map[string][]string{"in": recs})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Drop one output record: validation must fail.
+	for p := range out.Partitions {
+		if len(out.Partitions[p]) > 0 {
+			out.Partitions[p] = out.Partitions[p][1:]
+			break
+		}
+	}
+	if err := TeraValidateLocal(recs, out); err == nil {
+		t.Fatal("record loss not detected")
+	}
+}

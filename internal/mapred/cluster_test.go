@@ -1,0 +1,151 @@
+package mapred
+
+import (
+	"testing"
+
+	"edisim/internal/cluster"
+	"edisim/internal/units"
+)
+
+// smallCluster builds a 4-Edison + Dell-master deployment with tiny inputs.
+func smallCluster(t *testing.T) *Cluster {
+	t.Helper()
+	tb := cluster.New(cluster.Config{EdisonNodes: 4, DellNodes: 1})
+	c, err := NewCluster(tb.Eng, tb.Fab, tb.Dell[0], tb.Edison, 16*units.MB, 2, 11)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return c
+}
+
+func tinyJob(name string, inputs []string, combine bool) *JobDef {
+	j := &JobDef{
+		Name:           name,
+		Inputs:         inputs,
+		NumReduces:     4,
+		MapMemoryMB:    150,
+		ReduceMemoryMB: 300,
+		AMMemoryMB:     100,
+		CombineInput:   combine,
+		Cost: CostModel{
+			MapMBps:             map[string]float64{"Edison": 2, "DellR620": 10},
+			ReduceMBps:          map[string]float64{"Edison": 2, "DellR620": 10},
+			OutputRatio:         1,
+			CombineRatio:        1,
+			ReduceOutputRatio:   0.5,
+			TaskOverheadSeconds: map[string]float64{"Edison": 1, "DellR620": 0.5},
+		},
+	}
+	if combine {
+		j.MaxSplitSize = 32 * units.MB
+	}
+	return j
+}
+
+func TestClusterRunCompletes(t *testing.T) {
+	c := smallCluster(t)
+	for i, name := range []string{"/in/a", "/in/b", "/in/c"} {
+		_ = i
+		c.FS.CreateInstant(name, 8*units.MB)
+	}
+	r, err := c.Run(tinyJob("t", []string{"/in/a", "/in/b", "/in/c"}, false))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.MapTasks != 3 || r.ReduceTasks != 4 {
+		t.Fatalf("tasks: %d maps, %d reduces", r.MapTasks, r.ReduceTasks)
+	}
+	if r.Duration <= 0 || r.Energy <= 0 {
+		t.Fatalf("duration %v energy %v", r.Duration, r.Energy)
+	}
+	if err := c.FS.CheckInvariants(); err != nil {
+		t.Fatal(err)
+	}
+	// Reduce output was written back to HDFS.
+	if r.OutputBytes <= 0 {
+		t.Fatal("no output bytes recorded")
+	}
+	if got := len(c.FS.Files()); got != 3+4 { // inputs + one part per reducer
+		t.Fatalf("HDFS has %d files, want 7", got)
+	}
+}
+
+func TestCombineInputReducesSplitCount(t *testing.T) {
+	c := smallCluster(t)
+	var names []string
+	for i := 0; i < 8; i++ {
+		n := "/in/f" + string(rune('0'+i))
+		c.FS.CreateInstant(n, 4*units.MB)
+		names = append(names, n)
+	}
+	plain := c.makeSplits(tinyJob("p", names, false))
+	combined := c.makeSplits(tinyJob("c", names, true))
+	if len(plain) != 8 {
+		t.Fatalf("plain splits %d, want 8", len(plain))
+	}
+	if len(combined) >= len(plain) {
+		t.Fatalf("combining did not reduce splits: %d", len(combined))
+	}
+	// Combined splits respect MaxSplitSize and group whole blocks.
+	var total units.Bytes
+	for _, s := range combined {
+		if s.size > 32*units.MB {
+			t.Fatalf("split exceeds max: %v", s.size)
+		}
+		total += s.size
+	}
+	if total != 32*units.MB {
+		t.Fatalf("splits lose data: %v", total)
+	}
+}
+
+func TestProgressSeriesMonotone(t *testing.T) {
+	c := smallCluster(t)
+	c.FS.CreateInstant("/in/x", 32*units.MB)
+	r, err := c.Run(tinyJob("m", []string{"/in/x"}, false))
+	if err != nil {
+		t.Fatal(err)
+	}
+	checkMonotone := func(name string, pts []struct{ T, V float64 }) {
+		for i := 1; i < len(pts); i++ {
+			if pts[i].V < pts[i-1].V {
+				t.Fatalf("%s regressed at %v", name, pts[i].T)
+			}
+		}
+	}
+	mp := r.MapProgress.Points()
+	conv := make([]struct{ T, V float64 }, len(mp))
+	for i, p := range mp {
+		conv[i] = struct{ T, V float64 }{p.T, p.V}
+	}
+	checkMonotone("map progress", conv)
+	if mp[len(mp)-1].V != 100 {
+		t.Fatalf("map progress ends at %v, want 100", mp[len(mp)-1].V)
+	}
+	rp := r.ReduceProgress.Points()
+	if rp[len(rp)-1].V != 100 {
+		t.Fatalf("reduce progress ends at %v, want 100", rp[len(rp)-1].V)
+	}
+}
+
+func TestHybridMasterRequired(t *testing.T) {
+	tb := cluster.New(cluster.Config{EdisonNodes: 3})
+	// Using an Edison node as master must fail, as in the paper.
+	_, err := NewCluster(tb.Eng, tb.Fab, tb.Edison[0], tb.Edison[1:], 16*units.MB, 2, 1)
+	if err == nil {
+		t.Fatal("Edison master accepted; the paper shows it cannot host RM+namenode")
+	}
+}
+
+func TestShuffleMovesBytes(t *testing.T) {
+	c := smallCluster(t)
+	c.FS.CreateInstant("/in/x", 32*units.MB)
+	r, err := c.Run(tinyJob("s", []string{"/in/x"}, false))
+	if err != nil {
+		t.Fatal(err)
+	}
+	// OutputRatio 1: all 32 MB of map output shuffles to reducers.
+	if r.ShuffledBytes < 30*units.MB {
+		t.Fatalf("shuffled only %v", r.ShuffledBytes)
+	}
+}

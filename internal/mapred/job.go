@@ -1,0 +1,113 @@
+// Package mapred implements the MapReduce execution engine used for the
+// paper's §5.2 experiments: input splits (per-file and combined à la
+// CombineFileInputFormat), YARN container scheduling, the
+// map→combine→spill→shuffle→sort→reduce pipeline with real byte accounting
+// through the HDFS/network/disk models, and per-phase progress tracking
+// (Figures 12–17).
+//
+// The engine separates semantics from timing: LocalRun executes a job's
+// real Map/Reduce functions on real records (functional correctness —
+// wordcount counts, terasort sorts), while Cluster.Run plays the same job
+// through the discrete-event simulation with calibrated per-platform cost
+// models (timing and energy — Table 8).
+package mapred
+
+import (
+	"edisim/internal/units"
+)
+
+// KV is one key/value record.
+type KV struct {
+	Key, Value string
+}
+
+// MapFunc consumes one input record and emits intermediate pairs.
+type MapFunc func(record string, emit func(k, v string))
+
+// ReduceFunc folds all values of one key and emits output pairs.
+type ReduceFunc func(key string, values []string, emit func(k, v string))
+
+// CostModel carries the calibrated per-platform rates for a job. Rates are
+// per container running on one dedicated core; oversubscription slowdowns
+// (4 containers on 2 Edison cores, 24 on ≈11 Dell core-equivalents) emerge
+// from the processor-sharing CPU model. Map keys are hw spec names.
+type CostModel struct {
+	// MapMBps is map-function throughput over its split, MB per core-second.
+	MapMBps map[string]float64
+	// MapFixedSeconds, when set, replaces the rate model (pi estimation has
+	// no meaningful input bytes).
+	MapFixedSeconds map[string]float64
+	// ReduceMBps is sort+merge+reduce throughput over shuffled bytes.
+	ReduceMBps map[string]float64
+	// OutputRatio is map-output bytes per input byte before the combiner.
+	OutputRatio float64
+	// CombineRatio scales map output when the job's combiner runs (1 = no
+	// combiner configured, as in the original wordcount).
+	CombineRatio float64
+	// ReduceOutputRatio is final-output bytes per shuffled byte.
+	ReduceOutputRatio float64
+	// TaskOverheadSeconds is the fixed wall-clock cost of every task
+	// attempt beyond the JVM launch: scheduler round-trips, split
+	// localization, task setup/commit. This is what makes 200 tiny maps so
+	// much more expensive than 24 big ones (§5.2.1's container-allocation
+	// overhead, the original-vs-optimized wordcount gap).
+	TaskOverheadSeconds map[string]float64
+}
+
+// JobDef is a complete MapReduce job description.
+type JobDef struct {
+	Name string
+
+	// Inputs are HDFS file names (already written).
+	Inputs []string
+
+	NumReduces int
+
+	// CombineInput merges small files into splits of at most MaxSplitSize
+	// (the wordcount2/logcount2 optimization).
+	CombineInput bool
+	MaxSplitSize units.Bytes
+
+	// UseCombiner runs the reducer as a combiner on map output.
+	UseCombiner bool
+
+	// MapMemoryMB / ReduceMemoryMB / AMMemoryMB are the YARN container
+	// sizes (§5.2 lists them for every job and platform).
+	MapMemoryMB, ReduceMemoryMB, AMMemoryMB int
+
+	Cost CostModel
+
+	// Functional implementations for LocalRun.
+	Map    MapFunc
+	Reduce ReduceFunc
+}
+
+// Validate reports a configuration error, if any.
+func (j *JobDef) Validate() error {
+	switch {
+	case j.Name == "":
+		return errString("job needs a name")
+	case len(j.Inputs) == 0:
+		return errString("job needs inputs")
+	case j.NumReduces <= 0:
+		return errString("job needs reducers")
+	case j.CombineInput && j.MaxSplitSize <= 0:
+		return errString("combined input needs MaxSplitSize")
+	case j.MapMemoryMB <= 0 || j.ReduceMemoryMB <= 0 || j.AMMemoryMB <= 0:
+		return errString("job needs container memory sizes")
+	}
+	return nil
+}
+
+type errString string
+
+func (e errString) Error() string { return string(e) }
+
+// partition assigns a key to a reducer, Hadoop's default hash partitioner.
+func partition(key string, numReduces int) int {
+	var h uint32 = 0
+	for i := 0; i < len(key); i++ {
+		h = h*31 + uint32(key[i])
+	}
+	return int(h%uint32(numReduces)+uint32(numReduces)) % numReduces
+}

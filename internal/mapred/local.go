@@ -1,0 +1,103 @@
+package mapred
+
+import (
+	"sort"
+)
+
+// LocalResult is the output of a LocalRun: the final key/value pairs per
+// reducer partition, plus pipeline counters mirroring Hadoop's job counters.
+type LocalResult struct {
+	// Partitions[r] holds reducer r's output, sorted by key.
+	Partitions [][]KV
+
+	MapInputRecords   int64
+	MapOutputRecords  int64
+	CombineOutRecords int64
+	ReduceInputGroups int64
+	OutputRecords     int64
+}
+
+// Output flattens all partitions into one key-sorted list.
+func (lr *LocalResult) Output() []KV {
+	var out []KV
+	for _, p := range lr.Partitions {
+		out = append(out, p...)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Key < out[j].Key })
+	return out
+}
+
+// LocalRun executes the job's real Map/Reduce functions over the provided
+// input records, faithfully following the MapReduce contract: map per
+// record, optional combine per map task, hash partitioning, sort by key
+// within each partition, one reduce call per key group. It is the
+// functional-correctness twin of Cluster.Run (which simulates timing).
+//
+// inputs maps "split name" → records; each entry is treated as one map task
+// so the combiner semantics match Hadoop's per-task combining.
+func LocalRun(job *JobDef, inputs map[string][]string) (*LocalResult, error) {
+	if err := job.Validate(); err != nil {
+		return nil, err
+	}
+	res := &LocalResult{Partitions: make([][]KV, job.NumReduces)}
+
+	// Stable task order for determinism.
+	names := make([]string, 0, len(inputs))
+	for name := range inputs {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+
+	// Map (+ combine) phase.
+	intermediate := make([]map[string][]string, job.NumReduces)
+	for i := range intermediate {
+		intermediate[i] = make(map[string][]string)
+	}
+	for _, name := range names {
+		taskOut := make(map[string][]string)
+		for _, rec := range inputs[name] {
+			res.MapInputRecords++
+			job.Map(rec, func(k, v string) {
+				res.MapOutputRecords++
+				taskOut[k] = append(taskOut[k], v)
+			})
+		}
+		if job.UseCombiner {
+			combined := make(map[string][]string, len(taskOut))
+			keys := sortedKeys(taskOut)
+			for _, k := range keys {
+				job.Reduce(k, taskOut[k], func(ck, cv string) {
+					res.CombineOutRecords++
+					combined[ck] = append(combined[ck], cv)
+				})
+			}
+			taskOut = combined
+		}
+		for k, vs := range taskOut {
+			p := partition(k, job.NumReduces)
+			intermediate[p][k] = append(intermediate[p][k], vs...)
+		}
+	}
+
+	// Reduce phase: each partition sorted by key, one reduce per group.
+	for p := 0; p < job.NumReduces; p++ {
+		keys := sortedKeys(intermediate[p])
+		for _, k := range keys {
+			res.ReduceInputGroups++
+			job.Reduce(k, intermediate[p][k], func(ok, ov string) {
+				res.OutputRecords++
+				res.Partitions[p] = append(res.Partitions[p], KV{Key: ok, Value: ov})
+			})
+		}
+	}
+	return res, nil
+}
+
+func sortedKeys(m map[string][]string) []string {
+	out := make([]string, 0, len(m))
+	for k := range m {
+		out = append(out, k)
+	}
+	sort.Strings(out)
+	return out
+}

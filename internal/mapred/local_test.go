@@ -1,0 +1,161 @@
+package mapred
+
+import (
+	"strconv"
+	"strings"
+	"testing"
+
+	"edisim/internal/units"
+)
+
+// countJob is a minimal wordcount used to exercise the local executor.
+func countJob(combiner bool, reduces int) *JobDef {
+	return &JobDef{
+		Name:           "count",
+		Inputs:         []string{"in"},
+		NumReduces:     reduces,
+		UseCombiner:    combiner,
+		MapMemoryMB:    100,
+		ReduceMemoryMB: 100,
+		AMMemoryMB:     100,
+		Cost: CostModel{
+			MapMBps:             map[string]float64{"Edison": 1},
+			ReduceMBps:          map[string]float64{"Edison": 1},
+			OutputRatio:         1,
+			CombineRatio:        1,
+			ReduceOutputRatio:   1,
+			TaskOverheadSeconds: map[string]float64{"Edison": 0},
+		},
+		Map: func(rec string, emit func(k, v string)) {
+			for _, w := range strings.Fields(rec) {
+				emit(w, "1")
+			}
+		},
+		Reduce: func(key string, vals []string, emit func(k, v string)) {
+			sum := 0
+			for _, v := range vals {
+				n, _ := strconv.Atoi(v)
+				sum += n
+			}
+			emit(key, strconv.Itoa(sum))
+		},
+	}
+}
+
+func TestLocalRunCountsExactly(t *testing.T) {
+	job := countJob(false, 3)
+	res, err := LocalRun(job, map[string][]string{
+		"a": {"x y x", "z"},
+		"b": {"y y", "x"},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := map[string]string{"x": "3", "y": "3", "z": "1"}
+	got := map[string]string{}
+	for _, kv := range res.Output() {
+		got[kv.Key] = kv.Value
+	}
+	for k, v := range want {
+		if got[k] != v {
+			t.Fatalf("count[%q] = %q, want %q (all: %v)", k, got[k], v, got)
+		}
+	}
+	if res.MapInputRecords != 4 || res.MapOutputRecords != 7 {
+		t.Fatalf("counters: in=%d out=%d", res.MapInputRecords, res.MapOutputRecords)
+	}
+}
+
+func TestLocalRunCombinerEquivalence(t *testing.T) {
+	inputs := map[string][]string{
+		"s1": {"a b a", "c a"},
+		"s2": {"b b", "a c c a"},
+	}
+	plain, err := LocalRun(countJob(false, 4), inputs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	combined, err := LocalRun(countJob(true, 4), inputs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	po, co := plain.Output(), combined.Output()
+	if len(po) != len(co) {
+		t.Fatalf("output lengths differ: %d vs %d", len(po), len(co))
+	}
+	for i := range po {
+		if po[i] != co[i] {
+			t.Fatalf("combiner changed results: %v vs %v", po[i], co[i])
+		}
+	}
+	if combined.CombineOutRecords >= combined.MapOutputRecords {
+		t.Fatal("combiner did not reduce record volume")
+	}
+}
+
+func TestLocalRunPartitionsByHash(t *testing.T) {
+	job := countJob(false, 4)
+	res, err := LocalRun(job, map[string][]string{"in": {"a b c d e f g h"}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for p, kvs := range res.Partitions {
+		for _, kv := range kvs {
+			if got := partition(kv.Key, 4); got != p {
+				t.Fatalf("key %q in partition %d, hash says %d", kv.Key, p, got)
+			}
+		}
+	}
+}
+
+func TestLocalRunPartitionsSorted(t *testing.T) {
+	job := countJob(false, 2)
+	res, err := LocalRun(job, map[string][]string{"in": {"m z a q b k"}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, kvs := range res.Partitions {
+		for i := 1; i < len(kvs); i++ {
+			if kvs[i-1].Key > kvs[i].Key {
+				t.Fatalf("partition not key-sorted: %v", kvs)
+			}
+		}
+	}
+}
+
+func TestLocalRunValidation(t *testing.T) {
+	job := countJob(false, 0)
+	if _, err := LocalRun(job, nil); err == nil {
+		t.Fatal("zero reducers accepted")
+	}
+}
+
+func TestPartitionStableAndInRange(t *testing.T) {
+	for _, k := range []string{"", "a", "word0001", "2016-02-01 INFO", strings.Repeat("x", 100)} {
+		p := partition(k, 7)
+		if p < 0 || p >= 7 {
+			t.Fatalf("partition(%q) = %d out of range", k, p)
+		}
+		if p != partition(k, 7) {
+			t.Fatal("partition not deterministic")
+		}
+	}
+}
+
+func TestJobValidate(t *testing.T) {
+	good := countJob(false, 1)
+	if err := good.Validate(); err != nil {
+		t.Fatalf("valid job rejected: %v", err)
+	}
+	bad := countJob(false, 1)
+	bad.CombineInput = true // without MaxSplitSize
+	if err := bad.Validate(); err == nil {
+		t.Fatal("combine without MaxSplitSize accepted")
+	}
+	bad2 := countJob(false, 1)
+	bad2.MapMemoryMB = 0
+	if err := bad2.Validate(); err == nil {
+		t.Fatal("zero map memory accepted")
+	}
+	_ = units.MB
+}

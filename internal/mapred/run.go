@@ -1,0 +1,293 @@
+package mapred
+
+import (
+	"fmt"
+	"sort"
+
+	"edisim/internal/power"
+	"edisim/internal/stats"
+	"edisim/internal/units"
+	"edisim/internal/yarn"
+)
+
+// mapRateFor resolves the per-core map duration for a split.
+func mapSeconds(job *JobDef, platform string, size units.Bytes) float64 {
+	if job.Cost.MapFixedSeconds != nil {
+		return job.Cost.MapFixedSeconds[platform]
+	}
+	rate, ok := job.Cost.MapMBps[platform]
+	if !ok || rate <= 0 {
+		panic(fmt.Sprintf("mapred: no map rate for platform %q", platform))
+	}
+	return float64(size) / float64(units.MBps) / rate
+}
+
+func reduceSeconds(job *JobDef, platform string, size units.Bytes) float64 {
+	rate, ok := job.Cost.ReduceMBps[platform]
+	if !ok || rate <= 0 {
+		panic(fmt.Sprintf("mapred: no reduce rate for platform %q", platform))
+	}
+	return float64(size) / float64(units.MBps) / rate
+}
+
+// maxShuffleFetches bounds a reducer's parallel fetch streams (Hadoop's
+// mapreduce.reduce.shuffle.parallelcopies is 5 by default).
+const maxShuffleFetches = 4
+
+// slowstartFraction is the completed-maps fraction before reduce containers
+// are requested (Hadoop default 0.05); actual reduce start is later because
+// map containers still hold the slots — which is exactly why the reduce
+// phase starts at 61% of run time on the Edison cluster vs 28% on Dell.
+const slowstartFraction = 0.05
+
+// Run executes the job on the simulated cluster, returning when it
+// completes. It drives the engine itself (synchronous convenience).
+func (c *Cluster) Run(job *JobDef) (*JobResult, error) {
+	res, err := c.Start(job, nil)
+	if err != nil {
+		return nil, err
+	}
+	c.Eng.Run()
+	return res, nil
+}
+
+// Start launches the job asynchronously; done (optional) runs at completion.
+// The returned JobResult is filled in progressively and final once done.
+func (c *Cluster) Start(job *JobDef, done func()) (*JobResult, error) {
+	if err := job.Validate(); err != nil {
+		return nil, err
+	}
+	eng := c.Eng
+	splits := c.makeSplits(job)
+	nMaps := len(splits)
+	if nMaps == 0 {
+		return nil, fmt.Errorf("mapred: job %q has no input splits", job.Name)
+	}
+
+	res := &JobResult{
+		Job:            job.Name,
+		MapTasks:       nMaps,
+		ReduceTasks:    job.NumReduces,
+		Power:          stats.NewTimeSeries(job.Name + "/power"),
+		CPU:            stats.NewTimeSeries(job.Name + "/cpu"),
+		Mem:            stats.NewTimeSeries(job.Name + "/mem"),
+		MapProgress:    stats.NewTimeSeries(job.Name + "/map"),
+		ReduceProgress: stats.NewTimeSeries(job.Name + "/reduce"),
+	}
+
+	start := eng.Now()
+	c.meter.Reset()
+
+	// 1 Hz psutil-style sampling (Figures 12–17).
+	sampler := power.NewSampler(eng, c.meter, 1.0)
+	cpuGauge := power.MeanUtilization(c.Workers)
+	memGauge := power.MeanMemUtilization(c.Workers)
+
+	mapsDone := 0
+	reducersDone := 0
+	outSeq := 0
+	reducersStarted := 0
+	reducersRequested := false
+	var mapOutPerNode map[*yarn.NodeManager]units.Bytes
+	mapOutPerNode = make(map[*yarn.NodeManager]units.Bytes)
+	var totalMapOut units.Bytes
+
+	finished := false
+	sample := func() {
+		t := float64(eng.Now() - start)
+		res.Power.Add(t, float64(c.meter.Power()))
+		res.CPU.Add(t, cpuGauge())
+		res.Mem.Add(t, memGauge())
+		res.MapProgress.Add(t, 100*float64(mapsDone)/float64(nMaps))
+		// Hadoop's reduce progress spans shuffle+sort+reduce; a granted
+		// reducer in its shuffle phase contributes the first third.
+		rp := (float64(reducersStarted)/3 + float64(reducersDone)*2/3) / float64(job.NumReduces)
+		res.ReduceProgress.Add(t, 100*rp)
+	}
+	var tick func()
+	tick = func() {
+		if finished {
+			return
+		}
+		sample()
+		eng.After(1.0, tick)
+	}
+
+	finish := func() {
+		finished = true
+		res.Duration = float64(eng.Now() - start)
+		res.Energy = c.meter.Energy()
+		sample()
+		sampler.Stop()
+		if done != nil {
+			done()
+		}
+	}
+
+	// The job holds an AM container for its whole life.
+	var amContainer *yarn.Container
+	combine := 1.0
+	if job.UseCombiner {
+		combine = job.Cost.CombineRatio
+	}
+
+	maybeFinish := func() {
+		if reducersDone == job.NumReduces {
+			c.RM.Release(amContainer)
+			finish()
+		}
+	}
+
+	var runReducer func(ct *yarn.Container, shuffleShare units.Bytes, sources []*yarn.NodeManager)
+	runReducer = func(ct *yarn.Container, shuffleShare units.Bytes, sources []*yarn.NodeManager) {
+		node := ct.Node.Node
+		// Fetch phase: pull this reducer's partition from every map node,
+		// at most maxShuffleFetches streams at once.
+		idx := 0
+		active := 0
+		var fetchNext func()
+		fetched := 0
+		afterFetch := func() {
+			fetched++
+			active--
+			if fetched >= len(sources) {
+				// Sort+merge+reduce, then write output to HDFS.
+				node.ComputeSeconds(reduceSeconds(job, node.Spec.Name, shuffleShare), func() {
+					out := units.Bytes(float64(shuffleShare) * job.Cost.ReduceOutputRatio)
+					res.OutputBytes += out
+					outSeq++
+					outName := fmt.Sprintf("%s/part-r-%05d", job.Name, outSeq)
+					c.FS.Write(node.ID, node, outName, out, func() {
+						c.RM.Release(ct)
+						reducersDone++
+						maybeFinish()
+					})
+				})
+				return
+			}
+			fetchNext()
+		}
+		fetchNext = func() {
+			for active < maxShuffleFetches && idx < len(sources) {
+				src := sources[idx]
+				idx++
+				active++
+				seg := units.Bytes(float64(shuffleShare) / float64(len(sources)))
+				res.ShuffledBytes += seg
+				// Read the spilled segment, then stream it over.
+				src.Node.Disk().Read(seg, true, func() {
+					c.Fab.StartFlow(src.Node.ID, node.ID, seg, func() {
+						node.Disk().Write(seg, true, afterFetch)
+					})
+				})
+			}
+			if len(sources) == 0 {
+				afterFetch() // degenerate: no map output at all
+			}
+		}
+		fetchNext()
+	}
+
+	// expectedMapOut is the job's total map output, known up front from the
+	// split sizes and the cost model. Reducers size their shuffle share
+	// from it so that fetches overlapping the map tail (as Hadoop's
+	// incremental shuffle does) still account for every byte.
+	var expectedMapOut units.Bytes
+	for _, s := range splits {
+		expectedMapOut += units.Bytes(float64(s.size) * job.Cost.OutputRatio * combine)
+	}
+	// Hadoop's AM lets a few reducers start shuffling while the map backlog
+	// is still queued — but only where a node can spare ≈10% of its memory.
+	// A 12 GB Dell node can host an early 1 GB reducer; a 600 MB Edison
+	// node cannot spare 300 MB, which is exactly why the paper's reduce
+	// phase starts at 28% of runtime on Dell but 61% on Edison (§5.2.1).
+	earlyReducers := 0
+	for _, nm := range c.RM.Nodes() {
+		earlyReducers += int(0.1 * float64(nm.Capacity().MemoryMB) / float64(job.ReduceMemoryMB))
+	}
+	requestReducers := func() {
+		if reducersRequested {
+			return
+		}
+		reducersRequested = true
+		for r := 0; r < job.NumReduces; r++ {
+			prio := 0
+			if r < earlyReducers {
+				prio = 1
+			}
+			c.RM.Request(yarn.ContainerRequest{MemoryMB: job.ReduceMemoryMB, Priority: prio}, func(ct *yarn.Container) {
+				reducersStarted++
+				// Fetch from the nodes holding map output at grant time;
+				// output still being produced is folded into the evenly
+				// divided expected share (incremental-shuffle model).
+				// Deterministic source order: map iteration order would
+				// perturb event ordering run-to-run.
+				var sources []*yarn.NodeManager
+				for nm, b := range mapOutPerNode {
+					if b > 0 {
+						sources = append(sources, nm)
+					}
+				}
+				sort.Slice(sources, func(i, j int) bool {
+					return sources[i].Node.ID < sources[j].Node.ID
+				})
+				share := units.Bytes(float64(expectedMapOut) / float64(job.NumReduces))
+				// Reduce attempts pay the same (CPU-bound) setup overhead.
+				ct.Node.Node.ComputeSeconds(job.Cost.TaskOverheadSeconds[ct.Node.Node.Spec.Name], func() {
+					runReducer(ct, share, sources)
+				})
+			})
+		}
+	}
+
+	runMapper := func(ct *yarn.Container, s *split) {
+		node := ct.Node.Node
+		// Read every block of the split (local disk or remote flow).
+		remaining := len(s.blocks)
+		local := true
+		for _, b := range s.blocks {
+			wasLocal := c.FS.ReadBlock(node.ID, node, b, func() {
+				remaining--
+				if remaining > 0 {
+					return
+				}
+				// Task setup overhead (JVM, jar localization, JIT warmup —
+				// CPU-bound, which is why the paper's Dell trace pegs 100%
+				// CPU through the map phase), then the map computation and
+				// the spill of (combined) output.
+				work := job.Cost.TaskOverheadSeconds[node.Spec.Name] +
+					mapSeconds(job, node.Spec.Name, s.size)
+				node.ComputeSeconds(work, func() {
+					out := units.Bytes(float64(s.size) * job.Cost.OutputRatio * combine)
+					node.Disk().Write(out, true, func() {
+						mapOutPerNode[ct.Node] += out
+						totalMapOut += out
+						mapsDone++
+						c.RM.Release(ct)
+						if float64(mapsDone) >= slowstartFraction*float64(nMaps) {
+							requestReducers()
+						}
+					})
+				})
+			})
+			local = local && wasLocal
+		}
+		if local {
+			res.DataLocalMaps++
+		}
+	}
+
+	// Kick off: AM first, then all map requests with locality preferences.
+	c.RM.Request(yarn.ContainerRequest{MemoryMB: job.AMMemoryMB}, func(am *yarn.Container) {
+		amContainer = am
+		for _, s := range splits {
+			s := s
+			c.RM.Request(yarn.ContainerRequest{
+				MemoryMB:       job.MapMemoryMB,
+				PreferredNodes: c.preferredNodes(s),
+			}, func(ct *yarn.Container) { runMapper(ct, s) })
+		}
+	})
+	eng.After(0, tick)
+	return res, nil
+}

@@ -1,0 +1,48 @@
+package microbench
+
+import (
+	"fmt"
+
+	"edisim/internal/cluster"
+	"edisim/internal/hw"
+	"edisim/internal/sim"
+	"edisim/internal/units"
+)
+
+// MeasureNetwork reproduces the §4.4 iperf3/ping matrix on the full testbed:
+// Dell→Dell, Dell→Edison, and Edison→Edison TCP transfers of 1 GB, plus
+// ping RTTs. UDP rates come from the slower endpoint's measured goodput
+// (UDP has no congestion control; iperf UDP just paces at line rate).
+func MeasureNetwork() []NetworkResult {
+	tb := cluster.New(cluster.Config{EdisonNodes: 35, DellNodes: 2, DBNodes: 0, Clients: 0})
+	ed, dl := hw.EdisonSpec(), hw.DellR620Spec()
+
+	pairs := []struct {
+		name     string
+		src, dst string
+		udp      units.BytesPerSec
+	}{
+		{"Dell to Dell", tb.Dell[0].ID, tb.Dell[1].ID, dl.NIC.UDPGoodput},
+		{"Dell to Edison", tb.Dell[0].ID, tb.Edison[0].ID, ed.NIC.UDPGoodput},
+		{"Edison to Edison", tb.Edison[0].ID, tb.Edison[34].ID, ed.NIC.UDPGoodput},
+	}
+
+	var out []NetworkResult
+	for _, p := range pairs {
+		var doneAt sim.Time
+		start := tb.Eng.Now()
+		tb.Fab.StartFlow(p.src, p.dst, iperfBytes, func() { doneAt = tb.Eng.Now() })
+		tb.Eng.Run()
+		elapsed := float64(doneAt - start)
+		if elapsed <= 0 {
+			panic(fmt.Sprintf("microbench: zero-time transfer %s", p.name))
+		}
+		out = append(out, NetworkResult{
+			Pair: p.name,
+			TCP:  units.BytesPerSec(float64(iperfBytes) / elapsed),
+			UDP:  p.udp,
+			RTT:  tb.Fab.RTT(p.src, p.dst),
+		})
+	}
+	return out
+}

@@ -1,0 +1,164 @@
+// Package netsim models the clusters' networks: hosts and switches joined by
+// duplex links, static shortest-path routing, and two transfer mechanisms
+// chosen by message size class:
+//
+//   - Send: store-and-forward FIFO per link, for small RPC-style messages
+//     (HTTP requests, memcached gets, heartbeats). Queueing delay emerges
+//     naturally as links saturate.
+//   - StartFlow: max-min fair bandwidth sharing with progressive filling,
+//     for bulk transfers (HDFS blocks, shuffle segments, iperf streams).
+//
+// Link capacities and propagation delays are set by internal/cluster to the
+// paper's measured values (§4.4: 100 Mbps Edison NICs, 1 Gbps Dell NICs and
+// inter-switch links; RTTs of 1.3 ms E–E, 0.8 ms D–E, 0.24 ms D–D).
+package netsim
+
+import (
+	"fmt"
+
+	"edisim/internal/sim"
+	"edisim/internal/units"
+)
+
+// Link is one direction of a cable: src -> dst with a capacity and a
+// propagation delay. Duplex cables are two Links.
+type Link struct {
+	Src, Dst string
+	Capacity units.BytesPerSec
+	Delay    float64 // one-way propagation delay in seconds
+
+	q         *sim.Resource // transmission FIFO for Send messages
+	bytes     units.Bytes   // cumulative bytes carried (messages + flows)
+	flowCount int           // active max-min flows crossing this link
+}
+
+// Bytes reports the cumulative bytes carried over this link.
+func (l *Link) Bytes() units.Bytes { return l.bytes }
+
+// Fabric is the network graph plus the active flow set.
+type Fabric struct {
+	eng      *sim.Engine
+	vertices map[string]bool
+	adj      map[string][]*Link
+	links    []*Link
+	routes   map[[2]string][]*Link
+
+	flows    map[*Flow]bool
+	epoch    uint64
+	nextDone *sim.Event
+}
+
+// NewFabric returns an empty network on the engine.
+func NewFabric(eng *sim.Engine) *Fabric {
+	return &Fabric{
+		eng:      eng,
+		vertices: make(map[string]bool),
+		adj:      make(map[string][]*Link),
+		routes:   make(map[[2]string][]*Link),
+		flows:    make(map[*Flow]bool),
+	}
+}
+
+// Engine returns the engine the fabric runs on.
+func (f *Fabric) Engine() *sim.Engine { return f.eng }
+
+// AddVertex registers a host or switch by name. Re-adding is a no-op.
+func (f *Fabric) AddVertex(name string) {
+	f.vertices[name] = true
+}
+
+// Connect joins a and b with a duplex cable of the given per-direction
+// capacity and one-way propagation delay. Routes are invalidated.
+func (f *Fabric) Connect(a, b string, capacity units.BytesPerSec, delay float64) {
+	if !f.vertices[a] || !f.vertices[b] {
+		panic(fmt.Sprintf("netsim: connect of unknown vertex %q or %q", a, b))
+	}
+	if capacity <= 0 {
+		panic("netsim: non-positive link capacity")
+	}
+	for _, pair := range [][2]string{{a, b}, {b, a}} {
+		l := &Link{Src: pair[0], Dst: pair[1], Capacity: capacity, Delay: delay,
+			q: sim.NewResource(f.eng, 1)}
+		f.adj[pair[0]] = append(f.adj[pair[0]], l)
+		f.links = append(f.links, l)
+	}
+	f.routes = make(map[[2]string][]*Link)
+}
+
+// ConnectAsym joins a -> b only, for asymmetric capacities.
+func (f *Fabric) ConnectAsym(a, b string, capacity units.BytesPerSec, delay float64) {
+	if !f.vertices[a] || !f.vertices[b] {
+		panic(fmt.Sprintf("netsim: connect of unknown vertex %q or %q", a, b))
+	}
+	l := &Link{Src: a, Dst: b, Capacity: capacity, Delay: delay, q: sim.NewResource(f.eng, 1)}
+	f.adj[a] = append(f.adj[a], l)
+	f.links = append(f.links, l)
+	f.routes = make(map[[2]string][]*Link)
+}
+
+// Route returns the shortest path (in hops) from src to dst as directed
+// links, memoized. It panics when no route exists: topologies are static and
+// a missing route is a configuration bug.
+func (f *Fabric) Route(src, dst string) []*Link {
+	if src == dst {
+		return nil
+	}
+	key := [2]string{src, dst}
+	if p, ok := f.routes[key]; ok {
+		return p
+	}
+	// BFS over vertices.
+	prev := map[string]*Link{src: nil}
+	queue := []string{src}
+	for len(queue) > 0 && prev[dst] == nil {
+		v := queue[0]
+		queue = queue[1:]
+		for _, l := range f.adj[v] {
+			if _, seen := prev[l.Dst]; !seen {
+				prev[l.Dst] = l
+				queue = append(queue, l.Dst)
+			}
+		}
+		if _, ok := prev[dst]; ok {
+			break
+		}
+	}
+	back, ok := prev[dst]
+	if !ok || back == nil {
+		panic(fmt.Sprintf("netsim: no route %s -> %s", src, dst))
+	}
+	var rev []*Link
+	for l := back; l != nil; l = prev[l.Src] {
+		rev = append(rev, l)
+	}
+	path := make([]*Link, len(rev))
+	for i := range rev {
+		path[i] = rev[len(rev)-1-i]
+	}
+	f.routes[key] = path
+	return path
+}
+
+// Latency reports the one-way propagation delay from src to dst (no
+// queueing, no transmission), i.e. an idealized tiny-packet trip.
+func (f *Fabric) Latency(src, dst string) float64 {
+	var d float64
+	for _, l := range f.Route(src, dst) {
+		d += l.Delay
+	}
+	return d
+}
+
+// RTT reports Latency both ways, matching what ping measures on idle links.
+func (f *Fabric) RTT(a, b string) float64 {
+	return f.Latency(a, b) + f.Latency(b, a)
+}
+
+// TotalBytes reports bytes carried across all links (each hop counted).
+func (f *Fabric) TotalBytes() units.Bytes {
+	var total units.Bytes
+	for _, l := range f.links {
+		total += l.bytes
+	}
+	return total
+}

@@ -1,0 +1,199 @@
+package netsim
+
+import (
+	"math"
+
+	"edisim/internal/sim"
+	"edisim/internal/units"
+)
+
+// Flow is a bulk transfer receiving a max-min fair share of every link on
+// its path. Rates are recomputed whenever any flow starts or finishes.
+type Flow struct {
+	Src, Dst string
+
+	fab       *Fabric
+	path      []*Link
+	remaining float64 // bytes left
+	rate      float64 // bytes/sec, current allocation
+	lastT     sim.Time
+	done      func()
+	finished  bool
+}
+
+// StartFlow begins a bulk transfer of size bytes from src to dst; done runs
+// when the last byte arrives. A zero-size flow completes via a zero-delay
+// event. Same-host transfers skip the network (memory copy, modeled free).
+func (f *Fabric) StartFlow(src, dst string, size units.Bytes, done func()) *Flow {
+	fl := &Flow{Src: src, Dst: dst, fab: f, remaining: float64(size), done: done,
+		lastT: f.eng.Now()}
+	if src == dst || size == 0 {
+		f.eng.After(0, func() {
+			fl.finished = true
+			if done != nil {
+				done()
+			}
+		})
+		return fl
+	}
+	fl.path = f.Route(src, dst)
+	// Propagation: first byte takes the path latency; model by delaying
+	// admission of the flow into the bandwidth-sharing set.
+	f.eng.After(f.Latency(src, dst), func() {
+		f.advanceFlows()
+		f.flows[fl] = true
+		for _, l := range fl.path {
+			l.flowCount++
+		}
+		f.reallocate()
+	})
+	return fl
+}
+
+// Finished reports whether the transfer completed.
+func (fl *Flow) Finished() bool { return fl.finished }
+
+// Rate reports the current allocated rate in bytes/sec.
+func (fl *Flow) Rate() units.BytesPerSec { return units.BytesPerSec(fl.rate) }
+
+// advanceFlows credits progress to every active flow at its current rate.
+func (f *Fabric) advanceFlows() {
+	now := f.eng.Now()
+	for fl := range f.flows {
+		dt := float64(now - fl.lastT)
+		if dt > 0 {
+			progress := fl.rate * dt
+			if progress > fl.remaining {
+				progress = fl.remaining
+			}
+			fl.remaining -= progress
+			for _, l := range fl.path {
+				l.bytes += units.Bytes(progress)
+			}
+		}
+		fl.lastT = now
+	}
+}
+
+// reallocate runs progressive filling (water-filling) to a max-min fair
+// allocation, then re-arms the single next-completion event.
+func (f *Fabric) reallocate() {
+	f.epoch++
+	if f.nextDone != nil {
+		f.nextDone.Cancel()
+		f.nextDone = nil
+	}
+	if len(f.flows) == 0 {
+		return
+	}
+
+	type linkState struct {
+		rem float64
+		cnt int
+	}
+	state := make(map[*Link]*linkState)
+	for fl := range f.flows {
+		for _, l := range fl.path {
+			if s, ok := state[l]; ok {
+				s.cnt++
+			} else {
+				state[l] = &linkState{rem: float64(l.Capacity), cnt: 1}
+			}
+		}
+	}
+	unfrozen := make(map[*Flow]bool, len(f.flows))
+	for fl := range f.flows {
+		unfrozen[fl] = true
+	}
+	for len(unfrozen) > 0 {
+		// Find the tightest link among links carrying unfrozen flows.
+		minShare := math.Inf(1)
+		for _, s := range state {
+			if s.cnt > 0 {
+				if share := s.rem / float64(s.cnt); share < minShare {
+					minShare = share
+				}
+			}
+		}
+		if math.IsInf(minShare, 1) {
+			break
+		}
+		// Freeze every unfrozen flow crossing a link at the bottleneck share.
+		progressed := false
+		for fl := range unfrozen {
+			bottlenecked := false
+			for _, l := range fl.path {
+				s := state[l]
+				if s.cnt > 0 && s.rem/float64(s.cnt) <= minShare*(1+1e-12) {
+					bottlenecked = true
+					break
+				}
+			}
+			if !bottlenecked {
+				continue
+			}
+			fl.rate = minShare
+			delete(unfrozen, fl)
+			for _, l := range fl.path {
+				s := state[l]
+				s.rem -= minShare
+				if s.rem < 0 {
+					s.rem = 0
+				}
+				s.cnt--
+			}
+			progressed = true
+		}
+		if !progressed {
+			break // numerical safety: should not happen
+		}
+	}
+
+	// Re-arm the completion event for the earliest-finishing flow.
+	next := math.Inf(1)
+	for fl := range f.flows {
+		if fl.rate <= 0 {
+			continue
+		}
+		t := fl.remaining / fl.rate
+		if t < next {
+			next = t
+		}
+	}
+	if math.IsInf(next, 1) {
+		return
+	}
+	if next < 0 {
+		next = 0
+	}
+	f.nextDone = f.eng.After(next, f.completeFlows)
+}
+
+// completeFlows advances progress and finishes every drained flow.
+func (f *Fabric) completeFlows() {
+	f.nextDone = nil
+	f.advanceFlows()
+	const eps = 1 // byte tolerance
+	var finished []*Flow
+	for fl := range f.flows {
+		if fl.remaining <= eps {
+			finished = append(finished, fl)
+		}
+	}
+	for _, fl := range finished {
+		delete(f.flows, fl)
+		for _, l := range fl.path {
+			l.flowCount--
+		}
+		fl.finished = true
+	}
+	f.reallocate()
+	for _, fl := range finished {
+		if fl.done != nil {
+			fl.done()
+		}
+	}
+}
+
+// ActiveFlows reports the number of in-flight bulk transfers.
+func (f *Fabric) ActiveFlows() int { return len(f.flows) }

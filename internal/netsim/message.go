@@ -1,0 +1,53 @@
+package netsim
+
+import (
+	"edisim/internal/units"
+)
+
+// Send transmits a small message of size bytes from src to dst using
+// store-and-forward FIFO links: at each hop the message waits for the link,
+// occupies it for size/capacity seconds, then propagates. done runs when the
+// last byte arrives at dst. Sending to self completes after a zero-cost
+// event (still asynchronous, preserving causality).
+//
+// This is the right model for RPC-sized messages; use StartFlow for bulk
+// data so that one big transfer does not head-of-line-block a link.
+func (f *Fabric) Send(src, dst string, size units.Bytes, done func()) {
+	if size < 0 {
+		panic("netsim: negative message size")
+	}
+	if src == dst {
+		f.eng.After(0, done)
+		return
+	}
+	path := f.Route(src, dst)
+	f.sendHop(path, 0, size, done)
+}
+
+func (f *Fabric) sendHop(path []*Link, i int, size units.Bytes, done func()) {
+	if i >= len(path) {
+		if done != nil {
+			done()
+		}
+		return
+	}
+	l := path[i]
+	l.q.Acquire(func() {
+		tx := l.Capacity.Seconds(size)
+		f.eng.After(tx, func() {
+			l.q.Release()
+			l.bytes += size
+			f.eng.After(l.Delay, func() {
+				f.sendHop(path, i+1, size, done)
+			})
+		})
+	})
+}
+
+// RoundTrip sends a request of reqSize from src to dst, then a reply of
+// respSize back; done runs when the reply fully arrives at src.
+func (f *Fabric) RoundTrip(src, dst string, reqSize, respSize units.Bytes, done func()) {
+	f.Send(src, dst, reqSize, func() {
+		f.Send(dst, src, respSize, done)
+	})
+}

@@ -1,0 +1,174 @@
+// Package report renders experiment output: aligned ASCII tables, CSV, and
+// labeled x/y series ("figures"). Every cmd tool and EXPERIMENTS.md row goes
+// through these types so paper-vs-measured comparisons look uniform.
+package report
+
+import (
+	"fmt"
+	"strings"
+)
+
+// Table is a simple column-aligned table.
+type Table struct {
+	Title   string
+	Headers []string
+	Rows    [][]string
+}
+
+// NewTable creates a table with the given title and column headers.
+func NewTable(title string, headers ...string) *Table {
+	return &Table{Title: title, Headers: headers}
+}
+
+// AddRow appends a row; cells are stringified with %v.
+func (t *Table) AddRow(cells ...any) {
+	row := make([]string, len(cells))
+	for i, c := range cells {
+		switch v := c.(type) {
+		case float64:
+			row[i] = trimFloat(v)
+		default:
+			row[i] = fmt.Sprintf("%v", c)
+		}
+	}
+	t.Rows = append(t.Rows, row)
+}
+
+func trimFloat(v float64) string {
+	s := fmt.Sprintf("%.4g", v)
+	return s
+}
+
+// String renders the table with aligned columns.
+func (t *Table) String() string {
+	var b strings.Builder
+	if t.Title != "" {
+		fmt.Fprintf(&b, "%s\n", t.Title)
+	}
+	widths := make([]int, len(t.Headers))
+	for i, h := range t.Headers {
+		widths[i] = len(h)
+	}
+	for _, r := range t.Rows {
+		for i, c := range r {
+			if i < len(widths) && len(c) > widths[i] {
+				widths[i] = len(c)
+			}
+		}
+	}
+	line := func(cells []string) {
+		for i, c := range cells {
+			if i > 0 {
+				b.WriteString("  ")
+			}
+			fmt.Fprintf(&b, "%-*s", widths[i], c)
+		}
+		b.WriteByte('\n')
+	}
+	line(t.Headers)
+	sep := make([]string, len(t.Headers))
+	for i := range sep {
+		sep[i] = strings.Repeat("-", widths[i])
+	}
+	line(sep)
+	for _, r := range t.Rows {
+		line(r)
+	}
+	return b.String()
+}
+
+// CSV renders the table as comma-separated values (quoted where needed).
+func (t *Table) CSV() string {
+	var b strings.Builder
+	writeCSVRow(&b, t.Headers)
+	for _, r := range t.Rows {
+		writeCSVRow(&b, r)
+	}
+	return b.String()
+}
+
+func writeCSVRow(b *strings.Builder, cells []string) {
+	for i, c := range cells {
+		if i > 0 {
+			b.WriteByte(',')
+		}
+		if strings.ContainsAny(c, ",\"\n") {
+			c = `"` + strings.ReplaceAll(c, `"`, `""`) + `"`
+		}
+		b.WriteString(c)
+	}
+	b.WriteByte('\n')
+}
+
+// Series is one named curve of a figure: y values over shared x values.
+type Series struct {
+	Label string
+	Y     []float64
+}
+
+// Figure is a set of curves over a common x axis, mirroring a paper figure.
+type Figure struct {
+	Name   string // e.g. "Figure 4"
+	XLabel string
+	YLabel string
+	X      []float64
+	Series []*Series
+}
+
+// NewFigure creates an empty figure.
+func NewFigure(name, xlabel, ylabel string, x []float64) *Figure {
+	return &Figure{Name: name, XLabel: xlabel, YLabel: ylabel, X: x}
+}
+
+// Add appends a curve; it must have one y per x.
+func (f *Figure) Add(label string, y []float64) {
+	if len(y) != len(f.X) {
+		panic(fmt.Sprintf("report: series %q has %d points, figure has %d x values",
+			label, len(y), len(f.X)))
+	}
+	f.Series = append(f.Series, &Series{Label: label, Y: y})
+}
+
+// Table renders the figure as a table with one column per series.
+func (f *Figure) Table() *Table {
+	headers := append([]string{f.XLabel}, make([]string, len(f.Series))...)
+	for i, s := range f.Series {
+		headers[i+1] = s.Label
+	}
+	t := NewTable(fmt.Sprintf("%s — %s", f.Name, f.YLabel), headers...)
+	for i, x := range f.X {
+		row := make([]any, 0, len(f.Series)+1)
+		row = append(row, trimFloat(x))
+		for _, s := range f.Series {
+			row = append(row, s.Y[i])
+		}
+		t.AddRow(row...)
+	}
+	return t
+}
+
+// String renders the figure via its table form.
+func (f *Figure) String() string { return f.Table().String() }
+
+// Comparison records paper-reported vs simulator-measured values for
+// EXPERIMENTS.md.
+type Comparison struct {
+	Artifact string // e.g. "Table 8 / wordcount / 35 Edison"
+	Metric   string // e.g. "energy (J)"
+	Paper    float64
+	Measured float64
+}
+
+// RatioError reports measured/paper as a factor (1.0 = exact).
+func (c Comparison) RatioError() float64 {
+	if c.Paper == 0 {
+		return 0
+	}
+	return c.Measured / c.Paper
+}
+
+// String renders one comparison line.
+func (c Comparison) String() string {
+	return fmt.Sprintf("%-48s %-18s paper=%-10.4g sim=%-10.4g ratio=%.2f",
+		c.Artifact, c.Metric, c.Paper, c.Measured, c.RatioError())
+}

@@ -1,0 +1,78 @@
+package report
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestTableRendering(t *testing.T) {
+	tb := NewTable("Power", "Server", "Idle", "Busy")
+	tb.AddRow("Edison", 1.40, 1.68)
+	tb.AddRow("Dell", 52.0, 109.0)
+	s := tb.String()
+	for _, want := range []string{"Power", "Server", "Edison", "1.4", "109"} {
+		if !strings.Contains(s, want) {
+			t.Errorf("rendered table missing %q:\n%s", want, s)
+		}
+	}
+	lines := strings.Split(strings.TrimSpace(s), "\n")
+	if len(lines) != 5 { // title, header, separator, 2 rows
+		t.Fatalf("got %d lines:\n%s", len(lines), s)
+	}
+}
+
+func TestTableCSV(t *testing.T) {
+	tb := NewTable("t", "a", "b")
+	tb.AddRow("x,y", 1.5)
+	csv := tb.CSV()
+	if !strings.Contains(csv, `"x,y"`) {
+		t.Fatalf("comma cell not quoted: %q", csv)
+	}
+	if !strings.HasPrefix(csv, "a,b\n") {
+		t.Fatalf("missing header: %q", csv)
+	}
+}
+
+func TestCSVQuoteEscaping(t *testing.T) {
+	tb := NewTable("t", "a")
+	tb.AddRow(`he said "hi"`)
+	if !strings.Contains(tb.CSV(), `"he said ""hi"""`) {
+		t.Fatalf("quotes not escaped: %q", tb.CSV())
+	}
+}
+
+func TestFigureSeries(t *testing.T) {
+	f := NewFigure("Figure 4", "concurrency", "req/s", []float64{8, 16, 32})
+	f.Add("24 Edison", []float64{100, 200, 400})
+	f.Add("2 Dell", []float64{110, 210, 410})
+	tab := f.Table()
+	if len(tab.Rows) != 3 || len(tab.Headers) != 3 {
+		t.Fatalf("table shape %dx%d", len(tab.Rows), len(tab.Headers))
+	}
+	if !strings.Contains(f.String(), "24 Edison") {
+		t.Fatal("series label missing")
+	}
+}
+
+func TestFigureLengthMismatchPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("mismatched series did not panic")
+		}
+	}()
+	f := NewFigure("f", "x", "y", []float64{1, 2})
+	f.Add("s", []float64{1})
+}
+
+func TestComparisonRatio(t *testing.T) {
+	c := Comparison{Artifact: "Table 8", Metric: "energy", Paper: 100, Measured: 120}
+	if c.RatioError() != 1.2 {
+		t.Fatalf("ratio %g", c.RatioError())
+	}
+	if (Comparison{Paper: 0, Measured: 5}).RatioError() != 0 {
+		t.Fatal("zero-paper ratio should be 0")
+	}
+	if !strings.Contains(c.String(), "Table 8") {
+		t.Fatal("comparison string missing artifact")
+	}
+}

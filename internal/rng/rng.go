@@ -1,0 +1,107 @@
+// Package rng provides deterministic, named random-number substreams for the
+// simulator. Every stochastic component draws from its own substream derived
+// from a single root seed, so experiments are bit-reproducible regardless of
+// the order in which components happen to consume randomness.
+package rng
+
+import (
+	"hash/fnv"
+	"math"
+	"math/rand"
+)
+
+// Source is a deterministic random source with named substream derivation.
+type Source struct {
+	seed int64
+	r    *rand.Rand
+}
+
+// New returns a Source rooted at seed.
+func New(seed int64) *Source {
+	return &Source{seed: seed, r: rand.New(rand.NewSource(seed))}
+}
+
+// Derive returns an independent substream identified by name. Deriving the
+// same name from the same root always yields an identical stream.
+func (s *Source) Derive(name string) *Source {
+	h := fnv.New64a()
+	h.Write([]byte(name))
+	sub := s.seed ^ int64(h.Sum64())
+	// Avoid the degenerate all-zero state.
+	if sub == 0 {
+		sub = 0x9E3779B97F4A7C15 & (1<<63 - 1)
+	}
+	return New(sub)
+}
+
+// Seed reports the seed this source was created with.
+func (s *Source) Seed() int64 { return s.seed }
+
+// Float64 returns a uniform draw in [0,1).
+func (s *Source) Float64() float64 { return s.r.Float64() }
+
+// Intn returns a uniform draw in [0,n). It panics if n <= 0.
+func (s *Source) Intn(n int) int { return s.r.Intn(n) }
+
+// Int63n returns a uniform draw in [0,n). It panics if n <= 0.
+func (s *Source) Int63n(n int64) int64 { return s.r.Int63n(n) }
+
+// Perm returns a random permutation of [0,n).
+func (s *Source) Perm(n int) []int { return s.r.Perm(n) }
+
+// Shuffle randomizes the order of n elements using swap.
+func (s *Source) Shuffle(n int, swap func(i, j int)) { s.r.Shuffle(n, swap) }
+
+// Bool returns true with probability p.
+func (s *Source) Bool(p float64) bool { return s.r.Float64() < p }
+
+// Uniform returns a uniform draw in [lo,hi).
+func (s *Source) Uniform(lo, hi float64) float64 {
+	return lo + (hi-lo)*s.r.Float64()
+}
+
+// Exp returns an exponential draw with the given mean. Mean 0 returns 0.
+func (s *Source) Exp(mean float64) float64 {
+	if mean <= 0 {
+		return 0
+	}
+	return s.r.ExpFloat64() * mean
+}
+
+// LogNormal returns a draw from a log-normal with the given parameters of the
+// underlying normal (mu, sigma).
+func (s *Source) LogNormal(mu, sigma float64) float64 {
+	return math.Exp(mu + sigma*s.r.NormFloat64())
+}
+
+// Normal returns a normal draw with the given mean and standard deviation.
+func (s *Source) Normal(mean, stddev float64) float64 {
+	return mean + stddev*s.r.NormFloat64()
+}
+
+// BoundedPareto returns a draw from a bounded Pareto distribution on
+// [lo,hi] with shape alpha. It is used for heavy-tailed object sizes.
+func (s *Source) BoundedPareto(lo, hi, alpha float64) float64 {
+	if lo <= 0 || hi <= lo {
+		panic("rng: invalid bounded pareto range")
+	}
+	u := s.r.Float64()
+	la := math.Pow(lo, alpha)
+	ha := math.Pow(hi, alpha)
+	return math.Pow(-(u*ha-u*la-ha)/(ha*la), -1/alpha)
+}
+
+// Zipf returns a generator of Zipf-distributed ranks in [0,n) with skew
+// theta (> 1 is more skewed under math/rand's parameterization s).
+func (s *Source) Zipf(theta float64, n uint64) *Zipf {
+	if theta <= 1 {
+		theta = 1.0001
+	}
+	return &Zipf{z: rand.NewZipf(s.r, theta, 1, n-1)}
+}
+
+// Zipf draws Zipf-distributed ranks.
+type Zipf struct{ z *rand.Zipf }
+
+// Next returns the next rank.
+func (z *Zipf) Next() uint64 { return z.z.Uint64() }

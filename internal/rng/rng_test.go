@@ -1,0 +1,126 @@
+package rng
+
+import (
+	"math"
+	"testing"
+)
+
+func TestDeterminism(t *testing.T) {
+	a := New(42).Derive("web")
+	b := New(42).Derive("web")
+	for i := 0; i < 100; i++ {
+		if a.Float64() != b.Float64() {
+			t.Fatal("same seed+name produced different streams")
+		}
+	}
+}
+
+func TestSubstreamIndependence(t *testing.T) {
+	root := New(42)
+	a := root.Derive("a")
+	b := root.Derive("b")
+	same := 0
+	for i := 0; i < 100; i++ {
+		if a.Float64() == b.Float64() {
+			same++
+		}
+	}
+	if same > 2 {
+		t.Fatalf("substreams suspiciously correlated: %d/100 equal draws", same)
+	}
+}
+
+func TestExpMean(t *testing.T) {
+	s := New(7)
+	var sum float64
+	const n = 200000
+	for i := 0; i < n; i++ {
+		sum += s.Exp(3.0)
+	}
+	mean := sum / n
+	if math.Abs(mean-3.0) > 0.05 {
+		t.Fatalf("exp mean %g, want ~3.0", mean)
+	}
+}
+
+func TestExpZeroMean(t *testing.T) {
+	if New(1).Exp(0) != 0 {
+		t.Fatal("Exp(0) should be 0")
+	}
+}
+
+func TestUniformRange(t *testing.T) {
+	s := New(9)
+	for i := 0; i < 1000; i++ {
+		v := s.Uniform(2, 5)
+		if v < 2 || v >= 5 {
+			t.Fatalf("uniform draw %g outside [2,5)", v)
+		}
+	}
+}
+
+func TestBoolProbability(t *testing.T) {
+	s := New(11)
+	hits := 0
+	const n = 100000
+	for i := 0; i < n; i++ {
+		if s.Bool(0.3) {
+			hits++
+		}
+	}
+	p := float64(hits) / n
+	if math.Abs(p-0.3) > 0.01 {
+		t.Fatalf("Bool(0.3) rate %g", p)
+	}
+}
+
+func TestBoundedParetoRange(t *testing.T) {
+	s := New(13)
+	for i := 0; i < 1000; i++ {
+		v := s.BoundedPareto(1, 100, 1.5)
+		if v < 1 || v > 100.0001 {
+			t.Fatalf("bounded pareto draw %g outside [1,100]", v)
+		}
+	}
+}
+
+func TestBoundedParetoInvalidPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("invalid range did not panic")
+		}
+	}()
+	New(1).BoundedPareto(5, 2, 1)
+}
+
+func TestZipfSkew(t *testing.T) {
+	s := New(17)
+	z := s.Zipf(1.2, 1000)
+	counts := make(map[uint64]int)
+	for i := 0; i < 10000; i++ {
+		counts[z.Next()]++
+	}
+	if counts[0] <= counts[500] {
+		t.Fatalf("zipf not skewed: rank0=%d rank500=%d", counts[0], counts[500])
+	}
+}
+
+func TestLogNormalPositive(t *testing.T) {
+	s := New(19)
+	for i := 0; i < 1000; i++ {
+		if s.LogNormal(0, 1) <= 0 {
+			t.Fatal("lognormal draw not positive")
+		}
+	}
+}
+
+func TestPermIsPermutation(t *testing.T) {
+	p := New(23).Perm(50)
+	seen := make([]bool, 50)
+	for _, v := range p {
+		if v < 0 || v >= 50 || seen[v] {
+			t.Fatalf("invalid permutation %v", p)
+		}
+		seen[v] = true
+	}
+}

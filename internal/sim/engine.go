@@ -1,0 +1,158 @@
+// Package sim is edisim's discrete-event simulation kernel: a virtual clock,
+// a cancellable event heap, FIFO k-server resources and a virtual-time
+// processor-sharing resource. All higher-level models (CPUs, disks, network
+// flows, web requests, MapReduce containers) are built from these primitives.
+//
+// The kernel is single-threaded and callback-based: an event is a func()
+// executed at its scheduled virtual time. Determinism is guaranteed by
+// breaking time ties with a monotone sequence number.
+package sim
+
+import (
+	"container/heap"
+	"fmt"
+	"math"
+)
+
+// Time is simulation time in seconds since the start of the run.
+type Time float64
+
+// Event is a scheduled callback. It can be cancelled before it fires.
+type Event struct {
+	at       Time
+	seq      uint64
+	fn       func()
+	index    int // heap index, -1 once popped or cancelled
+	canceled bool
+}
+
+// Cancel prevents the event from firing. Cancelling an already-fired or
+// already-cancelled event is a no-op.
+func (ev *Event) Cancel() { ev.canceled = true }
+
+// Canceled reports whether Cancel was called.
+func (ev *Event) Canceled() bool { return ev.canceled }
+
+// Time reports when the event is (or was) scheduled to fire.
+func (ev *Event) Time() Time { return ev.at }
+
+type eventHeap []*Event
+
+func (h eventHeap) Len() int { return len(h) }
+func (h eventHeap) Less(i, j int) bool {
+	if h[i].at != h[j].at {
+		return h[i].at < h[j].at
+	}
+	return h[i].seq < h[j].seq
+}
+func (h eventHeap) Swap(i, j int) {
+	h[i], h[j] = h[j], h[i]
+	h[i].index = i
+	h[j].index = j
+}
+func (h *eventHeap) Push(x any) {
+	ev := x.(*Event)
+	ev.index = len(*h)
+	*h = append(*h, ev)
+}
+func (h *eventHeap) Pop() any {
+	old := *h
+	n := len(old)
+	ev := old[n-1]
+	old[n-1] = nil
+	ev.index = -1
+	*h = old[:n-1]
+	return ev
+}
+
+// Engine drives a simulation: it owns the clock and the pending event set.
+type Engine struct {
+	now     Time
+	seq     uint64
+	events  eventHeap
+	stopped bool
+	fired   uint64
+}
+
+// NewEngine returns an engine with the clock at zero and no pending events.
+func NewEngine() *Engine { return &Engine{} }
+
+// Now reports the current simulation time.
+func (e *Engine) Now() Time { return e.now }
+
+// Fired reports how many events have executed, a cheap progress/cost metric.
+func (e *Engine) Fired() uint64 { return e.fired }
+
+// Pending reports the number of scheduled (possibly cancelled) events.
+func (e *Engine) Pending() int { return len(e.events) }
+
+// At schedules fn to run at absolute time t (>= Now) and returns a handle
+// that can cancel it. Scheduling in the past panics: it is always a bug.
+func (e *Engine) At(t Time, fn func()) *Event {
+	if t < e.now {
+		panic(fmt.Sprintf("sim: scheduling into the past: %g < %g", t, e.now))
+	}
+	if math.IsNaN(float64(t)) || math.IsInf(float64(t), 0) {
+		panic(fmt.Sprintf("sim: scheduling at non-finite time %v", t))
+	}
+	e.seq++
+	ev := &Event{at: t, seq: e.seq, fn: fn}
+	heap.Push(&e.events, ev)
+	return ev
+}
+
+// After schedules fn to run d seconds from now. Negative delays panic.
+func (e *Engine) After(d float64, fn func()) *Event {
+	if d < 0 {
+		panic(fmt.Sprintf("sim: negative delay %g", d))
+	}
+	return e.At(e.now+Time(d), fn)
+}
+
+// Stop makes Run return after the currently executing event completes.
+func (e *Engine) Stop() { e.stopped = true }
+
+// Run executes events in time order until none remain or Stop is called.
+func (e *Engine) Run() {
+	e.RunUntil(Time(math.Inf(1)))
+}
+
+// RunUntil executes events in time order until the next event would fire
+// after deadline, none remain, or Stop is called. The clock is left at the
+// time of the last executed event (or advanced to deadline when it is
+// finite and later).
+func (e *Engine) RunUntil(deadline Time) {
+	e.stopped = false
+	for len(e.events) > 0 && !e.stopped {
+		next := e.events[0]
+		if next.at > deadline {
+			break
+		}
+		heap.Pop(&e.events)
+		if next.canceled {
+			continue
+		}
+		e.now = next.at
+		e.fired++
+		next.fn()
+	}
+	if !e.stopped && !math.IsInf(float64(deadline), 1) && deadline > e.now {
+		e.now = deadline
+	}
+}
+
+// Step executes exactly one non-cancelled event, reporting false when no
+// events remain.
+func (e *Engine) Step() bool {
+	for len(e.events) > 0 {
+		next := heap.Pop(&e.events).(*Event)
+		if next.canceled {
+			continue
+		}
+		e.now = next.at
+		e.fired++
+		next.fn()
+		return true
+	}
+	return false
+}

@@ -1,0 +1,174 @@
+package sim
+
+import (
+	"math/rand"
+	"sort"
+	"testing"
+	"testing/quick"
+)
+
+func TestEngineRunsEventsInTimeOrder(t *testing.T) {
+	e := NewEngine()
+	var got []Time
+	for _, at := range []Time{5, 1, 3, 2, 4} {
+		at := at
+		e.At(at, func() { got = append(got, at) })
+	}
+	e.Run()
+	if !sort.SliceIsSorted(got, func(i, j int) bool { return got[i] < got[j] }) {
+		t.Fatalf("events out of order: %v", got)
+	}
+	if len(got) != 5 {
+		t.Fatalf("fired %d events, want 5", len(got))
+	}
+	if e.Now() != 5 {
+		t.Fatalf("clock at %v, want 5", e.Now())
+	}
+}
+
+func TestEngineTieBreakIsFIFO(t *testing.T) {
+	e := NewEngine()
+	var got []int
+	for i := 0; i < 10; i++ {
+		i := i
+		e.At(1, func() { got = append(got, i) })
+	}
+	e.Run()
+	for i, v := range got {
+		if v != i {
+			t.Fatalf("tie-broken order %v, want FIFO", got)
+		}
+	}
+}
+
+func TestEngineCancel(t *testing.T) {
+	e := NewEngine()
+	fired := false
+	ev := e.At(1, func() { fired = true })
+	ev.Cancel()
+	e.Run()
+	if fired {
+		t.Fatal("cancelled event fired")
+	}
+	if !ev.Canceled() {
+		t.Fatal("Canceled() false after Cancel")
+	}
+}
+
+func TestEngineSchedulingFromEvent(t *testing.T) {
+	e := NewEngine()
+	var order []string
+	e.At(1, func() {
+		order = append(order, "a")
+		e.After(1, func() { order = append(order, "c") })
+		e.After(0, func() { order = append(order, "b") })
+	})
+	e.Run()
+	want := []string{"a", "b", "c"}
+	for i := range want {
+		if order[i] != want[i] {
+			t.Fatalf("order %v, want %v", order, want)
+		}
+	}
+}
+
+func TestEngineRunUntil(t *testing.T) {
+	e := NewEngine()
+	count := 0
+	for i := 1; i <= 10; i++ {
+		e.At(Time(i), func() { count++ })
+	}
+	e.RunUntil(5)
+	if count != 5 {
+		t.Fatalf("fired %d events by t=5, want 5", count)
+	}
+	if e.Now() != 5 {
+		t.Fatalf("clock %v, want 5", e.Now())
+	}
+	e.Run()
+	if count != 10 {
+		t.Fatalf("fired %d events total, want 10", count)
+	}
+}
+
+func TestEngineRunUntilAdvancesIdleClock(t *testing.T) {
+	e := NewEngine()
+	e.RunUntil(42)
+	if e.Now() != 42 {
+		t.Fatalf("clock %v, want 42", e.Now())
+	}
+}
+
+func TestEnginePastSchedulingPanics(t *testing.T) {
+	e := NewEngine()
+	e.At(5, func() {
+		defer func() {
+			if recover() == nil {
+				t.Error("scheduling into the past did not panic")
+			}
+		}()
+		e.At(1, func() {})
+	})
+	e.Run()
+}
+
+func TestEngineStop(t *testing.T) {
+	e := NewEngine()
+	count := 0
+	for i := 1; i <= 10; i++ {
+		e.At(Time(i), func() {
+			count++
+			if count == 3 {
+				e.Stop()
+			}
+		})
+	}
+	e.Run()
+	if count != 3 {
+		t.Fatalf("fired %d events, want 3 after Stop", count)
+	}
+}
+
+func TestEngineStep(t *testing.T) {
+	e := NewEngine()
+	count := 0
+	e.At(1, func() { count++ })
+	e.At(2, func() { count++ })
+	if !e.Step() || count != 1 {
+		t.Fatalf("first Step: count=%d", count)
+	}
+	if !e.Step() || count != 2 {
+		t.Fatalf("second Step: count=%d", count)
+	}
+	if e.Step() {
+		t.Fatal("Step on empty engine returned true")
+	}
+}
+
+// Property: for any set of delays, events fire in sorted order and the
+// final clock equals the max delay.
+func TestEngineOrderProperty(t *testing.T) {
+	f := func(raw []uint16) bool {
+		if len(raw) == 0 {
+			return true
+		}
+		e := NewEngine()
+		var fired []Time
+		var max Time
+		for _, r := range raw {
+			at := Time(r) / 8
+			if at > max {
+				max = at
+			}
+			e.At(at, func() { fired = append(fired, at) })
+		}
+		e.Run()
+		if len(fired) != len(raw) || e.Now() != max {
+			return false
+		}
+		return sort.SliceIsSorted(fired, func(i, j int) bool { return fired[i] < fired[j] })
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200, Rand: rand.New(rand.NewSource(1))}); err != nil {
+		t.Fatal(err)
+	}
+}

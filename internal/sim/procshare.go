@@ -1,0 +1,220 @@
+package sim
+
+import (
+	"container/heap"
+	"fmt"
+)
+
+// ProcShare models an N-core processor shared by single-threaded tasks
+// (egalitarian processor sharing): with m active tasks each runs at
+// speed*min(1, N/m). It is the CPU model for web request processing,
+// MapReduce containers and benchmark threads.
+//
+// The implementation uses virtual time: v(t) advances at the common
+// per-task rate, each task completes when v reaches its submission v plus
+// its work, so arrivals and departures cost O(log m) instead of O(m).
+type ProcShare struct {
+	eng   *Engine
+	cores float64 // effective parallel capacity (cores × HT factor)
+	speed float64 // work units per second per core at full speed
+
+	v        float64 // virtual work served per task so far
+	lastT    Time    // when v was last advanced
+	tasks    psHeap
+	nextDone *Event
+
+	// OnActiveChange, when set, is called whenever the number of active
+	// tasks changes (after the change); used for utilization/power tracking.
+	OnActiveChange func(active int)
+
+	busyIntegral *psBusyIntegral
+}
+
+// psBusyIntegral tracks ∫ busyCores dt for utilization accounting.
+type psBusyIntegral struct {
+	lastT Time
+	cur   float64
+	area  float64
+}
+
+// PSTask is a task submitted to a ProcShare.
+type PSTask struct {
+	key    float64 // v at which this task completes
+	index  int
+	done   func()
+	work   float64
+	cancel bool
+}
+
+type psHeap []*PSTask
+
+func (h psHeap) Len() int           { return len(h) }
+func (h psHeap) Less(i, j int) bool { return h[i].key < h[j].key }
+func (h psHeap) Swap(i, j int)      { h[i], h[j] = h[j], h[i]; h[i].index = i; h[j].index = j }
+func (h *psHeap) Push(x any)        { t := x.(*PSTask); t.index = len(*h); *h = append(*h, t) }
+func (h *psHeap) Pop() any {
+	old := *h
+	n := len(old)
+	t := old[n-1]
+	old[n-1] = nil
+	t.index = -1
+	*h = old[:n-1]
+	return t
+}
+
+// NewProcShare returns a processor with the given effective core count and
+// per-core speed (work units per second).
+func NewProcShare(eng *Engine, cores, speedPerCore float64) *ProcShare {
+	if cores <= 0 || speedPerCore <= 0 {
+		panic("sim: ProcShare needs positive cores and speed")
+	}
+	return &ProcShare{
+		eng:          eng,
+		cores:        cores,
+		speed:        speedPerCore,
+		lastT:        eng.Now(),
+		busyIntegral: &psBusyIntegral{lastT: eng.Now()},
+	}
+}
+
+// rate reports the current per-task service rate in work units per second.
+func (p *ProcShare) rate() float64 {
+	m := float64(len(p.tasks))
+	if m == 0 {
+		return 0
+	}
+	if m <= p.cores {
+		return p.speed
+	}
+	return p.speed * p.cores / m
+}
+
+// busyCores reports how many cores are busy right now.
+func (p *ProcShare) busyCores() float64 {
+	m := float64(len(p.tasks))
+	if m > p.cores {
+		return p.cores
+	}
+	return m
+}
+
+// advance brings virtual time and the busy integral up to now.
+func (p *ProcShare) advance() {
+	now := p.eng.Now()
+	dt := float64(now - p.lastT)
+	if dt > 0 {
+		p.v += dt * p.rate()
+		p.lastT = now
+	}
+	bi := p.busyIntegral
+	bdt := float64(now - bi.lastT)
+	if bdt > 0 {
+		bi.area += bi.cur * bdt
+		bi.lastT = now
+	}
+	bi.cur = p.busyCores()
+}
+
+// Submit adds a task needing the given amount of work; done runs at
+// completion. Zero-work tasks complete via a zero-delay event.
+func (p *ProcShare) Submit(work float64, done func()) *PSTask {
+	if work < 0 {
+		panic(fmt.Sprintf("sim: negative work %g", work))
+	}
+	p.advance()
+	t := &PSTask{key: p.v + work, done: done, work: work}
+	heap.Push(&p.tasks, t)
+	p.busyIntegral.cur = p.busyCores()
+	p.reschedule()
+	if p.OnActiveChange != nil {
+		p.OnActiveChange(len(p.tasks))
+	}
+	return t
+}
+
+// CancelTask removes a task before completion. Cancelling a finished task
+// is a no-op.
+func (p *ProcShare) CancelTask(t *PSTask) {
+	if t.index < 0 || t.cancel {
+		return
+	}
+	t.cancel = true
+	p.advance()
+	heap.Remove(&p.tasks, t.index)
+	p.busyIntegral.cur = p.busyCores()
+	p.reschedule()
+	if p.OnActiveChange != nil {
+		p.OnActiveChange(len(p.tasks))
+	}
+}
+
+// veps is the virtual-time comparison tolerance. It must be RELATIVE to the
+// accumulated virtual work: with an absolute epsilon, a long-running
+// processor (v ≫ 1) can reach a state where the head task's remaining work
+// is positive but the implied delay underflows the simulation clock's
+// float64 resolution, livelocking the engine at a single instant.
+func (p *ProcShare) veps() float64 {
+	v := p.v
+	if v < 0 {
+		v = -v
+	}
+	return 1e-9 * (v + 1)
+}
+
+// reschedule re-arms the next-completion event for the current head task.
+func (p *ProcShare) reschedule() {
+	if p.nextDone != nil {
+		p.nextDone.Cancel()
+		p.nextDone = nil
+	}
+	if len(p.tasks) == 0 {
+		return
+	}
+	head := p.tasks[0]
+	remaining := head.key - p.v
+	if remaining < 0 {
+		remaining = 0
+	}
+	r := p.rate()
+	dt := remaining / r
+	p.nextDone = p.eng.After(dt, p.complete)
+}
+
+// complete pops every task whose virtual finish time has been reached.
+func (p *ProcShare) complete() {
+	p.nextDone = nil
+	p.advance()
+	eps := p.veps()
+	var finished []*PSTask
+	for len(p.tasks) > 0 && p.tasks[0].key <= p.v+eps {
+		finished = append(finished, heap.Pop(&p.tasks).(*PSTask))
+	}
+	p.busyIntegral.cur = p.busyCores()
+	p.reschedule()
+	if p.OnActiveChange != nil && len(finished) > 0 {
+		p.OnActiveChange(len(p.tasks))
+	}
+	for _, t := range finished {
+		if t.done != nil {
+			t.done()
+		}
+	}
+}
+
+// Active reports the number of in-flight tasks.
+func (p *ProcShare) Active() int { return len(p.tasks) }
+
+// Cores reports the effective core capacity.
+func (p *ProcShare) Cores() float64 { return p.cores }
+
+// Speed reports the per-core speed in work units per second.
+func (p *ProcShare) Speed() float64 { return p.speed }
+
+// Utilization reports busy cores / total cores at this instant.
+func (p *ProcShare) Utilization() float64 { return p.busyCores() / p.cores }
+
+// BusyCoreSeconds reports ∫ busyCores dt up to the current engine time.
+func (p *ProcShare) BusyCoreSeconds() float64 {
+	bi := p.busyIntegral
+	return bi.area + bi.cur*float64(p.eng.Now()-bi.lastT)
+}

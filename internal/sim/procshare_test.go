@@ -1,0 +1,190 @@
+package sim
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func almost(a, b, tol float64) bool { return math.Abs(a-b) <= tol }
+
+func TestProcShareSingleTask(t *testing.T) {
+	e := NewEngine()
+	p := NewProcShare(e, 2, 100) // 2 cores, 100 work/s each
+	var doneAt Time
+	p.Submit(100, func() { doneAt = e.Now() })
+	e.Run()
+	if !almost(float64(doneAt), 1.0, 1e-9) {
+		t.Fatalf("single task done at %v, want 1.0", doneAt)
+	}
+}
+
+func TestProcShareParallelTasksWithinCores(t *testing.T) {
+	e := NewEngine()
+	p := NewProcShare(e, 2, 100)
+	var times []Time
+	p.Submit(100, func() { times = append(times, e.Now()) })
+	p.Submit(100, func() { times = append(times, e.Now()) })
+	e.Run()
+	// Two tasks, two cores: both finish at t=1, no slowdown.
+	for _, at := range times {
+		if !almost(float64(at), 1.0, 1e-9) {
+			t.Fatalf("parallel task done at %v, want 1.0", at)
+		}
+	}
+}
+
+func TestProcShareContention(t *testing.T) {
+	e := NewEngine()
+	p := NewProcShare(e, 1, 100)
+	var times []Time
+	for i := 0; i < 2; i++ {
+		p.Submit(100, func() { times = append(times, e.Now()) })
+	}
+	e.Run()
+	// Two equal tasks on one core under PS: both finish at t=2.
+	for _, at := range times {
+		if !almost(float64(at), 2.0, 1e-9) {
+			t.Fatalf("contended task done at %v, want 2.0", at)
+		}
+	}
+}
+
+func TestProcShareLateArrival(t *testing.T) {
+	e := NewEngine()
+	p := NewProcShare(e, 1, 100)
+	var firstDone, secondDone Time
+	p.Submit(100, func() { firstDone = e.Now() })
+	e.At(0.5, func() {
+		p.Submit(100, func() { secondDone = e.Now() })
+	})
+	e.Run()
+	// Task 1 runs alone for 0.5s (50 done), then shares: remaining 50 at
+	// rate 50 → finishes at 1.5. Task 2: 50 done by t=1.5, then alone:
+	// remaining 50 at rate 100 → finishes at 2.0.
+	if !almost(float64(firstDone), 1.5, 1e-9) {
+		t.Fatalf("first done at %v, want 1.5", firstDone)
+	}
+	if !almost(float64(secondDone), 2.0, 1e-9) {
+		t.Fatalf("second done at %v, want 2.0", secondDone)
+	}
+}
+
+func TestProcShareZeroWork(t *testing.T) {
+	e := NewEngine()
+	p := NewProcShare(e, 1, 100)
+	done := false
+	p.Submit(0, func() { done = true })
+	e.Run()
+	if !done {
+		t.Fatal("zero-work task never completed")
+	}
+}
+
+func TestProcShareCancel(t *testing.T) {
+	e := NewEngine()
+	p := NewProcShare(e, 1, 100)
+	var aDone Time
+	a := p.Submit(100, func() { t.Fatal("cancelled task completed") })
+	p.Submit(100, func() { aDone = e.Now() })
+	e.At(0.5, func() { p.CancelTask(a) })
+	e.Run()
+	// Survivor: 25 work done by 0.5 (shared), remaining 75 alone → 1.25.
+	if !almost(float64(aDone), 1.25, 1e-9) {
+		t.Fatalf("survivor done at %v, want 1.25", aDone)
+	}
+}
+
+func TestProcShareUtilizationAndBusySeconds(t *testing.T) {
+	e := NewEngine()
+	p := NewProcShare(e, 4, 100)
+	p.Submit(100, nil)
+	p.Submit(100, nil)
+	if got := p.Utilization(); !almost(got, 0.5, 1e-12) {
+		t.Fatalf("utilization %g, want 0.5", got)
+	}
+	e.Run()
+	// 2 tasks × 1s on separate cores → 2 busy-core-seconds.
+	if got := p.BusyCoreSeconds(); !almost(got, 2.0, 1e-9) {
+		t.Fatalf("busy core seconds %g, want 2", got)
+	}
+}
+
+func TestProcShareActiveChangeCallback(t *testing.T) {
+	e := NewEngine()
+	p := NewProcShare(e, 1, 100)
+	var transitions []int
+	p.OnActiveChange = func(n int) { transitions = append(transitions, n) }
+	p.Submit(50, nil)
+	p.Submit(50, nil)
+	e.Run()
+	want := []int{1, 2, 0} // both finish simultaneously under PS
+	if len(transitions) != len(want) {
+		t.Fatalf("transitions %v, want %v", transitions, want)
+	}
+	for i := range want {
+		if transitions[i] != want[i] {
+			t.Fatalf("transitions %v, want %v", transitions, want)
+		}
+	}
+}
+
+// Property: total completion time of n equal tasks on one core equals
+// n × (work/speed), and conservation holds: busy-core-seconds equals total
+// work / speed for any workload that fits within core count.
+func TestProcShareConservationProperty(t *testing.T) {
+	f := func(works []uint8) bool {
+		if len(works) == 0 {
+			return true
+		}
+		e := NewEngine()
+		p := NewProcShare(e, 3, 50)
+		var total float64
+		for _, w := range works {
+			work := float64(w%100) + 1
+			total += work
+			p.Submit(work, nil)
+		}
+		e.Run()
+		// Work conservation: integrated busy-core-seconds × speed == total work.
+		return almost(p.BusyCoreSeconds()*50, total, 1e-6*total+1e-6)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100, Rand: rand.New(rand.NewSource(2))}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: completions are ordered by submitted work when all tasks are
+// submitted at the same instant (PS preserves work ordering).
+func TestProcShareOrderingProperty(t *testing.T) {
+	f := func(works []uint8) bool {
+		if len(works) < 2 {
+			return true
+		}
+		e := NewEngine()
+		p := NewProcShare(e, 2, 10)
+		type rec struct {
+			work float64
+			at   Time
+		}
+		var recs []*rec
+		for _, w := range works {
+			r := &rec{work: float64(w) + 1}
+			recs = append(recs, r)
+			p.Submit(r.work, func() { r.at = e.Now() })
+		}
+		e.Run()
+		for i := range recs {
+			for j := range recs {
+				if recs[i].work < recs[j].work && recs[i].at > recs[j].at {
+					return false
+				}
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50, Rand: rand.New(rand.NewSource(3))}); err != nil {
+		t.Fatal(err)
+	}
+}

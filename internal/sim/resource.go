@@ -1,0 +1,102 @@
+package sim
+
+// Resource is a k-server FIFO resource: up to Capacity holders at once,
+// excess acquirers wait in arrival order. It models thread pools, accept
+// queues, disk queues and connection limits.
+type Resource struct {
+	eng      *Engine
+	capacity int
+	inUse    int
+	waiters  []*waiter
+	// MaxQueue, when > 0, bounds the waiting line; Acquire beyond it is
+	// rejected immediately (models a full accept queue / backlog).
+	MaxQueue int
+
+	peakInUse int
+	rejected  int64
+}
+
+type waiter struct {
+	fn       func()
+	canceled bool
+}
+
+// NewResource returns a resource with the given concurrent-holder capacity.
+func NewResource(eng *Engine, capacity int) *Resource {
+	if capacity <= 0 {
+		panic("sim: resource capacity must be positive")
+	}
+	return &Resource{eng: eng, capacity: capacity}
+}
+
+// Acquire requests one unit. When a unit is free the callback runs
+// immediately (synchronously); otherwise the caller queues. It returns true
+// if the request was admitted (immediately or queued), false if it was
+// rejected because the queue is full.
+func (r *Resource) Acquire(fn func()) bool {
+	if r.inUse < r.capacity {
+		r.inUse++
+		if r.inUse > r.peakInUse {
+			r.peakInUse = r.inUse
+		}
+		fn()
+		return true
+	}
+	if r.MaxQueue > 0 && len(r.waiters) >= r.MaxQueue {
+		r.rejected++
+		return false
+	}
+	r.waiters = append(r.waiters, &waiter{fn: fn})
+	return true
+}
+
+// TryAcquire takes a unit only if one is free, without queueing.
+func (r *Resource) TryAcquire() bool {
+	if r.inUse < r.capacity {
+		r.inUse++
+		if r.inUse > r.peakInUse {
+			r.peakInUse = r.inUse
+		}
+		return true
+	}
+	return false
+}
+
+// Release returns one unit and hands it to the oldest live waiter, if any.
+// The waiter's callback runs synchronously.
+func (r *Resource) Release() {
+	if r.inUse <= 0 {
+		panic("sim: release of idle resource")
+	}
+	r.inUse--
+	for len(r.waiters) > 0 {
+		w := r.waiters[0]
+		r.waiters = r.waiters[1:]
+		if w.canceled {
+			continue
+		}
+		r.inUse++
+		w.fn()
+		return
+	}
+}
+
+// InUse reports the current number of holders.
+func (r *Resource) InUse() int { return r.inUse }
+
+// Capacity reports the configured capacity.
+func (r *Resource) Capacity() int { return r.capacity }
+
+// QueueLen reports the number of waiting acquirers.
+func (r *Resource) QueueLen() int { return len(r.waiters) }
+
+// PeakInUse reports the high-water mark of concurrent holders.
+func (r *Resource) PeakInUse() int { return r.peakInUse }
+
+// Rejected reports how many Acquire calls were refused by MaxQueue.
+func (r *Resource) Rejected() int64 { return r.rejected }
+
+// Utilization reports inUse/capacity at this instant.
+func (r *Resource) Utilization() float64 {
+	return float64(r.inUse) / float64(r.capacity)
+}

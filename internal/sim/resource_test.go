@@ -1,0 +1,99 @@
+package sim
+
+import "testing"
+
+func TestResourceImmediateGrant(t *testing.T) {
+	e := NewEngine()
+	r := NewResource(e, 2)
+	granted := 0
+	r.Acquire(func() { granted++ })
+	r.Acquire(func() { granted++ })
+	if granted != 2 || r.InUse() != 2 {
+		t.Fatalf("granted=%d inUse=%d, want 2,2", granted, r.InUse())
+	}
+}
+
+func TestResourceFIFOQueueing(t *testing.T) {
+	e := NewEngine()
+	r := NewResource(e, 1)
+	var order []int
+	r.Acquire(func() { order = append(order, 0) })
+	for i := 1; i <= 3; i++ {
+		i := i
+		r.Acquire(func() { order = append(order, i) })
+	}
+	if r.QueueLen() != 3 {
+		t.Fatalf("queue len %d, want 3", r.QueueLen())
+	}
+	for i := 0; i < 3; i++ {
+		r.Release()
+	}
+	want := []int{0, 1, 2, 3}
+	for i := range want {
+		if order[i] != want[i] {
+			t.Fatalf("service order %v, want %v", order, want)
+		}
+	}
+}
+
+func TestResourceMaxQueueRejects(t *testing.T) {
+	e := NewEngine()
+	r := NewResource(e, 1)
+	r.MaxQueue = 2
+	r.Acquire(func() {})
+	if !r.Acquire(func() {}) || !r.Acquire(func() {}) {
+		t.Fatal("queueing within MaxQueue rejected")
+	}
+	if r.Acquire(func() {}) {
+		t.Fatal("acquire beyond MaxQueue admitted")
+	}
+	if r.Rejected() != 1 {
+		t.Fatalf("rejected=%d, want 1", r.Rejected())
+	}
+}
+
+func TestResourceTryAcquire(t *testing.T) {
+	e := NewEngine()
+	r := NewResource(e, 1)
+	if !r.TryAcquire() {
+		t.Fatal("TryAcquire on free resource failed")
+	}
+	if r.TryAcquire() {
+		t.Fatal("TryAcquire on busy resource succeeded")
+	}
+	r.Release()
+	if !r.TryAcquire() {
+		t.Fatal("TryAcquire after release failed")
+	}
+}
+
+func TestResourceReleaseIdlePanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("release of idle resource did not panic")
+		}
+	}()
+	e := NewEngine()
+	NewResource(e, 1).Release()
+}
+
+func TestResourcePeakInUse(t *testing.T) {
+	e := NewEngine()
+	r := NewResource(e, 3)
+	r.Acquire(func() {})
+	r.Acquire(func() {})
+	r.Release()
+	r.Release()
+	if r.PeakInUse() != 2 {
+		t.Fatalf("peak %d, want 2", r.PeakInUse())
+	}
+}
+
+func TestResourceUtilization(t *testing.T) {
+	e := NewEngine()
+	r := NewResource(e, 4)
+	r.Acquire(func() {})
+	if got := r.Utilization(); got != 0.25 {
+		t.Fatalf("utilization %g, want 0.25", got)
+	}
+}

@@ -1,0 +1,126 @@
+package stats
+
+import "fmt"
+
+// Point is one (time, value) sample of a time series.
+type Point struct {
+	T float64 // simulation time, seconds
+	V float64
+}
+
+// TimeSeries records (time, value) samples, e.g. cluster power or CPU
+// utilization over a job's lifetime (Figures 12–17).
+type TimeSeries struct {
+	Name   string
+	points []Point
+}
+
+// NewTimeSeries returns an empty named series.
+func NewTimeSeries(name string) *TimeSeries { return &TimeSeries{Name: name} }
+
+// Add appends a sample. Samples must be added in non-decreasing time order;
+// out-of-order samples panic to surface simulator bugs immediately.
+func (ts *TimeSeries) Add(t, v float64) {
+	if n := len(ts.points); n > 0 && t < ts.points[n-1].T {
+		panic(fmt.Sprintf("stats: out-of-order sample on %q: %g after %g", ts.Name, t, ts.points[n-1].T))
+	}
+	ts.points = append(ts.points, Point{T: t, V: v})
+}
+
+// Len reports the number of samples.
+func (ts *TimeSeries) Len() int { return len(ts.points) }
+
+// Points returns the underlying samples. The caller must not mutate them.
+func (ts *TimeSeries) Points() []Point { return ts.points }
+
+// At returns the value of the most recent sample at or before t
+// (step interpolation); zero before the first sample.
+func (ts *TimeSeries) At(t float64) float64 {
+	v := 0.0
+	for _, p := range ts.points {
+		if p.T > t {
+			break
+		}
+		v = p.V
+	}
+	return v
+}
+
+// Max reports the largest sampled value (0 when empty).
+func (ts *TimeSeries) Max() float64 {
+	m := 0.0
+	for i, p := range ts.points {
+		if i == 0 || p.V > m {
+			m = p.V
+		}
+	}
+	return m
+}
+
+// Mean reports the time-weighted mean value over the sampled span, treating
+// the series as a step function. Empty or single-sample series return the
+// last value.
+func (ts *TimeSeries) Mean() float64 {
+	n := len(ts.points)
+	if n == 0 {
+		return 0
+	}
+	if n == 1 {
+		return ts.points[0].V
+	}
+	var area, span float64
+	for i := 1; i < n; i++ {
+		dt := ts.points[i].T - ts.points[i-1].T
+		area += ts.points[i-1].V * dt
+		span += dt
+	}
+	if span == 0 {
+		return ts.points[n-1].V
+	}
+	return area / span
+}
+
+// Integrator accumulates the time integral of a step function, e.g. busy-core
+// seconds or joules. Changes are applied with Set; Total(t) closes the
+// current segment at time t.
+type Integrator struct {
+	lastT   float64
+	current float64
+	area    float64
+	started bool
+}
+
+// NewIntegrator returns an integrator starting at time t0 with value v0.
+func NewIntegrator(t0, v0 float64) *Integrator {
+	return &Integrator{lastT: t0, current: v0, started: true}
+}
+
+// Set updates the integrand value at time t, accumulating the area of the
+// segment that just ended. Time must not go backwards.
+func (in *Integrator) Set(t, v float64) {
+	if !in.started {
+		in.lastT, in.current, in.started = t, v, true
+		return
+	}
+	if t < in.lastT {
+		panic(fmt.Sprintf("stats: integrator time went backwards: %g < %g", t, in.lastT))
+	}
+	in.area += in.current * (t - in.lastT)
+	in.lastT = t
+	in.current = v
+}
+
+// Value reports the current integrand value.
+func (in *Integrator) Value() float64 { return in.current }
+
+// Total reports the accumulated integral up to time t (which must be at or
+// after the last Set).
+func (in *Integrator) Total(t float64) float64 {
+	if !in.started {
+		return 0
+	}
+	if t < in.lastT {
+		panic(fmt.Sprintf("stats: integrator total before last set: %g < %g", t, in.lastT))
+	}
+	return in.area + in.current*(t-in.lastT)
+}

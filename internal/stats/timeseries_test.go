@@ -1,0 +1,72 @@
+package stats
+
+import "testing"
+
+func TestTimeSeriesAddAndAt(t *testing.T) {
+	ts := NewTimeSeries("x")
+	ts.Add(0, 1)
+	ts.Add(1, 2)
+	ts.Add(2, 3)
+	if ts.Len() != 3 {
+		t.Fatalf("len %d", ts.Len())
+	}
+	if ts.At(0.5) != 1 || ts.At(1) != 2 || ts.At(10) != 3 {
+		t.Fatal("step interpolation wrong")
+	}
+	if ts.At(-1) != 0 {
+		t.Fatal("value before first sample should be 0")
+	}
+	if ts.Max() != 3 {
+		t.Fatalf("max %g", ts.Max())
+	}
+}
+
+func TestTimeSeriesOutOfOrderPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("out-of-order Add did not panic")
+		}
+	}()
+	ts := NewTimeSeries("x")
+	ts.Add(2, 1)
+	ts.Add(1, 1)
+}
+
+func TestTimeSeriesTimeWeightedMean(t *testing.T) {
+	ts := NewTimeSeries("x")
+	ts.Add(0, 10) // 10 for 1s
+	ts.Add(1, 0)  // 0 for 3s
+	ts.Add(4, 99) // terminal sample, no duration
+	if got := ts.Mean(); !almost(got, 2.5, 1e-12) {
+		t.Fatalf("time-weighted mean %g, want 2.5", got)
+	}
+}
+
+func TestIntegratorPiecewise(t *testing.T) {
+	in := NewIntegrator(0, 2) // value 2 from t=0
+	in.Set(3, 5)              // 2*3=6 accumulated; value 5 from t=3
+	in.Set(5, 0)              // +5*2=10 → 16
+	if got := in.Total(10); !almost(got, 16, 1e-12) {
+		t.Fatalf("integral %g, want 16", got)
+	}
+	if in.Value() != 0 {
+		t.Fatalf("value %g, want 0", in.Value())
+	}
+}
+
+func TestIntegratorBackwardsPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("backwards Set did not panic")
+		}
+	}()
+	in := NewIntegrator(5, 1)
+	in.Set(4, 1)
+}
+
+func TestIntegratorTotalAtCurrentTime(t *testing.T) {
+	in := NewIntegrator(0, 3)
+	if got := in.Total(2); !almost(got, 6, 1e-12) {
+		t.Fatalf("total %g, want 6", got)
+	}
+}

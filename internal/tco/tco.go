@@ -1,0 +1,124 @@
+// Package tco implements the paper's total-cost-of-ownership model
+// (Section 6): equipment cost plus electricity over a server lifetime,
+// C = Cs + Ts·Ceph·(U·Pp + (1−U)·Pi), with the Table 9 constants and the
+// Table 10 scenarios.
+package tco
+
+import (
+	"edisim/internal/hw"
+	"edisim/internal/units"
+)
+
+// Inputs is the parameter set of Equation (1) for one cluster.
+type Inputs struct {
+	Servers     int
+	CostPerUnit float64     // Cs per server, USD
+	Peak        units.Watts // Pp per server
+	Idle        units.Watts // Pi per server
+	Utilization float64     // U in [0,1]
+	LifeYears   float64     // Ts
+	PricePerKWh float64     // Ceph
+}
+
+// Defaults from Table 9.
+const (
+	EdisonUnitCost = 120.0  // device+breakout 68 + adapter 15 + SD/board 27 + switch share 10
+	DellUnitCost   = 2500.0 // §3.1
+	PricePerKWh    = 0.10   // US average
+	LifeYears      = 3.0
+)
+
+// Result is the cost breakdown in USD.
+type Result struct {
+	Equipment   float64
+	Electricity float64
+}
+
+// Total reports equipment plus electricity.
+func (r Result) Total() float64 { return r.Equipment + r.Electricity }
+
+// Compute evaluates Equation (1).
+func Compute(in Inputs) Result {
+	if in.Utilization < 0 || in.Utilization > 1 {
+		panic("tco: utilization must be within [0,1]")
+	}
+	hours := in.LifeYears * 365 * 24
+	meanWatts := in.Utilization*float64(in.Peak) + (1-in.Utilization)*float64(in.Idle)
+	kwh := meanWatts / 1000 * hours * float64(in.Servers)
+	return Result{
+		Equipment:   float64(in.Servers) * in.CostPerUnit,
+		Electricity: kwh * in.PricePerKWh,
+	}
+}
+
+// EdisonInputs builds Inputs for n Edison nodes at utilization u, using the
+// measured per-node power with Ethernet adapter (Table 3).
+func EdisonInputs(n int, u float64) Inputs {
+	p := hw.EdisonSpec().Power
+	return Inputs{
+		Servers:     n,
+		CostPerUnit: EdisonUnitCost,
+		Peak:        p.BusyDraw(),
+		Idle:        p.IdleDraw(),
+		Utilization: u,
+		LifeYears:   LifeYears,
+		PricePerKWh: PricePerKWh,
+	}
+}
+
+// DellInputs builds Inputs for n Dell servers at utilization u.
+func DellInputs(n int, u float64) Inputs {
+	p := hw.DellR620Spec().Power
+	return Inputs{
+		Servers:     n,
+		CostPerUnit: DellUnitCost,
+		Peak:        p.BusyDraw(),
+		Idle:        p.IdleDraw(),
+		Utilization: u,
+		LifeYears:   LifeYears,
+		PricePerKWh: PricePerKWh,
+	}
+}
+
+// Scenario is one Table 10 row.
+type Scenario struct {
+	Name         string
+	Dell, Edison Result
+}
+
+// Savings reports the fractional saving of the Edison cluster vs Dell.
+func (s Scenario) Savings() float64 {
+	if s.Dell.Total() == 0 {
+		return 0
+	}
+	return 1 - s.Edison.Total()/s.Dell.Total()
+}
+
+// Table10 reproduces the paper's four scenarios: web service compares
+// 35 Edisons to 3 Dells at U ∈ {10%, 75%}; big data compares 35 Edisons
+// (pinned at 100% utilization, since jobs run 1.35–4× longer) to 2 Dells
+// at U ∈ {25%, 74%}.
+func Table10() []Scenario {
+	return []Scenario{
+		{
+			Name:   "Web service, low utilization",
+			Dell:   Compute(DellInputs(3, 0.10)),
+			Edison: Compute(EdisonInputs(35, 0.10)),
+		},
+		{
+			Name:   "Web service, high utilization",
+			Dell:   Compute(DellInputs(3, 0.75)),
+			Edison: Compute(EdisonInputs(35, 0.75)),
+		},
+		{
+			Name:   "Big data, low utilization",
+			Dell:   Compute(DellInputs(2, 0.25)),
+			Edison: Compute(EdisonInputs(35, 1.0)),
+		},
+		{
+			Name:   "Big data, high utilization",
+			Dell:   Compute(DellInputs(2, 0.74)),
+			Edison: Compute(EdisonInputs(35, 1.0)),
+		},
+	}
+}

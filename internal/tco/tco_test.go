@@ -1,0 +1,89 @@
+package tco
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func almost(a, b, tol float64) bool { return math.Abs(a-b) <= tol }
+
+func TestTable10MatchesPaper(t *testing.T) {
+	paper := map[string][2]float64{
+		"Web service, low utilization":  {7948.7, 4329.5},
+		"Web service, high utilization": {8236.8, 4346.1},
+		"Big data, low utilization":     {5348.2, 4352.4},
+		"Big data, high utilization":    {5495.0, 4352.4},
+	}
+	for _, s := range Table10() {
+		p := paper[s.Name]
+		if !almost(s.Dell.Total(), p[0], p[0]*0.01) {
+			t.Errorf("%s: Dell %.1f, paper %.1f", s.Name, s.Dell.Total(), p[0])
+		}
+		if !almost(s.Edison.Total(), p[1], p[1]*0.01) {
+			t.Errorf("%s: Edison %.1f, paper %.1f", s.Name, s.Edison.Total(), p[1])
+		}
+	}
+}
+
+func TestSavingsUpTo47Percent(t *testing.T) {
+	best := 0.0
+	for _, s := range Table10() {
+		if s.Savings() > best {
+			best = s.Savings()
+		}
+	}
+	if best < 0.45 || best > 0.50 {
+		t.Fatalf("best savings %.0f%%, paper says up to 47%%", 100*best)
+	}
+}
+
+func TestEquipmentDominatesEdisonCost(t *testing.T) {
+	r := Compute(EdisonInputs(35, 1.0))
+	if r.Equipment != 35*EdisonUnitCost {
+		t.Fatalf("equipment %.0f", r.Equipment)
+	}
+	if r.Electricity > r.Equipment*0.1 {
+		t.Fatalf("Edison electricity %.1f should be tiny next to equipment %.0f",
+			r.Electricity, r.Equipment)
+	}
+}
+
+func TestUtilizationBoundsChecked(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("invalid utilization accepted")
+		}
+	}()
+	Compute(DellInputs(1, 1.5))
+}
+
+// Property: TCO is monotone in utilization (peak power > idle power).
+func TestTCOMonotoneInUtilization(t *testing.T) {
+	f := func(u1, u2 float64) bool {
+		u1 = math.Abs(math.Mod(u1, 1))
+		u2 = math.Abs(math.Mod(u2, 1))
+		if math.IsNaN(u1) || math.IsNaN(u2) {
+			return true
+		}
+		lo, hi := math.Min(u1, u2), math.Max(u1, u2)
+		return Compute(DellInputs(2, lo)).Total() <= Compute(DellInputs(2, hi)).Total()+1e-9
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200, Rand: rand.New(rand.NewSource(10))}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: cost scales linearly with server count.
+func TestTCOLinearInServers(t *testing.T) {
+	f := func(nRaw uint8) bool {
+		n := int(nRaw%20) + 1
+		one := Compute(EdisonInputs(1, 0.5)).Total()
+		many := Compute(EdisonInputs(n, 0.5)).Total()
+		return almost(many, float64(n)*one, 1e-6*many+1e-6)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50, Rand: rand.New(rand.NewSource(11))}); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,115 @@
+// Package units defines the physical quantities used throughout edisim:
+// data sizes, data rates, clock rates, power and energy. Keeping them as
+// distinct named types catches unit mix-ups at compile time and gives every
+// quantity a uniform, human-readable String form in reports.
+package units
+
+import "fmt"
+
+// Bytes is a data size in bytes.
+type Bytes int64
+
+// Common data sizes.
+const (
+	KB Bytes = 1 << 10
+	MB Bytes = 1 << 20
+	GB Bytes = 1 << 30
+	TB Bytes = 1 << 40
+)
+
+// String renders the size with a binary-prefix unit, e.g. "1.5MB".
+func (b Bytes) String() string {
+	switch {
+	case b >= TB:
+		return fmt.Sprintf("%.2fTB", float64(b)/float64(TB))
+	case b >= GB:
+		return fmt.Sprintf("%.2fGB", float64(b)/float64(GB))
+	case b >= MB:
+		return fmt.Sprintf("%.2fMB", float64(b)/float64(MB))
+	case b >= KB:
+		return fmt.Sprintf("%.2fKB", float64(b)/float64(KB))
+	}
+	return fmt.Sprintf("%dB", int64(b))
+}
+
+// BytesPerSec is a data rate in bytes per second.
+type BytesPerSec float64
+
+// Common data rates. Network rates follow the decimal convention used on
+// datasheets (100 Mbps = 1e8 bit/s), storage rates the binary one.
+const (
+	KBps BytesPerSec = 1 << 10
+	MBps BytesPerSec = 1 << 20
+	GBps BytesPerSec = 1 << 30
+)
+
+// Mbps converts a decimal megabit-per-second figure (as printed on a NIC
+// datasheet) to bytes per second.
+func Mbps(v float64) BytesPerSec { return BytesPerSec(v * 1e6 / 8) }
+
+// Gbps converts a decimal gigabit-per-second figure to bytes per second.
+func Gbps(v float64) BytesPerSec { return Mbps(v * 1000) }
+
+// String renders the rate in the most natural unit, e.g. "94.8Mbit/s".
+func (r BytesPerSec) String() string {
+	bits := float64(r) * 8
+	switch {
+	case bits >= 1e9:
+		return fmt.Sprintf("%.2fGbit/s", bits/1e9)
+	case bits >= 1e6:
+		return fmt.Sprintf("%.1fMbit/s", bits/1e6)
+	case bits >= 1e3:
+		return fmt.Sprintf("%.1fKbit/s", bits/1e3)
+	}
+	return fmt.Sprintf("%.0fbit/s", bits)
+}
+
+// Seconds reports how long transferring b bytes takes at rate r.
+// A non-positive rate yields +Inf-free, caller-friendly 0 only for b==0;
+// callers must not pass r<=0 for b>0 (guarded by panic to catch bugs early).
+func (r BytesPerSec) Seconds(b Bytes) float64 {
+	if b == 0 {
+		return 0
+	}
+	if r <= 0 {
+		panic("units: transfer over non-positive rate")
+	}
+	return float64(b) / float64(r)
+}
+
+// MHz is a clock rate in megahertz.
+type MHz float64
+
+// String renders the clock rate, e.g. "500MHz" or "2.0GHz".
+func (m MHz) String() string {
+	if m >= 1000 {
+		return fmt.Sprintf("%.1fGHz", float64(m)/1000)
+	}
+	return fmt.Sprintf("%.0fMHz", float64(m))
+}
+
+// Watts is instantaneous power draw.
+type Watts float64
+
+// String renders the power, e.g. "58.8W".
+func (w Watts) String() string { return fmt.Sprintf("%.2fW", float64(w)) }
+
+// Joules is accumulated energy.
+type Joules float64
+
+// String renders the energy, e.g. "17670J" or "43.4kJ".
+func (j Joules) String() string {
+	if j >= 10_000 {
+		return fmt.Sprintf("%.1fkJ", float64(j)/1000)
+	}
+	return fmt.Sprintf("%.1fJ", float64(j))
+}
+
+// KWh converts the energy to kilowatt-hours (for TCO electricity pricing).
+func (j Joules) KWh() float64 { return float64(j) / 3.6e6 }
+
+// DMIPS is Dhrystone MIPS, the paper's integer-CPU capacity unit (§4.1).
+type DMIPS float64
+
+// String renders the capacity, e.g. "632.3 DMIPS".
+func (d DMIPS) String() string { return fmt.Sprintf("%.1f DMIPS", float64(d)) }

@@ -1,0 +1,76 @@
+package units
+
+import (
+	"math"
+	"testing"
+)
+
+func TestBytesString(t *testing.T) {
+	cases := []struct {
+		in   Bytes
+		want string
+	}{
+		{512, "512B"},
+		{2 * KB, "2.00KB"},
+		{3 * MB, "3.00MB"},
+		{GB + GB/2, "1.50GB"},
+		{2 * TB, "2.00TB"},
+	}
+	for _, c := range cases {
+		if got := c.in.String(); got != c.want {
+			t.Errorf("%d.String() = %q, want %q", int64(c.in), got, c.want)
+		}
+	}
+}
+
+func TestMbpsConversion(t *testing.T) {
+	if got := float64(Mbps(100)); got != 100e6/8 {
+		t.Fatalf("Mbps(100) = %g bytes/s", got)
+	}
+	if got := float64(Gbps(1)); got != 1e9/8 {
+		t.Fatalf("Gbps(1) = %g bytes/s", got)
+	}
+}
+
+func TestRateSeconds(t *testing.T) {
+	r := Mbps(100) // 12.5 MB/s decimal
+	if got := r.Seconds(Bytes(12.5e6)); math.Abs(got-1.0) > 1e-12 {
+		t.Fatalf("transfer time %g, want 1.0", got)
+	}
+	if got := r.Seconds(0); got != 0 {
+		t.Fatalf("zero-byte transfer %g, want 0", got)
+	}
+}
+
+func TestRateSecondsPanicsOnZeroRate(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("no panic for zero rate")
+		}
+	}()
+	BytesPerSec(0).Seconds(1)
+}
+
+func TestRateString(t *testing.T) {
+	if got := Mbps(94.8).String(); got != "94.8Mbit/s" {
+		t.Fatalf("rate string %q", got)
+	}
+	if got := Gbps(1).String(); got != "1.00Gbit/s" {
+		t.Fatalf("rate string %q", got)
+	}
+}
+
+func TestMHzString(t *testing.T) {
+	if got := MHz(500).String(); got != "500MHz" {
+		t.Fatalf("%q", got)
+	}
+	if got := MHz(2000).String(); got != "2.0GHz" {
+		t.Fatalf("%q", got)
+	}
+}
+
+func TestJoulesKWh(t *testing.T) {
+	if got := Joules(3.6e6).KWh(); math.Abs(got-1) > 1e-12 {
+		t.Fatalf("3.6MJ = %g kWh, want 1", got)
+	}
+}

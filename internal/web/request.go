@@ -1,0 +1,106 @@
+package web
+
+import (
+	"edisim/internal/stats"
+	"edisim/internal/units"
+)
+
+// request drives one HTTP request through the stack:
+//
+//	client --req--> web [CPU: parse] --get--> cache [CPU] --value--> web
+//	                 (on miss: web --q--> DB [CPU+disk] --row--> web)
+//	web [CPU: assemble] --reply--> client
+//
+// done(ok) runs at the client when the reply (or the 500) fully arrives.
+// The web-server-side interval and the cache/DB sub-intervals feed the
+// Table 7 decomposition.
+func (d *Deployment) request(client string, w *WebServer, cfg RunConfig, done func(bool)) {
+	eng := d.Eng
+	p := d.Params
+	plat := w.platform()
+
+	d.Fab.Send(client, w.Node.ID, requestBytes, func() {
+		arrived := eng.Now()
+		admitted := w.admitRequest(func() {
+			// Pick the table and row the paper's PHP page would.
+			var table int
+			if d.rnd.table.Bool(cfg.ImageFrac) {
+				table = numPlainTables + d.rnd.table.Intn(numImageTables)
+			} else {
+				table = d.rnd.table.Intn(numPlainTables)
+			}
+			row := d.rnd.row.Intn(rowsPerTable)
+			k := key(table, row)
+			rowSize := units.Bytes(plainReplyBytes)
+			if table >= numPlainTables {
+				rowSize = units.Bytes(imageReplyBytes)
+			}
+
+			finish := func(size units.Bytes) {
+				// Assemble the page and push the reply to the client.
+				kb := float64(size) / 1024
+				work := p.WebReplyCPU[plat] + p.WebPerKBCPU[plat]*kb
+				w.Node.ComputeSeconds(work, func() {
+					d.recordWebTotal(float64(eng.Now() - arrived))
+					w.finishRequest(true)
+					d.Fab.Send(w.Node.ID, client, size+256, func() { done(true) })
+				})
+			}
+
+			// PHP prologue, then the memcached GET.
+			w.Node.ComputeSeconds(p.WebBaseCPU[plat], func() {
+				cache := d.cacheFor(k)
+				cacheStart := eng.Now()
+				d.Fab.Send(w.Node.ID, cache.Node.ID, rpcHeaderBytes, func() {
+					cache.Node.ComputeSeconds(p.CacheGetCPU[cache.Node.Spec.Name], func() {
+						size, hit := cache.lookup(k)
+						if hit {
+							d.Fab.Send(cache.Node.ID, w.Node.ID, size, func() {
+								// The client-side unmarshal is inside the
+								// timed $memcache->get() interval; at high
+								// web CPU it queues and the measured cache
+								// delay balloons (Table 7's right column).
+								w.Node.ComputeSeconds(p.CacheClientCPU[plat], func() {
+									d.recordCacheDelay(float64(eng.Now() - cacheStart))
+									finish(size)
+								})
+							})
+							return
+						}
+						// Miss: tiny negative response, then MySQL.
+						d.Fab.Send(cache.Node.ID, w.Node.ID, rpcHeaderBytes, func() {
+							d.recordCacheDelay(float64(eng.Now() - cacheStart))
+							db := d.DBs[d.rnd.db.Intn(len(d.DBs))]
+							dbStart := eng.Now()
+							d.Fab.Send(w.Node.ID, db.Node.ID, requestBytes, func() {
+								db.query(rowSize, func() {
+									d.Fab.Send(db.Node.ID, w.Node.ID, rowSize, func() {
+										w.Node.ComputeSeconds(p.CacheClientCPU[plat], func() {
+											d.recordDBDelay(float64(eng.Now() - dbStart))
+											finish(rowSize)
+										})
+									})
+								})
+							})
+						})
+					})
+				})
+			})
+		})
+		if !admitted {
+			// 500: a short error page, still delivered.
+			d.Fab.Send(w.Node.ID, client, 512, func() { done(false) })
+		}
+	})
+}
+
+// Table 7 decomposition accumulators. They live on the Deployment and are
+// harvested/reset by Run.
+func (d *Deployment) recordDBDelay(v float64)    { d.dbDelay.Add(v) }
+func (d *Deployment) recordCacheDelay(v float64) { d.cacheDelay.Add(v) }
+func (d *Deployment) recordWebTotal(v float64)   { d.webTotal.Add(v) }
+
+// decomposition state (reset per run).
+type decomposition struct {
+	dbDelay, cacheDelay, webTotal stats.Summary
+}

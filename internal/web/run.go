@@ -1,0 +1,340 @@
+package web
+
+import (
+	"fmt"
+
+	"edisim/internal/cluster"
+	"edisim/internal/hw"
+	"edisim/internal/netsim"
+	"edisim/internal/power"
+	"edisim/internal/rng"
+	"edisim/internal/sim"
+	"edisim/internal/stats"
+	"edisim/internal/units"
+)
+
+// Dataset geometry (§5.1.1): 15 tables, 11 plain and 4 with image blobs.
+const (
+	numPlainTables = 11
+	numImageTables = 4
+	rowsPerTable   = 2000
+)
+
+// Deployment is one cluster configured as the paper's middle tier: web
+// servers plus cache servers from a single platform, with the shared Dell
+// database tier and the client machines.
+type Deployment struct {
+	Eng    *sim.Engine
+	Fab    *netsim.Fabric
+	Params Params
+
+	Web     []*WebServer
+	Cache   []*CacheServer
+	DBs     []*DBServer
+	Clients []string
+
+	meter *power.Meter
+
+	rnd struct {
+		arrival, table, row, db *rng.Source
+	}
+
+	// loadFactor scales admission intervals with the mean reply size of
+	// the current run (threads and ports are held for transfer durations).
+	loadFactor float64
+
+	decomposition
+}
+
+// Platform selects which cluster serves the middle tier.
+type Platform int
+
+// Middle-tier platforms.
+const (
+	Edison Platform = iota
+	Dell
+)
+
+// String names the platform.
+func (p Platform) String() string {
+	if p == Edison {
+		return "Edison"
+	}
+	return "Dell"
+}
+
+// NewDeployment builds a middle tier of nWeb web servers and nCache cache
+// servers on the chosen platform of testbed tb. The paper's splits are in
+// cluster.Table6.
+func NewDeployment(tb *cluster.Testbed, p Platform, nWeb, nCache int, seed int64) *Deployment {
+	pool := tb.Edison
+	if p == Dell {
+		pool = tb.Dell
+	}
+	if nWeb+nCache > len(pool) {
+		panic(fmt.Sprintf("web: need %d nodes, testbed has %d", nWeb+nCache, len(pool)))
+	}
+	if len(tb.DB) == 0 || len(tb.Clients) == 0 {
+		panic("web: testbed needs DB servers and clients")
+	}
+	d := &Deployment{Eng: tb.Eng, Fab: tb.Fab, Params: DefaultParams(), Clients: tb.Clients, loadFactor: 1}
+	for _, n := range pool[:nWeb] {
+		d.Web = append(d.Web, newWebServer(d, n))
+	}
+	for _, n := range pool[nWeb : nWeb+nCache] {
+		d.Cache = append(d.Cache, newCacheServer(d, n))
+	}
+	for _, n := range tb.DB {
+		d.DBs = append(d.DBs, newDBServer(d, n))
+	}
+	d.meter = power.NewMeter(p.String()+"-cluster", pool[:nWeb+nCache])
+	root := rng.New(seed)
+	d.rnd.arrival = root.Derive("web/arrival")
+	d.rnd.table = root.Derive("web/table")
+	d.rnd.row = root.Derive("web/row")
+	d.rnd.db = root.Derive("web/db")
+	return d
+}
+
+// Warm preloads the cache tier so that a hitRatio fraction of uniformly
+// drawn rows are resident, emulating the paper's warm-up stage. (Misses
+// during the test stage do not insert, as in the paper, so the ratio stays
+// fixed.)
+func (d *Deployment) Warm(hitRatio float64) {
+	resident := int(hitRatio * rowsPerTable)
+	for t := 0; t < numPlainTables+numImageTables; t++ {
+		size := units.Bytes(plainReplyBytes)
+		if t >= numPlainTables {
+			size = units.Bytes(imageReplyBytes)
+		}
+		for r := 0; r < resident; r++ {
+			k := key(t, r)
+			d.cacheFor(k).Set(k, size)
+		}
+	}
+}
+
+// RunConfig drives one httperf measurement (one x-axis point of Figs 4–9).
+type RunConfig struct {
+	Concurrency  float64 // new TCP connections per second (the x axis)
+	CallsPerConn int     // requests per connection (paper tunes this; 8 here)
+	ImageFrac    float64 // probability a request hits an image table
+	CacheHit     float64 // warmed cache hit ratio
+	Duration     float64 // generation time in simulated seconds
+	WarmupFrac   float64 // fraction of Duration excluded from measurement
+}
+
+// withDefaults fills unset fields with the values used across the paper
+// reproduction.
+func (c RunConfig) withDefaults() RunConfig {
+	if c.CallsPerConn == 0 {
+		c.CallsPerConn = 8
+	}
+	if c.Duration == 0 {
+		c.Duration = 30
+	}
+	if c.WarmupFrac == 0 {
+		c.WarmupFrac = 0.25
+	}
+	if c.CacheHit == 0 {
+		c.CacheHit = 0.93
+	}
+	return c
+}
+
+// Result is the outcome of one run.
+type Result struct {
+	Config RunConfig
+
+	Throughput float64 // successful replies per second in the window
+	MeanDelay  float64 // mean per-request response time (httperf view)
+	Delays     *stats.Sample
+	ConnDelays *stats.Sample // per-connection first-byte delays incl. SYN retries
+
+	Errors500    int64
+	ConnFailures int64
+	ErrorRate    float64 // errored operations / attempted operations
+
+	MeanPower units.Watts // cluster draw averaged over the window
+	Energy    units.Joules
+
+	// Table 7 decomposition, measured on the web servers.
+	DBDelay, CacheDelay, WebTotal stats.Summary
+
+	WebCPU, CacheCPU float64 // mean utilization over the window
+	HitRatio         float64
+}
+
+// Run executes one measurement on a fresh traffic epoch. The deployment's
+// caches must already be warmed.
+func (d *Deployment) Run(cfg RunConfig) Result {
+	cfg = cfg.withDefaults()
+	eng := d.Eng
+	d.loadFactor = 1 + d.Params.TransferPenaltyPerKB*AvgReplyBytes(cfg.ImageFrac)/1024
+
+	res := Result{Config: cfg, Delays: &stats.Sample{}, ConnDelays: &stats.Sample{}}
+	winStart := eng.Now() + sim.Time(cfg.Duration*cfg.WarmupFrac)
+	winEnd := eng.Now() + sim.Time(cfg.Duration)
+	inWindow := func() bool { return eng.Now() >= winStart && eng.Now() <= winEnd }
+
+	var served, errored, attempts int64
+
+	// Window power accounting.
+	var winEnergy float64
+	eng.At(winStart, func() { d.meter.Reset() })
+	webUtil := stats.NewIntegrator(float64(winStart), 0)
+	cacheUtil := stats.NewIntegrator(float64(winStart), 0)
+	eng.At(winEnd, func() {
+		winEnergy = float64(d.meter.Energy())
+	})
+	// Sample utilizations through the window for the §5.1.2 CPU numbers.
+	var sampleUtil func()
+	sampleUtil = func() {
+		if eng.Now() > winEnd {
+			return
+		}
+		if eng.Now() >= winStart {
+			webUtil.Set(float64(eng.Now()), meanUtil(d.webNodes()))
+			cacheUtil.Set(float64(eng.Now()), meanUtil(d.cacheNodes()))
+		}
+		eng.After(0.25, sampleUtil)
+	}
+	eng.After(0, sampleUtil)
+
+	// Connection generator: Poisson arrivals at Concurrency conn/s spread
+	// over the client machines, each conn routed round-robin by HAProxy.
+	next := 0
+	var gen func()
+	stopGen := eng.Now() + sim.Time(cfg.Duration)
+	var launch func(client string, w *WebServer)
+	gen = func() {
+		if eng.Now() >= stopGen {
+			return
+		}
+		client := d.Clients[next%len(d.Clients)]
+		w := d.Web[next%len(d.Web)]
+		next++
+		launch(client, w)
+		eng.After(d.rnd.arrival.Exp(1/cfg.Concurrency), gen)
+	}
+
+	// launch drives one connection: SYN (with kernel retries), then
+	// CallsPerConn sequential requests.
+	launch = func(client string, w *WebServer) {
+		connStart := eng.Now()
+		attempt := 0
+		var try func()
+		established := func() {
+			// Run the request loop; record the conn setup + first reply
+			// delay in ConnDelays (the python-logger view of Figs 10–11).
+			call := 0
+			var doCall func()
+			doCall = func() {
+				if call >= cfg.CallsPerConn {
+					w.closeConn()
+					return
+				}
+				call++
+				first := call == 1
+				reqStart := eng.Now()
+				attempts++
+				d.request(client, w, cfg, func(ok bool) {
+					delay := float64(eng.Now() - reqStart)
+					if inWindow() {
+						if ok {
+							served++
+							res.Delays.Add(delay)
+							if first {
+								res.ConnDelays.Add(float64(eng.Now() - connStart))
+							}
+						} else {
+							errored++
+						}
+					}
+					doCall()
+				})
+			}
+			doCall()
+		}
+		try = func() {
+			// SYN travels to the server; ~60 bytes.
+			d.Fab.Send(client, w.Node.ID, rpcHeaderBytes, func() {
+				if w.admitConn(func() {
+					// SYN-ACK back, then the conn is usable.
+					d.Fab.Send(w.Node.ID, client, rpcHeaderBytes, established)
+				}) {
+					return
+				}
+				// Dropped: kernel retry schedule, then give up.
+				if attempt < len(d.Params.RetryBackoff) {
+					backoff := d.Params.RetryBackoff[attempt]
+					attempt++
+					eng.After(backoff, try)
+					return
+				}
+				if inWindow() {
+					res.ConnFailures++
+					res.ConnDelays.Add(float64(eng.Now() - connStart))
+				}
+			})
+		}
+		try()
+	}
+	eng.After(d.rnd.arrival.Exp(1/cfg.Concurrency), gen)
+
+	// Run to completion: generation stops at Duration, stragglers drain.
+	eng.RunUntil(winEnd + sim.Time(20))
+
+	window := float64(winEnd - winStart)
+	res.Throughput = float64(served) / window
+	res.MeanDelay = res.Delays.Mean()
+	res.Errors500 = errored
+	total := served + errored + res.ConnFailures
+	if total > 0 {
+		res.ErrorRate = float64(errored+res.ConnFailures) / float64(total)
+	}
+	res.MeanPower = units.Watts(winEnergy / window)
+	res.Energy = units.Joules(winEnergy)
+	res.WebCPU = webUtil.Total(float64(winEnd)) / window
+	res.CacheCPU = cacheUtil.Total(float64(winEnd)) / window
+	var gets, hits int64
+	for _, c := range d.Cache {
+		gets += c.gets
+		hits += c.hits
+	}
+	if gets > 0 {
+		res.HitRatio = float64(hits) / float64(gets)
+	}
+	res.DBDelay = d.dbDelay
+	res.CacheDelay = d.cacheDelay
+	res.WebTotal = d.webTotal
+	d.dbDelay, d.cacheDelay, d.webTotal = stats.Summary{}, stats.Summary{}, stats.Summary{}
+	return res
+}
+
+func (d *Deployment) webNodes() []*hw.Node {
+	out := make([]*hw.Node, len(d.Web))
+	for i, w := range d.Web {
+		out[i] = w.Node
+	}
+	return out
+}
+
+func (d *Deployment) cacheNodes() []*hw.Node {
+	out := make([]*hw.Node, len(d.Cache))
+	for i, c := range d.Cache {
+		out[i] = c.Node
+	}
+	return out
+}
+
+func meanUtil(nodes []*hw.Node) float64 {
+	if len(nodes) == 0 {
+		return 0
+	}
+	var u float64
+	for _, n := range nodes {
+		u += n.Utilization()
+	}
+	return u / float64(len(nodes))
+}

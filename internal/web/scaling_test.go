@@ -1,0 +1,72 @@
+package web
+
+import (
+	"testing"
+
+	"edisim/internal/cluster"
+)
+
+// runScale measures throughput for a given web-server count at a fixed
+// offered load per server.
+func runScale(t *testing.T, nWeb, nCache int, conc float64) Result {
+	t.Helper()
+	tb := cluster.New(cluster.Config{EdisonNodes: nWeb + nCache, DBNodes: 2, Clients: 8})
+	d := NewDeployment(tb, Edison, nWeb, nCache, 1)
+	d.Warm(0.93)
+	return d.Run(RunConfig{Concurrency: conc, Duration: 6})
+}
+
+// §5.1.2 observation 1: throughput scales linearly with cluster size.
+func TestThroughputScalesLinearly(t *testing.T) {
+	if testing.Short() {
+		t.Skip("scaling sweep in -short mode")
+	}
+	full := runScale(t, 24, 11, 512)
+	half := runScale(t, 12, 6, 256)
+	quarter := runScale(t, 6, 3, 128)
+	r1 := full.Throughput / half.Throughput
+	r2 := half.Throughput / quarter.Throughput
+	if r1 < 1.8 || r1 > 2.2 || r2 < 1.8 || r2 > 2.2 {
+		t.Fatalf("non-linear scaling: full/half=%.2f half/quarter=%.2f", r1, r2)
+	}
+}
+
+// §5.1.2 observation 4: the maximum error-free concurrency scales down
+// linearly with cluster size.
+func TestErrorOnsetScalesWithClusterSize(t *testing.T) {
+	if testing.Short() {
+		t.Skip("scaling sweep in -short mode")
+	}
+	// 6 web servers: ≈45 conn/s each → saturation near 270; 512 overloads.
+	// The run must be long enough for the 1+2+4 s SYN retry schedule to
+	// exhaust inside the measurement window.
+	smallTb := cluster.New(cluster.Config{EdisonNodes: 9, DBNodes: 2, Clients: 8})
+	smallDep := NewDeployment(smallTb, Edison, 6, 3, 1)
+	smallDep.Warm(0.93)
+	small := smallDep.Run(RunConfig{Concurrency: 512, Duration: 18})
+	if small.ErrorRate < 0.005 && small.ConnFailures == 0 {
+		t.Fatalf("quarter-scale cluster at 512 conn/s should error (rate %.4f)", small.ErrorRate)
+	}
+	// The full cluster absorbs the same load cleanly.
+	full := runScale(t, 24, 11, 512)
+	if full.ErrorRate > 0.005 {
+		t.Fatalf("full cluster at 512 conn/s should be clean (rate %.4f)", full.ErrorRate)
+	}
+}
+
+// The paper's efficiency headline: at peak, the Edison tier does ≈3.5× the
+// work per joule of the Dell tier.
+func TestEnergyEfficiencyHeadline(t *testing.T) {
+	if testing.Short() {
+		t.Skip("efficiency sweep in -short mode")
+	}
+	e := runScale(t, 24, 11, 1024)
+	dtb := cluster.New(cluster.Config{DellNodes: 3, DBNodes: 2, Clients: 8})
+	d := NewDeployment(dtb, Dell, 2, 1, 1)
+	d.Warm(0.93)
+	rd := d.Run(RunConfig{Concurrency: 1024, Duration: 6})
+	eff := (e.Throughput / float64(e.MeanPower)) / (rd.Throughput / float64(rd.MeanPower))
+	if eff < 2.8 || eff > 4.5 {
+		t.Fatalf("work-per-joule ratio %.2f, paper says ≈3.5", eff)
+	}
+}

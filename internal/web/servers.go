@@ -1,0 +1,183 @@
+package web
+
+import (
+	"fmt"
+
+	"edisim/internal/hw"
+	"edisim/internal/sim"
+	"edisim/internal/units"
+)
+
+// WebServer is one Lighttpd+PHP node in the middle tier.
+type WebServer struct {
+	Node *hw.Node
+
+	dep *Deployment
+
+	// Connection admission (ports/threads for accept).
+	lastAccept  sim.Time
+	pendingSyn  int
+	activeConns int
+
+	// Request admission (thread churn).
+	lastReq  sim.Time
+	inflight int
+
+	// Counters.
+	accepted, synDropped, refused int64
+	served, errored               int64
+}
+
+func newWebServer(dep *Deployment, node *hw.Node) *WebServer {
+	return &WebServer{Node: node, dep: dep}
+}
+
+func (w *WebServer) platform() string { return w.Node.Spec.Name }
+
+// connInterval is the minimum spacing between accepted connections,
+// inflated by the reply-size load factor (threads/ports held longer for
+// bigger transfers) and when the SYN backlog is under pressure (port churn
+// thrash).
+func (w *WebServer) connInterval() float64 {
+	base := w.dep.loadFactor / w.dep.Params.ConnRate[w.platform()]
+	if w.pendingSyn > w.dep.Params.SynBacklog/2 {
+		frac := float64(w.pendingSyn) / float64(w.dep.Params.SynBacklog)
+		base /= 1 - w.dep.Params.ThrashFactor*frac
+	}
+	return base
+}
+
+// admitConn processes an arriving SYN. It returns false when the SYN is
+// dropped (backlog full); otherwise accept() will run once the server gets
+// to it.
+func (w *WebServer) admitConn(accept func()) bool {
+	if w.pendingSyn >= w.dep.Params.SynBacklog {
+		w.synDropped++
+		return false
+	}
+	eng := w.dep.Eng
+	at := eng.Now() + sim.Time(w.connInterval())
+	if prev := w.lastAccept + sim.Time(w.connInterval()); prev > at {
+		at = prev
+	}
+	w.lastAccept = at
+	w.pendingSyn++
+	eng.At(at, func() {
+		w.pendingSyn--
+		w.activeConns++
+		w.accepted++
+		accept()
+	})
+	return true
+}
+
+func (w *WebServer) closeConn() { w.activeConns-- }
+
+// admitRequest applies the request-rate cap and the inflight bound.
+// It returns false (500) when the server is overloaded.
+func (w *WebServer) admitRequest(start func()) bool {
+	if w.inflight >= w.dep.Params.MaxInflight[w.platform()] {
+		w.errored++
+		return false
+	}
+	eng := w.dep.Eng
+	interval := w.dep.loadFactor / w.dep.Params.ReqRate[w.platform()]
+	at := eng.Now()
+	if prev := w.lastReq + sim.Time(interval); prev > at {
+		at = prev
+	}
+	// A request that would wait more than 2 s for a worker thread times
+	// out server-side (the paper's 5xx under overload).
+	if float64(at-eng.Now()) > 2.0 {
+		w.errored++
+		return false
+	}
+	w.lastReq = at
+	w.inflight++
+	eng.At(at, start)
+	return true
+}
+
+func (w *WebServer) finishRequest(ok bool) {
+	w.inflight--
+	if ok {
+		w.served++
+	}
+}
+
+// CacheServer is one memcached node holding a real key→size store.
+type CacheServer struct {
+	Node *hw.Node
+
+	dep   *Deployment
+	items map[string]units.Bytes
+	used  units.Bytes
+
+	gets, hits int64
+}
+
+func newCacheServer(dep *Deployment, node *hw.Node) *CacheServer {
+	return &CacheServer{Node: node, dep: dep, items: make(map[string]units.Bytes)}
+}
+
+// Set stores a value size under key (warm-up path).
+func (c *CacheServer) Set(key string, size units.Bytes) {
+	if old, ok := c.items[key]; ok {
+		c.used -= old
+	}
+	c.items[key] = size
+	c.used += size
+}
+
+// lookup performs the in-memory hit check (the actual data structure, not a
+// coin flip) and returns the stored size.
+func (c *CacheServer) lookup(key string) (units.Bytes, bool) {
+	c.gets++
+	size, ok := c.items[key]
+	if ok {
+		c.hits++
+	}
+	return size, ok
+}
+
+// HitRatio reports the measured hit ratio so far.
+func (c *CacheServer) HitRatio() float64 {
+	if c.gets == 0 {
+		return 0
+	}
+	return float64(c.hits) / float64(c.gets)
+}
+
+// DBServer is one MySQL node (always Dell R620 in the paper's setup).
+type DBServer struct {
+	Node *hw.Node
+
+	dep     *Deployment
+	queries int64
+}
+
+func newDBServer(dep *Deployment, node *hw.Node) *DBServer {
+	return &DBServer{Node: node, dep: dep}
+}
+
+// query executes one lookup: CPU work plus a buffered read of the row.
+func (d *DBServer) query(size units.Bytes, done func()) {
+	d.queries++
+	work := d.dep.Params.DBQueryCPU[d.Node.Spec.Name]
+	d.Node.ComputeSeconds(work, func() {
+		d.Node.Disk().Read(size, true, done)
+	})
+}
+
+// key identifies a row in the synthetic wikipedia+images dataset.
+func key(table, row int) string { return fmt.Sprintf("t%02d:r%06d", table, row) }
+
+// cacheFor maps a key to its cache server (client-side consistent hashing,
+// as PHP memcached clients do).
+func (dep *Deployment) cacheFor(k string) *CacheServer {
+	var h uint32 = 2166136261
+	for i := 0; i < len(k); i++ {
+		h = (h ^ uint32(k[i])) * 16777619
+	}
+	return dep.Cache[int(h)%len(dep.Cache)]
+}
