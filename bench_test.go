@@ -10,18 +10,28 @@ package main
 
 import (
 	"os"
+	"strconv"
 	"testing"
 
 	"edisim/internal/core"
 	"edisim/internal/jobs"
+	"edisim/internal/runner"
 )
 
 // benchCfg picks fidelity. Sweep-style experiments default to Quick so the
 // whole suite finishes in minutes; set EDISIM_FULL=1 for the full-fidelity
 // sweeps used to produce EXPERIMENTS.md (cmd/paper runs those by default).
 // MapReduce job benches always run at the paper's full cluster scale.
+//
+// Sweep points fan across GOMAXPROCS workers (so `go test -bench -cpu 1,4`
+// compares serial vs parallel wall-clock); override with EDISIM_J=n.
+// Results are bit-identical either way.
 func benchCfg() core.Config {
-	return core.Config{Seed: 1, Quick: os.Getenv("EDISIM_FULL") == ""}
+	workers := runner.DefaultWorkers()
+	if j, err := strconv.Atoi(os.Getenv("EDISIM_J")); err == nil && j > 0 {
+		workers = j
+	}
+	return core.Config{Seed: 1, Quick: os.Getenv("EDISIM_FULL") == "", Workers: workers}
 }
 
 // runExperiment executes one registered experiment b.N times.

@@ -3,10 +3,16 @@
 // With -experiments it writes the EXPERIMENTS.md comparison section to
 // stdout in markdown.
 //
+// Experiments and their sweep points are independent simulations, so -j
+// fans them across CPUs (default: GOMAXPROCS). Output is bit-identical for
+// any -j: every sweep point derives its seed from its identity, and results
+// are printed in registration order.
+//
 // Usage:
 //
 //	paper               # full fidelity, all artifacts (minutes)
 //	paper -quick        # reduced sweeps for a fast smoke run
+//	paper -j 1          # serial (same output, slower)
 //	paper -only fig4_fig7
 //	paper -experiments > comparisons.md
 package main
@@ -16,8 +22,10 @@ import (
 	"fmt"
 	"os"
 	"strings"
+	"sync"
 
 	"edisim/internal/core"
+	"edisim/internal/runner"
 )
 
 func main() {
@@ -25,11 +33,12 @@ func main() {
 		quick    = flag.Bool("quick", false, "short sweeps (smoke run)")
 		only     = flag.String("only", "", "comma-separated experiment IDs (default all)")
 		seed     = flag.Int64("seed", 1, "root random seed")
+		jobs     = flag.Int("j", runner.DefaultWorkers(), "parallel workers for experiments and sweep points")
 		markdown = flag.Bool("experiments", false, "emit the EXPERIMENTS.md comparison ledger as markdown")
 	)
 	flag.Parse()
 
-	cfg := core.Config{Seed: *seed, Quick: *quick}
+	cfg := core.Config{Seed: *seed, Quick: *quick, Workers: *jobs}
 	wanted := map[string]bool{}
 	if *only != "" {
 		for _, id := range strings.Split(*only, ",") {
@@ -49,20 +58,50 @@ func main() {
 		os.Exit(2)
 	}
 
-	type ran struct {
-		e core.Experiment
-		o *core.Outcome
+	// Run every experiment, streaming results in registration order as the
+	// completed prefix grows — long full-fidelity runs show progress, and
+	// output stays bit-identical for any -j. Sweep points carry almost all
+	// of the work and fan across the full -j pool inside each experiment,
+	// so the experiment level only needs enough overlap to hide the serial
+	// (non-sweep) experiments: two at a time keeps the worst-case goroutine
+	// and testbed-memory load near 2×j rather than j².
+	outer := 1
+	if *jobs > 1 {
+		outer = 2
 	}
-	var results []ran
-	for _, e := range all {
-		if !*markdown {
-			fmt.Printf("==== %s (§%s) — %s ====\n", e.ID, e.Section, e.Title)
+	var (
+		mu       sync.Mutex
+		ready    = sync.NewCond(&mu)
+		outcomes = make([]*core.Outcome, len(all))
+	)
+	go runner.Map(outer, len(all), func(i int) *core.Outcome {
+		o := all[i].Run(cfg)
+		mu.Lock()
+		outcomes[i] = o
+		ready.Broadcast()
+		mu.Unlock()
+		return o
+	})
+
+	if *markdown {
+		fmt.Println("| artifact | metric | paper | simulated | ratio |")
+		fmt.Println("|---|---|---:|---:|---:|")
+	}
+	for i, e := range all {
+		mu.Lock()
+		for outcomes[i] == nil {
+			ready.Wait()
 		}
-		o := e.Run(cfg)
-		results = append(results, ran{e, o})
+		o := outcomes[i]
+		mu.Unlock()
 		if *markdown {
+			for _, c := range o.Comparisons {
+				fmt.Printf("| %s | %s | %.4g | %.4g | %.2f |\n",
+					c.Artifact, c.Metric, c.Paper, c.Measured, c.RatioError())
+			}
 			continue
 		}
+		fmt.Printf("==== %s (§%s) — %s ====\n", e.ID, e.Section, e.Title)
 		for _, t := range o.Tables {
 			fmt.Println(t)
 		}
@@ -74,22 +113,13 @@ func main() {
 		}
 		fmt.Println()
 	}
-
 	if *markdown {
-		fmt.Println("| artifact | metric | paper | simulated | ratio |")
-		fmt.Println("|---|---|---:|---:|---:|")
-		for _, r := range results {
-			for _, c := range r.o.Comparisons {
-				fmt.Printf("| %s | %s | %.4g | %.4g | %.2f |\n",
-					c.Artifact, c.Metric, c.Paper, c.Measured, c.RatioError())
-			}
-		}
 		return
 	}
 
 	fmt.Println("==== paper-vs-simulated ledger ====")
-	for _, r := range results {
-		for _, c := range r.o.Comparisons {
+	for _, o := range outcomes {
+		for _, c := range o.Comparisons {
 			fmt.Println(c)
 		}
 	}

@@ -22,12 +22,17 @@ import (
 func main() {
 	var (
 		image    = flag.Float64("image", 0.0, "image query fraction (paper: 0, 0.06, 0.10, 0.20)")
-		cacheHit = flag.Float64("cachehit", 0.93, "cache hit ratio (paper: 0.93, 0.77, 0.60)")
+		cacheHit = flag.Float64("cachehit", 0.93, "cache hit ratio (paper: 0.93, 0.77, 0.60; 0 = cold cache)")
 		duration = flag.Float64("duration", 20, "simulated seconds per concurrency level")
 		scale    = flag.String("scale", "full", "cluster scale: full, 1/2, 1/4, 1/8")
 		seed     = flag.Int64("seed", 1, "root random seed")
 	)
 	flag.Parse()
+	if *cacheHit == 0 {
+		// An explicit -cachehit 0 means a cold cache; the RunConfig zero
+		// value would mean "use the default", so pass the sentinel through.
+		*cacheHit = web.ColdCache
+	}
 
 	var ws *cluster.WebScale
 	for _, s := range cluster.Table6() {
@@ -91,11 +96,12 @@ func sweepPoint(p web.Platform, nWeb, nCache int, conc, image, hit, duration flo
 	}
 	tb := cluster.New(cfg)
 	dep := web.NewDeployment(tb, p, nWeb, nCache, seed)
-	dep.Warm(hit)
-	return dep.Run(web.RunConfig{
+	rc := web.RunConfig{
 		Concurrency: conc,
 		ImageFrac:   image,
 		CacheHit:    hit,
 		Duration:    duration,
-	})
+	}
+	dep.WarmFor(rc)
+	return dep.Run(rc)
 }

@@ -1,0 +1,3 @@
+module edisim
+
+go 1.24

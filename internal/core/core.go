@@ -19,6 +19,11 @@ type Config struct {
 	// Quick trades statistical tightness for speed (shorter httperf
 	// windows, fewer sweep points) — used by unit tests and -short benches.
 	Quick bool
+	// Workers bounds how many sweep points run concurrently (cmd/paper's
+	// -j). 0 or 1 runs serially. Results are bit-identical for any value:
+	// every point runs on its own engine with a seed derived from the
+	// point's identity, and results are assembled in point order.
+	Workers int
 }
 
 // DefaultConfig runs experiments at full fidelity with seed 1.

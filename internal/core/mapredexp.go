@@ -162,14 +162,22 @@ func runScalability(cfg Config) *Outcome {
 		append([]string{"job"}, labelNames(labels)...)...)
 	energyTab := report.NewTable("Figure 19 / Table 8 — energy (J)",
 		append([]string{"job"}, labelNames(labels)...)...)
-	for _, job := range names {
-		trow := []any{job}
-		erow := []any{job}
-		for _, l := range labels {
-			r, err := jobs.Run(job, l.Platform, l.Slaves, cfg.Seed)
+	// The (job × cluster) grid is one flat sweep: every cell simulates a
+	// whole Hadoop run on its own testbed, so cells parallelize perfectly.
+	results := RunSweep(cfg, "fig18_fig19_table8", len(names)*len(labels),
+		func(i int, seed int64) *mapred.JobResult {
+			job, l := names[i/len(labels)], labels[i%len(labels)]
+			r, err := jobs.Run(job, l.Platform, l.Slaves, seed)
 			if err != nil {
 				panic(err)
 			}
+			return r
+		})
+	for ji, job := range names {
+		trow := []any{job}
+		erow := []any{job}
+		for li, l := range labels {
+			r := results[ji*len(labels)+li]
 			trow = append(trow, r.Duration)
 			erow = append(erow, float64(r.Energy))
 			addTable8Comparisons(o, job, l.Label, r)

@@ -79,8 +79,25 @@ func runSysbenchCPU(cfg Config) *Outcome {
 	o := &Outcome{}
 	threads := []int{1, 2, 4, 8}
 	x := []float64{1, 2, 4, 8}
-	for _, spec := range []hw.NodeSpec{hw.EdisonSpec(), hw.DellR620Spec()} {
-		pts := microbench.SysbenchCPU(spec, threads)
+	specs := []hw.NodeSpec{hw.EdisonSpec(), hw.DellR620Spec()}
+
+	// One sweep cell per (platform, thread count), each on its own engine.
+	type cpuCell struct {
+		spec hw.NodeSpec
+		th   int
+	}
+	s := Sweep[cpuCell, microbench.CPUPoint]{Name: "fig2_fig3"}
+	for _, spec := range specs {
+		for _, th := range threads {
+			s.Points = append(s.Points, cpuCell{spec: spec, th: th})
+		}
+	}
+	s.Point = func(_ int, c cpuCell, _ int64) microbench.CPUPoint {
+		return microbench.SysbenchCPU(c.spec, []int{c.th})[0]
+	}
+	pts := s.Run(cfg)
+
+	for si, spec := range specs {
 		name := "Figure 2"
 		if spec.Name != "Edison" {
 			name = "Figure 3"
@@ -88,7 +105,7 @@ func runSysbenchCPU(cfg Config) *Outcome {
 		fig := report.NewFigure(fmt.Sprintf("%s — Sysbench CPU on %s", name, spec.Name),
 			"threads", "seconds / ms", x)
 		var total, resp []float64
-		for _, p := range pts {
+		for _, p := range pts[si*len(threads) : (si+1)*len(threads)] {
 			total = append(total, p.TotalTime)
 			resp = append(resp, p.AvgResponse*1e3)
 		}
@@ -96,11 +113,10 @@ func runSysbenchCPU(cfg Config) *Outcome {
 		fig.Add("avg response (ms)", resp)
 		o.Figures = append(o.Figures, fig)
 	}
-	ePts := microbench.SysbenchCPU(hw.EdisonSpec(), []int{1})
-	dPts := microbench.SysbenchCPU(hw.DellR620Spec(), []int{1})
-	gap := ePts[0].TotalTime / dPts[0].TotalTime
+	edison1, dell1 := pts[0], pts[len(threads)]
+	gap := edison1.TotalTime / dell1.TotalTime
 	o.AddComparison("Figures 2–3", "1-thread gap (x)", 16.5, gap)
-	o.AddComparison("Figure 3", "Dell 1-thread total (s)", 40, dPts[0].TotalTime)
+	o.AddComparison("Figure 3", "Dell 1-thread total (s)", 40, dell1.TotalTime)
 	return o
 }
 

@@ -1,0 +1,56 @@
+package core
+
+import (
+	"fmt"
+
+	"edisim/internal/rng"
+	"edisim/internal/runner"
+)
+
+// Sweep is a named grid of independent measurement points — one httperf
+// concurrency curve, a (job × cluster) scalability grid, a thread-count
+// ladder. Every sweep-style experiment is expressed through this type so
+// the runner can split it: points run on their own sim.Engine with a seed
+// derived from (experiment seed, sweep name, point index), never from
+// scheduling order, which keeps outputs bit-identical whatever
+// Config.Workers says.
+type Sweep[P, R any] struct {
+	// Name namespaces the per-point seed derivation. Two sweeps with
+	// different names draw independent randomness even at the same index.
+	Name   string
+	Points []P
+	// Point measures one grid cell. It must not share mutable state with
+	// other points: build a fresh testbed/engine from seed inside.
+	Point func(i int, p P, seed int64) R
+}
+
+// Run evaluates every point, fanning across cfg.Workers goroutines, and
+// returns results in point order.
+func (s Sweep[P, R]) Run(cfg Config) []R {
+	return runner.Map(cfg.Workers, len(s.Points), func(i int) R {
+		return s.Point(i, s.Points[i], cfg.PointSeed(s.Name, i))
+	})
+}
+
+// PointSeed derives the root seed for point i of the named sweep. The
+// derivation depends only on (cfg.Seed, name, i): stable across runs,
+// worker counts and point orderings.
+func (cfg Config) PointSeed(name string, i int) int64 {
+	return rng.New(cfg.Seed).Derive(fmt.Sprintf("sweep/%s/%d", name, i)).Seed()
+}
+
+// RunSweep is the function-literal form of Sweep for grids whose points are
+// described by the index alone.
+func RunSweep[R any](cfg Config, name string, n int, point func(i int, seed int64) R) []R {
+	return Sweep[int, R]{Name: name, Points: seqInts(n), Point: func(i, _ int, seed int64) R {
+		return point(i, seed)
+	}}.Run(cfg)
+}
+
+func seqInts(n int) []int {
+	out := make([]int, n)
+	for i := range out {
+		out[i] = i
+	}
+	return out
+}

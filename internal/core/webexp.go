@@ -42,23 +42,59 @@ func runWebPoint(p web.Platform, nWeb, nCache int, rc web.RunConfig, seed int64)
 	}
 	tb := cluster.New(ccfg)
 	dep := web.NewDeployment(tb, p, nWeb, nCache, seed)
-	dep.Warm(rc.CacheHit)
+	dep.WarmFor(rc)
 	return dep.Run(rc)
 }
 
-// sweep runs a whole concurrency curve for one tier configuration.
-func sweep(cfg Config, p web.Platform, nWeb, nCache int, image, hit float64) (tput, delay, power []float64, results []web.Result) {
-	for _, c := range webConcurrencies(cfg) {
-		r := runWebPoint(p, nWeb, nCache, web.RunConfig{
-			Concurrency: c,
-			ImageFrac:   image,
-			CacheHit:    hit,
+// webCurve is one line of a web figure: a tier configuration and workload
+// mix swept across the concurrency axis.
+type webCurve struct {
+	label        string
+	p            web.Platform
+	nWeb, nCache int
+	image, hit   float64
+}
+
+// webPoint is one (curve, concurrency) cell of a figure's sweep grid.
+type webPoint struct {
+	curve webCurve
+	conc  float64
+}
+
+// sweepWebCurves runs every (curve × concurrency) cell of an experiment as
+// one flat Sweep — the runner splits cells, not whole curves, so a few
+// expensive saturated points don't serialize behind each other — and
+// regroups the results per curve, in concurrency order.
+func sweepWebCurves(cfg Config, name string, curves []webCurve) [][]web.Result {
+	concs := webConcurrencies(cfg)
+	s := Sweep[webPoint, web.Result]{Name: name}
+	for _, c := range curves {
+		for _, conc := range concs {
+			s.Points = append(s.Points, webPoint{curve: c, conc: conc})
+		}
+	}
+	s.Point = func(_ int, p webPoint, seed int64) web.Result {
+		return runWebPoint(p.curve.p, p.curve.nWeb, p.curve.nCache, web.RunConfig{
+			Concurrency: p.conc,
+			ImageFrac:   p.curve.image,
+			CacheHit:    p.curve.hit,
 			Duration:    webDuration(cfg),
-		}, cfg.Seed)
+		}, seed)
+	}
+	flat := s.Run(cfg)
+	out := make([][]web.Result, len(curves))
+	for i := range curves {
+		out[i] = flat[i*len(concs) : (i+1)*len(concs)]
+	}
+	return out
+}
+
+// curveSeries extracts the plotted series from one curve's results.
+func curveSeries(results []web.Result) (tput, delay, power []float64) {
+	for _, r := range results {
 		tput = append(tput, r.Throughput)
 		delay = append(delay, r.MeanDelay*1e3)
 		power = append(power, float64(r.MeanPower))
-		results = append(results, r)
 	}
 	return
 }
@@ -72,39 +108,49 @@ func webScales(cfg Config) []cluster.WebScale {
 	return all
 }
 
-func runWebScaledSweeps(cfg Config, image float64, figTput, figDelay string) *Outcome {
+// runWebScaledSweeps renders one scaled throughput/delay/power figure set.
+// id is the stable experiment ID, used (not the display titles, which may
+// be reworded) to namespace per-point seed derivation.
+func runWebScaledSweeps(cfg Config, id string, image float64, figTput, figDelay string) *Outcome {
 	o := &Outcome{}
 	x := webConcurrencies(cfg)
 	ft := report.NewFigure(figTput, "conn/s", "req/s", x)
 	fd := report.NewFigure(figDelay, "conn/s", "ms", x)
 	fp := report.NewFigure(figTput+" (power)", "conn/s", "W", x)
 
-	var edisonPeak, dellPeak, edisonPeakPower, dellPeakPower float64
+	var curves []webCurve
 	for _, s := range webScales(cfg) {
 		if s.EdisonWeb > 0 {
-			tput, delay, power, _ := sweep(cfg, web.Edison, s.EdisonWeb, s.EdisonCache, image, 0.93)
-			label := fmt.Sprintf("%d Edison", s.EdisonWeb)
-			ft.Add(label, tput)
-			fd.Add(label, delay)
-			fp.Add(label, power)
-			for i, v := range tput {
-				if s.EdisonWeb == 24 && v > edisonPeak {
-					edisonPeak = v
-					edisonPeakPower = power[i]
-				}
-			}
+			curves = append(curves, webCurve{
+				label: fmt.Sprintf("%d Edison", s.EdisonWeb),
+				p:     web.Edison, nWeb: s.EdisonWeb, nCache: s.EdisonCache,
+				image: image, hit: 0.93,
+			})
 		}
 		if s.DellWeb > 0 {
-			tput, delay, power, _ := sweep(cfg, web.Dell, s.DellWeb, s.DellCache, image, 0.93)
-			label := fmt.Sprintf("%d Dell", s.DellWeb)
-			ft.Add(label, tput)
-			fd.Add(label, delay)
-			fp.Add(label, power)
-			for i, v := range tput {
-				if s.DellWeb == 2 && v > dellPeak {
-					dellPeak = v
-					dellPeakPower = power[i]
-				}
+			curves = append(curves, webCurve{
+				label: fmt.Sprintf("%d Dell", s.DellWeb),
+				p:     web.Dell, nWeb: s.DellWeb, nCache: s.DellCache,
+				image: image, hit: 0.93,
+			})
+		}
+	}
+
+	var edisonPeak, dellPeak, edisonPeakPower, dellPeakPower float64
+	for ci, results := range sweepWebCurves(cfg, id, curves) {
+		c := curves[ci]
+		tput, delay, power := curveSeries(results)
+		ft.Add(c.label, tput)
+		fd.Add(c.label, delay)
+		fp.Add(c.label, power)
+		for i, v := range tput {
+			if c.p == web.Edison && c.nWeb == 24 && v > edisonPeak {
+				edisonPeak = v
+				edisonPeakPower = power[i]
+			}
+			if c.p == web.Dell && c.nWeb == 2 && v > dellPeak {
+				dellPeak = v
+				dellPeakPower = power[i]
 			}
 		}
 	}
@@ -121,14 +167,14 @@ func runWebScaledSweeps(cfg Config, image float64, figTput, figDelay string) *Ou
 }
 
 func runWebLight(cfg Config) *Outcome {
-	o := runWebScaledSweeps(cfg, 0.0, "Figure 4", "Figure 7")
+	o := runWebScaledSweeps(cfg, "fig4_fig7", 0.0, "Figure 4", "Figure 7")
 	o.Notes = append(o.Notes,
 		"lightest load: 93% cache hit, no image queries; Edison errors beyond 1024 conn/s, Dell beyond 2048")
 	return o
 }
 
 func runWebHeavy(cfg Config) *Outcome {
-	o := runWebScaledSweeps(cfg, 0.20, "Figure 6", "Figure 9")
+	o := runWebScaledSweeps(cfg, "fig6_fig9", 0.20, "Figure 6", "Figure 9")
 	o.Notes = append(o.Notes,
 		"heaviest fair load: 20% image queries utilize half of each Edison NIC; throughput ≈85% of the lightest workload")
 	return o
@@ -151,13 +197,16 @@ func runWebMixes(cfg Config) *Outcome {
 	if cfg.Quick {
 		mixes = mixes[:2]
 	}
+	var curves []webCurve
 	for _, m := range mixes {
-		et, ed, _, _ := sweep(cfg, web.Edison, 24, 11, m.image, m.hit)
-		dt, dd, _, _ := sweep(cfg, web.Dell, 2, 1, m.image, m.hit)
-		ft.Add("Edison "+m.label, et)
-		ft.Add("Dell "+m.label, dt)
-		fd.Add("Edison "+m.label, ed)
-		fd.Add("Dell "+m.label, dd)
+		curves = append(curves,
+			webCurve{label: "Edison " + m.label, p: web.Edison, nWeb: 24, nCache: 11, image: m.image, hit: m.hit},
+			webCurve{label: "Dell " + m.label, p: web.Dell, nWeb: 2, nCache: 1, image: m.image, hit: m.hit})
+	}
+	for ci, results := range sweepWebCurves(cfg, "fig5_fig8", curves) {
+		tput, delay, _ := curveSeries(results)
+		ft.Add(curves[ci].label, tput)
+		fd.Add(curves[ci].label, delay)
 	}
 	o.Figures = append(o.Figures, ft, fd)
 	return o
@@ -167,15 +216,19 @@ func runWebDelayDist(cfg Config) *Outcome {
 	o := &Outcome{}
 	// ≈6000 req/s at 20% image: concurrency 768 × 8 calls.
 	rc := web.RunConfig{Concurrency: 768, ImageFrac: 0.20, CacheHit: 0.93, Duration: webDuration(cfg) * 2}
-	for _, side := range []struct {
+	sides := []struct {
 		p            web.Platform
 		nWeb, nCache int
 		name         string
 	}{
 		{web.Edison, 24, 11, "Figure 10 — Edison"},
 		{web.Dell, 2, 1, "Figure 11 — Dell"},
-	} {
-		r := runWebPoint(side.p, side.nWeb, side.nCache, rc, cfg.Seed)
+	}
+	results := RunSweep(cfg, "fig10_fig11", len(sides), func(i int, seed int64) web.Result {
+		return runWebPoint(sides[i].p, sides[i].nWeb, sides[i].nCache, rc, seed)
+	})
+	for i, side := range sides {
+		r := results[i]
 		h := stats.NewHistogram(0, 8, 32)
 		for _, v := range r.ConnDelays.Values() {
 			h.Add(v)
@@ -218,10 +271,16 @@ func runTable7(cfg Config) *Outcome {
 		3840: {8.74, 1.60, 105.1, 0.46, 114.7, 1.70},
 		7680: {10.99, 1.98, 212.0, 0.74, 225.1, 2.93},
 	}
-	for _, rate := range rates {
-		rc := web.RunConfig{Concurrency: rate / 8, ImageFrac: 0.20, CacheHit: 0.93, Duration: webDuration(cfg)}
-		re := runWebPoint(web.Edison, 24, 11, rc, cfg.Seed)
-		rd := runWebPoint(web.Dell, 2, 1, rc, cfg.Seed)
+	// One sweep cell per (rate, platform): Edison at even indices, Dell odd.
+	results := RunSweep(cfg, "table7", 2*len(rates), func(i int, seed int64) web.Result {
+		rc := web.RunConfig{Concurrency: rates[i/2] / 8, ImageFrac: 0.20, CacheHit: 0.93, Duration: webDuration(cfg)}
+		if i%2 == 0 {
+			return runWebPoint(web.Edison, 24, 11, rc, seed)
+		}
+		return runWebPoint(web.Dell, 2, 1, rc, seed)
+	})
+	for ri, rate := range rates {
+		re, rd := results[2*ri], results[2*ri+1]
 		row := []float64{
 			re.DBDelay.Mean() * 1e3, rd.DBDelay.Mean() * 1e3,
 			re.CacheDelay.Mean() * 1e3, rd.CacheDelay.Mean() * 1e3,

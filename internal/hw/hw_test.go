@@ -197,3 +197,35 @@ func TestDiskBufferedFasterThanDirect(t *testing.T) {
 		t.Fatalf("buffered write (%v) not faster than direct (%v)", bufAt, directAt)
 	}
 }
+
+func TestSubscribeUtilCancelSafety(t *testing.T) {
+	eng := sim.NewEngine()
+	n := NewNode(eng, EdisonSpec(), "n")
+
+	var aCount, bCount int
+	cancelA := n.SubscribeUtil(func(float64) { aCount++ })
+	cancelA()
+	cancelA() // double cancel: no-op
+
+	// B reuses A's compacted slot; a stale cancelA must not touch it.
+	cancelB := n.SubscribeUtil(func(float64) { bCount++ })
+	cancelA()
+	n.ComputeSeconds(0.1, nil)
+	eng.Run()
+	if bCount == 0 {
+		t.Fatal("stale cancel silenced a later subscriber")
+	}
+	if aCount != 0 {
+		t.Fatal("cancelled subscriber still notified")
+	}
+
+	// Stale cancel with an out-of-range captured index must not panic.
+	c1 := n.SubscribeUtil(func(float64) {})
+	cancelB()
+	c1() // count hits 0, list compacts, generation bumps
+	c2 := n.SubscribeUtil(func(float64) {})
+	c1() // stale: index 1 of a len-1 list — must be a no-op, not a panic
+	n.ComputeSeconds(0.1, nil)
+	eng.Run()
+	c2()
+}

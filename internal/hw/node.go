@@ -25,6 +25,14 @@ type Node struct {
 	// BusyFloor pins a minimum "busy fraction" for power purposes, modeling
 	// always-on daemons (e.g. datanode+nodemanager keep some load).
 	BusyFloor float64
+
+	// utilSubs are change subscribers (see SubscribeUtil); nil slots are
+	// cancelled entries, compacted once the last subscriber leaves. The
+	// generation counter invalidates cancel funcs issued before a
+	// compaction, whose captured indices would otherwise alias new slots.
+	utilSubs     []func(u float64)
+	utilSubCount int
+	utilSubGen   uint64
 }
 
 // NewNode instantiates a node of the given spec on the engine. The CPU's
@@ -53,9 +61,38 @@ func (n *Node) CPU() *sim.ProcShare { return n.cpu }
 // Disk returns the node's storage device.
 func (n *Node) Disk() *Disk { return n.dsk }
 
+// SubscribeUtil registers fn to be called after the node's CPU utilization
+// changes, with the new raw utilization in [0,1] (BusyFloor does not
+// apply). It lets observers integrate utilization on change instead of
+// polling the node on a timer. Any number of observers may subscribe; they
+// are notified in registration order. The returned cancel function removes
+// the subscription (idempotent).
+func (n *Node) SubscribeUtil(fn func(u float64)) (cancel func()) {
+	n.utilSubs = append(n.utilSubs, fn)
+	n.utilSubCount++
+	i := len(n.utilSubs) - 1
+	gen := n.utilSubGen
+	return func() {
+		if gen != n.utilSubGen || n.utilSubs[i] == nil {
+			return // stale (pre-compaction) or already cancelled
+		}
+		n.utilSubs[i] = nil
+		n.utilSubCount--
+		if n.utilSubCount == 0 {
+			n.utilSubs = n.utilSubs[:0]
+			n.utilSubGen++
+		}
+	}
+}
+
 // updatePower closes the current energy segment at the new utilization.
 func (n *Node) updatePower() {
 	u := n.cpu.Utilization()
+	for _, fn := range n.utilSubs {
+		if fn != nil {
+			fn(u)
+		}
+	}
 	if u < n.BusyFloor {
 		u = n.BusyFloor
 	}

@@ -43,9 +43,14 @@ type Fabric struct {
 	links    []*Link
 	routes   map[[2]string][]*Link
 
-	flows    map[*Flow]bool
+	// flows is the active max-min flow set in admission order. A slice
+	// (not a map) so that every allocation and completion pass iterates
+	// deterministically — map iteration order would leak scheduling noise
+	// into callback ordering and float accumulation, breaking bit-identical
+	// reruns.
+	flows    []*Flow
 	epoch    uint64
-	nextDone *sim.Event
+	nextDone sim.EventRef
 }
 
 // NewFabric returns an empty network on the engine.
@@ -55,7 +60,6 @@ func NewFabric(eng *sim.Engine) *Fabric {
 		vertices: make(map[string]bool),
 		adj:      make(map[string][]*Link),
 		routes:   make(map[[2]string][]*Link),
-		flows:    make(map[*Flow]bool),
 	}
 }
 

@@ -19,6 +19,7 @@ type Flow struct {
 	lastT     sim.Time
 	done      func()
 	finished  bool
+	frozen    bool // scratch flag for the water-filling pass
 }
 
 // StartFlow begins a bulk transfer of size bytes from src to dst; done runs
@@ -41,7 +42,7 @@ func (f *Fabric) StartFlow(src, dst string, size units.Bytes, done func()) *Flow
 	// admission of the flow into the bandwidth-sharing set.
 	f.eng.After(f.Latency(src, dst), func() {
 		f.advanceFlows()
-		f.flows[fl] = true
+		f.flows = append(f.flows, fl)
 		for _, l := range fl.path {
 			l.flowCount++
 		}
@@ -59,7 +60,7 @@ func (fl *Flow) Rate() units.BytesPerSec { return units.BytesPerSec(fl.rate) }
 // advanceFlows credits progress to every active flow at its current rate.
 func (f *Fabric) advanceFlows() {
 	now := f.eng.Now()
-	for fl := range f.flows {
+	for _, fl := range f.flows {
 		dt := float64(now - fl.lastT)
 		if dt > 0 {
 			progress := fl.rate * dt
@@ -79,10 +80,8 @@ func (f *Fabric) advanceFlows() {
 // allocation, then re-arms the single next-completion event.
 func (f *Fabric) reallocate() {
 	f.epoch++
-	if f.nextDone != nil {
-		f.nextDone.Cancel()
-		f.nextDone = nil
-	}
+	f.nextDone.Cancel()
+	f.nextDone = sim.EventRef{}
 	if len(f.flows) == 0 {
 		return
 	}
@@ -92,7 +91,7 @@ func (f *Fabric) reallocate() {
 		cnt int
 	}
 	state := make(map[*Link]*linkState)
-	for fl := range f.flows {
+	for _, fl := range f.flows {
 		for _, l := range fl.path {
 			if s, ok := state[l]; ok {
 				s.cnt++
@@ -101,11 +100,11 @@ func (f *Fabric) reallocate() {
 			}
 		}
 	}
-	unfrozen := make(map[*Flow]bool, len(f.flows))
-	for fl := range f.flows {
-		unfrozen[fl] = true
+	unfrozen := len(f.flows)
+	for _, fl := range f.flows {
+		fl.frozen = false
 	}
-	for len(unfrozen) > 0 {
+	for unfrozen > 0 {
 		// Find the tightest link among links carrying unfrozen flows.
 		minShare := math.Inf(1)
 		for _, s := range state {
@@ -120,7 +119,10 @@ func (f *Fabric) reallocate() {
 		}
 		// Freeze every unfrozen flow crossing a link at the bottleneck share.
 		progressed := false
-		for fl := range unfrozen {
+		for _, fl := range f.flows {
+			if fl.frozen {
+				continue
+			}
 			bottlenecked := false
 			for _, l := range fl.path {
 				s := state[l]
@@ -133,7 +135,8 @@ func (f *Fabric) reallocate() {
 				continue
 			}
 			fl.rate = minShare
-			delete(unfrozen, fl)
+			fl.frozen = true
+			unfrozen--
 			for _, l := range fl.path {
 				s := state[l]
 				s.rem -= minShare
@@ -151,7 +154,7 @@ func (f *Fabric) reallocate() {
 
 	// Re-arm the completion event for the earliest-finishing flow.
 	next := math.Inf(1)
-	for fl := range f.flows {
+	for _, fl := range f.flows {
 		if fl.rate <= 0 {
 			continue
 		}
@@ -169,24 +172,29 @@ func (f *Fabric) reallocate() {
 	f.nextDone = f.eng.After(next, f.completeFlows)
 }
 
-// completeFlows advances progress and finishes every drained flow.
+// completeFlows advances progress and finishes every drained flow, in
+// admission order, compacting the live set in place.
 func (f *Fabric) completeFlows() {
-	f.nextDone = nil
+	f.nextDone = sim.EventRef{}
 	f.advanceFlows()
 	const eps = 1 // byte tolerance
 	var finished []*Flow
-	for fl := range f.flows {
+	live := f.flows[:0]
+	for _, fl := range f.flows {
 		if fl.remaining <= eps {
 			finished = append(finished, fl)
+			for _, l := range fl.path {
+				l.flowCount--
+			}
+			fl.finished = true
+		} else {
+			live = append(live, fl)
 		}
 	}
-	for _, fl := range finished {
-		delete(f.flows, fl)
-		for _, l := range fl.path {
-			l.flowCount--
-		}
-		fl.finished = true
+	for i := len(live); i < len(f.flows); i++ {
+		f.flows[i] = nil
 	}
+	f.flows = live
 	f.reallocate()
 	for _, fl := range finished {
 		if fl.done != nil {

@@ -1,0 +1,112 @@
+// Package runner fans independent units of simulation work — whole
+// experiments or single sweep points — across a bounded pool of goroutines
+// while keeping results deterministic.
+//
+// The sim kernel is single-threaded by design; parallelism in edisim comes
+// from running MANY engines at once, one per independent measurement. The
+// contract that makes this safe and reproducible:
+//
+//   - each unit of work builds its own sim.Engine (and everything on it)
+//     and derives its randomness from a seed that depends only on the unit's
+//     identity, never on scheduling;
+//   - results are returned in index order, so output is byte-identical
+//     whatever the worker count.
+package runner
+
+import (
+	"fmt"
+	"runtime"
+	"runtime/debug"
+	"sync"
+	"sync/atomic"
+)
+
+// DefaultWorkers is the default parallelism: one worker per available CPU.
+func DefaultWorkers() int { return runtime.GOMAXPROCS(0) }
+
+// workerPanic carries a panic out of a worker goroutine.
+type workerPanic struct {
+	index int
+	value any
+	stack []byte
+}
+
+// Map evaluates f(0), …, f(n-1) and returns the results in index order.
+// At most workers goroutines run concurrently; workers <= 1 (or n <= 1)
+// evaluates inline on the calling goroutine with zero overhead. Workers
+// claim indices from a shared counter, so load imbalance between points
+// (cheap low-concurrency points vs expensive saturated ones) self-levels.
+//
+// If any f panics, workers stop claiming new units and Map re-panics on the
+// calling goroutine (with the worker's stack attached), reporting the lowest
+// panicking index among those recorded — deterministic for a deterministic f,
+// since in-flight units either complete or panic the same way every run.
+func Map[T any](workers, n int, f func(i int) T) []T {
+	if n <= 0 {
+		return nil
+	}
+	out := make([]T, n)
+	if workers > n {
+		workers = n
+	}
+	if workers <= 1 {
+		for i := range out {
+			out[i] = f(i)
+		}
+		return out
+	}
+
+	var (
+		next     atomic.Int64
+		panicked atomic.Bool
+		wg       sync.WaitGroup
+		mu       sync.Mutex
+		panics   []workerPanic
+	)
+	next.Store(-1)
+	work := func() {
+		defer wg.Done()
+		for !panicked.Load() { // stop claiming fresh units once one failed
+			i := int(next.Add(1))
+			if i >= n {
+				return
+			}
+			func() {
+				defer func() {
+					if v := recover(); v != nil {
+						mu.Lock()
+						panics = append(panics, workerPanic{index: i, value: v, stack: debug.Stack()})
+						mu.Unlock()
+						panicked.Store(true)
+					}
+				}()
+				out[i] = f(i)
+			}()
+		}
+	}
+	wg.Add(workers)
+	for w := 0; w < workers; w++ {
+		go work()
+	}
+	wg.Wait()
+
+	if len(panics) > 0 {
+		first := panics[0]
+		for _, p := range panics[1:] {
+			if p.index < first.index {
+				first = p
+			}
+		}
+		panic(fmt.Sprintf("runner: unit %d panicked: %v\nworker stack:\n%s",
+			first.index, first.value, first.stack))
+	}
+	return out
+}
+
+// Each runs f(i) for every index without collecting results.
+func Each(workers, n int, f func(i int)) {
+	Map(workers, n, func(i int) struct{} {
+		f(i)
+		return struct{}{}
+	})
+}

@@ -1,0 +1,80 @@
+package runner
+
+import (
+	"strings"
+	"sync/atomic"
+	"testing"
+)
+
+func TestMapOrderAndCompleteness(t *testing.T) {
+	for _, workers := range []int{0, 1, 2, 4, 16} {
+		got := Map(workers, 100, func(i int) int { return i * i })
+		if len(got) != 100 {
+			t.Fatalf("workers=%d: %d results, want 100", workers, len(got))
+		}
+		for i, v := range got {
+			if v != i*i {
+				t.Fatalf("workers=%d: out[%d] = %d, want %d", workers, i, v, i*i)
+			}
+		}
+	}
+}
+
+func TestMapEmpty(t *testing.T) {
+	if got := Map(4, 0, func(i int) int { return i }); got != nil {
+		t.Fatalf("Map over 0 items returned %v", got)
+	}
+}
+
+func TestMapBoundsConcurrency(t *testing.T) {
+	var inFlight, peak atomic.Int64
+	Each(3, 64, func(i int) {
+		cur := inFlight.Add(1)
+		for {
+			p := peak.Load()
+			if cur <= p || peak.CompareAndSwap(p, cur) {
+				break
+			}
+		}
+		inFlight.Add(-1)
+	})
+	if p := peak.Load(); p > 3 {
+		t.Fatalf("observed %d concurrent units with workers=3", p)
+	}
+}
+
+func TestMapPanicIsDeterministic(t *testing.T) {
+	defer func() {
+		v := recover()
+		if v == nil {
+			t.Fatal("panic did not propagate")
+		}
+		msg, ok := v.(string)
+		if !ok || !strings.Contains(msg, "unit 7") {
+			t.Fatalf("panic %v, want lowest index 7 reported", v)
+		}
+	}()
+	Map(4, 32, func(i int) int {
+		if i >= 7 {
+			panic("boom")
+		}
+		return i
+	})
+}
+
+func TestMapSerialMatchesParallel(t *testing.T) {
+	f := func(i int) float64 {
+		v := float64(i)
+		for k := 0; k < 1000; k++ {
+			v = v*1.0000001 + 0.5
+		}
+		return v
+	}
+	serial := Map(1, 50, f)
+	parallel := Map(8, 50, f)
+	for i := range serial {
+		if serial[i] != parallel[i] {
+			t.Fatalf("index %d: serial %v != parallel %v", i, serial[i], parallel[i])
+		}
+	}
+}

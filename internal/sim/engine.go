@@ -5,11 +5,20 @@
 //
 // The kernel is single-threaded and callback-based: an event is a func()
 // executed at its scheduled virtual time. Determinism is guaranteed by
-// breaking time ties with a monotone sequence number.
+// breaking time ties with a monotone sequence number. One engine must only
+// ever be driven from one goroutine, but any number of engines can run
+// concurrently (see internal/runner), so the kernel keeps no global state.
+//
+// The event queue is a concrete 4-ary min-heap over pooled Event records:
+// scheduling does not allocate in steady state (events are recycled through
+// a per-engine freelist, grown in chunks), and the heap needs no interface
+// boxing or indirect calls. Handles returned by At/After are small EventRef
+// values stamped with the event's sequence number, so a stale handle —
+// kept after its event fired or was cancelled — is detected and ignored
+// rather than corrupting a recycled event.
 package sim
 
 import (
-	"container/heap"
 	"fmt"
 	"math"
 )
@@ -17,59 +26,56 @@ import (
 // Time is simulation time in seconds since the start of the run.
 type Time float64
 
-// Event is a scheduled callback. It can be cancelled before it fires.
+// Event is a pooled event record. User code never holds *Event directly;
+// it holds EventRef handles, which stay safe across recycling.
 type Event struct {
-	at       Time
-	seq      uint64
-	fn       func()
-	index    int // heap index, -1 once popped or cancelled
-	canceled bool
+	at  Time
+	seq uint64 // unique per scheduling; 0 while on the freelist
+	fn  func()
+	pos int // heap position
+	eng *Engine
 }
 
-// Cancel prevents the event from firing. Cancelling an already-fired or
-// already-cancelled event is a no-op.
-func (ev *Event) Cancel() { ev.canceled = true }
+// EventRef is a cheap, copyable handle to a scheduled event. The zero value
+// is inert. A ref stays valid-to-use (but inactive) after its event fires or
+// is cancelled: every operation on a dead ref is a no-op.
+type EventRef struct {
+	ev  *Event
+	seq uint64
+}
 
-// Canceled reports whether Cancel was called.
-func (ev *Event) Canceled() bool { return ev.canceled }
+// live reports whether the ref still names a scheduled event.
+func (r EventRef) live() bool { return r.ev != nil && r.ev.seq == r.seq }
 
-// Time reports when the event is (or was) scheduled to fire.
-func (ev *Event) Time() Time { return ev.at }
-
-type eventHeap []*Event
-
-func (h eventHeap) Len() int { return len(h) }
-func (h eventHeap) Less(i, j int) bool {
-	if h[i].at != h[j].at {
-		return h[i].at < h[j].at
+// Cancel removes the event from the schedule. Cancelling an already-fired,
+// already-cancelled or zero ref is a no-op.
+func (r EventRef) Cancel() {
+	if r.live() {
+		r.ev.eng.remove(r.ev)
 	}
-	return h[i].seq < h[j].seq
 }
-func (h eventHeap) Swap(i, j int) {
-	h[i], h[j] = h[j], h[i]
-	h[i].index = i
-	h[j].index = j
+
+// Active reports whether the event is still scheduled (not fired, not
+// cancelled).
+func (r EventRef) Active() bool { return r.live() }
+
+// Time reports when the event is scheduled to fire; zero for a dead ref.
+func (r EventRef) Time() Time {
+	if r.live() {
+		return r.ev.at
+	}
+	return 0
 }
-func (h *eventHeap) Push(x any) {
-	ev := x.(*Event)
-	ev.index = len(*h)
-	*h = append(*h, ev)
-}
-func (h *eventHeap) Pop() any {
-	old := *h
-	n := len(old)
-	ev := old[n-1]
-	old[n-1] = nil
-	ev.index = -1
-	*h = old[:n-1]
-	return ev
-}
+
+// eventChunk is how many Event records the freelist grows by at once.
+const eventChunk = 256
 
 // Engine drives a simulation: it owns the clock and the pending event set.
 type Engine struct {
 	now     Time
 	seq     uint64
-	events  eventHeap
+	heap    []*Event // 4-ary min-heap on (at, seq)
+	free    []*Event // recycled event records
 	stopped bool
 	fired   uint64
 }
@@ -83,12 +89,107 @@ func (e *Engine) Now() Time { return e.now }
 // Fired reports how many events have executed, a cheap progress/cost metric.
 func (e *Engine) Fired() uint64 { return e.fired }
 
-// Pending reports the number of scheduled (possibly cancelled) events.
-func (e *Engine) Pending() int { return len(e.events) }
+// Pending reports the number of scheduled events.
+func (e *Engine) Pending() int { return len(e.heap) }
+
+// alloc takes an event record from the freelist, growing it when empty.
+func (e *Engine) alloc() *Event {
+	if len(e.free) == 0 {
+		chunk := make([]Event, eventChunk)
+		for i := range chunk {
+			chunk[i].eng = e
+			e.free = append(e.free, &chunk[i])
+		}
+	}
+	ev := e.free[len(e.free)-1]
+	e.free = e.free[:len(e.free)-1]
+	return ev
+}
+
+// recycle invalidates outstanding refs and returns the record to the pool.
+func (e *Engine) recycle(ev *Event) {
+	ev.seq = 0
+	ev.fn = nil // release the closure for GC
+	e.free = append(e.free, ev)
+}
+
+// less orders events by (time, sequence): FIFO within a time tie.
+func less(a, b *Event) bool {
+	if a.at != b.at {
+		return a.at < b.at
+	}
+	return a.seq < b.seq
+}
+
+// siftUp restores heap order moving the event at position i toward the root.
+func (e *Engine) siftUp(i int) {
+	h := e.heap
+	ev := h[i]
+	for i > 0 {
+		p := (i - 1) / 4
+		if !less(ev, h[p]) {
+			break
+		}
+		h[i] = h[p]
+		h[i].pos = i
+		i = p
+	}
+	h[i] = ev
+	ev.pos = i
+}
+
+// siftDown restores heap order moving the event at position i toward the
+// leaves.
+func (e *Engine) siftDown(i int) {
+	h := e.heap
+	n := len(h)
+	ev := h[i]
+	for {
+		first := i*4 + 1
+		if first >= n {
+			break
+		}
+		m := first
+		last := first + 4
+		if last > n {
+			last = n
+		}
+		for c := first + 1; c < last; c++ {
+			if less(h[c], h[m]) {
+				m = c
+			}
+		}
+		if !less(h[m], ev) {
+			break
+		}
+		h[i] = h[m]
+		h[i].pos = i
+		i = m
+	}
+	h[i] = ev
+	ev.pos = i
+}
+
+// remove deletes a scheduled event from the heap and recycles it.
+func (e *Engine) remove(ev *Event) {
+	i := ev.pos
+	n := len(e.heap) - 1
+	if i != n {
+		e.heap[i] = e.heap[n]
+		e.heap[i].pos = i
+	}
+	e.heap[n] = nil
+	e.heap = e.heap[:n]
+	if i < n {
+		e.siftDown(i)
+		e.siftUp(i)
+	}
+	e.recycle(ev)
+}
 
 // At schedules fn to run at absolute time t (>= Now) and returns a handle
 // that can cancel it. Scheduling in the past panics: it is always a bug.
-func (e *Engine) At(t Time, fn func()) *Event {
+func (e *Engine) At(t Time, fn func()) EventRef {
 	if t < e.now {
 		panic(fmt.Sprintf("sim: scheduling into the past: %g < %g", t, e.now))
 	}
@@ -96,13 +197,18 @@ func (e *Engine) At(t Time, fn func()) *Event {
 		panic(fmt.Sprintf("sim: scheduling at non-finite time %v", t))
 	}
 	e.seq++
-	ev := &Event{at: t, seq: e.seq, fn: fn}
-	heap.Push(&e.events, ev)
-	return ev
+	ev := e.alloc()
+	ev.at = t
+	ev.seq = e.seq
+	ev.fn = fn
+	ev.pos = len(e.heap)
+	e.heap = append(e.heap, ev)
+	e.siftUp(ev.pos)
+	return EventRef{ev: ev, seq: ev.seq}
 }
 
 // After schedules fn to run d seconds from now. Negative delays panic.
-func (e *Engine) After(d float64, fn func()) *Event {
+func (e *Engine) After(d float64, fn func()) EventRef {
 	if d < 0 {
 		panic(fmt.Sprintf("sim: negative delay %g", d))
 	}
@@ -117,42 +223,40 @@ func (e *Engine) Run() {
 	e.RunUntil(Time(math.Inf(1)))
 }
 
+// popHead removes the earliest event, advances the clock to it and returns
+// its callback. The record is recycled before the callback runs, so the
+// callback is free to schedule (and reuse) events.
+func (e *Engine) popHead() func() {
+	ev := e.heap[0]
+	e.now = ev.at
+	fn := ev.fn
+	e.remove(ev)
+	e.fired++
+	return fn
+}
+
 // RunUntil executes events in time order until the next event would fire
 // after deadline, none remain, or Stop is called. The clock is left at the
 // time of the last executed event (or advanced to deadline when it is
 // finite and later).
 func (e *Engine) RunUntil(deadline Time) {
 	e.stopped = false
-	for len(e.events) > 0 && !e.stopped {
-		next := e.events[0]
-		if next.at > deadline {
+	for len(e.heap) > 0 && !e.stopped {
+		if e.heap[0].at > deadline {
 			break
 		}
-		heap.Pop(&e.events)
-		if next.canceled {
-			continue
-		}
-		e.now = next.at
-		e.fired++
-		next.fn()
+		e.popHead()()
 	}
 	if !e.stopped && !math.IsInf(float64(deadline), 1) && deadline > e.now {
 		e.now = deadline
 	}
 }
 
-// Step executes exactly one non-cancelled event, reporting false when no
-// events remain.
+// Step executes exactly one event, reporting false when none remain.
 func (e *Engine) Step() bool {
-	for len(e.events) > 0 {
-		next := heap.Pop(&e.events).(*Event)
-		if next.canceled {
-			continue
-		}
-		e.now = next.at
-		e.fired++
-		next.fn()
-		return true
+	if len(e.heap) == 0 {
+		return false
 	}
-	return false
+	e.popHead()()
+	return true
 }

@@ -45,13 +45,63 @@ func TestEngineCancel(t *testing.T) {
 	e := NewEngine()
 	fired := false
 	ev := e.At(1, func() { fired = true })
+	if !ev.Active() {
+		t.Fatal("Active() false while scheduled")
+	}
 	ev.Cancel()
+	if ev.Active() {
+		t.Fatal("Active() true after Cancel")
+	}
+	if e.Pending() != 0 {
+		t.Fatalf("Pending() = %d after cancel, want 0", e.Pending())
+	}
 	e.Run()
 	if fired {
 		t.Fatal("cancelled event fired")
 	}
-	if !ev.Canceled() {
-		t.Fatal("Canceled() false after Cancel")
+}
+
+// TestEventRefStaleSafety: a ref kept after its event fired must become a
+// no-op, even once the underlying record has been recycled for a new event.
+func TestEventRefStaleSafety(t *testing.T) {
+	e := NewEngine()
+	stale := e.At(1, func() {})
+	e.Run()
+	if stale.Active() {
+		t.Fatal("ref active after firing")
+	}
+	// Reschedule: the pool will hand back the same record.
+	fired := false
+	fresh := e.At(2, func() { fired = true })
+	stale.Cancel() // must NOT cancel the recycled event
+	e.Run()
+	if !fired {
+		t.Fatal("stale Cancel killed a recycled event")
+	}
+	if fresh.Active() {
+		t.Fatal("fresh ref active after firing")
+	}
+	if stale.Time() != 0 {
+		t.Fatalf("stale ref Time() = %v, want 0", stale.Time())
+	}
+}
+
+// TestEngineSteadyStateNoAlloc: after warm-up, scheduling and firing events
+// must not allocate (the freelist recycles records).
+func TestEngineSteadyStateNoAlloc(t *testing.T) {
+	e := NewEngine()
+	fn := func() {}
+	// Warm the pool.
+	for i := 0; i < 10; i++ {
+		e.After(1, fn)
+		e.Step()
+	}
+	allocs := testing.AllocsPerRun(1000, func() {
+		e.After(1, fn)
+		e.Step()
+	})
+	if allocs > 0 {
+		t.Fatalf("schedule/fire allocates %.1f objects per event, want 0", allocs)
 	}
 }
 

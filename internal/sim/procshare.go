@@ -1,9 +1,6 @@
 package sim
 
-import (
-	"container/heap"
-	"fmt"
-)
+import "fmt"
 
 // ProcShare models an N-core processor shared by single-threaded tasks
 // (egalitarian processor sharing): with m active tasks each runs at
@@ -21,7 +18,7 @@ type ProcShare struct {
 	v        float64 // virtual work served per task so far
 	lastT    Time    // when v was last advanced
 	tasks    psHeap
-	nextDone *Event
+	nextDone EventRef
 
 	// OnActiveChange, when set, is called whenever the number of active
 	// tasks changes (after the change); used for utilization/power tracking.
@@ -46,19 +43,69 @@ type PSTask struct {
 	cancel bool
 }
 
+// psHeap is a concrete binary min-heap on PSTask.key (virtual finish time),
+// avoiding container/heap's interface boxing on the submit/complete path.
 type psHeap []*PSTask
 
-func (h psHeap) Len() int           { return len(h) }
-func (h psHeap) Less(i, j int) bool { return h[i].key < h[j].key }
-func (h psHeap) Swap(i, j int)      { h[i], h[j] = h[j], h[i]; h[i].index = i; h[j].index = j }
-func (h *psHeap) Push(x any)        { t := x.(*PSTask); t.index = len(*h); *h = append(*h, t) }
-func (h *psHeap) Pop() any {
+func (h psHeap) siftUp(i int) {
+	t := h[i]
+	for i > 0 {
+		p := (i - 1) / 2
+		if h[p].key <= t.key {
+			break
+		}
+		h[i] = h[p]
+		h[i].index = i
+		i = p
+	}
+	h[i] = t
+	t.index = i
+}
+
+func (h psHeap) siftDown(i int) {
+	n := len(h)
+	t := h[i]
+	for {
+		c := 2*i + 1
+		if c >= n {
+			break
+		}
+		if c+1 < n && h[c+1].key < h[c].key {
+			c++
+		}
+		if h[c].key >= t.key {
+			break
+		}
+		h[i] = h[c]
+		h[i].index = i
+		i = c
+	}
+	h[i] = t
+	t.index = i
+}
+
+func (h *psHeap) push(t *PSTask) {
+	t.index = len(*h)
+	*h = append(*h, t)
+	h.siftUp(t.index)
+}
+
+// remove deletes the task at heap position i and returns it.
+func (h *psHeap) remove(i int) *PSTask {
 	old := *h
-	n := len(old)
-	t := old[n-1]
-	old[n-1] = nil
+	n := len(old) - 1
+	t := old[i]
+	if i != n {
+		old[i] = old[n]
+		old[i].index = i
+	}
+	old[n] = nil
+	*h = old[:n]
+	if i < n {
+		h.siftDown(i)
+		h.siftUp(i)
+	}
 	t.index = -1
-	*h = old[:n-1]
 	return t
 }
 
@@ -123,7 +170,7 @@ func (p *ProcShare) Submit(work float64, done func()) *PSTask {
 	}
 	p.advance()
 	t := &PSTask{key: p.v + work, done: done, work: work}
-	heap.Push(&p.tasks, t)
+	p.tasks.push(t)
 	p.busyIntegral.cur = p.busyCores()
 	p.reschedule()
 	if p.OnActiveChange != nil {
@@ -140,7 +187,7 @@ func (p *ProcShare) CancelTask(t *PSTask) {
 	}
 	t.cancel = true
 	p.advance()
-	heap.Remove(&p.tasks, t.index)
+	p.tasks.remove(t.index)
 	p.busyIntegral.cur = p.busyCores()
 	p.reschedule()
 	if p.OnActiveChange != nil {
@@ -163,10 +210,8 @@ func (p *ProcShare) veps() float64 {
 
 // reschedule re-arms the next-completion event for the current head task.
 func (p *ProcShare) reschedule() {
-	if p.nextDone != nil {
-		p.nextDone.Cancel()
-		p.nextDone = nil
-	}
+	p.nextDone.Cancel()
+	p.nextDone = EventRef{}
 	if len(p.tasks) == 0 {
 		return
 	}
@@ -182,12 +227,12 @@ func (p *ProcShare) reschedule() {
 
 // complete pops every task whose virtual finish time has been reached.
 func (p *ProcShare) complete() {
-	p.nextDone = nil
+	p.nextDone = EventRef{}
 	p.advance()
 	eps := p.veps()
 	var finished []*PSTask
 	for len(p.tasks) > 0 && p.tasks[0].key <= p.v+eps {
-		finished = append(finished, heap.Pop(&p.tasks).(*PSTask))
+		finished = append(finished, p.tasks.remove(0))
 	}
 	p.busyIntegral.cur = p.busyCores()
 	p.reschedule()

@@ -12,7 +12,7 @@ type NaiveProcShare struct {
 
 	tasks    []*naiveTask
 	lastT    Time
-	nextDone *Event
+	nextDone EventRef
 }
 
 type naiveTask struct {
@@ -64,10 +64,8 @@ func (p *NaiveProcShare) Submit(work float64, done func()) {
 }
 
 func (p *NaiveProcShare) reschedule() {
-	if p.nextDone != nil {
-		p.nextDone.Cancel()
-		p.nextDone = nil
-	}
+	p.nextDone.Cancel()
+	p.nextDone = EventRef{}
 	if len(p.tasks) == 0 {
 		return
 	}
@@ -84,7 +82,7 @@ func (p *NaiveProcShare) reschedule() {
 }
 
 func (p *NaiveProcShare) complete() {
-	p.nextDone = nil
+	p.nextDone = EventRef{}
 	p.advance()
 	eps := 1e-9 * (1 + absf(p.servedScale()))
 	var finished []*naiveTask

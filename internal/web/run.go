@@ -101,6 +101,9 @@ func NewDeployment(tb *cluster.Testbed, p Platform, nWeb, nCache int, seed int64
 // during the test stage do not insert, as in the paper, so the ratio stays
 // fixed.)
 func (d *Deployment) Warm(hitRatio float64) {
+	if hitRatio < 0 { // ColdCache sentinel: nothing resident
+		hitRatio = 0
+	}
 	resident := int(hitRatio * rowsPerTable)
 	for t := 0; t < numPlainTables+numImageTables; t++ {
 		size := units.Bytes(plainReplyBytes)
@@ -114,18 +117,38 @@ func (d *Deployment) Warm(hitRatio float64) {
 	}
 }
 
+// WarmFor warms the cache tier for the run described by cfg, resolving the
+// CacheHit default/sentinel exactly as Run will — use this rather than
+// Warm(cfg.CacheHit) so the two paths cannot disagree about what an unset
+// field means.
+func (d *Deployment) WarmFor(cfg RunConfig) {
+	d.Warm(cfg.withDefaults().CacheHit)
+}
+
+// DefaultCacheHit is the warmed hit ratio used across the paper's runs
+// (§5.1.1), applied when RunConfig.CacheHit is left at its zero value.
+const DefaultCacheHit = 0.93
+
+// ColdCache is the RunConfig.CacheHit sentinel for a fully cold cache.
+// Because the field's zero value means "use DefaultCacheHit", a literal 0
+// cannot express "no hits"; any negative value (use this constant) does.
+const ColdCache = -1
+
 // RunConfig drives one httperf measurement (one x-axis point of Figs 4–9).
 type RunConfig struct {
 	Concurrency  float64 // new TCP connections per second (the x axis)
 	CallsPerConn int     // requests per connection (paper tunes this; 8 here)
 	ImageFrac    float64 // probability a request hits an image table
-	CacheHit     float64 // warmed cache hit ratio
-	Duration     float64 // generation time in simulated seconds
-	WarmupFrac   float64 // fraction of Duration excluded from measurement
+	// CacheHit is the warmed cache hit ratio. 0 (unset) means
+	// DefaultCacheHit; pass ColdCache (or any negative value) for a
+	// genuinely cold cache.
+	CacheHit   float64
+	Duration   float64 // generation time in simulated seconds
+	WarmupFrac float64 // fraction of Duration excluded from measurement
 }
 
 // withDefaults fills unset fields with the values used across the paper
-// reproduction.
+// reproduction and resolves the ColdCache sentinel.
 func (c RunConfig) withDefaults() RunConfig {
 	if c.CallsPerConn == 0 {
 		c.CallsPerConn = 8
@@ -137,7 +160,10 @@ func (c RunConfig) withDefaults() RunConfig {
 		c.WarmupFrac = 0.25
 	}
 	if c.CacheHit == 0 {
-		c.CacheHit = 0.93
+		c.CacheHit = DefaultCacheHit
+	}
+	if c.CacheHit < 0 {
+		c.CacheHit = 0
 	}
 	return c
 }
@@ -182,24 +208,16 @@ func (d *Deployment) Run(cfg RunConfig) Result {
 	// Window power accounting.
 	var winEnergy float64
 	eng.At(winStart, func() { d.meter.Reset() })
-	webUtil := stats.NewIntegrator(float64(winStart), 0)
-	cacheUtil := stats.NewIntegrator(float64(winStart), 0)
 	eng.At(winEnd, func() {
 		winEnergy = float64(d.meter.Energy())
 	})
-	// Sample utilizations through the window for the §5.1.2 CPU numbers.
-	var sampleUtil func()
-	sampleUtil = func() {
-		if eng.Now() > winEnd {
-			return
-		}
-		if eng.Now() >= winStart {
-			webUtil.Set(float64(eng.Now()), meanUtil(d.webNodes()))
-			cacheUtil.Set(float64(eng.Now()), meanUtil(d.cacheNodes()))
-		}
-		eng.After(0.25, sampleUtil)
-	}
-	eng.After(0, sampleUtil)
+	// Integrate tier utilizations over the window for the §5.1.2 CPU
+	// numbers. Tracking is change-driven (hw.Node.SubscribeUtil), so heavy
+	// runs do not pay for a polling timer and the means are exact.
+	webUtil := trackMeanUtil(eng, d.webNodes(), winStart, winEnd)
+	cacheUtil := trackMeanUtil(eng, d.cacheNodes(), winStart, winEnd)
+	defer webUtil.detach()
+	defer cacheUtil.detach()
 
 	// Connection generator: Poisson arrivals at Concurrency conn/s spread
 	// over the client machines, each conn routed round-robin by HAProxy.
@@ -295,8 +313,8 @@ func (d *Deployment) Run(cfg RunConfig) Result {
 	}
 	res.MeanPower = units.Watts(winEnergy / window)
 	res.Energy = units.Joules(winEnergy)
-	res.WebCPU = webUtil.Total(float64(winEnd)) / window
-	res.CacheCPU = cacheUtil.Total(float64(winEnd)) / window
+	res.WebCPU = webUtil.mean()
+	res.CacheCPU = cacheUtil.mean()
 	var gets, hits int64
 	for _, c := range d.Cache {
 		gets += c.gets
@@ -328,13 +346,72 @@ func (d *Deployment) cacheNodes() []*hw.Node {
 	return out
 }
 
-func meanUtil(nodes []*hw.Node) float64 {
-	if len(nodes) == 0 {
+// utilTracker integrates the mean CPU utilization of a node set over a
+// measurement window. It subscribes to per-node utilization changes instead
+// of sampling on a timer: the integral is exact and no events are added to
+// the engine beyond the single window-start anchor.
+type utilTracker struct {
+	nodes            []*hw.Node
+	integs           []*stats.Integrator // one per node: exact and O(1) per change
+	cancels          []func()
+	winStart, winEnd float64
+}
+
+// trackMeanUtil attaches a tracker to the nodes for the window
+// [winStart, winEnd]. Call detach after the run to unhook the callbacks.
+func trackMeanUtil(eng *sim.Engine, nodes []*hw.Node, winStart, winEnd sim.Time) *utilTracker {
+	tr := &utilTracker{
+		nodes:    nodes,
+		integs:   make([]*stats.Integrator, len(nodes)),
+		winStart: float64(winStart),
+		winEnd:   float64(winEnd),
+	}
+	for i := range nodes {
+		tr.integs[i] = stats.NewIntegrator(tr.winStart, 0)
+	}
+	for i, n := range nodes {
+		i := i
+		tr.cancels = append(tr.cancels, n.SubscribeUtil(func(u float64) {
+			tr.set(i, u, float64(eng.Now()))
+		}))
+	}
+	// Anchor each integrand at window start with whatever is running then.
+	eng.At(winStart, func() {
+		for i, n := range nodes {
+			tr.set(i, n.Utilization(), tr.winStart)
+		}
+	})
+	return tr
+}
+
+// set updates one node's integrand, clamped to the measurement window.
+// Changes before winStart are ignored — the window-start anchor reads the
+// live utilization then — and changes after winEnd no longer matter.
+func (tr *utilTracker) set(i int, u, now float64) {
+	if now < tr.winStart || now > tr.winEnd {
+		return
+	}
+	tr.integs[i].Set(now, u)
+}
+
+// mean reports the time-weighted mean utilization across the node set over
+// the window: Σ per-node integrals / (nodes × window).
+func (tr *utilTracker) mean() float64 {
+	window := tr.winEnd - tr.winStart
+	if window <= 0 || len(tr.nodes) == 0 {
 		return 0
 	}
-	var u float64
-	for _, n := range nodes {
-		u += n.Utilization()
+	var total float64
+	for _, in := range tr.integs {
+		total += in.Total(tr.winEnd)
 	}
-	return u / float64(len(nodes))
+	return total / (float64(len(tr.nodes)) * window)
+}
+
+// detach unhooks the tracker's own subscriptions (other observers on the
+// same nodes are untouched).
+func (tr *utilTracker) detach() {
+	for _, cancel := range tr.cancels {
+		cancel()
+	}
 }

@@ -1,0 +1,78 @@
+package web
+
+import (
+	"testing"
+
+	"edisim/internal/cluster"
+)
+
+func TestWithDefaults(t *testing.T) {
+	c := RunConfig{Concurrency: 10}.withDefaults()
+	if c.CacheHit != DefaultCacheHit {
+		t.Fatalf("unset CacheHit resolved to %v, want %v", c.CacheHit, DefaultCacheHit)
+	}
+	if c.CallsPerConn != 8 || c.Duration != 30 || c.WarmupFrac != 0.25 {
+		t.Fatalf("defaults not applied: %+v", c)
+	}
+	if got := (RunConfig{CacheHit: ColdCache}).withDefaults().CacheHit; got != 0 {
+		t.Fatalf("ColdCache resolved to %v, want 0", got)
+	}
+	if got := (RunConfig{CacheHit: 0.5}).withDefaults().CacheHit; got != 0.5 {
+		t.Fatalf("explicit CacheHit rewritten to %v", got)
+	}
+}
+
+// TestColdCacheRunIsExpressible: a ColdCache run must measure a ~0 hit
+// ratio and push every request to the database — the configuration the old
+// zero-means-default API silently turned into a 93% warm run.
+func TestColdCacheRunIsExpressible(t *testing.T) {
+	tb := cluster.New(cluster.Config{EdisonNodes: 9, DBNodes: 2, Clients: 4})
+	d := NewDeployment(tb, Edison, 6, 3, 1)
+	d.Warm(ColdCache) // nothing resident
+	r := d.Run(RunConfig{Concurrency: 32, Duration: 5, CacheHit: ColdCache})
+	if r.HitRatio != 0 {
+		t.Fatalf("cold cache measured hit ratio %.3f, want 0", r.HitRatio)
+	}
+	if r.DBDelay.N() == 0 {
+		t.Fatal("cold cache run recorded no DB lookups")
+	}
+	if r.Throughput <= 0 {
+		t.Fatal("cold cache run served nothing")
+	}
+}
+
+// TestUtilTrackerMatchesKnownIntegral checks the change-driven utilization
+// integral on a hand-built schedule: one node, one task occupying its
+// single-core CPU for the first half of the window.
+func TestUtilTrackerMatchesKnownIntegral(t *testing.T) {
+	tb := cluster.New(cluster.Config{EdisonNodes: 1, DBNodes: 1, Clients: 1})
+	n := tb.Edison[0]
+	eng := tb.Eng
+
+	tr := trackMeanUtil(eng, tb.Edison, 10, 20)
+	defer tr.detach()
+	// Edison has 2 effective cores: one busy task = 0.5 utilization.
+	// Busy from t=12 to t=17: 5 s of 0.5 over a 10 s window → mean 0.25.
+	eng.At(12, func() { n.ComputeSeconds(5, nil) })
+	eng.Run()
+	if eng.Now() < 20 {
+		eng.RunUntil(20)
+	}
+	got := tr.mean()
+	if got < 0.24 || got > 0.26 {
+		t.Fatalf("tracked mean utilization %.4f, want ≈0.25", got)
+	}
+}
+
+// TestUtilTrackerAddsNoPollingEvents: an idle run must not accumulate
+// timer events from utilization sampling.
+func TestUtilTrackerAddsNoPollingEvents(t *testing.T) {
+	tb := cluster.New(cluster.Config{EdisonNodes: 2, DBNodes: 1, Clients: 1})
+	tr := trackMeanUtil(tb.Eng, tb.Edison, 0, 100)
+	defer tr.detach()
+	tb.Eng.RunUntil(100)
+	// Only the single window-start anchor event should have fired.
+	if fired := tb.Eng.Fired(); fired > 1 {
+		t.Fatalf("idle tracked run fired %d events, want <= 1", fired)
+	}
+}
