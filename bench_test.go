@@ -14,6 +14,7 @@ import (
 	"testing"
 
 	"edisim/internal/core"
+	"edisim/internal/hw"
 	"edisim/internal/jobs"
 	"edisim/internal/runner"
 )
@@ -75,7 +76,7 @@ func BenchmarkTable7_DelayDecomposition(b *testing.B) { runExperiment(b, "table7
 
 // benchJob runs one job on one cluster configuration, reporting simulated
 // seconds and joules as benchmark metrics.
-func benchJob(b *testing.B, job, platform string, slaves int) {
+func benchJob(b *testing.B, job string, platform *hw.Platform, slaves int) {
 	var secs, joules float64
 	for i := 0; i < b.N; i++ {
 		r, err := jobs.Run(job, platform, slaves, 1)
@@ -89,39 +90,56 @@ func benchJob(b *testing.B, job, platform string, slaves int) {
 	b.ReportMetric(joules, "sim-J")
 }
 
-func BenchmarkFig12_Wordcount_Edison(b *testing.B) {
-	benchJob(b, "wordcount", jobs.EdisonPlatform, 35)
+func benchPair() (micro, brawny *hw.Platform) { return hw.BaselinePair() }
+
+func BenchmarkFig12_Wordcount_Micro(b *testing.B) {
+	m, _ := benchPair()
+	benchJob(b, "wordcount", m, 35)
 }
-func BenchmarkFig15_Wordcount_Dell(b *testing.B) {
-	benchJob(b, "wordcount", jobs.DellPlatform, 2)
+func BenchmarkFig15_Wordcount_Brawny(b *testing.B) {
+	_, br := benchPair()
+	benchJob(b, "wordcount", br, 2)
 }
-func BenchmarkFig13_Wordcount2_Edison(b *testing.B) {
-	benchJob(b, "wordcount2", jobs.EdisonPlatform, 35)
+func BenchmarkFig13_Wordcount2_Micro(b *testing.B) {
+	m, _ := benchPair()
+	benchJob(b, "wordcount2", m, 35)
 }
-func BenchmarkFig16_Wordcount2_Dell(b *testing.B) {
-	benchJob(b, "wordcount2", jobs.DellPlatform, 2)
+func BenchmarkFig16_Wordcount2_Brawny(b *testing.B) {
+	_, br := benchPair()
+	benchJob(b, "wordcount2", br, 2)
 }
-func BenchmarkSec522_Logcount_Edison(b *testing.B) {
-	benchJob(b, "logcount", jobs.EdisonPlatform, 35)
+func BenchmarkSec522_Logcount_Micro(b *testing.B) {
+	m, _ := benchPair()
+	benchJob(b, "logcount", m, 35)
 }
-func BenchmarkSec522_Logcount_Dell(b *testing.B) {
-	benchJob(b, "logcount", jobs.DellPlatform, 2)
+func BenchmarkSec522_Logcount_Brawny(b *testing.B) {
+	_, br := benchPair()
+	benchJob(b, "logcount", br, 2)
 }
-func BenchmarkSec522_Logcount2_Edison(b *testing.B) {
-	benchJob(b, "logcount2", jobs.EdisonPlatform, 35)
+func BenchmarkSec522_Logcount2_Micro(b *testing.B) {
+	m, _ := benchPair()
+	benchJob(b, "logcount2", m, 35)
 }
-func BenchmarkFig14_Pi_Edison(b *testing.B) {
-	benchJob(b, "pi", jobs.EdisonPlatform, 35)
+func BenchmarkFig14_Pi_Micro(b *testing.B) {
+	m, _ := benchPair()
+	benchJob(b, "pi", m, 35)
 }
-func BenchmarkFig17_Pi_Dell(b *testing.B) {
-	benchJob(b, "pi", jobs.DellPlatform, 2)
+func BenchmarkFig17_Pi_Brawny(b *testing.B) {
+	_, br := benchPair()
+	benchJob(b, "pi", br, 2)
 }
-func BenchmarkSec524_Terasort_Edison(b *testing.B) {
-	benchJob(b, "terasort", jobs.EdisonPlatform, 35)
+func BenchmarkSec524_Terasort_Micro(b *testing.B) {
+	m, _ := benchPair()
+	benchJob(b, "terasort", m, 35)
 }
-func BenchmarkSec524_Terasort_Dell(b *testing.B) {
-	benchJob(b, "terasort", jobs.DellPlatform, 2)
+func BenchmarkSec524_Terasort_Brawny(b *testing.B) {
+	_, br := benchPair()
+	benchJob(b, "terasort", br, 2)
 }
+
+// BenchmarkPlatformMatrix exercises the cross-platform matrix experiment
+// over the whole catalog (quick fidelity under -short).
+func BenchmarkPlatformMatrix(b *testing.B) { runExperiment(b, "platform_matrix") }
 
 // --- Section 5.3: scalability --------------------------------------------------
 
@@ -138,9 +156,10 @@ func BenchmarkTable10_TCO(b *testing.B) { runExperiment(b, "table10") }
 // BenchmarkAblation_DelayScheduling quantifies what delay scheduling buys:
 // data-locality and runtime of wordcount with the scheduler as configured.
 func BenchmarkAblation_DelayScheduling(b *testing.B) {
+	m, _ := benchPair()
 	var locality float64
 	for i := 0; i < b.N; i++ {
-		r, err := jobs.Run("wordcount", jobs.EdisonPlatform, 17, 1)
+		r, err := jobs.Run("wordcount", m, 17, 1)
 		if err != nil {
 			b.Fatal(err)
 		}

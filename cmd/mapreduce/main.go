@@ -14,6 +14,7 @@ import (
 	"fmt"
 	"os"
 
+	"edisim/internal/hw"
 	"edisim/internal/jobs"
 	"edisim/internal/mapred"
 	"edisim/internal/report"
@@ -44,20 +45,21 @@ func main() {
 		names = []string{*job}
 	}
 
+	micro, brawny := hw.BaselinePair()
 	type config struct {
 		label    string
-		platform string
+		platform *hw.Platform
 		slaves   int
 	}
 	configs := []config{
-		{"35E", jobs.EdisonPlatform, 35},
-		{"2D", jobs.DellPlatform, 2},
+		{"35E", micro, 35},
+		{"2D", brawny, 2},
 	}
 	if *scaling {
 		configs = []config{
-			{"35E", jobs.EdisonPlatform, 35}, {"17E", jobs.EdisonPlatform, 17},
-			{"8E", jobs.EdisonPlatform, 8}, {"4E", jobs.EdisonPlatform, 4},
-			{"2D", jobs.DellPlatform, 2}, {"1D", jobs.DellPlatform, 1},
+			{"35E", micro, 35}, {"17E", micro, 17},
+			{"8E", micro, 8}, {"4E", micro, 4},
+			{"2D", brawny, 2}, {"1D", brawny, 1},
 		}
 	}
 

@@ -10,11 +10,18 @@
 //
 // Usage:
 //
-//	paper               # full fidelity, all artifacts (minutes)
+//	paper               # full fidelity, all paper artifacts (minutes)
 //	paper -quick        # reduced sweeps for a fast smoke run
 //	paper -j 1          # serial (same output, slower)
 //	paper -only fig4_fig7
+//	paper -only platform_matrix -platforms pi3,xeon-modern
 //	paper -experiments > comparisons.md
+//
+// Experiments marked opt-in (cross-platform matrices beyond the paper's
+// artifact set) run only when named with -only or when -platforms is
+// given, keeping the default output exactly the paper reproduction.
+// -platforms selects which hw catalog platforms those matrices cover
+// (default: the whole catalog).
 package main
 
 import (
@@ -25,20 +32,32 @@ import (
 	"sync"
 
 	"edisim/internal/core"
+	"edisim/internal/hw"
 	"edisim/internal/runner"
 )
 
 func main() {
 	var (
-		quick    = flag.Bool("quick", false, "short sweeps (smoke run)")
-		only     = flag.String("only", "", "comma-separated experiment IDs (default all)")
-		seed     = flag.Int64("seed", 1, "root random seed")
-		jobs     = flag.Int("j", runner.DefaultWorkers(), "parallel workers for experiments and sweep points")
-		markdown = flag.Bool("experiments", false, "emit the EXPERIMENTS.md comparison ledger as markdown")
+		quick     = flag.Bool("quick", false, "short sweeps (smoke run)")
+		only      = flag.String("only", "", "comma-separated experiment IDs (default: all paper artifacts)")
+		seed      = flag.Int64("seed", 1, "root random seed")
+		jobs      = flag.Int("j", runner.DefaultWorkers(), "parallel workers for experiments and sweep points")
+		markdown  = flag.Bool("experiments", false, "emit the EXPERIMENTS.md comparison ledger as markdown")
+		platforms = flag.String("platforms", "", "comma-separated hw catalog platforms for matrix experiments (default: whole catalog)")
 	)
 	flag.Parse()
 
 	cfg := core.Config{Seed: *seed, Quick: *quick, Workers: *jobs}
+	if *platforms != "" {
+		for _, name := range strings.Split(*platforms, ",") {
+			p, ok := hw.LookupPlatform(name)
+			if !ok {
+				fmt.Fprintf(os.Stderr, "paper: unknown platform %q (catalog: %v)\n", name, hw.PlatformNames())
+				os.Exit(2)
+			}
+			cfg.Matrix = append(cfg.Matrix, p)
+		}
+	}
 	wanted := map[string]bool{}
 	if *only != "" {
 		for _, id := range strings.Split(*only, ",") {
@@ -48,7 +67,14 @@ func main() {
 
 	var all []core.Experiment
 	for _, e := range core.Experiments() {
-		if len(wanted) > 0 && !wanted[e.ID] {
+		if len(wanted) > 0 {
+			if !wanted[e.ID] {
+				continue
+			}
+		} else if e.OptIn && *platforms == "" {
+			// Opt-in matrices run when named with -only or when a
+			// -platforms selection implies them; never in the default
+			// paper reproduction.
 			continue
 		}
 		all = append(all, e)

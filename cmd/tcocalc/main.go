@@ -1,39 +1,95 @@
 // Command tcocalc evaluates the paper's total-cost-of-ownership model
-// (Section 6, Equation 1): the four Table 10 scenarios by default, or a
-// custom configuration via flags.
+// (Section 6, Equation 1): the four Table 10 scenarios by default, a custom
+// micro-vs-brawny configuration via flags, or any set of hw catalog
+// platforms via -platforms.
+//
+// Usage:
+//
+//	tcocalc                                  # Table 10
+//	tcocalc -custom -micro 35 -brawny 3 -util 0.75
+//	tcocalc -platforms pi3,xeon-modern -nodes 16,1 -util 0.5
 package main
 
 import (
 	"flag"
 	"fmt"
+	"os"
+	"strconv"
+	"strings"
 
+	"edisim/internal/hw"
 	"edisim/internal/report"
 	"edisim/internal/tco"
 )
 
 func main() {
 	var (
-		custom  = flag.Bool("custom", false, "evaluate a custom scenario instead of Table 10")
-		edisons = flag.Int("edison", 35, "Edison node count (custom)")
-		dells   = flag.Int("dell", 3, "Dell server count (custom)")
-		util    = flag.Float64("util", 0.5, "utilization in [0,1] (custom)")
+		custom    = flag.Bool("custom", false, "evaluate a custom baseline-pair scenario instead of Table 10")
+		micros    = flag.Int("micro", 35, "micro node count (custom)")
+		brawnies  = flag.Int("brawny", 3, "brawny server count (custom)")
+		util      = flag.Float64("util", 0.5, "utilization in [0,1] (custom / -platforms)")
+		platforms = flag.String("platforms", "", "comma-separated hw catalog platforms to price side by side")
+		nodes     = flag.String("nodes", "", "comma-separated node counts matching -platforms (default: catalog fleet slave counts)")
 	)
 	flag.Parse()
 
+	if *platforms != "" {
+		priceMatrix(*platforms, *nodes, *util)
+		return
+	}
+
+	micro, brawny := hw.BaselinePair()
 	if *custom {
-		e := tco.Compute(tco.EdisonInputs(*edisons, *util))
-		d := tco.Compute(tco.DellInputs(*dells, *util))
-		fmt.Printf("Edison x%d @ %.0f%%: equipment $%.0f + electricity $%.0f = $%.0f\n",
-			*edisons, *util*100, e.Equipment, e.Electricity, e.Total())
-		fmt.Printf("Dell   x%d @ %.0f%%: equipment $%.0f + electricity $%.0f = $%.0f\n",
-			*dells, *util*100, d.Equipment, d.Electricity, d.Total())
+		e := tco.Compute(tco.ForPlatform(micro, *micros, *util))
+		d := tco.Compute(tco.ForPlatform(brawny, *brawnies, *util))
+		fmt.Printf("%s x%d @ %.0f%%: equipment $%.0f + electricity $%.0f = $%.0f\n",
+			micro.Label, *micros, *util*100, e.Equipment, e.Electricity, e.Total())
+		fmt.Printf("%s   x%d @ %.0f%%: equipment $%.0f + electricity $%.0f = $%.0f\n",
+			brawny.Label, *brawnies, *util*100, d.Equipment, d.Electricity, d.Total())
 		fmt.Printf("Savings: %.0f%%\n", 100*(1-e.Total()/d.Total()))
 		return
 	}
 
-	t := report.NewTable("Table 10 — 3-year TCO (USD)", "scenario", "Dell", "Edison", "savings %")
+	t := report.NewTable("Table 10 — 3-year TCO (USD)", "scenario", brawny.Label, micro.Label, "savings %")
 	for _, s := range tco.Table10() {
-		t.AddRow(s.Name, s.Dell.Total(), s.Edison.Total(), 100*s.Savings())
+		t.AddRow(s.Name, s.Brawny.Total(), s.Micro.Total(), 100*s.Savings())
+	}
+	fmt.Println(t)
+}
+
+// priceMatrix prices an arbitrary catalog platform set side by side.
+func priceMatrix(platforms, nodes string, util float64) {
+	names := strings.Split(platforms, ",")
+	var counts []int
+	if nodes != "" {
+		for _, c := range strings.Split(nodes, ",") {
+			n, err := strconv.Atoi(strings.TrimSpace(c))
+			if err != nil || n <= 0 {
+				fmt.Fprintf(os.Stderr, "tcocalc: bad node count %q\n", c)
+				os.Exit(2)
+			}
+			counts = append(counts, n)
+		}
+		if len(counts) != len(names) {
+			fmt.Fprintf(os.Stderr, "tcocalc: -nodes needs %d entries, got %d\n", len(names), len(counts))
+			os.Exit(2)
+		}
+	}
+
+	t := report.NewTable(fmt.Sprintf("3-year TCO at %.0f%% utilization", util*100),
+		"platform", "nodes", "equipment $", "electricity $", "total $", "$ per node")
+	for i, name := range names {
+		p, ok := hw.LookupPlatform(name)
+		if !ok {
+			fmt.Fprintf(os.Stderr, "tcocalc: unknown platform %q (catalog: %v)\n", name, hw.PlatformNames())
+			os.Exit(2)
+		}
+		n := p.Fleet.Slaves
+		if counts != nil {
+			n = counts[i]
+		}
+		r := tco.Compute(tco.ForPlatform(p, n, util))
+		t.AddRow(p.Label, n, r.Equipment, r.Electricity, r.Total(), r.Total()/float64(n))
 	}
 	fmt.Println(t)
 }

@@ -1,8 +1,7 @@
 // Command websvc reproduces the paper's web-service experiments (§5.1):
-// httperf concurrency sweeps over the Edison and Dell middle tiers,
-// reporting throughput, response delay, error onset, cluster power
-// (Figures 4–9), delay distributions (Figures 10–11) and the Table 7
-// delay decomposition.
+// httperf concurrency sweeps over the middle-tier platforms, reporting
+// throughput, response delay, error onset, cluster power (Figures 4–9),
+// delay distributions (Figures 10–11) and the Table 7 delay decomposition.
 //
 // Usage:
 //
@@ -15,6 +14,7 @@ import (
 	"os"
 
 	"edisim/internal/cluster"
+	"edisim/internal/hw"
 	"edisim/internal/report"
 	"edisim/internal/web"
 )
@@ -51,7 +51,7 @@ func main() {
 	dfig := report.NewFigure("Response delay", "conn/s", "ms", concurrencies)
 	pfig := report.NewFigure("Cluster power", "conn/s", "W", concurrencies)
 
-	run := func(p web.Platform, nWeb, nCache int) {
+	run := func(p *hw.Platform, nWeb, nCache int) {
 		var tput, delay, pow []float64
 		for _, c := range concurrencies {
 			r := sweepPoint(p, nWeb, nCache, c, *image, *cacheHit, *duration, *seed)
@@ -60,23 +60,22 @@ func main() {
 				mark = " [errors]"
 			}
 			fmt.Printf("%-7s web=%-2d conc=%-6.0f tput=%-7.0f delay=%-8.2fms err=%-6.3f power=%-7.1fW cpu(web)=%.0f%% cpu(cache)=%.0f%% hit=%.2f%s\n",
-				p, nWeb, c, r.Throughput, r.MeanDelay*1e3, r.ErrorRate,
+				p.Label, nWeb, c, r.Throughput, r.MeanDelay*1e3, r.ErrorRate,
 				float64(r.MeanPower), r.WebCPU*100, r.CacheCPU*100, r.HitRatio, mark)
 			tput = append(tput, r.Throughput)
 			delay = append(delay, r.MeanDelay*1e3)
 			pow = append(pow, float64(r.MeanPower))
 		}
-		label := fmt.Sprintf("%d %s", nWeb, p)
+		label := fmt.Sprintf("%d %s", nWeb, p.Label)
 		fig.Add(label, tput)
 		dfig.Add(label, delay)
 		pfig.Add(label, pow)
 	}
 
-	if ws.EdisonWeb > 0 {
-		run(web.Edison, ws.EdisonWeb, ws.EdisonCache)
-	}
-	if ws.DellWeb > 0 {
-		run(web.Dell, ws.DellWeb, ws.DellCache)
+	for _, tier := range ws.Tiers {
+		if tier.Web > 0 {
+			run(tier.Platform, tier.Web, tier.Cache)
+		}
 	}
 
 	fmt.Println()
@@ -87,14 +86,11 @@ func main() {
 
 // sweepPoint runs one concurrency level on a fresh testbed so runs are
 // independent and reproducible.
-func sweepPoint(p web.Platform, nWeb, nCache int, conc, image, hit, duration float64, seed int64) web.Result {
-	cfg := cluster.Config{DBNodes: 2, Clients: 8}
-	if p == web.Edison {
-		cfg.EdisonNodes = nWeb + nCache
-	} else {
-		cfg.DellNodes = nWeb + nCache
-	}
-	tb := cluster.New(cfg)
+func sweepPoint(p *hw.Platform, nWeb, nCache int, conc, image, hit, duration float64, seed int64) web.Result {
+	tb := cluster.New(cluster.Config{
+		Groups:  []cluster.GroupConfig{{Platform: p, Nodes: nWeb + nCache}},
+		DBNodes: 2, Clients: 8,
+	})
 	dep := web.NewDeployment(tb, p, nWeb, nCache, seed)
 	rc := web.RunConfig{
 		Concurrency: conc,

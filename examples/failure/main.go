@@ -9,12 +9,16 @@ import (
 
 	"edisim/internal/cluster"
 	"edisim/internal/hdfs"
+	"edisim/internal/hw"
 	"edisim/internal/units"
 )
 
 func main() {
-	tb := cluster.New(cluster.Config{EdisonNodes: 8, DellNodes: 1})
-	fs := hdfs.New(tb.Fab, tb.Dell[0].ID, tb.Edison, 16*units.MB, 2, 1)
+	micro, brawny := hw.BaselinePair()
+	tb := cluster.New(cluster.Config{
+		Groups: []cluster.GroupConfig{{Platform: micro, Nodes: 8}, {Platform: brawny, Nodes: 1}},
+	})
+	fs := hdfs.New(tb.Fab, tb.Nodes(brawny)[0].ID, tb.Nodes(micro), 16*units.MB, 2, 1)
 	fs.CreateInstant("/data/corpus", 512*units.MB)
 
 	victim := fs.DataNodes()[0]

@@ -7,34 +7,35 @@ import (
 	"fmt"
 	"log"
 
+	"edisim/internal/hw"
 	"edisim/internal/jobs"
 	"edisim/internal/mapred"
 )
 
 func main() {
+	micro, brawny := hw.BaselinePair()
 	for _, name := range []string{"wordcount", "wordcount2"} {
 		fmt.Printf("== %s ==\n", name)
 		for _, side := range []struct {
-			platform string
+			platform *hw.Platform
 			slaves   int
-			label    string
 		}{
-			{jobs.EdisonPlatform, 35, "35 Edison slaves"},
-			{jobs.DellPlatform, 2, "2 Dell slaves"},
+			{micro, 35},
+			{brawny, 2},
 		} {
 			r, err := jobs.Run(name, side.platform, side.slaves, 1)
 			if err != nil {
 				log.Fatal(err)
 			}
-			fmt.Printf("%s: %.0f s, %.0f J, %d maps (%d%% data-local), %d reduces\n",
-				side.label, r.Duration, float64(r.Energy),
+			fmt.Printf("%d %s slaves: %.0f s, %.0f J, %d maps (%d%% data-local), %d reduces\n",
+				side.slaves, side.platform.Label, r.Duration, float64(r.Energy),
 				r.MapTasks, int(100*r.LocalityFraction()), r.ReduceTasks)
 			printPhases(r)
 		}
 		fmt.Println()
 	}
 	fmt.Println("combining 200 small inputs into one split per vcore removes most")
-	fmt.Println("container-allocation overhead — and most of Edison's advantage (§5.2.1)")
+	fmt.Println("container-allocation overhead — and most of the micro cluster's advantage (§5.2.1)")
 }
 
 // printPhases prints a compact five-point trace of the job.

@@ -14,13 +14,15 @@ import (
 )
 
 func main() {
-	// 1. How many Edison micro servers replace one Dell R620? (§3.1)
-	est := hw.EstimateReplacement(hw.EdisonSpec(), hw.DellR620Spec())
-	fmt.Printf("Table 2: %d Edison nodes match one Dell R620 (CPU %d, RAM %d, NIC %d)\n\n",
-		est.Required, est.ByCPU, est.ByRAM, est.ByNIC)
+	micro, brawny := hw.BaselinePair()
+
+	// 1. How many micro servers replace one brawny server? (§3.1)
+	est := hw.EstimateReplacement(micro.Spec, brawny.Spec)
+	fmt.Printf("Table 2: %d %s nodes match one %s (CPU %d, RAM %d, NIC %d)\n\n",
+		est.Required, micro.Label, brawny.FullName, est.ByCPU, est.ByRAM, est.ByNIC)
 
 	// 2. Functional check: the real wordcount counts real words.
-	job := jobs.Wordcount(4, 4, jobs.EdisonPlatform)
+	job := jobs.Wordcount(4, micro)
 	local, err := mapred.LocalRun(job, map[string][]string{
 		"part-0": jobs.GenerateTextLines(1, 200, 8),
 		"part-1": jobs.GenerateTextLines(2, 200, 8),
@@ -34,16 +36,16 @@ func main() {
 	// 3. The same workload on both simulated clusters (small scale for a
 	// fast demo): who does more work per joule?
 	fmt.Println("logcount2 on simulated clusters:")
-	edison, err := jobs.Run("logcount2", jobs.EdisonPlatform, 8, 1)
+	e, err := jobs.Run("logcount2", micro, 8, 1)
 	if err != nil {
 		log.Fatal(err)
 	}
-	dell, err := jobs.Run("logcount2", jobs.DellPlatform, 1, 1)
+	d, err := jobs.Run("logcount2", brawny, 1, 1)
 	if err != nil {
 		log.Fatal(err)
 	}
-	fmt.Printf("  8 Edison slaves: %5.0f s, %6.0f J\n", edison.Duration, float64(edison.Energy))
-	fmt.Printf("  1 Dell slave:    %5.0f s, %6.0f J\n", dell.Duration, float64(dell.Energy))
-	fmt.Printf("  Edison work-done-per-joule advantage: %.2fx\n",
-		float64(dell.Energy)/float64(edison.Energy))
+	fmt.Printf("  8 %s slaves: %5.0f s, %6.0f J\n", micro.Label, e.Duration, float64(e.Energy))
+	fmt.Printf("  1 %s slave:    %5.0f s, %6.0f J\n", brawny.Label, d.Duration, float64(d.Energy))
+	fmt.Printf("  %s work-done-per-joule advantage: %.2fx\n",
+		micro.Label, float64(d.Energy)/float64(e.Energy))
 }

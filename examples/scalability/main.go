@@ -1,5 +1,5 @@
 // Scalability: re-run one light and one heavy MapReduce job across the
-// paper's cluster sizes (Figures 18–19, §5.3), showing where bigger Edison
+// paper's cluster sizes (Figures 18–19, §5.3), showing where bigger micro
 // clusters help (heavier jobs, more allocation overhead) and where
 // coordination "friction loss" makes small clusters more efficient.
 package main
@@ -8,18 +8,20 @@ import (
 	"fmt"
 	"log"
 
+	"edisim/internal/hw"
 	"edisim/internal/jobs"
 )
 
 func main() {
+	micro, _ := hw.BaselinePair()
 	sizes := []int{35, 17, 8, 4}
 	for _, job := range []string{"terasort", "logcount2"} {
-		fmt.Printf("== %s on Edison clusters ==\n", job)
+		fmt.Printf("== %s on %s clusters ==\n", job, micro.Label)
 		fmt.Printf("%-8s %-10s %-10s %-14s\n", "slaves", "time(s)", "energy(J)", "speedup-vs-4")
 		var base float64
 		for i := len(sizes) - 1; i >= 0; i-- {
 			n := sizes[i]
-			r, err := jobs.Run(job, jobs.EdisonPlatform, n, 1)
+			r, err := jobs.Run(job, micro, n, 1)
 			if err != nil {
 				log.Fatal(err)
 			}

@@ -6,24 +6,26 @@ package main
 import (
 	"fmt"
 
+	"edisim/internal/hw"
 	"edisim/internal/tco"
 )
 
 func main() {
+	micro, brawny := hw.BaselinePair()
 	fmt.Println("Table 10 — 3-year TCO:")
 	for _, s := range tco.Table10() {
-		fmt.Printf("  %-34s Dell $%7.1f   Edison $%7.1f   savings %4.1f%%\n",
-			s.Name, s.Dell.Total(), s.Edison.Total(), 100*s.Savings())
+		fmt.Printf("  %-34s %s $%7.1f   %s $%7.1f   savings %4.1f%%\n",
+			s.Name, brawny.Label, s.Brawny.Total(), micro.Label, s.Micro.Total(), 100*s.Savings())
 	}
 
 	fmt.Println("\nSensitivity: web-service high utilization vs electricity price")
 	for _, price := range []float64{0.05, 0.10, 0.20, 0.40} {
-		d := tco.DellInputs(3, 0.75)
-		e := tco.EdisonInputs(35, 0.75)
+		d := tco.ForPlatform(brawny, 3, 0.75)
+		e := tco.ForPlatform(micro, 35, 0.75)
 		d.PricePerKWh, e.PricePerKWh = price, price
 		rd, re := tco.Compute(d), tco.Compute(e)
-		fmt.Printf("  $%.2f/kWh: Dell $%8.1f  Edison $%7.1f  savings %4.1f%%\n",
-			price, rd.Total(), re.Total(), 100*(1-re.Total()/rd.Total()))
+		fmt.Printf("  $%.2f/kWh: %s $%8.1f  %s $%7.1f  savings %4.1f%%\n",
+			price, brawny.Label, rd.Total(), micro.Label, re.Total(), 100*(1-re.Total()/rd.Total()))
 	}
 	fmt.Println("\nhigher electricity prices widen the micro cluster's advantage")
 }

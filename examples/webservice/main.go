@@ -1,41 +1,40 @@
 // Webservice: drive the LLMP stack (Lighttpd + memcached + MySQL behind
 // HAProxy) on both middle tiers at a few httperf concurrency levels,
 // showing the paper's headline trade-off: comparable peak throughput,
-// higher Edison latency, and ≈3.5× better energy efficiency (§5.1).
+// higher micro-server latency, and ≈3.5× better energy efficiency (§5.1).
 package main
 
 import (
 	"fmt"
 
 	"edisim/internal/cluster"
+	"edisim/internal/hw"
 	"edisim/internal/web"
 )
 
 func main() {
+	micro, brawny := hw.BaselinePair()
 	fmt.Println("httperf sweep, 93% cache hit, no image queries (Figure 4 excerpt)")
 	fmt.Printf("%-8s %-8s %-10s %-10s %-10s %-12s\n",
 		"tier", "conn/s", "req/s", "delay", "power", "req/joule")
 
 	for _, conc := range []float64{128, 512, 1024} {
 		for _, tier := range []struct {
-			p            web.Platform
+			p            *hw.Platform
 			nWeb, nCache int
 		}{
-			{web.Edison, 24, 11},
-			{web.Dell, 2, 1},
+			{micro, 24, 11},
+			{brawny, 2, 1},
 		} {
-			ccfg := cluster.Config{DBNodes: 2, Clients: 8}
-			if tier.p == web.Edison {
-				ccfg.EdisonNodes = tier.nWeb + tier.nCache
-			} else {
-				ccfg.DellNodes = tier.nWeb + tier.nCache
-			}
-			tb := cluster.New(ccfg)
+			tb := cluster.New(cluster.Config{
+				Groups:  []cluster.GroupConfig{{Platform: tier.p, Nodes: tier.nWeb + tier.nCache}},
+				DBNodes: 2, Clients: 8,
+			})
 			dep := web.NewDeployment(tb, tier.p, tier.nWeb, tier.nCache, 1)
 			dep.Warm(0.93)
 			r := dep.Run(web.RunConfig{Concurrency: conc, Duration: 8})
 			fmt.Printf("%-8s %-8.0f %-10.0f %-10s %-10s %-12.1f\n",
-				tier.p, conc, r.Throughput,
+				tier.p.Label, conc, r.Throughput,
 				fmt.Sprintf("%.1fms", r.MeanDelay*1e3),
 				fmt.Sprintf("%.1fW", float64(r.MeanPower)),
 				r.Throughput/float64(r.MeanPower))

@@ -1,11 +1,17 @@
-// Package cluster assembles the paper's testbed (§3, Figure 1): a 35-node
+// Package cluster assembles testbeds from the hw platform catalog. The
+// default configuration is the paper's setup (§3, Figure 1): a 35-node
 // Edison cluster packed as five boxes of seven nodes each with a per-box
 // switch, a Dell PowerEdge R620 cluster under a top-of-rack switch, two Dell
 // database servers, and the client machines — all joined by a core switch.
-// Link capacities and propagation delays reproduce the measured §4.4
-// numbers: 1.3 ms RTT Edison–Edison, 0.8 ms Dell–Edison, 0.24 ms Dell–Dell,
-// and the 1 Gbps aggregate path between the clients' room and the Edison
+// Link capacities and propagation delays come from each platform's
+// NetworkProfile and reproduce the measured §4.4 numbers for the baseline
+// pair: 1.3 ms RTT micro–micro, 0.8 ms brawny–micro, 0.24 ms brawny–brawny,
+// and the 1 Gbps aggregate path between the clients' room and the micro
 // room that motivates the paper's "20% image" fairness argument.
+//
+// Any catalog platform can be deployed: a testbed is an ordered list of
+// per-platform node groups plus the shared infrastructure tier (database
+// servers and load generators) that always runs on the infra platform.
 package cluster
 
 import (
@@ -18,41 +24,76 @@ import (
 	"edisim/internal/units"
 )
 
-// Topology constants (one-way propagation delays in seconds), chosen so the
-// fabric reproduces the paper's measured RTTs.
-const (
-	edisonAccessDelay = 0.30e-3 // Edison host <-> box switch
-	boxUplinkDelay    = 0.05e-3 // box switch <-> Edison root switch
-	dellAccessDelay   = 0.06e-3 // Dell host <-> ToR
-	coreDelay         = 0       // room interconnects
-)
+// Group is one platform's node set inside a testbed, with its own power
+// instrument (the paper: a Mastech DC supply / an SNMP rack PDU).
+type Group struct {
+	Platform *hw.Platform
+	Nodes    []*hw.Node
+	Meter    *power.Meter
+}
 
 // Testbed is the full experimental setup on one engine and one fabric.
 type Testbed struct {
 	Eng *sim.Engine
 	Fab *netsim.Fabric
 
-	Edison  []*hw.Node // up to 35 micro servers
-	Dell    []*hw.Node // up to 3 brawny servers
-	DB      []*hw.Node // 2 Dell R620 database servers (shared by both clusters)
+	Groups  []*Group   // per-platform node groups, in Config order
+	DB      []*hw.Node // database servers (shared by all groups)
 	Clients []string   // client machine vertex names (load generators)
 
-	EdisonMeter *power.Meter // the Mastech DC supply
-	DellMeter   *power.Meter // the rack PDU
+	// Infra is the platform the DB and client tier attaches to (the
+	// paper's machine room: always the brawny baseline).
+	Infra *hw.Platform
+}
+
+// Group returns the node group for a platform, or nil if the testbed has
+// none.
+func (tb *Testbed) Group(p *hw.Platform) *Group {
+	for _, g := range tb.Groups {
+		if g.Platform == p {
+			return g
+		}
+	}
+	return nil
+}
+
+// Nodes returns the platform's nodes (nil when absent).
+func (tb *Testbed) Nodes(p *hw.Platform) []*hw.Node {
+	if g := tb.Group(p); g != nil {
+		return g.Nodes
+	}
+	return nil
+}
+
+// GroupConfig sizes one platform's node group.
+type GroupConfig struct {
+	Platform *hw.Platform
+	Nodes    int
 }
 
 // Config sizes the testbed.
 type Config struct {
-	EdisonNodes int // 0..35
-	DellNodes   int // 0..3
-	DBNodes     int // database servers, paper uses 2
-	Clients     int // load generator machines, paper uses 8 httperf + 30 logger
+	Groups  []GroupConfig
+	DBNodes int // database servers, paper uses 2
+	Clients int // load generator machines, paper uses 8 httperf + 30 logger
+	// Infra hosts the DB/client tier; nil selects the baseline brawny
+	// platform (the paper's Dell machine room).
+	Infra *hw.Platform
+}
+
+// PairConfig sizes a two-group testbed over the baseline pair — the shape
+// every paper experiment uses.
+func PairConfig(microNodes, brawnyNodes, dbNodes, clients int) Config {
+	micro, brawny := hw.BaselinePair()
+	return Config{
+		Groups:  []GroupConfig{{Platform: micro, Nodes: microNodes}, {Platform: brawny, Nodes: brawnyNodes}},
+		DBNodes: dbNodes,
+		Clients: clients,
+	}
 }
 
 // DefaultConfig is the paper's full setup.
-func DefaultConfig() Config {
-	return Config{EdisonNodes: 35, DellNodes: 3, DBNodes: 2, Clients: 8}
-}
+func DefaultConfig() Config { return PairConfig(35, 3, 2, 8) }
 
 // New builds a testbed on a fresh engine.
 func New(cfg Config) *Testbed {
@@ -60,64 +101,89 @@ func New(cfg Config) *Testbed {
 	return NewOn(eng, cfg)
 }
 
-// NewOn builds a testbed on an existing engine.
+// NewOn builds a testbed on an existing engine. Group subtrees are built in
+// Config order; the infra root switch is created on demand when no group
+// already built it, then the DB and client tiers attach there.
 func NewOn(eng *sim.Engine, cfg Config) *Testbed {
-	if cfg.EdisonNodes < 0 || cfg.EdisonNodes > 200 {
-		panic(fmt.Sprintf("cluster: invalid Edison node count %d", cfg.EdisonNodes))
+	infra := cfg.Infra
+	if infra == nil {
+		_, infra = hw.BaselinePair()
 	}
-	tb := &Testbed{Eng: eng, Fab: netsim.NewFabric(eng)}
+	tb := &Testbed{Eng: eng, Fab: netsim.NewFabric(eng), Infra: infra}
 	f := tb.Fab
 
 	f.AddVertex("core")
 
-	// --- Edison room: boxes of 7 under per-box switches, root switch,
-	// 1 Gbps uplink to the core (the inter-room bottleneck).
-	if cfg.EdisonNodes > 0 {
-		f.AddVertex("edison-root")
-		f.Connect("edison-root", "core", units.Gbps(1), coreDelay)
-		spec := hw.EdisonSpec()
-		nBoxes := (cfg.EdisonNodes + 6) / 7
-		for b := 0; b < nBoxes; b++ {
-			sw := fmt.Sprintf("edison-box%d", b)
-			f.AddVertex(sw)
-			f.Connect(sw, "edison-root", units.Gbps(1), boxUplinkDelay)
-		}
-		for i := 0; i < cfg.EdisonNodes; i++ {
-			name := fmt.Sprintf("edison%02d", i)
-			f.AddVertex(name)
-			f.Connect(name, fmt.Sprintf("edison-box%d", i/7), spec.NIC.TCPGoodput, edisonAccessDelay)
-			tb.Edison = append(tb.Edison, hw.NewNode(eng, spec, name))
-		}
+	buildRoot := func(p *hw.Platform) {
+		net := p.Net
+		f.AddVertex(net.SwitchName)
+		f.Connect(net.SwitchName, "core", net.CoreUplink, net.CoreDelay)
 	}
 
-	// --- Dell room: ToR switch directly on the core (same machine room as
-	// the clients; aggregate bandwidth limited only by the hosts' own NICs).
-	f.AddVertex("dell-tor")
-	f.Connect("dell-tor", "core", units.Gbps(10), coreDelay)
-	dellSpec := hw.DellR620Spec()
-	for i := 0; i < cfg.DellNodes; i++ {
-		name := fmt.Sprintf("dell%d", i)
-		f.AddVertex(name)
-		f.Connect(name, "dell-tor", dellSpec.NIC.TCPGoodput, dellAccessDelay)
-		tb.Dell = append(tb.Dell, hw.NewNode(eng, dellSpec, name))
+	built := map[string]bool{}
+	for _, gc := range cfg.Groups {
+		p := gc.Platform
+		if p == nil {
+			panic("cluster: group without a platform")
+		}
+		if gc.Nodes < 0 || gc.Nodes > 200 {
+			panic(fmt.Sprintf("cluster: invalid %s node count %d", p.Name, gc.Nodes))
+		}
+		if gc.Nodes == 0 {
+			continue
+		}
+		if built[p.Net.SwitchName] {
+			panic(fmt.Sprintf("cluster: duplicate group for %s", p.Name))
+		}
+		buildRoot(p)
+		built[p.Net.SwitchName] = true
+
+		net := p.Net
+		if net.LeafFanout > 0 {
+			nLeaves := (gc.Nodes + net.LeafFanout - 1) / net.LeafFanout
+			for b := 0; b < nLeaves; b++ {
+				sw := fmt.Sprintf("%s%d", net.LeafPrefix, b)
+				f.AddVertex(sw)
+				f.Connect(sw, net.SwitchName, net.LeafUplink, net.LeafUplinkDelay)
+			}
+		}
+		g := &Group{Platform: p}
+		for i := 0; i < gc.Nodes; i++ {
+			name := fmt.Sprintf(net.HostFormat, i)
+			f.AddVertex(name)
+			attach := net.SwitchName
+			if net.LeafFanout > 0 {
+				attach = fmt.Sprintf("%s%d", net.LeafPrefix, i/net.LeafFanout)
+			}
+			f.Connect(name, attach, p.Spec.NIC.TCPGoodput, net.AccessDelay)
+			g.Nodes = append(g.Nodes, hw.NewNode(eng, p.Spec, name))
+		}
+		tb.Groups = append(tb.Groups, g)
+	}
+
+	// --- Infrastructure tier: DB servers and clients under the infra
+	// platform's root switch (the paper's Dell machine room, which exists
+	// even in micro-only deployments).
+	if !built[infra.Net.SwitchName] {
+		buildRoot(infra)
 	}
 	for i := 0; i < cfg.DBNodes; i++ {
 		name := fmt.Sprintf("db%d", i)
 		f.AddVertex(name)
-		f.Connect(name, "dell-tor", dellSpec.NIC.TCPGoodput, dellAccessDelay)
-		tb.DB = append(tb.DB, hw.NewNode(eng, dellSpec, name))
+		f.Connect(name, infra.Net.SwitchName, infra.Spec.NIC.TCPGoodput, infra.Net.AccessDelay)
+		tb.DB = append(tb.DB, hw.NewNode(eng, infra.Spec, name))
 	}
-
-	// --- Clients: in the Dell room, each with its own 1 Gbps access link.
+	// Clients: each with its own 1 Gbps-class access link.
 	for i := 0; i < cfg.Clients; i++ {
 		name := fmt.Sprintf("client%d", i)
 		f.AddVertex(name)
-		f.Connect(name, "dell-tor", units.Mbps(942), dellAccessDelay)
+		f.Connect(name, infra.Net.SwitchName, units.Mbps(942), infra.Net.AccessDelay)
 		tb.Clients = append(tb.Clients, name)
 	}
 
-	tb.EdisonMeter = power.NewMeter("mastech-supply", tb.Edison)
-	tb.DellMeter = power.NewMeter("rack-pdu", tb.Dell)
+	for _, g := range tb.Groups {
+		g.Meter = power.NewMeter(g.Platform.MeterName, g.Nodes)
+	}
 	return tb
 }
 
@@ -127,35 +193,59 @@ type PowerState struct {
 	Idle, Busy units.Watts
 }
 
-// Table3 reproduces the paper's measured power states from the specs.
+// Table3 reproduces the paper's measured power states from the baseline
+// pair's specs.
 func Table3() []PowerState {
-	e := hw.EdisonSpec().Power
-	d := hw.DellR620Spec().Power
+	micro, brawny := hw.BaselinePair()
+	e := micro.Spec.Power
+	d := brawny.Spec.Power
 	bare := hw.PowerSpec{Idle: e.Idle, Busy: e.Busy}
 	rows := []PowerState{
-		{"1 Edison without Ethernet adaptor", bare.IdleDraw(), bare.BusyDraw()},
-		{"1 Edison with Ethernet adaptor", e.IdleDraw(), e.BusyDraw()},
-		{"Edison cluster of 35 nodes", 35 * e.IdleDraw(), 35 * e.BusyDraw()},
-		{"1 Dell server", d.IdleDraw(), d.BusyDraw()},
-		{"Dell cluster of 3 nodes", 3 * d.IdleDraw(), 3 * d.BusyDraw()},
+		{fmt.Sprintf("1 %s without Ethernet adaptor", micro.Label), bare.IdleDraw(), bare.BusyDraw()},
+		{fmt.Sprintf("1 %s with Ethernet adaptor", micro.Label), e.IdleDraw(), e.BusyDraw()},
+		{fmt.Sprintf("%s cluster of 35 nodes", micro.Label), 35 * e.IdleDraw(), 35 * e.BusyDraw()},
+		{fmt.Sprintf("1 %s server", brawny.Label), d.IdleDraw(), d.BusyDraw()},
+		{fmt.Sprintf("%s cluster of 3 nodes", brawny.Label), 3 * d.IdleDraw(), 3 * d.BusyDraw()},
 	}
 	return rows
 }
 
-// WebScale is a row of Table 6: how many web/cache servers each cluster
-// contributes at each scale factor.
-type WebScale struct {
-	Name                   string
-	EdisonWeb, EdisonCache int
-	DellWeb, DellCache     int
+// WebTier is one platform's web/cache contribution at a scale factor.
+type WebTier struct {
+	Platform   *hw.Platform
+	Web, Cache int
 }
 
-// Table6 returns the paper's cluster scale configurations.
+// WebScale is a row of Table 6: how many web/cache servers each cluster
+// contributes at each scale factor. Tiers are ordered micro then brawny.
+type WebScale struct {
+	Name  string
+	Tiers []WebTier
+}
+
+// Tier returns the row's tier for a platform (zero sizes when absent).
+func (s WebScale) Tier(p *hw.Platform) WebTier {
+	for _, t := range s.Tiers {
+		if t.Platform == p {
+			return t
+		}
+	}
+	return WebTier{Platform: p}
+}
+
+// Table6 returns the paper's cluster scale configurations over the
+// baseline pair.
 func Table6() []WebScale {
+	return Table6For(hw.BaselinePair())
+}
+
+// Table6For returns the paper's scale ladder over an arbitrary compared
+// pair (the tier sizes are the paper's; the platforms are the caller's).
+func Table6For(micro, brawny *hw.Platform) []WebScale {
 	return []WebScale{
-		{Name: "full", EdisonWeb: 24, EdisonCache: 11, DellWeb: 2, DellCache: 1},
-		{Name: "1/2", EdisonWeb: 12, EdisonCache: 6, DellWeb: 1, DellCache: 1},
-		{Name: "1/4", EdisonWeb: 6, EdisonCache: 3},
-		{Name: "1/8", EdisonWeb: 3, EdisonCache: 2},
+		{Name: "full", Tiers: []WebTier{{micro, 24, 11}, {brawny, 2, 1}}},
+		{Name: "1/2", Tiers: []WebTier{{micro, 12, 6}, {brawny, 1, 1}}},
+		{Name: "1/4", Tiers: []WebTier{{micro, 6, 3}}},
+		{Name: "1/8", Tiers: []WebTier{{micro, 3, 2}}},
 	}
 }

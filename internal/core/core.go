@@ -8,10 +8,11 @@ import (
 	"fmt"
 	"sort"
 
+	"edisim/internal/hw"
 	"edisim/internal/report"
 )
 
-// Config controls experiment fidelity.
+// Config controls experiment fidelity and platform selection.
 type Config struct {
 	// Seed is the root random seed; identical seeds reproduce results
 	// bit-for-bit.
@@ -24,6 +25,35 @@ type Config struct {
 	// every point runs on its own engine with a seed derived from the
 	// point's identity, and results are assembled in point order.
 	Workers int
+
+	// Micro/Brawny override the compared platform pair; nil selects the
+	// catalog baseline (the paper's Edison / Dell R620 testbed).
+	Micro, Brawny *hw.Platform
+	// Matrix lists the platforms cross-platform matrix experiments cover;
+	// empty selects the whole catalog (cmd/paper's -platforms).
+	Matrix []*hw.Platform
+}
+
+// Pair resolves the compared platform pair, defaulting to the catalog
+// baseline.
+func (c Config) Pair() (micro, brawny *hw.Platform) {
+	micro, brawny = hw.BaselinePair()
+	if c.Micro != nil {
+		micro = c.Micro
+	}
+	if c.Brawny != nil {
+		brawny = c.Brawny
+	}
+	return micro, brawny
+}
+
+// MatrixPlatforms resolves the platform set for cross-platform matrix
+// experiments: Config.Matrix when set, the whole catalog otherwise.
+func (c Config) MatrixPlatforms() []*hw.Platform {
+	if len(c.Matrix) > 0 {
+		return c.Matrix
+	}
+	return hw.Platforms()
 }
 
 // DefaultConfig runs experiments at full fidelity with seed 1.
@@ -50,7 +80,11 @@ type Experiment struct {
 	ID      string // e.g. "fig4_fig7"
 	Title   string
 	Section string // paper section
-	Run     func(cfg Config) *Outcome
+	// OptIn experiments go beyond the paper's artifact set (cross-platform
+	// matrices); cmd/paper runs them only when selected with -only, so the
+	// default reproduction output stays exactly the paper's.
+	OptIn bool
+	Run   func(cfg Config) *Outcome
 }
 
 var registry []Experiment

@@ -3,9 +3,11 @@ package core
 import (
 	"fmt"
 
+	"edisim/internal/hw"
 	"edisim/internal/jobs"
 	"edisim/internal/mapred"
 	"edisim/internal/report"
+	"edisim/internal/runner"
 )
 
 func init() {
@@ -28,18 +30,50 @@ var PaperTable8 = map[string]map[string][2]float64{
 	"terasort":   {"35E": {750, 43440}, "17E": {1364, 37763}, "8E": {3736, 48675}, "4E": {8220, 53547}, "2D": {331, 64210}, "1D": {1336, 111422}},
 }
 
-// ClusterLabels lists the Table 8 cluster configurations.
-var ClusterLabels = []struct {
+// clusterConfig is one Table 8 cluster configuration.
+type clusterConfig struct {
 	Label    string
-	Platform string
+	Platform *hw.Platform
 	Slaves   int
-}{
-	{"35E", jobs.EdisonPlatform, 35},
-	{"17E", jobs.EdisonPlatform, 17},
-	{"8E", jobs.EdisonPlatform, 8},
-	{"4E", jobs.EdisonPlatform, 4},
-	{"2D", jobs.DellPlatform, 2},
-	{"1D", jobs.DellPlatform, 1},
+}
+
+// clusterConfigs lists the Table 8 cluster configurations over the pair.
+func clusterConfigs(micro, brawny *hw.Platform) []clusterConfig {
+	return []clusterConfig{
+		{"35E", micro, 35},
+		{"17E", micro, 17},
+		{"8E", micro, 8},
+		{"4E", micro, 4},
+		{"2D", brawny, 2},
+		{"1D", brawny, 1},
+	}
+}
+
+// runPairJobs executes the same job list on both paper-scale clusters (35
+// micro slaves, 2 brawny slaves), fanning the independent simulations
+// across the worker pool. Every run keeps the experiment's root seed — the
+// same seed each run used when they were serial — so results are
+// bit-identical to the serial path, just computed concurrently. Results
+// are ordered [job0-micro, job0-brawny, job1-micro, ...].
+func runPairJobs(cfg Config, jobNames []string) []*mapred.JobResult {
+	micro, brawny := cfg.Pair()
+	type cell struct {
+		job    string
+		p      *hw.Platform
+		slaves int
+	}
+	var cells []cell
+	for _, j := range jobNames {
+		cells = append(cells, cell{j, micro, 35}, cell{j, brawny, 2})
+	}
+	return runner.Map(cfg.Workers, len(cells), func(i int) *mapred.JobResult {
+		c := cells[i]
+		r, err := jobs.Run(c.job, c.p, c.slaves, cfg.Seed)
+		if err != nil {
+			panic(fmt.Sprintf("core: %s on %s: %v", c.job, c.p.Label, err))
+		}
+		return r
+	})
 }
 
 // traceFigure converts a JobResult's sampled series into a report figure.
@@ -82,27 +116,24 @@ func reduceStartFraction(r *mapred.JobResult) float64 {
 
 func traceExperiment(job string) func(cfg Config) *Outcome {
 	figNames := map[string][2]string{
-		"wordcount":  {"Figure 12 — wordcount on Edison cluster", "Figure 15 — wordcount on Dell cluster"},
-		"wordcount2": {"Figure 13 — wordcount2 on Edison cluster", "Figure 16 — wordcount2 on Dell cluster"},
-		"pi":         {"Figure 14 — pi on Edison cluster", "Figure 17 — pi on Dell cluster"},
+		"wordcount":  {"Figure 12 — wordcount on %s cluster", "Figure 15 — wordcount on %s cluster"},
+		"wordcount2": {"Figure 13 — wordcount2 on %s cluster", "Figure 16 — wordcount2 on %s cluster"},
+		"pi":         {"Figure 14 — pi on %s cluster", "Figure 17 — pi on %s cluster"},
 	}
 	return func(cfg Config) *Outcome {
 		o := &Outcome{}
+		micro, brawny := cfg.Pair()
 		names := figNames[job]
-		re, err := jobs.Run(job, jobs.EdisonPlatform, 35, cfg.Seed)
-		if err != nil {
-			panic(fmt.Sprintf("core: %s on Edison: %v", job, err))
-		}
-		rd, err := jobs.Run(job, jobs.DellPlatform, 2, cfg.Seed)
-		if err != nil {
-			panic(fmt.Sprintf("core: %s on Dell: %v", job, err))
-		}
-		o.Figures = append(o.Figures, traceFigure(names[0], re), traceFigure(names[1], rd))
+		results := runPairJobs(cfg, []string{job})
+		re, rd := results[0], results[1]
+		o.Figures = append(o.Figures,
+			traceFigure(fmt.Sprintf(names[0], micro.Label), re),
+			traceFigure(fmt.Sprintf(names[1], brawny.Label), rd))
 		addTable8Comparisons(o, job, "35E", re)
 		addTable8Comparisons(o, job, "2D", rd)
 		if job == "wordcount" {
-			o.AddComparison("Figure 12", "Edison reduce start (fraction of runtime)", 0.61, reduceStartFraction(re))
-			o.AddComparison("Figure 15", "Dell reduce start (fraction of runtime)", 0.28, reduceStartFraction(rd))
+			o.AddComparison("Figure 12", fmt.Sprintf("%s reduce start (fraction of runtime)", micro.Label), 0.61, reduceStartFraction(re))
+			o.AddComparison("Figure 15", fmt.Sprintf("%s reduce start (fraction of runtime)", brawny.Label), 0.28, reduceStartFraction(rd))
 		}
 		return o
 	}
@@ -116,33 +147,23 @@ func addTable8Comparisons(o *Outcome, job, label string, r *mapred.JobResult) {
 
 func runLogcount(cfg Config) *Outcome {
 	o := &Outcome{}
-	for _, job := range []string{"logcount", "logcount2"} {
-		re, err := jobs.Run(job, jobs.EdisonPlatform, 35, cfg.Seed)
-		if err != nil {
-			panic(err)
-		}
-		rd, err := jobs.Run(job, jobs.DellPlatform, 2, cfg.Seed)
-		if err != nil {
-			panic(err)
-		}
-		addTable8Comparisons(o, job, "35E", re)
-		addTable8Comparisons(o, job, "2D", rd)
+	jobNames := []string{"logcount", "logcount2"}
+	results := runPairJobs(cfg, jobNames)
+	for ji, job := range jobNames {
+		addTable8Comparisons(o, job, "35E", results[2*ji])
+		addTable8Comparisons(o, job, "2D", results[2*ji+1])
 	}
-	o.Notes = append(o.Notes,
-		"logcount: Edison reaches ≈2.6× work-done-per-joule; logcount2 shrinks the gap to ≈1.4× (container-allocation overhead removed)")
+	micro, _ := cfg.Pair()
+	o.Notes = append(o.Notes, fmt.Sprintf(
+		"logcount: %s reaches ≈2.6× work-done-per-joule; logcount2 shrinks the gap to ≈1.4× (container-allocation overhead removed)",
+		micro.Label))
 	return o
 }
 
 func runTerasort(cfg Config) *Outcome {
 	o := &Outcome{}
-	re, err := jobs.Run("terasort", jobs.EdisonPlatform, 35, cfg.Seed)
-	if err != nil {
-		panic(err)
-	}
-	rd, err := jobs.Run("terasort", jobs.DellPlatform, 2, cfg.Seed)
-	if err != nil {
-		panic(err)
-	}
+	results := runPairJobs(cfg, []string{"terasort"})
+	re, rd := results[0], results[1]
 	addTable8Comparisons(o, "terasort", "35E", re)
 	addTable8Comparisons(o, "terasort", "2D", rd)
 	eff := (float64(rd.Energy) / float64(re.Energy))
@@ -152,8 +173,9 @@ func runTerasort(cfg Config) *Outcome {
 
 func runScalability(cfg Config) *Outcome {
 	o := &Outcome{}
+	micro, brawny := cfg.Pair()
 	names := jobs.Names()
-	labels := ClusterLabels
+	labels := clusterConfigs(micro, brawny)
 	if cfg.Quick {
 		names = []string{"wordcount2", "pi"}
 		labels = labels[:1]
@@ -189,11 +211,7 @@ func runScalability(cfg Config) *Outcome {
 	return o
 }
 
-func labelNames(labels []struct {
-	Label    string
-	Platform string
-	Slaves   int
-}) []string {
+func labelNames(labels []clusterConfig) []string {
 	out := make([]string, len(labels))
 	for i, l := range labels {
 		out[i] = l.Label

@@ -1,0 +1,127 @@
+package core
+
+import (
+	"fmt"
+
+	"edisim/internal/hw"
+	"edisim/internal/jobs"
+	"edisim/internal/mapred"
+	"edisim/internal/report"
+	"edisim/internal/tco"
+	"edisim/internal/units"
+	"edisim/internal/web"
+)
+
+func init() {
+	register(Experiment{
+		ID:      "platform_matrix",
+		Title:   "Cross-platform web & TeraSort matrix",
+		Section: "beyond-paper",
+		OptIn:   true,
+		Run:     runPlatformMatrix,
+	})
+}
+
+// matrixConcurrencies is the httperf axis swept per platform to locate the
+// peak; the catalog's fleet sizes keep every platform in its sensible
+// operating band across this range.
+func matrixConcurrencies(cfg Config) []float64 {
+	if cfg.Quick {
+		return []float64{256, 1024}
+	}
+	return []float64{128, 256, 512, 1024, 2048}
+}
+
+// runPlatformMatrix runs the web-serving and TeraSort workloads across the
+// configured platform set (cmd/paper's -platforms; the whole catalog by
+// default), each on its catalog fleet, and reports throughput-per-watt and
+// 3-year-TCO matrices. This is the experiment the platform catalog exists
+// for: adding a platform to hw makes it show up here with zero code.
+func runPlatformMatrix(cfg Config) *Outcome {
+	o := &Outcome{}
+	plats := cfg.MatrixPlatforms()
+	concs := matrixConcurrencies(cfg)
+
+	// --- Web serving: one sweep cell per (platform, concurrency).
+	type webCell struct {
+		p    *hw.Platform
+		conc float64
+	}
+	s := Sweep[webCell, web.Result]{Name: "platform_matrix/web"}
+	for _, p := range plats {
+		for _, conc := range concs {
+			s.Points = append(s.Points, webCell{p, conc})
+		}
+	}
+	s.Point = func(_ int, c webCell, seed int64) web.Result {
+		return runWebPoint(c.p, c.p.Fleet.Web, c.p.Fleet.Cache, web.RunConfig{
+			Concurrency: c.conc,
+			Duration:    webDuration(cfg),
+		}, seed)
+	}
+	webResults := s.Run(cfg)
+
+	webTab := report.NewTable("Platform matrix — web serving (catalog fleets, 93% cache hit)",
+		"platform", "web", "cache", "peak req/s", "W at peak", "req/s per W", "3y TCO $", "req/s per TCO-k$")
+	for pi, p := range plats {
+		var peak, peakPower float64
+		for _, r := range webResults[pi*len(concs) : (pi+1)*len(concs)] {
+			if r.Throughput > peak {
+				peak = r.Throughput
+				peakPower = float64(r.MeanPower)
+			}
+		}
+		perWatt := 0.0
+		if peakPower > 0 {
+			perWatt = peak / peakPower
+		}
+		// Web-service TCO at the paper's high-utilization point (75%).
+		cost := tco.Compute(tco.ForPlatform(p, p.Fleet.Web+p.Fleet.Cache, 0.75)).Total()
+		perK := 0.0
+		if cost > 0 {
+			perK = peak / (cost / 1000)
+		}
+		webTab.AddRow(p.Label, p.Fleet.Web, p.Fleet.Cache, peak, peakPower, perWatt, cost, perK)
+		o.AddComparison("platform matrix / web", p.Label+" peak req/s per W", 0, perWatt)
+	}
+	o.Tables = append(o.Tables, webTab)
+
+	// --- TeraSort: one cell per platform, each a whole Hadoop run.
+	teraResults := RunSweep(cfg, "platform_matrix/terasort", len(plats),
+		func(i int, seed int64) *mapred.JobResult {
+			p := plats[i]
+			r, err := jobs.Run("terasort", p, p.Fleet.Slaves, seed)
+			if err != nil {
+				panic(fmt.Sprintf("core: terasort on %s: %v", p.Label, err))
+			}
+			return r
+		})
+
+	teraTab := report.NewTable("Platform matrix — TeraSort (10 GB, catalog fleets)",
+		"platform", "slaves", "time s", "energy J", "MB per J", "3y TCO $", "GB per TCO-$")
+	for pi, p := range plats {
+		r := teraResults[pi]
+		mbPerJ := 0.0
+		if r.Energy > 0 {
+			mbPerJ = float64(jobs.TerasortBytes) / float64(units.MB) / float64(r.Energy)
+		}
+		// Big-data TCO: micro fleets run pinned near 100% as in Table 10;
+		// brawny fleets at the paper's high-utilization point.
+		util := 0.74
+		if p.Micro {
+			util = 1.0
+		}
+		cost := tco.Compute(tco.ForPlatform(p, p.Fleet.Slaves, util)).Total()
+		perDollar := 0.0
+		if cost > 0 {
+			perDollar = float64(jobs.TerasortBytes) / float64(units.GB) / cost
+		}
+		teraTab.AddRow(p.Label, p.Fleet.Slaves, r.Duration, float64(r.Energy), mbPerJ, cost, perDollar)
+		o.AddComparison("platform matrix / terasort", p.Label+" MB per J", 0, mbPerJ)
+	}
+	o.Tables = append(o.Tables, teraTab)
+
+	o.Notes = append(o.Notes,
+		"fleets and calibration are catalog data (internal/hw, PLATFORMS.md); peak is the best point of the swept concurrency axis")
+	return o
+}

@@ -4,6 +4,7 @@ import (
 	"fmt"
 
 	"edisim/internal/cluster"
+	"edisim/internal/hw"
 	"edisim/internal/report"
 	"edisim/internal/stats"
 	"edisim/internal/web"
@@ -32,15 +33,13 @@ func webConcurrencies(cfg Config) []float64 {
 	return []float64{8, 16, 32, 64, 128, 256, 512, 1024, 2048}
 }
 
-// runWebPoint executes one concurrency level on a fresh testbed.
-func runWebPoint(p web.Platform, nWeb, nCache int, rc web.RunConfig, seed int64) web.Result {
-	ccfg := cluster.Config{DBNodes: 2, Clients: 8}
-	if p == web.Edison {
-		ccfg.EdisonNodes = nWeb + nCache
-	} else {
-		ccfg.DellNodes = nWeb + nCache
-	}
-	tb := cluster.New(ccfg)
+// runWebPoint executes one concurrency level on a fresh single-platform
+// testbed.
+func runWebPoint(p *hw.Platform, nWeb, nCache int, rc web.RunConfig, seed int64) web.Result {
+	tb := cluster.New(cluster.Config{
+		Groups:  []cluster.GroupConfig{{Platform: p, Nodes: nWeb + nCache}},
+		DBNodes: 2, Clients: 8,
+	})
 	dep := web.NewDeployment(tb, p, nWeb, nCache, seed)
 	dep.WarmFor(rc)
 	return dep.Run(rc)
@@ -50,7 +49,7 @@ func runWebPoint(p web.Platform, nWeb, nCache int, rc web.RunConfig, seed int64)
 // mix swept across the concurrency axis.
 type webCurve struct {
 	label        string
-	p            web.Platform
+	p            *hw.Platform
 	nWeb, nCache int
 	image, hit   float64
 }
@@ -99,9 +98,10 @@ func curveSeries(results []web.Result) (tput, delay, power []float64) {
 	return
 }
 
-// webScales lists the Table 6 tier sizes, trimmed in Quick mode.
+// webScales lists the Table 6 tier sizes over the configured pair,
+// trimmed in Quick mode.
 func webScales(cfg Config) []cluster.WebScale {
-	all := cluster.Table6()
+	all := cluster.Table6For(cfg.Pair())
 	if cfg.Quick {
 		return all[:1]
 	}
@@ -113,6 +113,7 @@ func webScales(cfg Config) []cluster.WebScale {
 // be reworded) to namespace per-point seed derivation.
 func runWebScaledSweeps(cfg Config, id string, image float64, figTput, figDelay string) *Outcome {
 	o := &Outcome{}
+	micro, brawny := cfg.Pair()
 	x := webConcurrencies(cfg)
 	ft := report.NewFigure(figTput, "conn/s", "req/s", x)
 	fd := report.NewFigure(figDelay, "conn/s", "ms", x)
@@ -120,23 +121,22 @@ func runWebScaledSweeps(cfg Config, id string, image float64, figTput, figDelay 
 
 	var curves []webCurve
 	for _, s := range webScales(cfg) {
-		if s.EdisonWeb > 0 {
-			curves = append(curves, webCurve{
-				label: fmt.Sprintf("%d Edison", s.EdisonWeb),
-				p:     web.Edison, nWeb: s.EdisonWeb, nCache: s.EdisonCache,
-				image: image, hit: 0.93,
-			})
-		}
-		if s.DellWeb > 0 {
-			curves = append(curves, webCurve{
-				label: fmt.Sprintf("%d Dell", s.DellWeb),
-				p:     web.Dell, nWeb: s.DellWeb, nCache: s.DellCache,
-				image: image, hit: 0.93,
-			})
+		for _, tier := range s.Tiers {
+			if tier.Web > 0 {
+				curves = append(curves, webCurve{
+					label: fmt.Sprintf("%d %s", tier.Web, tier.Platform.Label),
+					p:     tier.Platform, nWeb: tier.Web, nCache: tier.Cache,
+					image: image, hit: 0.93,
+				})
+			}
 		}
 	}
 
-	var edisonPeak, dellPeak, edisonPeakPower, dellPeakPower float64
+	// Peak tracking at the full-scale tier sizes (Table 6's first row).
+	full := cluster.Table6For(micro, brawny)[0]
+	microFull := full.Tier(micro).Web
+	brawnyFull := full.Tier(brawny).Web
+	var microPeak, brawnyPeak, microPeakPower, brawnyPeakPower float64
 	for ci, results := range sweepWebCurves(cfg, id, curves) {
 		c := curves[ci]
 		tput, delay, power := curveSeries(results)
@@ -144,44 +144,49 @@ func runWebScaledSweeps(cfg Config, id string, image float64, figTput, figDelay 
 		fd.Add(c.label, delay)
 		fp.Add(c.label, power)
 		for i, v := range tput {
-			if c.p == web.Edison && c.nWeb == 24 && v > edisonPeak {
-				edisonPeak = v
-				edisonPeakPower = power[i]
+			if c.p == micro && c.nWeb == microFull && v > microPeak {
+				microPeak = v
+				microPeakPower = power[i]
 			}
-			if c.p == web.Dell && c.nWeb == 2 && v > dellPeak {
-				dellPeak = v
-				dellPeakPower = power[i]
+			if c.p == brawny && c.nWeb == brawnyFull && v > brawnyPeak {
+				brawnyPeak = v
+				brawnyPeakPower = power[i]
 			}
 		}
 	}
 	o.Figures = append(o.Figures, ft, fd, fp)
 
-	if edisonPeak > 0 && dellPeak > 0 {
+	if microPeak > 0 && brawnyPeak > 0 {
 		// Work-done-per-joule at peak: the paper's 3.5× headline.
-		eff := (edisonPeak / edisonPeakPower) / (dellPeak / dellPeakPower)
-		o.AddComparison(figTput, "peak Edison req/s", 7500, edisonPeak)
-		o.AddComparison(figTput, "peak Dell req/s", 7500, dellPeak)
+		eff := (microPeak / microPeakPower) / (brawnyPeak / brawnyPeakPower)
+		o.AddComparison(figTput, fmt.Sprintf("peak %s req/s", micro.Label), 7500, microPeak)
+		o.AddComparison(figTput, fmt.Sprintf("peak %s req/s", brawny.Label), 7500, brawnyPeak)
 		o.AddComparison(figTput, "energy-efficiency ratio (x)", 3.5, eff)
 	}
 	return o
 }
 
 func runWebLight(cfg Config) *Outcome {
+	micro, brawny := cfg.Pair()
 	o := runWebScaledSweeps(cfg, "fig4_fig7", 0.0, "Figure 4", "Figure 7")
-	o.Notes = append(o.Notes,
-		"lightest load: 93% cache hit, no image queries; Edison errors beyond 1024 conn/s, Dell beyond 2048")
+	o.Notes = append(o.Notes, fmt.Sprintf(
+		"lightest load: 93%% cache hit, no image queries; %s errors beyond 1024 conn/s, %s beyond 2048",
+		micro.Label, brawny.Label))
 	return o
 }
 
 func runWebHeavy(cfg Config) *Outcome {
+	micro, _ := cfg.Pair()
 	o := runWebScaledSweeps(cfg, "fig6_fig9", 0.20, "Figure 6", "Figure 9")
-	o.Notes = append(o.Notes,
-		"heaviest fair load: 20% image queries utilize half of each Edison NIC; throughput ≈85% of the lightest workload")
+	o.Notes = append(o.Notes, fmt.Sprintf(
+		"heaviest fair load: 20%% image queries utilize half of each %s NIC; throughput ≈85%% of the lightest workload",
+		micro.Label))
 	return o
 }
 
 func runWebMixes(cfg Config) *Outcome {
 	o := &Outcome{}
+	micro, brawny := cfg.Pair()
 	x := webConcurrencies(cfg)
 	ft := report.NewFigure("Figure 5", "conn/s", "req/s", x)
 	fd := report.NewFigure("Figure 8", "conn/s", "ms", x)
@@ -197,11 +202,13 @@ func runWebMixes(cfg Config) *Outcome {
 	if cfg.Quick {
 		mixes = mixes[:2]
 	}
+	full := cluster.Table6For(micro, brawny)[0]
+	mt, bt := full.Tier(micro), full.Tier(brawny)
 	var curves []webCurve
 	for _, m := range mixes {
 		curves = append(curves,
-			webCurve{label: "Edison " + m.label, p: web.Edison, nWeb: 24, nCache: 11, image: m.image, hit: m.hit},
-			webCurve{label: "Dell " + m.label, p: web.Dell, nWeb: 2, nCache: 1, image: m.image, hit: m.hit})
+			webCurve{label: micro.Label + " " + m.label, p: micro, nWeb: mt.Web, nCache: mt.Cache, image: m.image, hit: m.hit},
+			webCurve{label: brawny.Label + " " + m.label, p: brawny, nWeb: bt.Web, nCache: bt.Cache, image: m.image, hit: m.hit})
 	}
 	for ci, results := range sweepWebCurves(cfg, "fig5_fig8", curves) {
 		tput, delay, _ := curveSeries(results)
@@ -214,15 +221,18 @@ func runWebMixes(cfg Config) *Outcome {
 
 func runWebDelayDist(cfg Config) *Outcome {
 	o := &Outcome{}
+	micro, brawny := cfg.Pair()
 	// ≈6000 req/s at 20% image: concurrency 768 × 8 calls.
 	rc := web.RunConfig{Concurrency: 768, ImageFrac: 0.20, CacheHit: 0.93, Duration: webDuration(cfg) * 2}
+	full := cluster.Table6For(micro, brawny)[0]
+	mt, bt := full.Tier(micro), full.Tier(brawny)
 	sides := []struct {
-		p            web.Platform
+		p            *hw.Platform
 		nWeb, nCache int
 		name         string
 	}{
-		{web.Edison, 24, 11, "Figure 10 — Edison"},
-		{web.Dell, 2, 1, "Figure 11 — Dell"},
+		{micro, mt.Web, mt.Cache, "Figure 10 — " + micro.Label},
+		{brawny, bt.Web, bt.Cache, "Figure 11 — " + brawny.Label},
 	}
 	results := RunSweep(cfg, "fig10_fig11", len(sides), func(i int, seed int64) web.Result {
 		return runWebPoint(sides[i].p, sides[i].nWeb, sides[i].nCache, rc, seed)
@@ -251,13 +261,15 @@ func runWebDelayDist(cfg Config) *Outcome {
 		o.AddComparison(side.name, "p99 conn delay (s)", 0, r.ConnDelays.Quantile(0.99))
 		_ = late
 	}
-	o.Notes = append(o.Notes,
-		"Dell histogram shows mass near 1s/3s/7s (SYN retransmission backoff); Edison spreads thinner across its 24 servers")
+	o.Notes = append(o.Notes, fmt.Sprintf(
+		"%s histogram shows mass near 1s/3s/7s (SYN retransmission backoff); %s spreads thinner across its %d servers",
+		brawny.Label, micro.Label, mt.Web))
 	return o
 }
 
 func runTable7(cfg Config) *Outcome {
 	o := &Outcome{}
+	micro, brawny := cfg.Pair()
 	t := report.NewTable("Table 7 — delay decomposition (ms)",
 		"req/s", "DB (E)", "DB (D)", "cache (E)", "cache (D)", "total (E)", "total (D)")
 	rates := []float64{480, 960, 1920, 3840, 7680}
@@ -271,13 +283,15 @@ func runTable7(cfg Config) *Outcome {
 		3840: {8.74, 1.60, 105.1, 0.46, 114.7, 1.70},
 		7680: {10.99, 1.98, 212.0, 0.74, 225.1, 2.93},
 	}
-	// One sweep cell per (rate, platform): Edison at even indices, Dell odd.
+	full := cluster.Table6For(micro, brawny)[0]
+	mt, bt := full.Tier(micro), full.Tier(brawny)
+	// One sweep cell per (rate, platform): micro at even indices, brawny odd.
 	results := RunSweep(cfg, "table7", 2*len(rates), func(i int, seed int64) web.Result {
 		rc := web.RunConfig{Concurrency: rates[i/2] / 8, ImageFrac: 0.20, CacheHit: 0.93, Duration: webDuration(cfg)}
 		if i%2 == 0 {
-			return runWebPoint(web.Edison, 24, 11, rc, seed)
+			return runWebPoint(micro, mt.Web, mt.Cache, rc, seed)
 		}
-		return runWebPoint(web.Dell, 2, 1, rc, seed)
+		return runWebPoint(brawny, bt.Web, bt.Cache, rc, seed)
 	})
 	for ri, rate := range rates {
 		re, rd := results[2*ri], results[2*ri+1]

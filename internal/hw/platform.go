@@ -1,0 +1,542 @@
+package hw
+
+import (
+	"strings"
+
+	"edisim/internal/units"
+)
+
+// Platform is one catalog entry: everything the rest of the tree needs to
+// know about a server platform, bundled as pure data. The hardware spec
+// feeds the simulation substrate; the cost, network and calibration blocks
+// feed the cluster builder, the web/Hadoop workload models and the TCO
+// model. Adding a platform to the catalog is a data-only change — no
+// consumer names platforms explicitly; they resolve entries through
+// Platforms/LookupPlatform and iterate.
+type Platform struct {
+	// Name keys the catalog and matches NodeSpec.Name for nodes built from
+	// this platform.
+	Name string
+	// Label is the short display name used in figure legends and table
+	// columns ("Edison", "Dell").
+	Label string
+	// FullName is the long display name used in prose-style titles
+	// ("Dell R620").
+	FullName string
+	// Aliases are extra lookup keys accepted by LookupPlatform (lower-case).
+	Aliases []string
+	// Micro marks sensor-class platforms (the paper's wimpy side); the
+	// baseline pair is the first micro and first non-micro catalog entry.
+	Micro bool
+
+	Spec NodeSpec
+
+	// UnitCost is the per-server purchase cost in USD (Table 9's Cs).
+	UnitCost float64
+	// MeterName names the power instrument metering a cluster of this
+	// platform (the paper: a Mastech DC supply / an SNMP rack PDU).
+	MeterName string
+
+	Net    NetworkProfile
+	Web    WebCosts
+	Hadoop HadoopProfile
+	Fleet  Fleet
+}
+
+// NetworkProfile describes how a cluster of this platform is cabled: hosts
+// under optional leaf (per-box) switches under one root switch on the core.
+// Delays are one-way propagation in seconds; they reproduce the paper's
+// measured RTTs for the baseline pair (§4.4).
+type NetworkProfile struct {
+	// SwitchName is the root switch vertex ("edison-root", "dell-tor").
+	SwitchName string
+	// CoreUplink is the root switch's link to the core switch.
+	CoreUplink units.BytesPerSec
+	CoreDelay  float64
+	// LeafFanout > 0 groups hosts into boxes of that many under leaf
+	// switches named LeafPrefix+index; 0 attaches hosts to the root switch.
+	LeafFanout      int
+	LeafPrefix      string
+	LeafUplink      units.BytesPerSec
+	LeafUplinkDelay float64
+	// AccessDelay is the host <-> (leaf or root) switch delay.
+	AccessDelay float64
+	// HostFormat is the fmt pattern for host vertex names ("edison%02d").
+	HostFormat string
+}
+
+// WebCosts is the per-platform calibration of the §5.1 web-service model.
+// CPU costs are single-core seconds; see internal/web for what each knob
+// reproduces.
+type WebCosts struct {
+	BaseCPU        float64 // request parse + cache-lookup dispatch
+	ReplyCPU       float64 // upstream reply handling + page assembly
+	CacheClientCPU float64 // memcached/MySQL client unmarshal
+	PerKBCPU       float64 // extra CPU per KB of reply body
+	CacheGetCPU    float64 // memcached GET service time
+	DBQueryCPU     float64 // MySQL per-query CPU (applies on DB-tier nodes)
+	ConnRate       float64 // sustainable new-connection acceptance rate /s
+	ReqRate        float64 // sustainable request admission rate /s
+	MaxInflight    int     // per-server bound before 500s
+}
+
+// HadoopJobCosts is the per-(platform, workload) Hadoop calibration: MB per
+// core-second rates and the fixed per-task-attempt overhead (§5.2).
+type HadoopJobCosts struct {
+	MapMBps             float64 // 0 for pi (fixed-work maps; see PiSamplesPerSec)
+	ReduceMBps          float64
+	TaskOverheadSeconds float64
+}
+
+// HadoopProfile is the platform's Hadoop deployment tuning (§5.2 lists these
+// per platform) plus the per-workload cost table.
+type HadoopProfile struct {
+	BlockSize units.Bytes // HDFS block size (terasort equalizes separately)
+	Replicas  int         // HDFS replication
+
+	// Container sizes in MB: Small for plain per-file maps, Large for
+	// combined-input / compute-heavy maps.
+	SmallMapMemoryMB int
+	LargeMapMemoryMB int
+	ReduceMemoryMB   int
+	AMMemoryMB       int
+	// CombineSplit is the default CombineFileInputFormat split cap (the
+	// deployment re-tunes it to one split per vcore at each cluster scale).
+	CombineSplit units.Bytes
+
+	// NodeManager capacity and JVM container startup time.
+	NodeMemoryMB     int
+	VCores           int
+	ContainerStartup float64
+	// DaemonMem is what datanode+nodemanager (plus OS) pin on a worker.
+	DaemonMem units.Bytes
+	// MasterPlatform names the platform hosting namenode+RM when this
+	// platform cannot ("" = self-hosted master). The paper's Edison cluster
+	// runs a Dell master because 1 GB cannot hold the daemons.
+	MasterPlatform string
+
+	// FullScaleTasks is one task slot per vcore of the paper-scale
+	// cluster (70 on 35 Edisons, 24 on 2 Dells): pi's fixed map count and
+	// terasort's reducer count, which the paper sizes identically (§5.2).
+	FullScaleTasks int
+	// PiSamplesPerSec is the platform's per-core Monte-Carlo sampling rate.
+	PiSamplesPerSec float64
+
+	// Jobs maps workload name -> calibrated rates.
+	Jobs map[string]HadoopJobCosts
+}
+
+// Fleet is the platform's reference deployment for cross-platform scenario
+// matrices: web/cache tier sizes and Hadoop slave count chosen so the fleet
+// plays the same role the paper's clusters do (a rack-scale service tier).
+type Fleet struct {
+	Web, Cache int
+	Slaves     int
+}
+
+// catalog is the ordered platform registry. The first micro and the first
+// non-micro entry form the baseline pair (the paper's testbed).
+var catalog = []*Platform{edisonPlatform(), dellR620Platform(), pi3Platform(), xeonModernPlatform()}
+
+// Platforms returns all catalog entries in registration order.
+func Platforms() []*Platform {
+	out := make([]*Platform, len(catalog))
+	copy(out, catalog)
+	return out
+}
+
+// PlatformNames lists the catalog names in registration order (for CLI
+// error messages and docs).
+func PlatformNames() []string {
+	out := make([]string, len(catalog))
+	for i, p := range catalog {
+		out[i] = p.Name
+	}
+	return out
+}
+
+// LookupPlatform resolves a platform by Name or alias, case-insensitively.
+func LookupPlatform(name string) (*Platform, bool) {
+	key := strings.ToLower(strings.TrimSpace(name))
+	for _, p := range catalog {
+		if strings.ToLower(p.Name) == key {
+			return p, true
+		}
+		for _, a := range p.Aliases {
+			if a == key {
+				return p, true
+			}
+		}
+	}
+	return nil, false
+}
+
+// PlatformForSpec resolves the catalog entry whose spec a node was built
+// from (nil when the spec is not a catalog platform, e.g. ad-hoc test specs).
+func PlatformForSpec(specName string) *Platform {
+	for _, p := range catalog {
+		if p.Name == specName {
+			return p
+		}
+	}
+	return nil
+}
+
+// BaselinePair returns the paper's compared pair: the first micro entry and
+// the first brawny entry of the catalog.
+func BaselinePair() (micro, brawny *Platform) {
+	for _, p := range catalog {
+		if p.Micro && micro == nil {
+			micro = p
+		}
+		if !p.Micro && brawny == nil {
+			brawny = p
+		}
+	}
+	if micro == nil || brawny == nil {
+		panic("hw: catalog lacks a baseline pair")
+	}
+	return micro, brawny
+}
+
+// edisonPlatform is the Intel Edison micro server, entirely from the
+// paper's measurements (Sections 3–6). This is the catalog's reference
+// micro entry: every constant is cited in the spec and model packages.
+func edisonPlatform() *Platform {
+	return &Platform{
+		Name:     "Edison",
+		Label:    "Edison",
+		FullName: "Edison",
+		Aliases:  nil, // the name itself resolves case-insensitively
+		Micro:    true,
+		Spec:     EdisonSpec(),
+
+		UnitCost:  120, // Table 9: device+breakout 68 + adapter 15 + SD/board 27 + switch share 10
+		MeterName: "mastech-supply",
+
+		Net: NetworkProfile{
+			SwitchName:      "edison-root",
+			CoreUplink:      units.Gbps(1), // the inter-room bottleneck (§5.1.1)
+			CoreDelay:       0,
+			LeafFanout:      7, // five boxes of seven (§3, Figure 1)
+			LeafPrefix:      "edison-box",
+			LeafUplink:      units.Gbps(1),
+			LeafUplinkDelay: 0.05e-3,
+			AccessDelay:     0.30e-3,
+			HostFormat:      "edison%02d",
+		},
+
+		Web: WebCosts{
+			// ≈5.2 core-ms per request at 1.5 KB replies: 24 servers at ≈86%
+			// CPU serve ≈7.5k req/s (Figure 4 peak, §5.1.2).
+			BaseCPU:        2.4e-3,
+			ReplyCPU:       1.4e-3,
+			CacheClientCPU: 1.0e-3,
+			PerKBCPU:       0.16e-3,
+			// Table 7: 4.61 ms cache delay at 480 req/s; cache servers near
+			// 9% CPU at peak (§5.1.2).
+			CacheGetCPU: 0.3e-3,
+			DBQueryCPU:  1.1e-3,
+			// Error onset just beyond 1024 conn/s over 24 servers (§5.1.2).
+			ConnRate:    45,
+			ReqRate:     400,
+			MaxInflight: 96,
+		},
+
+		Hadoop: HadoopProfile{
+			BlockSize:        16 * units.MB,
+			Replicas:         2,
+			SmallMapMemoryMB: 150,
+			LargeMapMemoryMB: 300,
+			ReduceMemoryMB:   300,
+			AMMemoryMB:       100,
+			CombineSplit:     15 * units.MB,
+			NodeMemoryMB:     600,
+			VCores:           2,
+			ContainerStartup: 12.0, // ≈45 s trace ramp before CPU rises (§5.2.1)
+			DaemonMem:        360 * units.MB,
+			MasterPlatform:   "DellR620", // 1 GB cannot host RM+namenode (§5.2)
+			FullScaleTasks:   70,
+			PiSamplesPerSec:  0.97e6,
+			Jobs: map[string]HadoopJobCosts{
+				"wordcount":  {MapMBps: 0.30, ReduceMBps: 0.24, TaskOverheadSeconds: 26},
+				"wordcount2": {MapMBps: 0.26, ReduceMBps: 0.40, TaskOverheadSeconds: 24},
+				"logcount":   {MapMBps: 0.70, ReduceMBps: 0.50, TaskOverheadSeconds: 20},
+				"logcount2":  {MapMBps: 0.60, ReduceMBps: 0.50, TaskOverheadSeconds: 16},
+				"terasort":   {MapMBps: 1.5, ReduceMBps: 0.70, TaskOverheadSeconds: 20},
+				"pi":         {ReduceMBps: 1, TaskOverheadSeconds: 10},
+			},
+		},
+
+		Fleet: Fleet{Web: 24, Cache: 11, Slaves: 35},
+	}
+}
+
+// dellR620Platform is the Dell PowerEdge R620, the paper's brawny side.
+func dellR620Platform() *Platform {
+	return &Platform{
+		Name:     "DellR620",
+		Label:    "Dell",
+		FullName: "Dell R620",
+		Aliases:  []string{"dell", "r620"},
+		Micro:    false,
+		Spec:     DellR620Spec(),
+
+		UnitCost:  2500, // §3.1
+		MeterName: "rack-pdu",
+
+		Net: NetworkProfile{
+			SwitchName:  "dell-tor",
+			CoreUplink:  units.Gbps(10),
+			CoreDelay:   0,
+			LeafFanout:  0, // hosts directly under the ToR
+			AccessDelay: 0.06e-3,
+			HostFormat:  "dell%d",
+		},
+
+		Web: WebCosts{
+			// ≈1.4 core-ms per request: 2 servers plateau near 7.5k req/s at
+			// only ≈45% CPU — admission-limited, not CPU-limited (§5.1.2).
+			BaseCPU:        0.55e-3,
+			ReplyCPU:       0.50e-3,
+			CacheClientCPU: 0.05e-3,
+			PerKBCPU:       0.018e-3,
+			CacheGetCPU:    0.06e-3,
+			DBQueryCPU:     1.1e-3, // Table 7: ≈1.6 ms DB delay at low load
+			ConnRate:       560,    // error onset beyond 2048 conn/s over 2 servers
+			ReqRate:        4200,
+			MaxInflight:    1024,
+		},
+
+		Hadoop: HadoopProfile{
+			BlockSize:        64 * units.MB,
+			Replicas:         1,
+			SmallMapMemoryMB: 500,
+			LargeMapMemoryMB: 1024,
+			ReduceMemoryMB:   1024,
+			AMMemoryMB:       500,
+			CombineSplit:     44 * units.MB,
+			NodeMemoryMB:     12 * 1024,
+			VCores:           12,
+			ContainerStartup: 2.5, // ≈20 s trace ramp (§5.2.1)
+			DaemonMem:        4 * units.GB,
+			MasterPlatform:   "", // self-hosted master
+			FullScaleTasks:   24,
+			PiSamplesPerSec:  13e6,
+			Jobs: map[string]HadoopJobCosts{
+				"wordcount":  {MapMBps: 2.2, ReduceMBps: 1.5, TaskOverheadSeconds: 12},
+				"wordcount2": {MapMBps: 2.0, ReduceMBps: 2.0, TaskOverheadSeconds: 10},
+				"logcount":   {MapMBps: 4.5, ReduceMBps: 4.0, TaskOverheadSeconds: 6.5},
+				"logcount2":  {MapMBps: 3.2, ReduceMBps: 4.0, TaskOverheadSeconds: 10},
+				"terasort":   {MapMBps: 8.0, ReduceMBps: 6.0, TaskOverheadSeconds: 8},
+				"pi":         {ReduceMBps: 8, TaskOverheadSeconds: 4},
+			},
+		},
+
+		Fleet: Fleet{Web: 2, Cache: 1, Slaves: 2},
+	}
+}
+
+// pi3Platform is a Raspberry-Pi-3-class ARM micro server: a pure-data
+// catalog entry beyond the paper's testbed (see PLATFORMS.md for the
+// derivation of each constant). Per-core ≈4.3× an Edison core; the same
+// 100 Mbps NIC class and SD-card storage keep it in the paper's
+// sensor-class envelope.
+func pi3Platform() *Platform {
+	return &Platform{
+		Name:     "RPi3",
+		Label:    "Pi3",
+		FullName: "Raspberry Pi 3",
+		Aliases:  []string{"pi3", "raspberry-pi-3"},
+		Micro:    true,
+		Spec: NodeSpec{
+			Name: "RPi3",
+			CPU: CPUSpec{
+				Cores:   4,
+				Clock:   1200,
+				DMIPS:   2760, // ≈2.3 DMIPS/MHz Cortex-A53
+				Threads: 4,
+				HTYield: 0,
+			},
+			Mem: MemSpec{
+				Capacity:          1 * units.GB,
+				Bandwidth:         units.BytesPerSec(2.8 * float64(units.GBps)),
+				ClockMHz:          900,
+				SaturationThreads: 4,
+			},
+			Disk: DiskSpec{ // class-10 microSD
+				Write:        units.BytesPerSec(10 * float64(units.MBps)),
+				BufWrite:     units.BytesPerSec(18 * float64(units.MBps)),
+				Read:         units.BytesPerSec(22 * float64(units.MBps)),
+				BufRead:      units.BytesPerSec(900 * float64(units.MBps)),
+				WriteLatency: 14.0e-3,
+				ReadLatency:  5.0e-3,
+				Capacity:     32 * units.GB,
+			},
+			NIC: NICSpec{ // built-in 100 Mbps (USB-attached internally)
+				Bandwidth:  units.Mbps(100),
+				TCPGoodput: units.Mbps(94.1),
+				UDPGoodput: units.Mbps(95.0),
+			},
+			Power: PowerSpec{Idle: 1.3, Busy: 3.7}, // no external adapter
+			Cost:  55,
+		},
+
+		UnitCost:  55, // board 35 + PSU/SD/switch share 20
+		MeterName: "pi3-supply",
+
+		Net: NetworkProfile{
+			SwitchName:      "pi3-root",
+			CoreUplink:      units.Gbps(1),
+			CoreDelay:       0,
+			LeafFanout:      8, // shelves of eight
+			LeafPrefix:      "pi3-shelf",
+			LeafUplink:      units.Gbps(1),
+			LeafUplinkDelay: 0.05e-3,
+			AccessDelay:     0.25e-3,
+			HostFormat:      "pi3-%02d",
+		},
+
+		Web: WebCosts{
+			// Edison web costs scaled by the ≈4.3× per-core gap, with the
+			// same thread/port ceilings scaled by core count.
+			BaseCPU:        0.65e-3,
+			ReplyCPU:       0.40e-3,
+			CacheClientCPU: 0.28e-3,
+			PerKBCPU:       0.045e-3,
+			CacheGetCPU:    0.09e-3,
+			DBQueryCPU:     1.1e-3,
+			ConnRate:       120,
+			ReqRate:        1000,
+			MaxInflight:    256,
+		},
+
+		Hadoop: HadoopProfile{
+			BlockSize:        32 * units.MB,
+			Replicas:         2,
+			SmallMapMemoryMB: 150,
+			LargeMapMemoryMB: 300,
+			ReduceMemoryMB:   300,
+			AMMemoryMB:       100,
+			CombineSplit:     20 * units.MB,
+			NodeMemoryMB:     700, // 1 GB minus OS + daemons
+			VCores:           4,
+			ContainerStartup: 5.0,
+			DaemonMem:        360 * units.MB,
+			MasterPlatform:   "DellR620", // 1 GB: same hybrid-master constraint
+			FullScaleTasks:   48,
+			PiSamplesPerSec:  4.2e6,
+			Jobs: map[string]HadoopJobCosts{
+				// Edison rates scaled by ≈3.3× (Java/I/O paths close less of
+				// the gap than raw DMIPS, as the paper observes for Edison
+				// vs Dell), overheads shrunk by the faster cores.
+				"wordcount":  {MapMBps: 1.0, ReduceMBps: 0.80, TaskOverheadSeconds: 10},
+				"wordcount2": {MapMBps: 0.90, ReduceMBps: 1.3, TaskOverheadSeconds: 9},
+				"logcount":   {MapMBps: 2.2, ReduceMBps: 1.7, TaskOverheadSeconds: 8},
+				"logcount2":  {MapMBps: 2.0, ReduceMBps: 1.7, TaskOverheadSeconds: 7},
+				"terasort":   {MapMBps: 4.5, ReduceMBps: 2.2, TaskOverheadSeconds: 8},
+				"pi":         {ReduceMBps: 3, TaskOverheadSeconds: 5},
+			},
+		},
+
+		Fleet: Fleet{Web: 8, Cache: 4, Slaves: 12},
+	}
+}
+
+// xeonModernPlatform is a modern high-core-count Xeon server: the brawny
+// end-point for cross-platform scenarios (see PLATFORMS.md).
+func xeonModernPlatform() *Platform {
+	return &Platform{
+		Name:     "XeonModern",
+		Label:    "Xeon",
+		FullName: "modern Xeon",
+		Aliases:  []string{"xeon-modern", "xeon"},
+		Micro:    false,
+		Spec: NodeSpec{
+			Name: "XeonModern",
+			CPU: CPUSpec{
+				Cores:   24,
+				Clock:   2400,
+				DMIPS:   32000,
+				Threads: 48,
+				HTYield: 0.30,
+			},
+			Mem: MemSpec{
+				Capacity:          128 * units.GB,
+				Bandwidth:         units.BytesPerSec(120 * float64(units.GBps)),
+				ClockMHz:          3200,
+				SaturationThreads: 48,
+			},
+			Disk: DiskSpec{ // datacenter NVMe
+				Write:        units.BytesPerSec(1.2 * float64(units.GBps)),
+				BufWrite:     units.BytesPerSec(2.0 * float64(units.GBps)),
+				Read:         units.BytesPerSec(2.5 * float64(units.GBps)),
+				BufRead:      units.BytesPerSec(8.0 * float64(units.GBps)),
+				WriteLatency: 0.05e-3,
+				ReadLatency:  0.08e-3,
+				Capacity:     2 * units.TB,
+			},
+			NIC: NICSpec{
+				Bandwidth:  units.Gbps(10),
+				TCPGoodput: units.Gbps(9.4),
+				UDPGoodput: units.Gbps(9.6),
+			},
+			Power: PowerSpec{Idle: 105, Busy: 380},
+			Cost:  9000,
+		},
+
+		UnitCost:  9000,
+		MeterName: "xeon-pdu",
+
+		Net: NetworkProfile{
+			SwitchName:  "xeon-tor",
+			CoreUplink:  units.Gbps(40),
+			CoreDelay:   0,
+			LeafFanout:  0,
+			AccessDelay: 0.03e-3,
+			HostFormat:  "xeon%d",
+		},
+
+		Web: WebCosts{
+			// ≈3× the R620 per-core speed with 48 hardware threads; the
+			// kernel connection/thread-churn ceilings rise with core count
+			// but remain the binding constraint, as on the R620.
+			BaseCPU:        0.18e-3,
+			ReplyCPU:       0.16e-3,
+			CacheClientCPU: 0.015e-3,
+			PerKBCPU:       0.006e-3,
+			CacheGetCPU:    0.02e-3,
+			DBQueryCPU:     0.4e-3,
+			ConnRate:       2200,
+			ReqRate:        16000,
+			MaxInflight:    4096,
+		},
+
+		Hadoop: HadoopProfile{
+			BlockSize:        128 * units.MB,
+			Replicas:         1,
+			SmallMapMemoryMB: 1024,
+			LargeMapMemoryMB: 2048,
+			ReduceMemoryMB:   2048,
+			AMMemoryMB:       1024,
+			CombineSplit:     128 * units.MB,
+			NodeMemoryMB:     96 * 1024,
+			VCores:           48,
+			ContainerStartup: 1.2,
+			DaemonMem:        6 * units.GB,
+			MasterPlatform:   "",
+			FullScaleTasks:   48,
+			PiSamplesPerSec:  40e6,
+			Jobs: map[string]HadoopJobCosts{
+				"wordcount":  {MapMBps: 6.5, ReduceMBps: 4.5, TaskOverheadSeconds: 4},
+				"wordcount2": {MapMBps: 6.0, ReduceMBps: 6.0, TaskOverheadSeconds: 3.5},
+				"logcount":   {MapMBps: 13, ReduceMBps: 12, TaskOverheadSeconds: 2.5},
+				"logcount2":  {MapMBps: 9.5, ReduceMBps: 12, TaskOverheadSeconds: 3.5},
+				"terasort":   {MapMBps: 24, ReduceMBps: 18, TaskOverheadSeconds: 3},
+				"pi":         {ReduceMBps: 24, TaskOverheadSeconds: 1.5},
+			},
+		},
+
+		Fleet: Fleet{Web: 1, Cache: 1, Slaves: 1},
+	}
+}

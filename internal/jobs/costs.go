@@ -1,89 +1,76 @@
 package jobs
 
-import "edisim/internal/mapred"
+import (
+	"fmt"
+
+	"edisim/internal/hw"
+	"edisim/internal/mapred"
+)
 
 // Cost models calibrated against Table 8 (35 Edison slaves vs 2 Dell
-// slaves). Rates are MB per core-second of the platform; the wall-clock
-// slowdown from oversubscribed containers (4 maps on 2 Edison cores, 24 on
-// ≈11 Dell core-equivalents) emerges from the processor-sharing CPU model,
-// so these numbers are per-core throughputs, not per-container wall rates.
+// slaves). The per-platform rates — MB per core-second and fixed task
+// overheads — live in the hw platform catalog (hw.Platform.Hadoop.Jobs);
+// this file holds the per-job data-shape ratios, which are properties of
+// the workload itself, and assembles mapred.CostModels from the two.
 //
-// The paper's own data forces two non-obvious conclusions that these
-// constants encode:
+// The paper's own data forces two non-obvious conclusions that the catalog
+// rates encode:
 //
-//  1. Per-core map rates differ between the platforms by only ≈4–8×, far
-//     below the 18× Dhrystone gap — data-intensive Java tasks are bound by
-//     object churn and I/O paths, not integer issue width (this is the
-//     paper's core claim about data-intensive work).
+//  1. Per-core map rates differ between the baseline platforms by only
+//     ≈4–8×, far below the 18× Dhrystone gap — data-intensive Java tasks
+//     are bound by object churn and I/O paths, not integer issue width
+//     (this is the paper's core claim about data-intensive work).
 //  2. Fixed per-task overheads (~tens of seconds on Edison, ~ten on Dell)
 //     dominate small-file jobs; combining inputs removes most of them
 //     (wordcount 310 s → wordcount2 182 s on Edison; 213 s → 66 s on Dell).
-var (
-	wordcountCost = mapred.CostModel{
-		MapMBps:             map[string]float64{edison: 0.30, dell: 2.2},
-		ReduceMBps:          map[string]float64{edison: 0.24, dell: 1.5},
-		OutputRatio:         1.1, // <word,1> records slightly outgrow the text
-		CombineRatio:        1.0, // wordcount has no combiner
-		ReduceOutputRatio:   0.07,
-		TaskOverheadSeconds: map[string]float64{edison: 26, dell: 12},
-	}
 
-	wordcount2Cost = mapred.CostModel{
-		// The combiner adds per-record work in the map...
-		MapMBps:    map[string]float64{edison: 0.26, dell: 2.0},
-		ReduceMBps: map[string]float64{edison: 0.40, dell: 2.0},
-		// ...but shrinks map output to per-split word histograms.
-		OutputRatio:         1.1,
-		CombineRatio:        0.05,
-		ReduceOutputRatio:   0.6,
-		TaskOverheadSeconds: map[string]float64{edison: 24, dell: 10},
-	}
+// jobShape is the platform-independent byte geometry of one workload.
+type jobShape struct {
+	OutputRatio       float64 // map-output bytes per input byte
+	CombineRatio      float64 // map-output shrink when the combiner runs
+	ReduceOutputRatio float64 // final-output bytes per shuffled byte
+}
 
-	logcountCost = mapred.CostModel{
-		// Much lighter map than wordcount: one key per line.
-		MapMBps:             map[string]float64{edison: 0.70, dell: 4.5},
-		ReduceMBps:          map[string]float64{edison: 0.50, dell: 4.0},
-		OutputRatio:         0.25,
-		CombineRatio:        0.002, // few (date,level) pairs per task
-		ReduceOutputRatio:   0.5,
-		TaskOverheadSeconds: map[string]float64{edison: 20, dell: 6.5},
-	}
+var jobShapes = map[string]jobShape{
+	"wordcount":  {OutputRatio: 1.1, CombineRatio: 1.0, ReduceOutputRatio: 0.07},
+	"wordcount2": {OutputRatio: 1.1, CombineRatio: 0.05, ReduceOutputRatio: 0.6},
+	"logcount":   {OutputRatio: 0.25, CombineRatio: 0.002, ReduceOutputRatio: 0.5},
+	"logcount2":  {OutputRatio: 0.25, CombineRatio: 0.002, ReduceOutputRatio: 0.5},
+	"terasort":   {OutputRatio: 1.0, CombineRatio: 1.0, ReduceOutputRatio: 1.0},
+	"pi":         {OutputRatio: 1e-6, CombineRatio: 1.0, ReduceOutputRatio: 1.0},
+}
 
-	logcount2Cost = mapred.CostModel{
-		MapMBps:             map[string]float64{edison: 0.60, dell: 3.2},
-		ReduceMBps:          map[string]float64{edison: 0.50, dell: 4.0},
-		OutputRatio:         0.25,
-		CombineRatio:        0.002,
-		ReduceOutputRatio:   0.5,
-		TaskOverheadSeconds: map[string]float64{edison: 16, dell: 10},
+// costFor assembles the mapred cost model for a job on a platform from the
+// catalog rates and the job's shape.
+func costFor(job string, p *hw.Platform) mapred.CostModel {
+	rates, ok := p.Hadoop.Jobs[job]
+	if !ok {
+		panic(fmt.Sprintf("jobs: platform %s has no calibration for %q", p.Name, job))
 	}
-
-	terasortCost = mapred.CostModel{
-		// Terasort is memory/merge-bound (§5.2.4: ≈60% CPU, ≈95% memory).
-		MapMBps:             map[string]float64{edison: 1.5, dell: 8.0},
-		ReduceMBps:          map[string]float64{edison: 0.70, dell: 6.0},
-		OutputRatio:         1.0, // sort keeps every byte
-		CombineRatio:        1.0,
-		ReduceOutputRatio:   1.0,
-		TaskOverheadSeconds: map[string]float64{edison: 20, dell: 8},
+	shape, ok := jobShapes[job]
+	if !ok {
+		panic(fmt.Sprintf("jobs: unknown job shape %q", job))
 	}
-)
+	return mapred.CostModel{
+		MapMBps:             rates.MapMBps,
+		ReduceMBps:          rates.ReduceMBps,
+		TaskOverheadSeconds: rates.TaskOverheadSeconds,
+		OutputRatio:         shape.OutputRatio,
+		CombineRatio:        shape.CombineRatio,
+		ReduceOutputRatio:   shape.ReduceOutputRatio,
+	}
+}
 
 // piCost returns the pi cost model: pure compute, negligible bytes. The
 // per-map fixed seconds encode 10 billion samples split across the map
-// count at the measured per-core sampling rates (≈0.84 M/s on an Edison
-// core vs ≈22 M/s on a Xeon core — the FP gap exceeds the integer gap).
-func piCost(maps int) mapred.CostModel {
-	samplesPerMap := PiSamples / float64(maps)
-	return mapred.CostModel{
-		MapFixedSeconds: map[string]float64{
-			edison: samplesPerMap / 0.97e6,
-			dell:   samplesPerMap / 13e6,
-		},
-		ReduceMBps:          map[string]float64{edison: 1, dell: 8},
-		OutputRatio:         1e-6,
-		CombineRatio:        1.0,
-		ReduceOutputRatio:   1.0,
-		TaskOverheadSeconds: map[string]float64{edison: 10, dell: 4},
+// count at the platform's measured per-core sampling rate (≈0.97 M/s on an
+// Edison core vs ≈13 M/s on a Xeon E5 core — the FP gap exceeds the
+// integer gap).
+func piCost(maps int, p *hw.Platform) mapred.CostModel {
+	if p.Hadoop.PiSamplesPerSec <= 0 {
+		panic(fmt.Sprintf("jobs: platform %s has no pi sampling rate", p.Name))
 	}
+	c := costFor("pi", p)
+	c.MapFixedSeconds = PiSamples / float64(maps) / p.Hadoop.PiSamplesPerSec
+	return c
 }

@@ -5,14 +5,9 @@ import (
 	"strconv"
 	"strings"
 
+	"edisim/internal/hw"
 	"edisim/internal/mapred"
 	"edisim/internal/units"
-)
-
-// Platform name keys used by the cost models.
-const (
-	edison = "Edison"
-	dell   = "DellR620"
 )
 
 // Input geometry from §5.2: wordcount reads 200 files totaling 1 GB;
@@ -60,42 +55,35 @@ func SumReduce(key string, values []string, emit func(k, v string)) {
 }
 
 // Wordcount is the original example: 200 small files, one map container
-// per file, no combiner, no input combining (§5.2.1).
-func Wordcount(edisonReduces, dellReduces int, platform string) *mapred.JobDef {
-	reduces := edisonReduces
-	mapMem, redMem, amMem := 150, 300, 100
-	if platform == dell {
-		reduces = dellReduces
-		mapMem, redMem, amMem = 500, 1024, 500
-	}
+// per file, no combiner, no input combining (§5.2.1). Container sizes and
+// cost rates come from the platform's catalog entry.
+func Wordcount(reduces int, p *hw.Platform) *mapred.JobDef {
+	h := p.Hadoop
 	return &mapred.JobDef{
 		Name:           "wordcount",
 		Inputs:         InputFiles("wordcount", WordcountFiles),
 		NumReduces:     reduces,
 		UseCombiner:    false,
-		MapMemoryMB:    mapMem,
-		ReduceMemoryMB: redMem,
-		AMMemoryMB:     amMem,
-		Cost:           wordcountCost,
+		MapMemoryMB:    h.SmallMapMemoryMB,
+		ReduceMemoryMB: h.ReduceMemoryMB,
+		AMMemoryMB:     h.AMMemoryMB,
+		Cost:           costFor("wordcount", p),
 		Map:            WordcountMap,
 		Reduce:         SumReduce,
 	}
 }
 
-// Wordcount2 adds CombineFileInputFormat (15 MB Edison / 44 MB Dell splits,
-// one per vcore) and a combiner (§5.2.1 "optimized wordcount").
-func Wordcount2(edisonReduces, dellReduces int, platform string) *mapred.JobDef {
-	j := Wordcount(edisonReduces, dellReduces, platform)
+// Wordcount2 adds CombineFileInputFormat (splits capped at the platform's
+// CombineSplit, one per vcore) and a combiner (§5.2.1 "optimized
+// wordcount").
+func Wordcount2(reduces int, p *hw.Platform) *mapred.JobDef {
+	j := Wordcount(reduces, p)
 	j.Name = "wordcount2"
 	j.CombineInput = true
 	j.UseCombiner = true
-	j.MapMemoryMB = 300
-	j.MaxSplitSize = 15 * units.MB
-	if platform == dell {
-		j.MapMemoryMB = 1024
-		j.MaxSplitSize = 44 * units.MB
-	}
-	j.Cost = wordcount2Cost
+	j.MapMemoryMB = p.Hadoop.LargeMapMemoryMB
+	j.MaxSplitSize = p.Hadoop.CombineSplit
+	j.Cost = costFor("wordcount2", p)
 	return j
 }
 
@@ -118,22 +106,17 @@ func LogcountMap(record string, emit func(k, v string)) {
 
 // Logcount counts log entries per (date, level); the original ships a
 // combiner but does not combine input files.
-func Logcount(edisonReduces, dellReduces int, platform string) *mapred.JobDef {
-	reduces := edisonReduces
-	mapMem, redMem, amMem := 150, 300, 100
-	if platform == dell {
-		reduces = dellReduces
-		mapMem, redMem, amMem = 500, 1024, 500
-	}
+func Logcount(reduces int, p *hw.Platform) *mapred.JobDef {
+	h := p.Hadoop
 	return &mapred.JobDef{
 		Name:           "logcount",
 		Inputs:         InputFiles("logcount", LogcountFiles),
 		NumReduces:     reduces,
 		UseCombiner:    true, // "does set the Combiner class" (§5.2.2)
-		MapMemoryMB:    mapMem,
-		ReduceMemoryMB: redMem,
-		AMMemoryMB:     amMem,
-		Cost:           logcountCost,
+		MapMemoryMB:    h.SmallMapMemoryMB,
+		ReduceMemoryMB: h.ReduceMemoryMB,
+		AMMemoryMB:     h.AMMemoryMB,
+		Cost:           costFor("logcount", p),
 		Map:            LogcountMap,
 		Reduce:         SumReduce,
 	}
@@ -141,17 +124,13 @@ func Logcount(edisonReduces, dellReduces int, platform string) *mapred.JobDef {
 
 // Logcount2 additionally combines the 500 small inputs into one split per
 // vcore (§5.2.2).
-func Logcount2(edisonReduces, dellReduces int, platform string) *mapred.JobDef {
-	j := Logcount(edisonReduces, dellReduces, platform)
+func Logcount2(reduces int, p *hw.Platform) *mapred.JobDef {
+	j := Logcount(reduces, p)
 	j.Name = "logcount2"
 	j.CombineInput = true
-	j.MapMemoryMB = 300
-	j.MaxSplitSize = 15 * units.MB
-	if platform == dell {
-		j.MapMemoryMB = 1024
-		j.MaxSplitSize = 44 * units.MB
-	}
-	j.Cost = logcount2Cost
+	j.MapMemoryMB = p.Hadoop.LargeMapMemoryMB
+	j.MaxSplitSize = p.Hadoop.CombineSplit
+	j.Cost = costFor("logcount2", p)
 	return j
 }
 
@@ -221,22 +200,21 @@ func PiReduce(key string, values []string, emit func(k, v string)) {
 	SumReduce(key, values, emit)
 }
 
-// Pi is the computationally-intensive job: 10 billion samples over 70
-// Edison or 24 Dell map containers, one reducer (§5.2.3).
-func Pi(platform string) *mapred.JobDef {
-	maps, mapMem, redMem, amMem := 70, 300, 300, 100
-	if platform == dell {
-		maps, mapMem, redMem, amMem = 24, 1024, 1024, 500
-	}
+// Pi is the computationally-intensive job: 10 billion samples over the
+// platform's full-scale task count (70 on the full Edison cluster, 24 on
+// Dell), one reducer (§5.2.3).
+func Pi(p *hw.Platform) *mapred.JobDef {
+	h := p.Hadoop
+	maps := h.FullScaleTasks
 	return &mapred.JobDef{
 		Name:           "pi",
 		Inputs:         InputFiles("pi", maps),
 		NumReduces:     1,
 		UseCombiner:    false,
-		MapMemoryMB:    mapMem,
-		ReduceMemoryMB: redMem,
-		AMMemoryMB:     amMem,
-		Cost:           piCost(maps),
+		MapMemoryMB:    h.LargeMapMemoryMB,
+		ReduceMemoryMB: h.ReduceMemoryMB,
+		AMMemoryMB:     h.AMMemoryMB,
+		Cost:           piCost(maps, p),
 		Map:            PiMap,
 		Reduce:         PiReduce,
 	}
@@ -260,22 +238,20 @@ func TerasortReduce(key string, values []string, emit func(k, v string)) {
 	}
 }
 
-// Terasort sorts 10 GB staged by teragen: 64 MB blocks on BOTH clusters
-// (the paper equalizes block size for fairness), 70 or 24 reducers.
-func Terasort(platform string) *mapred.JobDef {
-	reduces, mapMem, redMem, amMem := 70, 300, 300, 100
-	if platform == dell {
-		reduces, mapMem, redMem, amMem = 24, 1024, 1024, 500
-	}
+// Terasort sorts 10 GB staged by teragen: 64 MB blocks on EVERY cluster
+// (the paper equalizes block size for fairness), one reducer per vcore of
+// the full-scale cluster (70 on Edison, 24 on Dell).
+func Terasort(p *hw.Platform) *mapred.JobDef {
+	h := p.Hadoop
 	return &mapred.JobDef{
 		Name:           "terasort",
 		Inputs:         InputFiles("terasort", 1), // one big teragen output file
-		NumReduces:     reduces,
+		NumReduces:     h.FullScaleTasks,
 		UseCombiner:    false,
-		MapMemoryMB:    mapMem,
-		ReduceMemoryMB: redMem,
-		AMMemoryMB:     amMem,
-		Cost:           terasortCost,
+		MapMemoryMB:    h.LargeMapMemoryMB,
+		ReduceMemoryMB: h.ReduceMemoryMB,
+		AMMemoryMB:     h.AMMemoryMB,
+		Cost:           costFor("terasort", p),
 		Map:            TerasortMap,
 		Reduce:         TerasortReduce,
 	}

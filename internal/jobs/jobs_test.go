@@ -6,11 +6,19 @@ import (
 	"strings"
 	"testing"
 
+	"edisim/internal/hw"
 	"edisim/internal/mapred"
 )
 
+// microP is the baseline micro platform used across the functional tests
+// (the cost model is irrelevant to LocalRun correctness).
+func microP() *hw.Platform {
+	m, _ := hw.BaselinePair()
+	return m
+}
+
 func TestWordcountLocalCorrectness(t *testing.T) {
-	job := Wordcount(4, 4, edison)
+	job := Wordcount(4, microP())
 	inputs := map[string][]string{
 		"f1": GenerateTextLines(1, 50, 8),
 		"f2": GenerateTextLines(2, 50, 8),
@@ -48,11 +56,11 @@ func TestWordcount2MatchesWordcount(t *testing.T) {
 		"f1": GenerateTextLines(3, 40, 6),
 		"f2": GenerateTextLines(4, 40, 6),
 	}
-	r1, err := mapred.LocalRun(Wordcount(4, 4, edison), inputs)
+	r1, err := mapred.LocalRun(Wordcount(4, microP()), inputs)
 	if err != nil {
 		t.Fatal(err)
 	}
-	r2, err := mapred.LocalRun(Wordcount2(4, 4, edison), inputs)
+	r2, err := mapred.LocalRun(Wordcount2(4, microP()), inputs)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -68,7 +76,7 @@ func TestWordcount2MatchesWordcount(t *testing.T) {
 }
 
 func TestLogcountExtractsDateLevel(t *testing.T) {
-	job := Logcount(2, 2, edison)
+	job := Logcount(2, microP())
 	res, err := mapred.LocalRun(job, map[string][]string{
 		"log": {
 			"2016-02-01 10:00:00,123 INFO some.Class: message",
@@ -93,7 +101,7 @@ func TestLogcountExtractsDateLevel(t *testing.T) {
 }
 
 func TestLogcountGeneratedInput(t *testing.T) {
-	job := Logcount(4, 4, edison)
+	job := Logcount(4, microP())
 	lines := GenerateLogLines(5, 500)
 	res, err := mapred.LocalRun(job, map[string][]string{"l": lines})
 	if err != nil {
@@ -112,7 +120,7 @@ func TestLogcountGeneratedInput(t *testing.T) {
 }
 
 func TestPiEstimateConverges(t *testing.T) {
-	job := Pi(edison)
+	job := Pi(microP())
 	// 8 map tasks × 40k samples.
 	inputs := map[string][]string{}
 	for i := 0; i < 8; i++ {
@@ -129,7 +137,7 @@ func TestPiEstimateConverges(t *testing.T) {
 }
 
 func TestTerasortOutputSorted(t *testing.T) {
-	job := Terasort(edison)
+	job := Terasort(microP())
 	recs := GenerateTeraRecords(6, 500)
 	res, err := mapred.LocalRun(job, map[string][]string{"t": recs})
 	if err != nil {
@@ -179,11 +187,11 @@ func TestGeneratorsDeterministic(t *testing.T) {
 }
 
 func TestDefMaxSplitSizeScalesWithCluster(t *testing.T) {
-	h35, err := NewEdisonHadoop(35, EdisonBlockSize, 1)
+	h35, err := NewHadoop(microP(), 35, microP().Hadoop.BlockSize, 1)
 	if err != nil {
 		t.Fatal(err)
 	}
-	h8, err := NewEdisonHadoop(8, EdisonBlockSize, 1)
+	h8, err := NewHadoop(microP(), 8, microP().Hadoop.BlockSize, 1)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -199,7 +207,7 @@ func TestRunSmallClusterEndToEnd(t *testing.T) {
 	if testing.Short() {
 		t.Skip("cluster simulation in -short mode")
 	}
-	r, err := Run("logcount2", EdisonPlatform, 4, 1)
+	r, err := Run("logcount2", microP(), 4, 1)
 	if err != nil {
 		t.Fatal(err)
 	}

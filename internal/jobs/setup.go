@@ -4,47 +4,52 @@ import (
 	"fmt"
 
 	"edisim/internal/cluster"
+	"edisim/internal/hw"
 	"edisim/internal/mapred"
 	"edisim/internal/units"
 )
 
-// Hadoop configuration from §5.2: block size and replication are chosen so
-// both clusters see ≈95% data-local maps; terasort equalizes block size.
-const (
-	EdisonBlockSize = 16 * units.MB
-	DellBlockSize   = 64 * units.MB
-	TeraBlockSize   = 64 * units.MB
-	EdisonReplicas  = 2
-	DellReplicas    = 1
-)
+// Hadoop configuration from §5.2: block size and replication live in each
+// platform's catalog entry, chosen so clusters see ≈95% data-local maps;
+// terasort equalizes block size across platforms for fairness.
+const TeraBlockSize = 64 * units.MB
 
 // Hadoop is a ready-to-run deployment: cluster + staged inputs.
 type Hadoop struct {
 	*mapred.Cluster
-	Platform string // "Edison" or "DellR620"
+	Platform *hw.Platform
 	Slaves   int
 }
 
-// NewEdisonHadoop builds the paper's hybrid deployment: one Dell master
-// (namenode + ResourceManager) and n Edison slaves.
-func NewEdisonHadoop(n int, blockSize units.Bytes, seed int64) (*Hadoop, error) {
-	tb := cluster.New(cluster.Config{EdisonNodes: n, DellNodes: 1})
-	c, err := mapred.NewCluster(tb.Eng, tb.Fab, tb.Dell[0], tb.Edison, blockSize, EdisonReplicas, seed)
+// NewHadoop builds a Hadoop deployment of n slaves on platform p. When the
+// platform's catalog entry names a master platform (micro servers cannot
+// host namenode + ResourceManager, §5.2), one extra node of that platform
+// is deployed as the master — the paper's hybrid configuration; otherwise
+// the deployment is homogeneous with one extra node of p as master.
+func NewHadoop(p *hw.Platform, n int, blockSize units.Bytes, seed int64) (*Hadoop, error) {
+	var master *hw.Node
+	var workers []*hw.Node
+	if mp := p.Hadoop.MasterPlatform; mp != "" {
+		mplat, ok := hw.LookupPlatform(mp)
+		if !ok {
+			panic(fmt.Sprintf("jobs: platform %s names unknown master platform %q", p.Name, mp))
+		}
+		tb := cluster.New(cluster.Config{Groups: []cluster.GroupConfig{{Platform: p, Nodes: n}, {Platform: mplat, Nodes: 1}}})
+		master = tb.Nodes(mplat)[0]
+		workers = tb.Nodes(p)
+		c, err := mapred.NewCluster(tb.Eng, tb.Fab, master, workers, blockSize, p.Hadoop.Replicas, seed)
+		if err != nil {
+			return nil, err
+		}
+		return &Hadoop{Cluster: c, Platform: p, Slaves: n}, nil
+	}
+	tb := cluster.New(cluster.Config{Groups: []cluster.GroupConfig{{Platform: p, Nodes: n + 1}}})
+	all := tb.Nodes(p)
+	c, err := mapred.NewCluster(tb.Eng, tb.Fab, all[0], all[1:], blockSize, p.Hadoop.Replicas, seed)
 	if err != nil {
 		return nil, err
 	}
-	return &Hadoop{Cluster: c, Platform: edison, Slaves: n}, nil
-}
-
-// NewDellHadoop builds the Dell deployment: one Dell master plus n Dell
-// slaves (the paper uses n = 1 or 2).
-func NewDellHadoop(n int, blockSize units.Bytes, seed int64) (*Hadoop, error) {
-	tb := cluster.New(cluster.Config{DellNodes: n + 1})
-	c, err := mapred.NewCluster(tb.Eng, tb.Fab, tb.Dell[0], tb.Dell[1:], blockSize, DellReplicas, seed)
-	if err != nil {
-		return nil, err
-	}
-	return &Hadoop{Cluster: c, Platform: dell, Slaves: n}, nil
+	return &Hadoop{Cluster: c, Platform: p, Slaves: n}, nil
 }
 
 // Stage registers a job's input files in HDFS (the datasets pre-exist when
@@ -62,11 +67,7 @@ func (h *Hadoop) Stage(job string) {
 			h.FS.CreateInstant(name, per)
 		}
 	case "pi":
-		maps := 70
-		if h.Platform == dell {
-			maps = 24
-		}
-		for _, name := range InputFiles("pi", maps) {
+		for _, name := range InputFiles("pi", h.Platform.Hadoop.FullScaleTasks) {
 			h.FS.CreateInstant(name, 4*units.KB)
 		}
 	case "terasort":
@@ -80,18 +81,17 @@ func (h *Hadoop) Stage(job string) {
 // follow §5.2: one per vcore (70 on the full Edison cluster, 24 on Dell),
 // scaled with cluster size; pi uses a single reducer.
 func (h *Hadoop) Def(job string) *mapred.JobDef {
-	edisonReduces := 2 * h.Slaves
-	dellReduces := 12 * h.Slaves
+	reduces := h.Platform.Hadoop.VCores * h.Slaves
 	var j *mapred.JobDef
 	switch job {
 	case "wordcount":
-		j = Wordcount(edisonReduces, dellReduces, h.Platform)
+		j = Wordcount(reduces, h.Platform)
 	case "wordcount2":
-		j = Wordcount2(edisonReduces, dellReduces, h.Platform)
+		j = Wordcount2(reduces, h.Platform)
 	case "logcount":
-		j = Logcount(edisonReduces, dellReduces, h.Platform)
+		j = Logcount(reduces, h.Platform)
 	case "logcount2":
-		j = Logcount2(edisonReduces, dellReduces, h.Platform)
+		j = Logcount2(reduces, h.Platform)
 	case "pi":
 		j = Pi(h.Platform)
 	case "terasort":
@@ -102,25 +102,18 @@ func (h *Hadoop) Def(job string) *mapred.JobDef {
 	if j.CombineInput {
 		// The paper re-tunes split sizes at each cluster scale so every
 		// vcore gets exactly one map container.
-		slots := edisonReduces
-		if h.Platform == dell {
-			slots = dellReduces
-		}
 		total := int64(WordcountBytes)
-		j.MaxSplitSize = units.Bytes(total/int64(slots) + 1)
+		j.MaxSplitSize = units.Bytes(total/int64(reduces) + 1)
 	}
 	return j
 }
 
 // BlockSizeFor reports the paper's block size for a job on a platform.
-func BlockSizeFor(job, platform string) units.Bytes {
+func BlockSizeFor(job string, p *hw.Platform) units.Bytes {
 	if job == "terasort" {
 		return TeraBlockSize
 	}
-	if platform == dell {
-		return DellBlockSize
-	}
-	return EdisonBlockSize
+	return p.Hadoop.BlockSize
 }
 
 // Names lists the six workloads in the paper's order.
@@ -130,24 +123,11 @@ func Names() []string {
 
 // Run stages and executes one named job on a fresh deployment, returning
 // the result. This is the one-call path used by experiments and benches.
-func Run(job, platform string, slaves int, seed int64) (*mapred.JobResult, error) {
-	var h *Hadoop
-	var err error
-	if platform == edison {
-		h, err = NewEdisonHadoop(slaves, BlockSizeFor(job, platform), seed)
-	} else {
-		h, err = NewDellHadoop(slaves, BlockSizeFor(job, platform), seed)
-	}
+func Run(job string, p *hw.Platform, slaves int, seed int64) (*mapred.JobResult, error) {
+	h, err := NewHadoop(p, slaves, BlockSizeFor(job, p), seed)
 	if err != nil {
 		return nil, err
 	}
 	h.Stage(job)
 	return h.Cluster.Run(h.Def(job))
 }
-
-// EdisonPlatform and DellPlatform name the platforms for callers outside
-// this package.
-const (
-	EdisonPlatform = edison
-	DellPlatform   = dell
-)

@@ -8,7 +8,7 @@ import (
 )
 
 func TestTeragenWritesDataset(t *testing.T) {
-	h, err := NewEdisonHadoop(4, TeraBlockSize, 1)
+	h, err := NewHadoop(microP(), 4, TeraBlockSize, 1)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -30,7 +30,7 @@ func TestTeragenWritesDataset(t *testing.T) {
 
 func TestTeraValidateLocalAcceptsSorted(t *testing.T) {
 	recs := GenerateTeraRecords(3, 200)
-	out, err := mapred.LocalRun(Terasort(edison), map[string][]string{"in": recs})
+	out, err := mapred.LocalRun(Terasort(microP()), map[string][]string{"in": recs})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -41,7 +41,7 @@ func TestTeraValidateLocalAcceptsSorted(t *testing.T) {
 
 func TestTeraValidateLocalRejectsLoss(t *testing.T) {
 	recs := GenerateTeraRecords(4, 100)
-	out, err := mapred.LocalRun(Terasort(edison), map[string][]string{"in": recs})
+	out, err := mapred.LocalRun(Terasort(microP()), map[string][]string{"in": recs})
 	if err != nil {
 		t.Fatal(err)
 	}

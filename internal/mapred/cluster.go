@@ -31,8 +31,12 @@ type Cluster struct {
 }
 
 // daemonMemory is what datanode+nodemanager consume on a worker (§5.2:
-// ≈360 MB total on an Edison incl. the OS, ≈4 GB on a Dell).
+// ≈360 MB total on an Edison incl. the OS, ≈4 GB on a Dell), resolved from
+// the hw platform catalog with a clock-speed heuristic for ad-hoc specs.
 func daemonMemory(n *hw.Node) units.Bytes {
+	if p := hw.PlatformForSpec(n.Spec.Name); p != nil {
+		return p.Hadoop.DaemonMem
+	}
 	if n.Spec.CPU.Clock < 1000 {
 		return 360 * units.MB
 	}

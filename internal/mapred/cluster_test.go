@@ -4,14 +4,18 @@ import (
 	"testing"
 
 	"edisim/internal/cluster"
+	"edisim/internal/hw"
 	"edisim/internal/units"
 )
 
-// smallCluster builds a 4-Edison + Dell-master deployment with tiny inputs.
+// smallCluster builds a 4-micro + brawny-master deployment with tiny inputs.
 func smallCluster(t *testing.T) *Cluster {
 	t.Helper()
-	tb := cluster.New(cluster.Config{EdisonNodes: 4, DellNodes: 1})
-	c, err := NewCluster(tb.Eng, tb.Fab, tb.Dell[0], tb.Edison, 16*units.MB, 2, 11)
+	micro, brawny := hw.BaselinePair()
+	tb := cluster.New(cluster.Config{
+		Groups: []cluster.GroupConfig{{Platform: micro, Nodes: 4}, {Platform: brawny, Nodes: 1}},
+	})
+	c, err := NewCluster(tb.Eng, tb.Fab, tb.Nodes(brawny)[0], tb.Nodes(micro), 16*units.MB, 2, 11)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -28,12 +32,12 @@ func tinyJob(name string, inputs []string, combine bool) *JobDef {
 		AMMemoryMB:     100,
 		CombineInput:   combine,
 		Cost: CostModel{
-			MapMBps:             map[string]float64{"Edison": 2, "DellR620": 10},
-			ReduceMBps:          map[string]float64{"Edison": 2, "DellR620": 10},
+			MapMBps:             2,
+			ReduceMBps:          2,
 			OutputRatio:         1,
 			CombineRatio:        1,
 			ReduceOutputRatio:   0.5,
-			TaskOverheadSeconds: map[string]float64{"Edison": 1, "DellR620": 0.5},
+			TaskOverheadSeconds: 1,
 		},
 	}
 	if combine {
@@ -129,11 +133,13 @@ func TestProgressSeriesMonotone(t *testing.T) {
 }
 
 func TestHybridMasterRequired(t *testing.T) {
-	tb := cluster.New(cluster.Config{EdisonNodes: 3})
-	// Using an Edison node as master must fail, as in the paper.
-	_, err := NewCluster(tb.Eng, tb.Fab, tb.Edison[0], tb.Edison[1:], 16*units.MB, 2, 1)
+	micro, _ := hw.BaselinePair()
+	tb := cluster.New(cluster.Config{Groups: []cluster.GroupConfig{{Platform: micro, Nodes: 3}}})
+	// Using a micro node as master must fail, as in the paper.
+	nodes := tb.Nodes(micro)
+	_, err := NewCluster(tb.Eng, tb.Fab, nodes[0], nodes[1:], 16*units.MB, 2, 1)
 	if err == nil {
-		t.Fatal("Edison master accepted; the paper shows it cannot host RM+namenode")
+		t.Fatal("micro master accepted; the paper shows it cannot host RM+namenode")
 	}
 }
 

@@ -27,18 +27,20 @@ type MapFunc func(record string, emit func(k, v string))
 // ReduceFunc folds all values of one key and emits output pairs.
 type ReduceFunc func(key string, values []string, emit func(k, v string))
 
-// CostModel carries the calibrated per-platform rates for a job. Rates are
-// per container running on one dedicated core; oversubscription slowdowns
-// (4 containers on 2 Edison cores, 24 on ≈11 Dell core-equivalents) emerge
-// from the processor-sharing CPU model. Map keys are hw spec names.
+// CostModel carries the calibrated rates for a job on the worker platform
+// it runs on (containers only ever land on workers, which are homogeneous,
+// so the model is flat — internal/jobs resolves it from the hw platform
+// catalog). Rates are per container running on one dedicated core;
+// oversubscription slowdowns (4 containers on 2 Edison cores, 24 on ≈11
+// Dell core-equivalents) emerge from the processor-sharing CPU model.
 type CostModel struct {
 	// MapMBps is map-function throughput over its split, MB per core-second.
-	MapMBps map[string]float64
-	// MapFixedSeconds, when set, replaces the rate model (pi estimation has
-	// no meaningful input bytes).
-	MapFixedSeconds map[string]float64
+	MapMBps float64
+	// MapFixedSeconds, when positive, replaces the rate model (pi estimation
+	// has no meaningful input bytes).
+	MapFixedSeconds float64
 	// ReduceMBps is sort+merge+reduce throughput over shuffled bytes.
-	ReduceMBps map[string]float64
+	ReduceMBps float64
 	// OutputRatio is map-output bytes per input byte before the combiner.
 	OutputRatio float64
 	// CombineRatio scales map output when the job's combiner runs (1 = no
@@ -51,7 +53,7 @@ type CostModel struct {
 	// localization, task setup/commit. This is what makes 200 tiny maps so
 	// much more expensive than 24 big ones (§5.2.1's container-allocation
 	// overhead, the original-vs-optimized wordcount gap).
-	TaskOverheadSeconds map[string]float64
+	TaskOverheadSeconds float64
 }
 
 // JobDef is a complete MapReduce job description.

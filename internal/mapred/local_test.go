@@ -19,12 +19,11 @@ func countJob(combiner bool, reduces int) *JobDef {
 		ReduceMemoryMB: 100,
 		AMMemoryMB:     100,
 		Cost: CostModel{
-			MapMBps:             map[string]float64{"Edison": 1},
-			ReduceMBps:          map[string]float64{"Edison": 1},
-			OutputRatio:         1,
-			CombineRatio:        1,
-			ReduceOutputRatio:   1,
-			TaskOverheadSeconds: map[string]float64{"Edison": 0},
+			MapMBps:           1,
+			ReduceMBps:        1,
+			OutputRatio:       1,
+			CombineRatio:      1,
+			ReduceOutputRatio: 1,
 		},
 		Map: func(rec string, emit func(k, v string)) {
 			for _, w := range strings.Fields(rec) {

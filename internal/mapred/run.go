@@ -10,24 +10,22 @@ import (
 	"edisim/internal/yarn"
 )
 
-// mapRateFor resolves the per-core map duration for a split.
-func mapSeconds(job *JobDef, platform string, size units.Bytes) float64 {
-	if job.Cost.MapFixedSeconds != nil {
-		return job.Cost.MapFixedSeconds[platform]
+// mapSeconds resolves the per-core map duration for a split.
+func mapSeconds(job *JobDef, size units.Bytes) float64 {
+	if job.Cost.MapFixedSeconds > 0 {
+		return job.Cost.MapFixedSeconds
 	}
-	rate, ok := job.Cost.MapMBps[platform]
-	if !ok || rate <= 0 {
-		panic(fmt.Sprintf("mapred: no map rate for platform %q", platform))
+	if job.Cost.MapMBps <= 0 {
+		panic(fmt.Sprintf("mapred: job %q has no map rate", job.Name))
 	}
-	return float64(size) / float64(units.MBps) / rate
+	return float64(size) / float64(units.MBps) / job.Cost.MapMBps
 }
 
-func reduceSeconds(job *JobDef, platform string, size units.Bytes) float64 {
-	rate, ok := job.Cost.ReduceMBps[platform]
-	if !ok || rate <= 0 {
-		panic(fmt.Sprintf("mapred: no reduce rate for platform %q", platform))
+func reduceSeconds(job *JobDef, size units.Bytes) float64 {
+	if job.Cost.ReduceMBps <= 0 {
+		panic(fmt.Sprintf("mapred: job %q has no reduce rate", job.Name))
 	}
-	return float64(size) / float64(units.MBps) / rate
+	return float64(size) / float64(units.MBps) / job.Cost.ReduceMBps
 }
 
 // maxShuffleFetches bounds a reducer's parallel fetch streams (Hadoop's
@@ -152,7 +150,7 @@ func (c *Cluster) Start(job *JobDef, done func()) (*JobResult, error) {
 			active--
 			if fetched >= len(sources) {
 				// Sort+merge+reduce, then write output to HDFS.
-				node.ComputeSeconds(reduceSeconds(job, node.Spec.Name, shuffleShare), func() {
+				node.ComputeSeconds(reduceSeconds(job, shuffleShare), func() {
 					out := units.Bytes(float64(shuffleShare) * job.Cost.ReduceOutputRatio)
 					res.OutputBytes += out
 					outSeq++
@@ -233,7 +231,7 @@ func (c *Cluster) Start(job *JobDef, done func()) (*JobResult, error) {
 				})
 				share := units.Bytes(float64(expectedMapOut) / float64(job.NumReduces))
 				// Reduce attempts pay the same (CPU-bound) setup overhead.
-				ct.Node.Node.ComputeSeconds(job.Cost.TaskOverheadSeconds[ct.Node.Node.Spec.Name], func() {
+				ct.Node.Node.ComputeSeconds(job.Cost.TaskOverheadSeconds, func() {
 					runReducer(ct, share, sources)
 				})
 			})
@@ -255,8 +253,8 @@ func (c *Cluster) Start(job *JobDef, done func()) (*JobResult, error) {
 				// CPU-bound, which is why the paper's Dell trace pegs 100%
 				// CPU through the map phase), then the map computation and
 				// the spill of (combined) output.
-				work := job.Cost.TaskOverheadSeconds[node.Spec.Name] +
-					mapSeconds(job, node.Spec.Name, s.size)
+				work := job.Cost.TaskOverheadSeconds +
+					mapSeconds(job, s.size)
 				node.ComputeSeconds(work, func() {
 					out := units.Bytes(float64(s.size) * job.Cost.OutputRatio * combine)
 					node.Disk().Write(out, true, func() {

@@ -17,7 +17,7 @@ func TestDhrystoneReportsSpecDMIPS(t *testing.T) {
 		t.Fatalf("DMIPS %v / %v, want 632.3 / 11383 (§4.1)", e.DMIPS, d.DMIPS)
 	}
 	if e.RunTime <= d.RunTime {
-		t.Fatal("Edison Dhrystone should take longer than Dell")
+		t.Fatal("micro Dhrystone should take longer than brawny")
 	}
 	// Ratio should be the per-core gap, ≈18×.
 	if r := e.RunTime / d.RunTime; r < 17 || r > 19 {
@@ -40,7 +40,7 @@ func TestSysbenchCPUSingleThreadGap(t *testing.T) {
 	}
 	// Figure 2: Edison 1-thread in the 550–700 s band.
 	if e.TotalTime < 550 || e.TotalTime > 700 {
-		t.Fatalf("Edison 1-thread time %.1fs, want 550–700s", e.TotalTime)
+		t.Fatalf("micro 1-thread time %.1fs, want 550–700s", e.TotalTime)
 	}
 }
 
@@ -74,7 +74,7 @@ func TestMemoryBandwidthMatchesSection42(t *testing.T) {
 	e := float64(PeakMemoryBandwidth(hw.EdisonSpec())) / float64(units.GBps)
 	d := float64(PeakMemoryBandwidth(hw.DellR620Spec())) / float64(units.GBps)
 	if !almost(e, 2.2, 0.15) {
-		t.Fatalf("Edison peak bandwidth %.2f GB/s, want ≈2.2", e)
+		t.Fatalf("micro peak bandwidth %.2f GB/s, want ≈2.2", e)
 	}
 	if !almost(d, 36, 2) {
 		t.Fatalf("Dell peak bandwidth %.1f GB/s, want ≈36", d)
@@ -107,10 +107,10 @@ func TestMemoryThreadSaturation(t *testing.T) {
 	two := SysbenchMemory(hw.EdisonSpec(), blocks, []int{2})[0].Rate
 	four := SysbenchMemory(hw.EdisonSpec(), blocks, []int{4})[0].Rate
 	if two <= one {
-		t.Fatal("2 threads should beat 1 on Edison")
+		t.Fatal("2 threads should beat 1 on the micro server")
 	}
 	if four > two {
-		t.Fatal("beyond 2 threads Edison memory rate should not increase (§4.2)")
+		t.Fatal("beyond 2 threads the micro memory rate should not increase (§4.2)")
 	}
 	dEleven := SysbenchMemory(hw.DellR620Spec(), blocks, []int{12})[0].Rate
 	dSixteen := SysbenchMemory(hw.DellR620Spec(), blocks, []int{16})[0].Rate
@@ -152,7 +152,8 @@ func TestStorageMatchesTable5(t *testing.T) {
 }
 
 func TestNetworkMatchesSection44(t *testing.T) {
-	res := MeasureNetwork()
+	micro, brawny := hw.BaselinePair()
+	res := MeasureNetwork(micro, brawny)
 	if len(res) != 3 {
 		t.Fatalf("got %d pairs", len(res))
 	}
@@ -160,18 +161,18 @@ func TestNetworkMatchesSection44(t *testing.T) {
 	for _, r := range res {
 		byName[r.Pair] = r
 	}
-	dd := byName["Dell to Dell"]
+	dd := byName[brawny.Label+" to "+brawny.Label]
 	if got := float64(dd.TCP) * 8 / 1e6; !almost(got, 942, 10) {
 		t.Errorf("D-D TCP %.0f Mbit/s, want ≈942", got)
 	}
 	if got := dd.RTT * 1e3; !almost(got, 0.24, 0.05) {
 		t.Errorf("D-D RTT %.2fms, want ≈0.24", got)
 	}
-	de := byName["Dell to Edison"]
+	de := byName[brawny.Label+" to "+micro.Label]
 	if got := float64(de.TCP) * 8 / 1e6; !almost(got, 93.9, 2) {
 		t.Errorf("D-E TCP %.1f Mbit/s, want ≈93.9", got)
 	}
-	ee := byName["Edison to Edison"]
+	ee := byName[micro.Label+" to "+micro.Label]
 	if got := float64(ee.TCP) * 8 / 1e6; !almost(got, 93.9, 2) {
 		t.Errorf("E-E TCP %.1f Mbit/s, want ≈93.9", got)
 	}

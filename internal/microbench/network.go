@@ -9,22 +9,26 @@ import (
 	"edisim/internal/units"
 )
 
-// MeasureNetwork reproduces the §4.4 iperf3/ping matrix on the full testbed:
-// Dell→Dell, Dell→Edison, and Edison→Edison TCP transfers of 1 GB, plus
+// MeasureNetwork reproduces the §4.4 iperf3/ping matrix on the testbed:
+// brawny→brawny, brawny→micro, and micro→micro TCP transfers of 1 GB, plus
 // ping RTTs. UDP rates come from the slower endpoint's measured goodput
 // (UDP has no congestion control; iperf UDP just paces at line rate).
-func MeasureNetwork() []NetworkResult {
-	tb := cluster.New(cluster.Config{EdisonNodes: 35, DellNodes: 2, DBNodes: 0, Clients: 0})
-	ed, dl := hw.EdisonSpec(), hw.DellR620Spec()
+func MeasureNetwork(micro, brawny *hw.Platform) []NetworkResult {
+	tb := cluster.New(cluster.Config{
+		Groups:  []cluster.GroupConfig{{Platform: micro, Nodes: 35}, {Platform: brawny, Nodes: 2}},
+		DBNodes: 0, Clients: 0,
+	})
+	mn := tb.Nodes(micro)
+	bn := tb.Nodes(brawny)
 
 	pairs := []struct {
 		name     string
 		src, dst string
 		udp      units.BytesPerSec
 	}{
-		{"Dell to Dell", tb.Dell[0].ID, tb.Dell[1].ID, dl.NIC.UDPGoodput},
-		{"Dell to Edison", tb.Dell[0].ID, tb.Edison[0].ID, ed.NIC.UDPGoodput},
-		{"Edison to Edison", tb.Edison[0].ID, tb.Edison[34].ID, ed.NIC.UDPGoodput},
+		{fmt.Sprintf("%s to %s", brawny.Label, brawny.Label), bn[0].ID, bn[1].ID, brawny.Spec.NIC.UDPGoodput},
+		{fmt.Sprintf("%s to %s", brawny.Label, micro.Label), bn[0].ID, mn[0].ID, micro.Spec.NIC.UDPGoodput},
+		{fmt.Sprintf("%s to %s", micro.Label, micro.Label), mn[0].ID, mn[34].ID, micro.Spec.NIC.UDPGoodput},
 	}
 
 	var out []NetworkResult

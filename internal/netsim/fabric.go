@@ -51,16 +51,42 @@ type Fabric struct {
 	flows    []*Flow
 	epoch    uint64
 	nextDone sim.EventRef
+
+	// freeFlows is the Flow record pool (see StartFlow); flowSeq stamps
+	// each started flow so stale FlowRefs are detected after recycling.
+	freeFlows []*Flow
+	flowSeq   uint64
+
+	// Reusable scratch for the water-filling pass and the completion
+	// sweep, so steady-state flow churn does not allocate: a link-state
+	// map cleared per pass, an arena its entries point into (pre-sized to
+	// the link count so append never relocates), the pending done
+	// callbacks of one completion round, and the bound completeFlows
+	// closure (allocated once instead of per re-arm).
+	lsScratch  map[*Link]*linkState
+	lsArena    []linkState
+	doneQueue  []func()
+	completeFn func()
+}
+
+// linkState is one link's remaining capacity and unfrozen-flow count
+// during a water-filling pass.
+type linkState struct {
+	rem float64
+	cnt int
 }
 
 // NewFabric returns an empty network on the engine.
 func NewFabric(eng *sim.Engine) *Fabric {
-	return &Fabric{
-		eng:      eng,
-		vertices: make(map[string]bool),
-		adj:      make(map[string][]*Link),
-		routes:   make(map[[2]string][]*Link),
+	f := &Fabric{
+		eng:       eng,
+		vertices:  make(map[string]bool),
+		adj:       make(map[string][]*Link),
+		routes:    make(map[[2]string][]*Link),
+		lsScratch: make(map[*Link]*linkState),
 	}
+	f.completeFn = f.completeFlows
+	return f
 }
 
 // Engine returns the engine the fabric runs on.

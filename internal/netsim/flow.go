@@ -9,33 +9,97 @@ import (
 
 // Flow is a bulk transfer receiving a max-min fair share of every link on
 // its path. Rates are recomputed whenever any flow starts or finishes.
+//
+// Flow records are pooled on the fabric like sim.Event records: StartFlow
+// takes one from a freelist (grown in chunks) and completion returns it, so
+// the bulk-transfer hot path — one flow per HDFS block, shuffle segment or
+// iperf stream — does not allocate in steady state. User code never holds
+// *Flow directly; it holds FlowRef handles, which stay safe across
+// recycling.
 type Flow struct {
 	Src, Dst string
 
 	fab       *Fabric
+	seq       uint64 // unique per start; 0 while on the freelist
 	path      []*Link
 	remaining float64 // bytes left
 	rate      float64 // bytes/sec, current allocation
 	lastT     sim.Time
 	done      func()
-	finished  bool
 	frozen    bool // scratch flag for the water-filling pass
+}
+
+// FlowRef is a cheap, copyable handle to a started flow. The zero value is
+// inert. A ref stays valid-to-use after its flow completes: a dead ref
+// reports Finished() == true and a zero rate.
+type FlowRef struct {
+	fl  *Flow
+	seq uint64
+}
+
+// live reports whether the ref still names an in-flight flow.
+func (r FlowRef) live() bool { return r.fl != nil && r.fl.seq == r.seq }
+
+// Finished reports whether the transfer completed. The zero ref reports
+// false (it never named a flow).
+func (r FlowRef) Finished() bool { return r.fl != nil && !r.live() }
+
+// Rate reports the current allocated rate in bytes/sec (0 once finished).
+func (r FlowRef) Rate() units.BytesPerSec {
+	if r.live() {
+		return units.BytesPerSec(r.fl.rate)
+	}
+	return 0
+}
+
+// flowChunk is how many Flow records the freelist grows by at once.
+const flowChunk = 64
+
+// allocFlow takes a flow record from the freelist, growing it when empty.
+func (f *Fabric) allocFlow() *Flow {
+	if len(f.freeFlows) == 0 {
+		chunk := make([]Flow, flowChunk)
+		for i := range chunk {
+			chunk[i].fab = f
+			f.freeFlows = append(f.freeFlows, &chunk[i])
+		}
+	}
+	fl := f.freeFlows[len(f.freeFlows)-1]
+	f.freeFlows = f.freeFlows[:len(f.freeFlows)-1]
+	return fl
+}
+
+// recycleFlow invalidates outstanding refs and returns the record to the
+// pool. The path slice belongs to the route cache, so dropping the
+// reference costs nothing.
+func (f *Fabric) recycleFlow(fl *Flow) {
+	fl.seq = 0
+	fl.done = nil // release the closure for GC
+	fl.path = nil
+	f.freeFlows = append(f.freeFlows, fl)
 }
 
 // StartFlow begins a bulk transfer of size bytes from src to dst; done runs
 // when the last byte arrives. A zero-size flow completes via a zero-delay
 // event. Same-host transfers skip the network (memory copy, modeled free).
-func (f *Fabric) StartFlow(src, dst string, size units.Bytes, done func()) *Flow {
-	fl := &Flow{Src: src, Dst: dst, fab: f, remaining: float64(size), done: done,
-		lastT: f.eng.Now()}
+func (f *Fabric) StartFlow(src, dst string, size units.Bytes, done func()) FlowRef {
+	f.flowSeq++
+	fl := f.allocFlow()
+	fl.Src, fl.Dst = src, dst
+	fl.seq = f.flowSeq
+	fl.remaining = float64(size)
+	fl.rate = 0
+	fl.done = done
+	fl.lastT = f.eng.Now()
+	ref := FlowRef{fl: fl, seq: fl.seq}
 	if src == dst || size == 0 {
 		f.eng.After(0, func() {
-			fl.finished = true
+			f.recycleFlow(fl)
 			if done != nil {
 				done()
 			}
 		})
-		return fl
+		return ref
 	}
 	fl.path = f.Route(src, dst)
 	// Propagation: first byte takes the path latency; model by delaying
@@ -48,14 +112,8 @@ func (f *Fabric) StartFlow(src, dst string, size units.Bytes, done func()) *Flow
 		}
 		f.reallocate()
 	})
-	return fl
+	return ref
 }
-
-// Finished reports whether the transfer completed.
-func (fl *Flow) Finished() bool { return fl.finished }
-
-// Rate reports the current allocated rate in bytes/sec.
-func (fl *Flow) Rate() units.BytesPerSec { return units.BytesPerSec(fl.rate) }
 
 // advanceFlows credits progress to every active flow at its current rate.
 func (f *Fabric) advanceFlows() {
@@ -86,17 +144,22 @@ func (f *Fabric) reallocate() {
 		return
 	}
 
-	type linkState struct {
-		rem float64
-		cnt int
+	// Build link states in the fabric's reusable scratch: the map is
+	// cleared per pass and its entries point into an arena pre-sized to
+	// the link count, so append below can never relocate live pointers.
+	state := f.lsScratch
+	clear(state)
+	if cap(f.lsArena) < len(f.links) {
+		f.lsArena = make([]linkState, 0, len(f.links))
 	}
-	state := make(map[*Link]*linkState)
+	f.lsArena = f.lsArena[:0]
 	for _, fl := range f.flows {
 		for _, l := range fl.path {
 			if s, ok := state[l]; ok {
 				s.cnt++
 			} else {
-				state[l] = &linkState{rem: float64(l.Capacity), cnt: 1}
+				f.lsArena = append(f.lsArena, linkState{rem: float64(l.Capacity), cnt: 1})
+				state[l] = &f.lsArena[len(f.lsArena)-1]
 			}
 		}
 	}
@@ -169,24 +232,31 @@ func (f *Fabric) reallocate() {
 	if next < 0 {
 		next = 0
 	}
-	f.nextDone = f.eng.After(next, f.completeFlows)
+	f.nextDone = f.eng.After(next, f.completeFn)
 }
 
 // completeFlows advances progress and finishes every drained flow, in
-// admission order, compacting the live set in place.
+// admission order, compacting the live set in place. Finished records are
+// recycled before their done callbacks run, so a callback starting a new
+// flow can reuse them immediately.
 func (f *Fabric) completeFlows() {
 	f.nextDone = sim.EventRef{}
 	f.advanceFlows()
 	const eps = 1 // byte tolerance
-	var finished []*Flow
+	// Collect done callbacks in the reusable queue. completeFlows never
+	// nests (it only runs as an engine event), and callbacks append flows,
+	// not callbacks, so iterating the queue below is safe.
+	finished := f.doneQueue[:0]
 	live := f.flows[:0]
 	for _, fl := range f.flows {
 		if fl.remaining <= eps {
-			finished = append(finished, fl)
 			for _, l := range fl.path {
 				l.flowCount--
 			}
-			fl.finished = true
+			if fl.done != nil {
+				finished = append(finished, fl.done)
+			}
+			f.recycleFlow(fl)
 		} else {
 			live = append(live, fl)
 		}
@@ -196,11 +266,13 @@ func (f *Fabric) completeFlows() {
 	}
 	f.flows = live
 	f.reallocate()
-	for _, fl := range finished {
-		if fl.done != nil {
-			fl.done()
-		}
+	for _, done := range finished {
+		done()
 	}
+	for i := range finished {
+		finished[i] = nil
+	}
+	f.doneQueue = finished[:0]
 }
 
 // ActiveFlows reports the number of in-flight bulk transfers.

@@ -7,10 +7,10 @@ import (
 
 func TestTableRendering(t *testing.T) {
 	tb := NewTable("Power", "Server", "Idle", "Busy")
-	tb.AddRow("Edison", 1.40, 1.68)
+	tb.AddRow("Micro", 1.40, 1.68)
 	tb.AddRow("Dell", 52.0, 109.0)
 	s := tb.String()
-	for _, want := range []string{"Power", "Server", "Edison", "1.4", "109"} {
+	for _, want := range []string{"Power", "Server", "Micro", "1.4", "109"} {
 		if !strings.Contains(s, want) {
 			t.Errorf("rendered table missing %q:\n%s", want, s)
 		}
@@ -43,13 +43,13 @@ func TestCSVQuoteEscaping(t *testing.T) {
 
 func TestFigureSeries(t *testing.T) {
 	f := NewFigure("Figure 4", "concurrency", "req/s", []float64{8, 16, 32})
-	f.Add("24 Edison", []float64{100, 200, 400})
+	f.Add("24 micro", []float64{100, 200, 400})
 	f.Add("2 Dell", []float64{110, 210, 410})
 	tab := f.Table()
 	if len(tab.Rows) != 3 || len(tab.Headers) != 3 {
 		t.Fatalf("table shape %dx%d", len(tab.Rows), len(tab.Headers))
 	}
-	if !strings.Contains(f.String(), "24 Edison") {
+	if !strings.Contains(f.String(), "24 micro") {
 		t.Fatal("series label missing")
 	}
 }

@@ -1,7 +1,8 @@
 // Package tco implements the paper's total-cost-of-ownership model
 // (Section 6): equipment cost plus electricity over a server lifetime,
 // C = Cs + Ts·Ceph·(U·Pp + (1−U)·Pi), with the Table 9 constants and the
-// Table 10 scenarios.
+// Table 10 scenarios. Per-platform unit costs and power endpoints come from
+// the hw platform catalog, so any catalog entry can be priced.
 package tco
 
 import (
@@ -22,10 +23,8 @@ type Inputs struct {
 
 // Defaults from Table 9.
 const (
-	EdisonUnitCost = 120.0  // device+breakout 68 + adapter 15 + SD/board 27 + switch share 10
-	DellUnitCost   = 2500.0 // §3.1
-	PricePerKWh    = 0.10   // US average
-	LifeYears      = 3.0
+	PricePerKWh = 0.10 // US average
+	LifeYears   = 3.0
 )
 
 // Result is the cost breakdown in USD.
@@ -51,74 +50,62 @@ func Compute(in Inputs) Result {
 	}
 }
 
-// EdisonInputs builds Inputs for n Edison nodes at utilization u, using the
-// measured per-node power with Ethernet adapter (Table 3).
-func EdisonInputs(n int, u float64) Inputs {
-	p := hw.EdisonSpec().Power
+// ForPlatform builds Inputs for n nodes of a catalog platform at
+// utilization u, using the platform's unit cost and measured per-node
+// power endpoints (with Ethernet adapter where applicable, Table 3).
+func ForPlatform(p *hw.Platform, n int, u float64) Inputs {
+	pw := p.Spec.Power
 	return Inputs{
 		Servers:     n,
-		CostPerUnit: EdisonUnitCost,
-		Peak:        p.BusyDraw(),
-		Idle:        p.IdleDraw(),
+		CostPerUnit: p.UnitCost,
+		Peak:        pw.BusyDraw(),
+		Idle:        pw.IdleDraw(),
 		Utilization: u,
 		LifeYears:   LifeYears,
 		PricePerKWh: PricePerKWh,
 	}
 }
 
-// DellInputs builds Inputs for n Dell servers at utilization u.
-func DellInputs(n int, u float64) Inputs {
-	p := hw.DellR620Spec().Power
-	return Inputs{
-		Servers:     n,
-		CostPerUnit: DellUnitCost,
-		Peak:        p.BusyDraw(),
-		Idle:        p.IdleDraw(),
-		Utilization: u,
-		LifeYears:   LifeYears,
-		PricePerKWh: PricePerKWh,
-	}
-}
-
-// Scenario is one Table 10 row.
+// Scenario is one Table 10 row comparing a micro fleet to a brawny fleet.
 type Scenario struct {
-	Name         string
-	Dell, Edison Result
+	Name          string
+	Brawny, Micro Result
 }
 
-// Savings reports the fractional saving of the Edison cluster vs Dell.
+// Savings reports the fractional saving of the micro cluster vs brawny.
 func (s Scenario) Savings() float64 {
-	if s.Dell.Total() == 0 {
+	if s.Brawny.Total() == 0 {
 		return 0
 	}
-	return 1 - s.Edison.Total()/s.Dell.Total()
+	return 1 - s.Micro.Total()/s.Brawny.Total()
 }
 
-// Table10 reproduces the paper's four scenarios: web service compares
-// 35 Edisons to 3 Dells at U ∈ {10%, 75%}; big data compares 35 Edisons
-// (pinned at 100% utilization, since jobs run 1.35–4× longer) to 2 Dells
-// at U ∈ {25%, 74%}.
+// Table10 reproduces the paper's four scenarios over the baseline pair:
+// web service compares 35 Edisons to 3 Dells at U ∈ {10%, 75%}; big data
+// compares 35 Edisons (pinned at 100% utilization, since jobs run 1.35–4×
+// longer) to 2 Dells at U ∈ {25%, 74%}.
 func Table10() []Scenario {
+	micro, brawny := hw.BaselinePair()
 	return []Scenario{
 		{
 			Name:   "Web service, low utilization",
-			Dell:   Compute(DellInputs(3, 0.10)),
-			Edison: Compute(EdisonInputs(35, 0.10)),
+			Brawny: Compute(ForPlatform(brawny, 3, 0.10)),
+			Micro:  Compute(ForPlatform(micro, 35, 0.10)),
 		},
 		{
 			Name:   "Web service, high utilization",
-			Dell:   Compute(DellInputs(3, 0.75)),
-			Edison: Compute(EdisonInputs(35, 0.75)),
+			Brawny: Compute(ForPlatform(brawny, 3, 0.75)),
+			Micro:  Compute(ForPlatform(micro, 35, 0.75)),
 		},
 		{
 			Name:   "Big data, low utilization",
-			Dell:   Compute(DellInputs(2, 0.25)),
-			Edison: Compute(EdisonInputs(35, 1.0)),
+			Brawny: Compute(ForPlatform(brawny, 2, 0.25)),
+			Micro:  Compute(ForPlatform(micro, 35, 1.0)),
 		},
 		{
 			Name:   "Big data, high utilization",
-			Dell:   Compute(DellInputs(2, 0.74)),
-			Edison: Compute(EdisonInputs(35, 1.0)),
+			Brawny: Compute(ForPlatform(brawny, 2, 0.74)),
+			Micro:  Compute(ForPlatform(micro, 35, 1.0)),
 		},
 	}
 }

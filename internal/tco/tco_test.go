@@ -5,7 +5,11 @@ import (
 	"math/rand"
 	"testing"
 	"testing/quick"
+
+	"edisim/internal/hw"
 )
+
+func basePair() (micro, brawny *hw.Platform) { return hw.BaselinePair() }
 
 func almost(a, b, tol float64) bool { return math.Abs(a-b) <= tol }
 
@@ -18,11 +22,11 @@ func TestTable10MatchesPaper(t *testing.T) {
 	}
 	for _, s := range Table10() {
 		p := paper[s.Name]
-		if !almost(s.Dell.Total(), p[0], p[0]*0.01) {
-			t.Errorf("%s: Dell %.1f, paper %.1f", s.Name, s.Dell.Total(), p[0])
+		if !almost(s.Brawny.Total(), p[0], p[0]*0.01) {
+			t.Errorf("%s: brawny %.1f, paper %.1f", s.Name, s.Brawny.Total(), p[0])
 		}
-		if !almost(s.Edison.Total(), p[1], p[1]*0.01) {
-			t.Errorf("%s: Edison %.1f, paper %.1f", s.Name, s.Edison.Total(), p[1])
+		if !almost(s.Micro.Total(), p[1], p[1]*0.01) {
+			t.Errorf("%s: micro %.1f, paper %.1f", s.Name, s.Micro.Total(), p[1])
 		}
 	}
 }
@@ -39,13 +43,14 @@ func TestSavingsUpTo47Percent(t *testing.T) {
 	}
 }
 
-func TestEquipmentDominatesEdisonCost(t *testing.T) {
-	r := Compute(EdisonInputs(35, 1.0))
-	if r.Equipment != 35*EdisonUnitCost {
+func TestEquipmentDominatesMicroCost(t *testing.T) {
+	micro, _ := basePair()
+	r := Compute(ForPlatform(micro, 35, 1.0))
+	if r.Equipment != 35*micro.UnitCost {
 		t.Fatalf("equipment %.0f", r.Equipment)
 	}
 	if r.Electricity > r.Equipment*0.1 {
-		t.Fatalf("Edison electricity %.1f should be tiny next to equipment %.0f",
+		t.Fatalf("micro electricity %.1f should be tiny next to equipment %.0f",
 			r.Electricity, r.Equipment)
 	}
 }
@@ -56,7 +61,8 @@ func TestUtilizationBoundsChecked(t *testing.T) {
 			t.Fatal("invalid utilization accepted")
 		}
 	}()
-	Compute(DellInputs(1, 1.5))
+	_, brawny := basePair()
+	Compute(ForPlatform(brawny, 1, 1.5))
 }
 
 // Property: TCO is monotone in utilization (peak power > idle power).
@@ -68,7 +74,8 @@ func TestTCOMonotoneInUtilization(t *testing.T) {
 			return true
 		}
 		lo, hi := math.Min(u1, u2), math.Max(u1, u2)
-		return Compute(DellInputs(2, lo)).Total() <= Compute(DellInputs(2, hi)).Total()+1e-9
+		_, brawny := basePair()
+		return Compute(ForPlatform(brawny, 2, lo)).Total() <= Compute(ForPlatform(brawny, 2, hi)).Total()+1e-9
 	}
 	if err := quick.Check(f, &quick.Config{MaxCount: 200, Rand: rand.New(rand.NewSource(10))}); err != nil {
 		t.Fatal(err)
@@ -79,8 +86,9 @@ func TestTCOMonotoneInUtilization(t *testing.T) {
 func TestTCOLinearInServers(t *testing.T) {
 	f := func(nRaw uint8) bool {
 		n := int(nRaw%20) + 1
-		one := Compute(EdisonInputs(1, 0.5)).Total()
-		many := Compute(EdisonInputs(n, 0.5)).Total()
+		micro, _ := basePair()
+		one := Compute(ForPlatform(micro, 1, 0.5)).Total()
+		many := Compute(ForPlatform(micro, n, 0.5)).Total()
 		return almost(many, float64(n)*one, 1e-6*many+1e-6)
 	}
 	if err := quick.Check(f, &quick.Config{MaxCount: 50, Rand: rand.New(rand.NewSource(11))}); err != nil {

@@ -1,57 +1,22 @@
 // Package web models the paper's online-service workload (§5.1): a
 // Linux + Lighttpd + MySQL + PHP stack with memcached cache servers, driven
 // by httperf-style load generators through HAProxy. Web and cache tiers run
-// on either the Edison or the Dell cluster; the MySQL database always runs
-// on two dedicated Dell R620 servers, exactly as in the paper.
+// on any catalog platform's cluster; the MySQL database always runs on the
+// testbed's infra-platform servers (two dedicated Dell R620s in the paper).
 //
 // The model is a discrete-event simulation on the shared substrate packages
 // (sim, hw, netsim): requests consume CPU slices on processor-sharing nodes,
 // cache/database round trips traverse the store-and-forward fabric, and
 // connection establishment is rate-limited per server (the "ability to
 // create new TCP ports and new threads" that the paper identifies as the
-// real throughput ceiling). Every constant below is calibrated against a
-// paper observable, cited inline.
+// real throughput ceiling). Per-platform service costs live in the hw
+// platform catalog (hw.Platform.Web); the platform-independent protocol
+// constants below are calibrated against paper observables, cited inline.
 package web
 
-// Params holds the calibrated per-platform service costs and limits.
-// Maps are keyed by hw.NodeSpec.Name ("Edison", "DellR620").
+// Params holds the platform-independent service limits; the per-platform
+// CPU costs and admission rates come from hw.Platform.Web.
 type Params struct {
-	// WebBaseCPU is the single-core seconds a web server spends parsing a
-	// request and issuing the cache lookup (Lighttpd + FastCGI dispatch +
-	// PHP prologue).
-	WebBaseCPU map[string]float64
-	// WebReplyCPU is the single-core seconds spent handling the upstream
-	// (cache or DB) reply and assembling the page, excluding per-byte cost.
-	WebReplyCPU map[string]float64
-	// CacheClientCPU is the single-core seconds PHP's memcached/MySQL
-	// client spends receiving and unmarshalling an upstream reply. It is
-	// part of the measured cache/DB delay (the paper timestamps around the
-	// client call), which is how web-tier CPU queueing inflates Table 7's
-	// cache delays at high request rates.
-	CacheClientCPU map[string]float64
-	// WebPerKBCPU is the additional single-core seconds per KB of reply
-	// body (PHP string handling; §5.1.2: heavier images cost more CPU).
-	WebPerKBCPU map[string]float64
-	// CacheGetCPU is the single-core seconds memcached spends per GET.
-	// Calibrated so Edison cache servers sit near the paper's 9% CPU and
-	// Dell's near 1.6% at peak throughput.
-	CacheGetCPU map[string]float64
-	// DBQueryCPU is the single-core seconds MySQL spends per query on the
-	// (always Dell) database servers, keyed by platform for completeness.
-	DBQueryCPU map[string]float64
-	// ConnRate is the sustainable new-connection acceptance rate per web
-	// server (ports + threads). Calibrated to the error onsets: the Edison
-	// cluster (24 web) errors beyond 1024 conn/s, the Dell cluster (2 web)
-	// beyond 2048 (§5.1.2 observations 3 and 4).
-	ConnRate map[string]float64
-	// ReqRate is the sustainable request-service admission rate per web
-	// server (thread churn). This is what caps the Dell cluster near
-	// 7.5k req/s at only ≈45% CPU (§5.1.2: "throughput is limited by the
-	// ability to create new TCP ports and new threads").
-	ReqRate map[string]float64
-	// MaxInflight is the per-server bound on requests being processed;
-	// beyond it the server replies 500 (the paper's server errors).
-	MaxInflight map[string]int
 	// SynBacklog is the per-server pending-connection queue; overflow drops
 	// the SYN and the client retries on the kernel schedule.
 	SynBacklog int
@@ -59,8 +24,8 @@ type Params struct {
 	// (Linux: +1, +2, +4 → observed spikes at 1 s, 3 s, 7 s in Figure 11).
 	RetryBackoff []float64
 	// ThrashFactor degrades effective connection acceptance when the SYN
-	// backlog is saturated (TIME_WAIT/port churn), producing the Dell
-	// throughput drop at 2048 conn/s.
+	// backlog is saturated (TIME_WAIT/port churn), producing the brawny
+	// cluster's throughput drop at 2048 conn/s.
 	ThrashFactor float64
 	// TransferPenaltyPerKB scales down the effective connection and
 	// request admission rates as replies grow: each worker thread and port
@@ -74,29 +39,6 @@ type Params struct {
 // DefaultParams returns the calibration used for all paper reproductions.
 func DefaultParams() Params {
 	return Params{
-		// Edison per-request CPU ≈5.2 core-ms total at 1.5 KB replies:
-		// 24 web servers at ≈86% CPU serve ≈7.5k req/s (Figure 4 peak and
-		// §5.1.2 utilization report). Dell ≈1.4 core-ms: 2 servers at ≈45%.
-		WebBaseCPU:     map[string]float64{"Edison": 2.4e-3, "DellR620": 0.55e-3},
-		WebReplyCPU:    map[string]float64{"Edison": 1.4e-3, "DellR620": 0.50e-3},
-		CacheClientCPU: map[string]float64{"Edison": 1.0e-3, "DellR620": 0.05e-3},
-		WebPerKBCPU:    map[string]float64{"Edison": 0.16e-3, "DellR620": 0.018e-3},
-		// Table 7: Edison cache delay 4.61 ms at 480 req/s (1.3 ms RTT +
-		// service + transfer + client unmarshal); Dell 0.37 ms. Edison
-		// cache servers run near 9% CPU at peak (§5.1.2), so the GET
-		// itself is cheap even on the slow cores.
-		CacheGetCPU: map[string]float64{"Edison": 0.3e-3, "DellR620": 0.06e-3},
-		// Table 7: DB delay ≈1.6 ms measured from Dell web servers at low
-		// load (the DB tier is Dell for both clusters).
-		DBQueryCPU: map[string]float64{"Edison": 1.1e-3, "DellR620": 1.1e-3},
-		// Error onsets: 1024 conn/s over 24 Edison servers = 42.7/s each
-		// (errors start just beyond); 2048 over 2 Dell = 1024/s each.
-		ConnRate: map[string]float64{"Edison": 45, "DellR620": 560},
-		// Dell plateau: 2 × ≈4100 effective ≈ 8.2k req/s at ≈45% CPU (and
-		// ≈7.2k at 20% image once the transfer penalty applies). Edison
-		// servers are CPU-bound well before this admission cap binds.
-		ReqRate:              map[string]float64{"Edison": 400, "DellR620": 4200},
-		MaxInflight:          map[string]int{"Edison": 96, "DellR620": 1024},
 		SynBacklog:           128,
 		RetryBackoff:         []float64{1, 2, 4},
 		ThrashFactor:         0.5,

@@ -16,8 +16,7 @@ import (
 // Table 7 decomposition.
 func (d *Deployment) request(client string, w *WebServer, cfg RunConfig, done func(bool)) {
 	eng := d.Eng
-	p := d.Params
-	plat := w.platform()
+	costs := d.Plat.Web
 
 	d.Fab.Send(client, w.Node.ID, requestBytes, func() {
 		arrived := eng.Now()
@@ -39,7 +38,7 @@ func (d *Deployment) request(client string, w *WebServer, cfg RunConfig, done fu
 			finish := func(size units.Bytes) {
 				// Assemble the page and push the reply to the client.
 				kb := float64(size) / 1024
-				work := p.WebReplyCPU[plat] + p.WebPerKBCPU[plat]*kb
+				work := costs.ReplyCPU + costs.PerKBCPU*kb
 				w.Node.ComputeSeconds(work, func() {
 					d.recordWebTotal(float64(eng.Now() - arrived))
 					w.finishRequest(true)
@@ -48,11 +47,11 @@ func (d *Deployment) request(client string, w *WebServer, cfg RunConfig, done fu
 			}
 
 			// PHP prologue, then the memcached GET.
-			w.Node.ComputeSeconds(p.WebBaseCPU[plat], func() {
+			w.Node.ComputeSeconds(costs.BaseCPU, func() {
 				cache := d.cacheFor(k)
 				cacheStart := eng.Now()
 				d.Fab.Send(w.Node.ID, cache.Node.ID, rpcHeaderBytes, func() {
-					cache.Node.ComputeSeconds(p.CacheGetCPU[cache.Node.Spec.Name], func() {
+					cache.Node.ComputeSeconds(costs.CacheGetCPU, func() {
 						size, hit := cache.lookup(k)
 						if hit {
 							d.Fab.Send(cache.Node.ID, w.Node.ID, size, func() {
@@ -60,7 +59,7 @@ func (d *Deployment) request(client string, w *WebServer, cfg RunConfig, done fu
 								// timed $memcache->get() interval; at high
 								// web CPU it queues and the measured cache
 								// delay balloons (Table 7's right column).
-								w.Node.ComputeSeconds(p.CacheClientCPU[plat], func() {
+								w.Node.ComputeSeconds(costs.CacheClientCPU, func() {
 									d.recordCacheDelay(float64(eng.Now() - cacheStart))
 									finish(size)
 								})
@@ -75,7 +74,7 @@ func (d *Deployment) request(client string, w *WebServer, cfg RunConfig, done fu
 							d.Fab.Send(w.Node.ID, db.Node.ID, requestBytes, func() {
 								db.query(rowSize, func() {
 									d.Fab.Send(db.Node.ID, w.Node.ID, rowSize, func() {
-										w.Node.ComputeSeconds(p.CacheClientCPU[plat], func() {
+										w.Node.ComputeSeconds(costs.CacheClientCPU, func() {
 											d.recordDBDelay(float64(eng.Now() - dbStart))
 											finish(rowSize)
 										})

@@ -21,12 +21,17 @@ const (
 )
 
 // Deployment is one cluster configured as the paper's middle tier: web
-// servers plus cache servers from a single platform, with the shared Dell
-// database tier and the client machines.
+// servers plus cache servers from a single platform, with the shared
+// infra-platform database tier and the client machines.
 type Deployment struct {
 	Eng    *sim.Engine
 	Fab    *netsim.Fabric
 	Params Params
+
+	// Plat is the middle-tier platform; its hw.Platform.Web block carries
+	// the per-platform CPU costs and admission rates. The DB tier uses the
+	// testbed's infra platform instead.
+	Plat *hw.Platform
 
 	Web     []*WebServer
 	Cache   []*CacheServer
@@ -46,38 +51,18 @@ type Deployment struct {
 	decomposition
 }
 
-// Platform selects which cluster serves the middle tier.
-type Platform int
-
-// Middle-tier platforms.
-const (
-	Edison Platform = iota
-	Dell
-)
-
-// String names the platform.
-func (p Platform) String() string {
-	if p == Edison {
-		return "Edison"
-	}
-	return "Dell"
-}
-
 // NewDeployment builds a middle tier of nWeb web servers and nCache cache
-// servers on the chosen platform of testbed tb. The paper's splits are in
-// cluster.Table6.
-func NewDeployment(tb *cluster.Testbed, p Platform, nWeb, nCache int, seed int64) *Deployment {
-	pool := tb.Edison
-	if p == Dell {
-		pool = tb.Dell
-	}
+// servers on the chosen platform's node group of testbed tb. The paper's
+// splits are in cluster.Table6.
+func NewDeployment(tb *cluster.Testbed, p *hw.Platform, nWeb, nCache int, seed int64) *Deployment {
+	pool := tb.Nodes(p)
 	if nWeb+nCache > len(pool) {
-		panic(fmt.Sprintf("web: need %d nodes, testbed has %d", nWeb+nCache, len(pool)))
+		panic(fmt.Sprintf("web: need %d %s nodes, testbed has %d", nWeb+nCache, p.Name, len(pool)))
 	}
 	if len(tb.DB) == 0 || len(tb.Clients) == 0 {
 		panic("web: testbed needs DB servers and clients")
 	}
-	d := &Deployment{Eng: tb.Eng, Fab: tb.Fab, Params: DefaultParams(), Clients: tb.Clients, loadFactor: 1}
+	d := &Deployment{Eng: tb.Eng, Fab: tb.Fab, Params: DefaultParams(), Plat: p, Clients: tb.Clients, loadFactor: 1}
 	for _, n := range pool[:nWeb] {
 		d.Web = append(d.Web, newWebServer(d, n))
 	}
@@ -85,9 +70,9 @@ func NewDeployment(tb *cluster.Testbed, p Platform, nWeb, nCache int, seed int64
 		d.Cache = append(d.Cache, newCacheServer(d, n))
 	}
 	for _, n := range tb.DB {
-		d.DBs = append(d.DBs, newDBServer(d, n))
+		d.DBs = append(d.DBs, newDBServer(d, n, tb.Infra.Web.DBQueryCPU))
 	}
-	d.meter = power.NewMeter(p.String()+"-cluster", pool[:nWeb+nCache])
+	d.meter = power.NewMeter(p.Label+"-cluster", pool[:nWeb+nCache])
 	root := rng.New(seed)
 	d.rnd.arrival = root.Derive("web/arrival")
 	d.rnd.table = root.Derive("web/table")

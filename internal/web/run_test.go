@@ -2,8 +2,6 @@ package web
 
 import (
 	"testing"
-
-	"edisim/internal/cluster"
 )
 
 func TestWithDefaults(t *testing.T) {
@@ -26,8 +24,8 @@ func TestWithDefaults(t *testing.T) {
 // ratio and push every request to the database — the configuration the old
 // zero-means-default API silently turned into a 93% warm run.
 func TestColdCacheRunIsExpressible(t *testing.T) {
-	tb := cluster.New(cluster.Config{EdisonNodes: 9, DBNodes: 2, Clients: 4})
-	d := NewDeployment(tb, Edison, 6, 3, 1)
+	tb := smallTestbed(microP(), 9, 2, 4)
+	d := NewDeployment(tb, microP(), 6, 3, 1)
 	d.Warm(ColdCache) // nothing resident
 	r := d.Run(RunConfig{Concurrency: 32, Duration: 5, CacheHit: ColdCache})
 	if r.HitRatio != 0 {
@@ -45,13 +43,14 @@ func TestColdCacheRunIsExpressible(t *testing.T) {
 // integral on a hand-built schedule: one node, one task occupying its
 // single-core CPU for the first half of the window.
 func TestUtilTrackerMatchesKnownIntegral(t *testing.T) {
-	tb := cluster.New(cluster.Config{EdisonNodes: 1, DBNodes: 1, Clients: 1})
-	n := tb.Edison[0]
+	tb := smallTestbed(microP(), 1, 1, 1)
+	nodes := tb.Nodes(microP())
+	n := nodes[0]
 	eng := tb.Eng
 
-	tr := trackMeanUtil(eng, tb.Edison, 10, 20)
+	tr := trackMeanUtil(eng, nodes, 10, 20)
 	defer tr.detach()
-	// Edison has 2 effective cores: one busy task = 0.5 utilization.
+	// The micro platform has 2 effective cores: one busy task = 0.5 utilization.
 	// Busy from t=12 to t=17: 5 s of 0.5 over a 10 s window → mean 0.25.
 	eng.At(12, func() { n.ComputeSeconds(5, nil) })
 	eng.Run()
@@ -67,8 +66,8 @@ func TestUtilTrackerMatchesKnownIntegral(t *testing.T) {
 // TestUtilTrackerAddsNoPollingEvents: an idle run must not accumulate
 // timer events from utilization sampling.
 func TestUtilTrackerAddsNoPollingEvents(t *testing.T) {
-	tb := cluster.New(cluster.Config{EdisonNodes: 2, DBNodes: 1, Clients: 1})
-	tr := trackMeanUtil(tb.Eng, tb.Edison, 0, 100)
+	tb := smallTestbed(microP(), 2, 1, 1)
+	tr := trackMeanUtil(tb.Eng, tb.Nodes(microP()), 0, 100)
 	defer tr.detach()
 	tb.Eng.RunUntil(100)
 	// Only the single window-start anchor event should have fired.

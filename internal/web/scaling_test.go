@@ -2,16 +2,14 @@ package web
 
 import (
 	"testing"
-
-	"edisim/internal/cluster"
 )
 
 // runScale measures throughput for a given web-server count at a fixed
 // offered load per server.
 func runScale(t *testing.T, nWeb, nCache int, conc float64) Result {
 	t.Helper()
-	tb := cluster.New(cluster.Config{EdisonNodes: nWeb + nCache, DBNodes: 2, Clients: 8})
-	d := NewDeployment(tb, Edison, nWeb, nCache, 1)
+	tb := smallTestbed(microP(), nWeb+nCache, 2, 8)
+	d := NewDeployment(tb, microP(), nWeb, nCache, 1)
 	d.Warm(0.93)
 	return d.Run(RunConfig{Concurrency: conc, Duration: 6})
 }
@@ -40,8 +38,8 @@ func TestErrorOnsetScalesWithClusterSize(t *testing.T) {
 	// 6 web servers: ≈45 conn/s each → saturation near 270; 512 overloads.
 	// The run must be long enough for the 1+2+4 s SYN retry schedule to
 	// exhaust inside the measurement window.
-	smallTb := cluster.New(cluster.Config{EdisonNodes: 9, DBNodes: 2, Clients: 8})
-	smallDep := NewDeployment(smallTb, Edison, 6, 3, 1)
+	smallTb := smallTestbed(microP(), 9, 2, 8)
+	smallDep := NewDeployment(smallTb, microP(), 6, 3, 1)
 	smallDep.Warm(0.93)
 	small := smallDep.Run(RunConfig{Concurrency: 512, Duration: 18})
 	if small.ErrorRate < 0.005 && small.ConnFailures == 0 {
@@ -54,15 +52,15 @@ func TestErrorOnsetScalesWithClusterSize(t *testing.T) {
 	}
 }
 
-// The paper's efficiency headline: at peak, the Edison tier does ≈3.5× the
-// work per joule of the Dell tier.
+// The paper's efficiency headline: at peak, the micro tier does ≈3.5× the
+// work per joule of the brawny tier.
 func TestEnergyEfficiencyHeadline(t *testing.T) {
 	if testing.Short() {
 		t.Skip("efficiency sweep in -short mode")
 	}
 	e := runScale(t, 24, 11, 1024)
-	dtb := cluster.New(cluster.Config{DellNodes: 3, DBNodes: 2, Clients: 8})
-	d := NewDeployment(dtb, Dell, 2, 1, 1)
+	dtb := smallTestbed(brawnyP(), 3, 2, 8)
+	d := NewDeployment(dtb, brawnyP(), 2, 1, 1)
 	d.Warm(0.93)
 	rd := d.Run(RunConfig{Concurrency: 1024, Duration: 6})
 	eff := (e.Throughput / float64(e.MeanPower)) / (rd.Throughput / float64(rd.MeanPower))

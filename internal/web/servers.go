@@ -32,14 +32,15 @@ func newWebServer(dep *Deployment, node *hw.Node) *WebServer {
 	return &WebServer{Node: node, dep: dep}
 }
 
-func (w *WebServer) platform() string { return w.Node.Spec.Name }
+// costs resolves the middle-tier platform's web calibration.
+func (w *WebServer) costs() hw.WebCosts { return w.dep.Plat.Web }
 
 // connInterval is the minimum spacing between accepted connections,
 // inflated by the reply-size load factor (threads/ports held longer for
 // bigger transfers) and when the SYN backlog is under pressure (port churn
 // thrash).
 func (w *WebServer) connInterval() float64 {
-	base := w.dep.loadFactor / w.dep.Params.ConnRate[w.platform()]
+	base := w.dep.loadFactor / w.costs().ConnRate
 	if w.pendingSyn > w.dep.Params.SynBacklog/2 {
 		frac := float64(w.pendingSyn) / float64(w.dep.Params.SynBacklog)
 		base /= 1 - w.dep.Params.ThrashFactor*frac
@@ -76,12 +77,12 @@ func (w *WebServer) closeConn() { w.activeConns-- }
 // admitRequest applies the request-rate cap and the inflight bound.
 // It returns false (500) when the server is overloaded.
 func (w *WebServer) admitRequest(start func()) bool {
-	if w.inflight >= w.dep.Params.MaxInflight[w.platform()] {
+	if w.inflight >= w.costs().MaxInflight {
 		w.errored++
 		return false
 	}
 	eng := w.dep.Eng
-	interval := w.dep.loadFactor / w.dep.Params.ReqRate[w.platform()]
+	interval := w.dep.loadFactor / w.costs().ReqRate
 	at := eng.Now()
 	if prev := w.lastReq + sim.Time(interval); prev > at {
 		at = prev
@@ -148,23 +149,24 @@ func (c *CacheServer) HitRatio() float64 {
 	return float64(c.hits) / float64(c.gets)
 }
 
-// DBServer is one MySQL node (always Dell R620 in the paper's setup).
+// DBServer is one MySQL node (always on the testbed's infra platform, a
+// Dell R620 in the paper's setup).
 type DBServer struct {
 	Node *hw.Node
 
-	dep     *Deployment
-	queries int64
+	dep      *Deployment
+	queryCPU float64 // per-query single-core seconds on this platform
+	queries  int64
 }
 
-func newDBServer(dep *Deployment, node *hw.Node) *DBServer {
-	return &DBServer{Node: node, dep: dep}
+func newDBServer(dep *Deployment, node *hw.Node, queryCPU float64) *DBServer {
+	return &DBServer{Node: node, dep: dep, queryCPU: queryCPU}
 }
 
 // query executes one lookup: CPU work plus a buffered read of the row.
 func (d *DBServer) query(size units.Bytes, done func()) {
 	d.queries++
-	work := d.dep.Params.DBQueryCPU[d.Node.Spec.Name]
-	d.Node.ComputeSeconds(work, func() {
+	d.Node.ComputeSeconds(d.queryCPU, func() {
 		d.Node.Disk().Read(size, true, done)
 	})
 }

@@ -4,25 +4,32 @@ import (
 	"testing"
 
 	"edisim/internal/cluster"
+	"edisim/internal/hw"
 )
 
-// smallDeployment builds a reduced Edison tier for fast tests.
-func smallDeployment(t *testing.T, p Platform, nWeb, nCache int) *Deployment {
+// microP and brawnyP are the baseline pair used across the web tests.
+func microP() *hw.Platform  { m, _ := hw.BaselinePair(); return m }
+func brawnyP() *hw.Platform { _, b := hw.BaselinePair(); return b }
+
+// smallTestbed builds a reduced single-platform testbed.
+func smallTestbed(p *hw.Platform, n, db, clients int) *cluster.Testbed {
+	return cluster.New(cluster.Config{
+		Groups:  []cluster.GroupConfig{{Platform: p, Nodes: n}},
+		DBNodes: db, Clients: clients,
+	})
+}
+
+// smallDeployment builds a reduced middle tier for fast tests.
+func smallDeployment(t *testing.T, p *hw.Platform, nWeb, nCache int) *Deployment {
 	t.Helper()
-	cfg := cluster.Config{DBNodes: 2, Clients: 4}
-	if p == Edison {
-		cfg.EdisonNodes = nWeb + nCache
-	} else {
-		cfg.DellNodes = nWeb + nCache
-	}
-	tb := cluster.New(cfg)
+	tb := smallTestbed(p, nWeb+nCache, 2, 4)
 	d := NewDeployment(tb, p, nWeb, nCache, 1)
 	d.Warm(0.93)
 	return d
 }
 
 func TestRunProducesThroughput(t *testing.T) {
-	d := smallDeployment(t, Edison, 6, 3)
+	d := smallDeployment(t, microP(), 6, 3)
 	r := d.Run(RunConfig{Concurrency: 64, Duration: 5})
 	// 64 conn/s × 8 calls ≈ 512 req/s offered.
 	if r.Throughput < 400 || r.Throughput > 600 {
@@ -37,7 +44,7 @@ func TestRunProducesThroughput(t *testing.T) {
 }
 
 func TestCacheHitRatioMatchesWarm(t *testing.T) {
-	d := smallDeployment(t, Edison, 6, 3)
+	d := smallDeployment(t, microP(), 6, 3)
 	r := d.Run(RunConfig{Concurrency: 128, Duration: 5, CacheHit: 0.93})
 	if r.HitRatio < 0.90 || r.HitRatio > 0.96 {
 		t.Fatalf("measured hit ratio %.3f, want ≈0.93", r.HitRatio)
@@ -45,11 +52,11 @@ func TestCacheHitRatioMatchesWarm(t *testing.T) {
 }
 
 func TestLowerHitRatioRaisesDBTraffic(t *testing.T) {
-	high := smallDeployment(t, Edison, 6, 3)
+	high := smallDeployment(t, microP(), 6, 3)
 	rHigh := high.Run(RunConfig{Concurrency: 64, Duration: 5, CacheHit: 0.93})
 
-	lowTb := cluster.New(cluster.Config{EdisonNodes: 9, DBNodes: 2, Clients: 4})
-	low := NewDeployment(lowTb, Edison, 6, 3, 1)
+	lowTb := smallTestbed(microP(), 9, 2, 4)
+	low := NewDeployment(lowTb, microP(), 6, 3, 1)
 	low.Warm(0.60)
 	rLow := low.Run(RunConfig{Concurrency: 64, Duration: 5, CacheHit: 0.60})
 
@@ -62,20 +69,20 @@ func TestLowerHitRatioRaisesDBTraffic(t *testing.T) {
 	}
 }
 
-func TestDellFasterThanEdisonAtLowLoad(t *testing.T) {
-	e := smallDeployment(t, Edison, 6, 3)
+func TestBrawnyFasterThanMicroAtLowLoad(t *testing.T) {
+	e := smallDeployment(t, microP(), 6, 3)
 	re := e.Run(RunConfig{Concurrency: 32, Duration: 5})
-	d := smallDeployment(t, Dell, 2, 1)
+	d := smallDeployment(t, brawnyP(), 2, 1)
 	rd := d.Run(RunConfig{Concurrency: 32, Duration: 5})
 	ratio := re.MeanDelay / rd.MeanDelay
-	// §5.1.2 observation 1: Edison delay ≈5× Dell at low load.
+	// §5.1.2 observation 1: micro delay ≈5× brawny at low load.
 	if ratio < 3 || ratio > 8 {
 		t.Fatalf("delay ratio %.1f, want ≈5", ratio)
 	}
 }
 
 func TestOverloadProducesErrors(t *testing.T) {
-	d := smallDeployment(t, Edison, 3, 2)
+	d := smallDeployment(t, microP(), 3, 2)
 	// 3 web servers at ≈45 conn/s each saturate near 135 conn/s; 400 is
 	// far beyond (the paper's error region).
 	r := d.Run(RunConfig{Concurrency: 400, Duration: 12})
@@ -85,9 +92,9 @@ func TestOverloadProducesErrors(t *testing.T) {
 }
 
 func TestImageTrafficGrowsReplySizesAndDelay(t *testing.T) {
-	plain := smallDeployment(t, Edison, 6, 3)
+	plain := smallDeployment(t, microP(), 6, 3)
 	rp := plain.Run(RunConfig{Concurrency: 64, Duration: 5, ImageFrac: 0})
-	img := smallDeployment(t, Edison, 6, 3)
+	img := smallDeployment(t, microP(), 6, 3)
 	ri := img.Run(RunConfig{Concurrency: 64, Duration: 5, ImageFrac: 0.20})
 	if ri.MeanDelay <= rp.MeanDelay {
 		t.Fatalf("image traffic should raise delay: %.4f vs %.4f", ri.MeanDelay, rp.MeanDelay)
@@ -95,9 +102,9 @@ func TestImageTrafficGrowsReplySizesAndDelay(t *testing.T) {
 }
 
 func TestPowerScalesWithLoad(t *testing.T) {
-	idle := smallDeployment(t, Edison, 6, 3)
+	idle := smallDeployment(t, microP(), 6, 3)
 	rIdle := idle.Run(RunConfig{Concurrency: 16, Duration: 5})
-	busy := smallDeployment(t, Edison, 6, 3)
+	busy := smallDeployment(t, microP(), 6, 3)
 	rBusy := busy.Run(RunConfig{Concurrency: 512, Duration: 5})
 	if rBusy.MeanPower <= rIdle.MeanPower {
 		t.Fatalf("power did not rise with load: %.1f vs %.1f",
@@ -106,8 +113,8 @@ func TestPowerScalesWithLoad(t *testing.T) {
 }
 
 func TestDeterministicRuns(t *testing.T) {
-	a := smallDeployment(t, Edison, 3, 2).Run(RunConfig{Concurrency: 64, Duration: 3})
-	b := smallDeployment(t, Edison, 3, 2).Run(RunConfig{Concurrency: 64, Duration: 3})
+	a := smallDeployment(t, microP(), 3, 2).Run(RunConfig{Concurrency: 64, Duration: 3})
+	b := smallDeployment(t, microP(), 3, 2).Run(RunConfig{Concurrency: 64, Duration: 3})
 	if a.Throughput != b.Throughput || a.MeanDelay != b.MeanDelay || a.Energy != b.Energy {
 		t.Fatalf("same seed produced different results: %v/%v vs %v/%v",
 			a.Throughput, a.MeanDelay, b.Throughput, b.MeanDelay)
@@ -128,7 +135,7 @@ func TestAvgReplyBytesMatchesPaper(t *testing.T) {
 }
 
 func TestTable7DecompositionShape(t *testing.T) {
-	d := smallDeployment(t, Edison, 6, 3)
+	d := smallDeployment(t, microP(), 6, 3)
 	r := d.Run(RunConfig{Concurrency: 64, Duration: 5, ImageFrac: 0.2})
 	if r.CacheDelay.N() == 0 || r.DBDelay.N() == 0 || r.WebTotal.N() == 0 {
 		t.Fatal("decomposition not recorded")
@@ -144,10 +151,10 @@ func TestTable7DecompositionShape(t *testing.T) {
 }
 
 func TestWebServerAdmissionLimits(t *testing.T) {
-	d := smallDeployment(t, Edison, 3, 2)
+	d := smallDeployment(t, microP(), 3, 2)
 	w := d.Web[0]
 	// Exhaust the inflight bound synchronously.
-	w.inflight = d.Params.MaxInflight["Edison"]
+	w.inflight = d.Plat.Web.MaxInflight
 	if w.admitRequest(func() {}) {
 		t.Fatal("request admitted beyond MaxInflight")
 	}
@@ -157,8 +164,8 @@ func TestWebServerAdmissionLimits(t *testing.T) {
 }
 
 func TestCacheServerStore(t *testing.T) {
-	tb := cluster.New(cluster.Config{EdisonNodes: 5, DBNodes: 2, Clients: 4})
-	d := NewDeployment(tb, Edison, 3, 2, 1) // unwarmed: byte accounting is exact
+	tb := smallTestbed(microP(), 5, 2, 4)
+	d := NewDeployment(tb, microP(), 3, 2, 1) // unwarmed: byte accounting is exact
 	c := d.Cache[0]
 	c.Set("k", 100)
 	c.Set("k", 200) // overwrite
@@ -177,7 +184,7 @@ func TestCacheServerStore(t *testing.T) {
 }
 
 func TestCacheForIsConsistent(t *testing.T) {
-	d := smallDeployment(t, Edison, 3, 2)
+	d := smallDeployment(t, microP(), 3, 2)
 	if d.cacheFor("t01:r000001") != d.cacheFor("t01:r000001") {
 		t.Fatal("cache mapping not stable")
 	}

@@ -121,14 +121,7 @@ func NewResourceManager(eng *sim.Engine, master *hw.Node, slaves []*hw.Node, res
 		Master:             master,
 		HeartbeatInterval:  1.0,
 		GrantsPerHeartbeat: 24,
-		ContainerStartup: func(n *hw.Node) float64 {
-			// JVM + container localization: the paper's traces show ≈20 s
-			// of ramp on Dell and ≈45 s (2.3×) on Edison before CPU rises.
-			if n.Spec.CPU.Clock < 1000 {
-				return 12.0
-			}
-			return 2.5
-		},
+		ContainerStartup: DefaultContainerStartup,
 	}
 	for _, s := range slaves {
 		nm := &NodeManager{Node: s, capacity: res(s)}
@@ -137,12 +130,31 @@ func NewResourceManager(eng *sim.Engine, master *hw.Node, slaves []*hw.Node, res
 	return rm, nil
 }
 
-// DefaultResources returns the paper's per-platform NodeManager capacities.
+// DefaultResources returns the node platform's NodeManager capacity from
+// the hw catalog (§5.2 for the baseline pair). Ad-hoc specs outside the
+// catalog fall back to a sensor-class-vs-server heuristic on clock speed.
 func DefaultResources(n *hw.Node) NodeResources {
-	if n.Spec.CPU.Clock < 1000 {
-		return NodeResources{MemoryMB: 600, VCores: 2} // Edison (§5.2)
+	if p := hw.PlatformForSpec(n.Spec.Name); p != nil {
+		return NodeResources{MemoryMB: p.Hadoop.NodeMemoryMB, VCores: p.Hadoop.VCores}
 	}
-	return NodeResources{MemoryMB: 12 * 1024, VCores: 12} // Dell (§5.2)
+	if n.Spec.CPU.Clock < 1000 {
+		return NodeResources{MemoryMB: 600, VCores: 2}
+	}
+	return NodeResources{MemoryMB: 12 * 1024, VCores: 12}
+}
+
+// DefaultContainerStartup returns the node platform's JVM + container
+// localization time from the hw catalog: the paper's traces show ≈20 s of
+// ramp on the brawny cluster and ≈45 s (2.3×) on the micro cluster before
+// CPU rises.
+func DefaultContainerStartup(n *hw.Node) float64 {
+	if p := hw.PlatformForSpec(n.Spec.Name); p != nil {
+		return p.Hadoop.ContainerStartup
+	}
+	if n.Spec.CPU.Clock < 1000 {
+		return 12.0
+	}
+	return 2.5
 }
 
 // Nodes returns the NodeManagers.

@@ -27,7 +27,7 @@ func TestEdisonMasterRejected(t *testing.T) {
 	master := hw.NewNode(eng, hw.EdisonSpec(), "em")
 	_, err := NewResourceManager(eng, master, nil, DefaultResources)
 	if err != ErrMasterTooSmall {
-		t.Fatalf("got %v, want ErrMasterTooSmall (the paper's failed Edison-master setup)", err)
+		t.Fatalf("got %v, want ErrMasterTooSmall (the paper's failed micro-master setup)", err)
 	}
 }
 
@@ -36,7 +36,7 @@ func TestDefaultResourcesMatchPaper(t *testing.T) {
 	e := DefaultResources(hw.NewNode(eng, hw.EdisonSpec(), "e"))
 	d := DefaultResources(hw.NewNode(eng, hw.DellR620Spec(), "d"))
 	if e.MemoryMB != 600 || e.VCores != 2 {
-		t.Fatalf("Edison resources %+v, want 600MB/2vc (§5.2)", e)
+		t.Fatalf("micro resources %+v, want 600MB/2vc (§5.2)", e)
 	}
 	if d.MemoryMB != 12*1024 || d.VCores != 12 {
 		t.Fatalf("Dell resources %+v, want 12GB/12vc (§5.2)", d)
