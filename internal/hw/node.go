@@ -113,13 +113,15 @@ func (n *Node) SetBusyFloor(f float64) {
 }
 
 // Compute submits work DMIPS-seconds to the CPU; done runs on completion.
-func (n *Node) Compute(work float64, done func()) *sim.PSTask {
+// The returned handle can cancel the task and stays safe across pooled
+// task-record recycling.
+func (n *Node) Compute(work float64, done func()) sim.PSTaskRef {
 	return n.cpu.Submit(work, done)
 }
 
 // ComputeSeconds submits work sized so that it takes roughly seconds of
 // single-core time on THIS platform when the CPU is otherwise idle.
-func (n *Node) ComputeSeconds(seconds float64, done func()) *sim.PSTask {
+func (n *Node) ComputeSeconds(seconds float64, done func()) sim.PSTaskRef {
 	return n.cpu.Submit(seconds*float64(n.Spec.CPU.DMIPS), done)
 }
 

@@ -30,6 +30,7 @@ type Link struct {
 	q         *sim.Resource // transmission FIFO for Send messages
 	bytes     units.Bytes   // cumulative bytes carried (messages + flows)
 	flowCount int           // active max-min flows crossing this link
+	dirty     bool          // on the fabric's dirty list for the next reallocate
 }
 
 // Bytes reports the cumulative bytes carried over this link.
@@ -54,8 +55,10 @@ type Fabric struct {
 
 	// freeFlows is the Flow record pool (see StartFlow); flowSeq stamps
 	// each started flow so stale FlowRefs are detected after recycling.
+	// freeMsgs is the message record pool (see Send).
 	freeFlows []*Flow
 	flowSeq   uint64
+	freeMsgs  []*message
 
 	// Reusable scratch for the water-filling pass and the completion
 	// sweep, so steady-state flow churn does not allocate: a link-state
@@ -67,6 +70,20 @@ type Fabric struct {
 	lsArena    []linkState
 	doneQueue  []func()
 	completeFn func()
+
+	// Incremental water-filling state (see reallocate): the links dirtied
+	// by flow arrivals/departures since the last pass, a toggle forcing
+	// the retained full recompute (the reference implementation and the
+	// documented fallback), and reusable scratch for the connected-
+	// component sweep — union-find parents and dirty-root stamps per flow
+	// index, the link → first-carrying-flow map, and the affected-flow
+	// list handed to the water-filling pass.
+	dirtyLinks  []*Link
+	fullRealloc bool
+	ufParent    []int32
+	rootMark    []uint64
+	linkOwner   map[*Link]int32
+	affScratch  []*Flow
 }
 
 // linkState is one link's remaining capacity and unfrozen-flow count
@@ -84,10 +101,18 @@ func NewFabric(eng *sim.Engine) *Fabric {
 		adj:       make(map[string][]*Link),
 		routes:    make(map[[2]string][]*Link),
 		lsScratch: make(map[*Link]*linkState),
+		linkOwner: make(map[*Link]int32),
 	}
 	f.completeFn = f.completeFlows
 	return f
 }
+
+// SetFullReallocate forces every water-filling pass to recompute all flows
+// from scratch (the pre-incremental reference behavior) instead of only the
+// connected components perturbed since the last pass. The two modes produce
+// identical rates (pinned by TestIncrementalWaterFillingMatchesFull); the
+// toggle exists as a debugging fallback and for the equivalence test.
+func (f *Fabric) SetFullReallocate(on bool) { f.fullRealloc = on }
 
 // Engine returns the engine the fabric runs on.
 func (f *Fabric) Engine() *sim.Engine { return f.eng }

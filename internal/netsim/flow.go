@@ -1,8 +1,6 @@
 package netsim
 
 import (
-	"math"
-
 	"edisim/internal/sim"
 	"edisim/internal/units"
 )
@@ -27,6 +25,13 @@ type Flow struct {
 	lastT     sim.Time
 	done      func()
 	frozen    bool // scratch flag for the water-filling pass
+
+	// Pre-bound continuations, created once per record (amortized to zero
+	// by the pool) so StartFlow never allocates a closure: admission into
+	// the bandwidth-sharing set after the propagation delay, and the
+	// zero-cost completion of empty or same-host transfers.
+	admitFn func()
+	zeroFn  func()
 }
 
 // FlowRef is a cheap, copyable handle to a started flow. The zero value is
@@ -60,8 +65,11 @@ func (f *Fabric) allocFlow() *Flow {
 	if len(f.freeFlows) == 0 {
 		chunk := make([]Flow, flowChunk)
 		for i := range chunk {
-			chunk[i].fab = f
-			f.freeFlows = append(f.freeFlows, &chunk[i])
+			fl := &chunk[i]
+			fl.fab = f
+			fl.admitFn = fl.admit
+			fl.zeroFn = fl.finishZero
+			f.freeFlows = append(f.freeFlows, fl)
 		}
 	}
 	fl := f.freeFlows[len(f.freeFlows)-1]
@@ -93,26 +101,39 @@ func (f *Fabric) StartFlow(src, dst string, size units.Bytes, done func()) FlowR
 	fl.lastT = f.eng.Now()
 	ref := FlowRef{fl: fl, seq: fl.seq}
 	if src == dst || size == 0 {
-		f.eng.After(0, func() {
-			f.recycleFlow(fl)
-			if done != nil {
-				done()
-			}
-		})
+		f.eng.After(0, fl.zeroFn)
 		return ref
 	}
 	fl.path = f.Route(src, dst)
 	// Propagation: first byte takes the path latency; model by delaying
 	// admission of the flow into the bandwidth-sharing set.
-	f.eng.After(f.Latency(src, dst), func() {
-		f.advanceFlows()
-		f.flows = append(f.flows, fl)
-		for _, l := range fl.path {
-			l.flowCount++
-		}
-		f.reallocate()
-	})
+	f.eng.After(f.Latency(src, dst), fl.admitFn)
 	return ref
+}
+
+// finishZero completes an empty or same-host transfer: recycle first so the
+// done callback can immediately reuse the record.
+func (fl *Flow) finishZero() {
+	f := fl.fab
+	done := fl.done
+	f.recycleFlow(fl)
+	if done != nil {
+		done()
+	}
+}
+
+// admit adds the flow to the bandwidth-sharing set once its first byte has
+// crossed the path, dirtying the path links for the incremental
+// water-filling pass.
+func (fl *Flow) admit() {
+	f := fl.fab
+	f.advanceFlows()
+	f.flows = append(f.flows, fl)
+	for _, l := range fl.path {
+		l.flowCount++
+		f.markDirty(l)
+	}
+	f.reallocate()
 }
 
 // advanceFlows credits progress to every active flow at its current rate.
@@ -134,107 +155,6 @@ func (f *Fabric) advanceFlows() {
 	}
 }
 
-// reallocate runs progressive filling (water-filling) to a max-min fair
-// allocation, then re-arms the single next-completion event.
-func (f *Fabric) reallocate() {
-	f.epoch++
-	f.nextDone.Cancel()
-	f.nextDone = sim.EventRef{}
-	if len(f.flows) == 0 {
-		return
-	}
-
-	// Build link states in the fabric's reusable scratch: the map is
-	// cleared per pass and its entries point into an arena pre-sized to
-	// the link count, so append below can never relocate live pointers.
-	state := f.lsScratch
-	clear(state)
-	if cap(f.lsArena) < len(f.links) {
-		f.lsArena = make([]linkState, 0, len(f.links))
-	}
-	f.lsArena = f.lsArena[:0]
-	for _, fl := range f.flows {
-		for _, l := range fl.path {
-			if s, ok := state[l]; ok {
-				s.cnt++
-			} else {
-				f.lsArena = append(f.lsArena, linkState{rem: float64(l.Capacity), cnt: 1})
-				state[l] = &f.lsArena[len(f.lsArena)-1]
-			}
-		}
-	}
-	unfrozen := len(f.flows)
-	for _, fl := range f.flows {
-		fl.frozen = false
-	}
-	for unfrozen > 0 {
-		// Find the tightest link among links carrying unfrozen flows.
-		minShare := math.Inf(1)
-		for _, s := range state {
-			if s.cnt > 0 {
-				if share := s.rem / float64(s.cnt); share < minShare {
-					minShare = share
-				}
-			}
-		}
-		if math.IsInf(minShare, 1) {
-			break
-		}
-		// Freeze every unfrozen flow crossing a link at the bottleneck share.
-		progressed := false
-		for _, fl := range f.flows {
-			if fl.frozen {
-				continue
-			}
-			bottlenecked := false
-			for _, l := range fl.path {
-				s := state[l]
-				if s.cnt > 0 && s.rem/float64(s.cnt) <= minShare*(1+1e-12) {
-					bottlenecked = true
-					break
-				}
-			}
-			if !bottlenecked {
-				continue
-			}
-			fl.rate = minShare
-			fl.frozen = true
-			unfrozen--
-			for _, l := range fl.path {
-				s := state[l]
-				s.rem -= minShare
-				if s.rem < 0 {
-					s.rem = 0
-				}
-				s.cnt--
-			}
-			progressed = true
-		}
-		if !progressed {
-			break // numerical safety: should not happen
-		}
-	}
-
-	// Re-arm the completion event for the earliest-finishing flow.
-	next := math.Inf(1)
-	for _, fl := range f.flows {
-		if fl.rate <= 0 {
-			continue
-		}
-		t := fl.remaining / fl.rate
-		if t < next {
-			next = t
-		}
-	}
-	if math.IsInf(next, 1) {
-		return
-	}
-	if next < 0 {
-		next = 0
-	}
-	f.nextDone = f.eng.After(next, f.completeFn)
-}
-
 // completeFlows advances progress and finishes every drained flow, in
 // admission order, compacting the live set in place. Finished records are
 // recycled before their done callbacks run, so a callback starting a new
@@ -252,6 +172,7 @@ func (f *Fabric) completeFlows() {
 		if fl.remaining <= eps {
 			for _, l := range fl.path {
 				l.flowCount--
+				f.markDirty(l)
 			}
 			if fl.done != nil {
 				finished = append(finished, fl.done)

@@ -4,6 +4,124 @@ import (
 	"edisim/internal/units"
 )
 
+// message is a pooled in-flight Send/RoundTrip record driven as a state
+// machine: instead of allocating a fresh chain of closures per hop per
+// message, each record carries its cursor (path + hop) and a set of
+// continuations pre-bound once when the record is created, so steady-state
+// messaging does not allocate. Records come from a fabric freelist (grown
+// in chunks, like Flow and sim.Event records) and are recycled on final
+// delivery. No handle type is exposed: a message is never cancellable or
+// observable from user code, so — unlike Event/Flow — records need no
+// sequence stamping; the record is owned by exactly one in-flight transfer
+// from Send to delivery.
+type message struct {
+	fab  *Fabric
+	path []*Link
+	hop  int
+	size units.Bytes
+	done func()
+
+	// RoundTrip support: when hasReply, final delivery of the request
+	// re-launches the record as the reply leg (dst back to src) instead of
+	// recycling it.
+	hasReply  bool
+	replySize units.Bytes
+	src, dst  string
+
+	// Pre-bound continuations, created once per record (amortized to zero
+	// by the pool): acquired → transmission timer; transmitted → release
+	// link, propagation timer; propagated → advance to the next hop.
+	acqFn func()
+	txFn  func()
+	hopFn func()
+}
+
+// msgChunk is how many message records the freelist grows by at once.
+const msgChunk = 64
+
+// allocMsg takes a message record from the freelist, growing it when empty.
+func (f *Fabric) allocMsg() *message {
+	if len(f.freeMsgs) == 0 {
+		chunk := make([]message, msgChunk)
+		for i := range chunk {
+			m := &chunk[i]
+			m.fab = f
+			m.acqFn = m.acquired
+			m.txFn = m.transmitted
+			m.hopFn = m.propagated
+			f.freeMsgs = append(f.freeMsgs, m)
+		}
+	}
+	m := f.freeMsgs[len(f.freeMsgs)-1]
+	f.freeMsgs = f.freeMsgs[:len(f.freeMsgs)-1]
+	return m
+}
+
+// recycleMsg returns the record to the pool. The path slice belongs to the
+// route cache, so dropping the reference costs nothing.
+func (f *Fabric) recycleMsg(m *message) {
+	m.done = nil // release the closure for GC
+	m.path = nil
+	f.freeMsgs = append(f.freeMsgs, m)
+}
+
+// next advances the state machine: wait for the current hop's link, or
+// deliver when past the last hop.
+func (m *message) next() {
+	if m.hop >= len(m.path) {
+		m.deliver()
+		return
+	}
+	m.path[m.hop].q.Acquire(m.acqFn)
+}
+
+// acquired runs when the current hop's link FIFO admits the message: hold
+// the link for the transmission time.
+func (m *message) acquired() {
+	l := m.path[m.hop]
+	m.fab.eng.After(l.Capacity.Seconds(m.size), m.txFn)
+}
+
+// transmitted runs when the last byte leaves the link: free it for the next
+// queued message and start propagation.
+func (m *message) transmitted() {
+	l := m.path[m.hop]
+	l.q.Release()
+	l.bytes += m.size
+	m.fab.eng.After(l.Delay, m.hopFn)
+}
+
+// propagated runs when the last byte reaches the current hop's far end.
+func (m *message) propagated() {
+	m.hop++
+	m.next()
+}
+
+// deliver runs when the message fully arrives at its destination: either
+// turn the record around as the reply leg of a round trip, or finish.
+func (m *message) deliver() {
+	if m.hasReply {
+		m.hasReply = false
+		m.size = m.replySize
+		if m.src == m.dst {
+			// Same-host reply: zero-cost but still asynchronous.
+			m.path = nil
+			m.hop = 0
+			m.fab.eng.After(0, m.hopFn)
+			return
+		}
+		m.path = m.fab.Route(m.dst, m.src)
+		m.hop = 0
+		m.next()
+		return
+	}
+	done := m.done
+	m.fab.recycleMsg(m)
+	if done != nil {
+		done()
+	}
+}
+
 // Send transmits a small message of size bytes from src to dst using
 // store-and-forward FIFO links: at each hop the message waits for the link,
 // occupies it for size/capacity seconds, then propagates. done runs when the
@@ -20,34 +138,38 @@ func (f *Fabric) Send(src, dst string, size units.Bytes, done func()) {
 		f.eng.After(0, done)
 		return
 	}
-	path := f.Route(src, dst)
-	f.sendHop(path, 0, size, done)
-}
-
-func (f *Fabric) sendHop(path []*Link, i int, size units.Bytes, done func()) {
-	if i >= len(path) {
-		if done != nil {
-			done()
-		}
-		return
-	}
-	l := path[i]
-	l.q.Acquire(func() {
-		tx := l.Capacity.Seconds(size)
-		f.eng.After(tx, func() {
-			l.q.Release()
-			l.bytes += size
-			f.eng.After(l.Delay, func() {
-				f.sendHop(path, i+1, size, done)
-			})
-		})
-	})
+	m := f.allocMsg()
+	m.size = size
+	m.done = done
+	m.hasReply = false
+	m.path = f.Route(src, dst)
+	m.hop = 0
+	m.next()
 }
 
 // RoundTrip sends a request of reqSize from src to dst, then a reply of
-// respSize back; done runs when the reply fully arrives at src.
+// respSize back; done runs when the reply fully arrives at src. The whole
+// round trip rides one pooled record, so it does not allocate either.
 func (f *Fabric) RoundTrip(src, dst string, reqSize, respSize units.Bytes, done func()) {
-	f.Send(src, dst, reqSize, func() {
-		f.Send(dst, src, respSize, done)
-	})
+	if reqSize < 0 || respSize < 0 {
+		panic("netsim: negative message size")
+	}
+	m := f.allocMsg()
+	m.size = reqSize
+	m.done = done
+	m.hasReply = true
+	m.replySize = respSize
+	m.src, m.dst = src, dst
+	if src == dst {
+		// Same-host request leg: one zero-delay event, then deliver turns
+		// the record around for the (also zero-delay) reply leg, matching
+		// the two-event timeline of a self Send followed by a self Send.
+		m.path = nil
+		m.hop = 0
+		f.eng.After(0, m.hopFn)
+		return
+	}
+	m.path = f.Route(src, dst)
+	m.hop = 0
+	m.next()
 }

@@ -1,0 +1,236 @@
+package netsim
+
+import (
+	"math"
+
+	"edisim/internal/sim"
+)
+
+// Incremental max-min reallocation.
+//
+// Flow arrivals and departures perturb only the connected component of the
+// flow/link sharing graph they touch: a flow's rate can change only if it
+// shares a link — transitively — with a link whose flow set changed. Every
+// admission and completion therefore marks its path links dirty
+// (markDirty), and reallocate recomputes the water-filling pass only for
+// the flows in components carrying a dirty link, keeping the frozen shares
+// of every untouched flow. A clean component's flow and link sets are
+// unchanged since its rates were last computed, and the water-filling pass
+// is a deterministic function of exactly those sets, so the kept rates are
+// bit-identical to what a full recompute would assign — pinned by
+// TestIncrementalWaterFillingMatchesFull against the retained full pass
+// (SetFullReallocate), which also remains available as a fallback.
+//
+// Component discovery is a union-find sweep over the active flows — linear
+// in the flow set like the progress-crediting advanceFlows pass — so the
+// per-event cost drops from O(bottleneck rounds × flows × links) to the
+// linear sweeps plus a water-filling pass over just the perturbed region.
+// (advanceFlows stays eager over all flows on purpose: crediting progress
+// in the same per-event chunks as the full recompute keeps the float
+// arithmetic — and therefore cmd/paper output — bit-identical.)
+
+// markDirty queues the link for the next reallocate pass. Idempotent
+// between passes.
+func (f *Fabric) markDirty(l *Link) {
+	if !l.dirty {
+		l.dirty = true
+		f.dirtyLinks = append(f.dirtyLinks, l)
+	}
+}
+
+// clearDirty empties the dirty-link list.
+func (f *Fabric) clearDirty() {
+	for _, l := range f.dirtyLinks {
+		l.dirty = false
+	}
+	f.dirtyLinks = f.dirtyLinks[:0]
+}
+
+// ufFind follows parents to the representative flow index, halving the
+// path as it goes.
+func ufFind(parent []int32, i int32) int32 {
+	for parent[i] != i {
+		parent[i] = parent[parent[i]]
+		i = parent[i]
+	}
+	return i
+}
+
+// ufUnion joins the components of a and b, keeping the smaller index as the
+// representative so the result is deterministic.
+func ufUnion(parent []int32, a, b int32) {
+	ra, rb := ufFind(parent, a), ufFind(parent, b)
+	if ra == rb {
+		return
+	}
+	if ra < rb {
+		parent[rb] = ra
+	} else {
+		parent[ra] = rb
+	}
+}
+
+// affectedFlows computes the set of flows whose rate may have changed since
+// the last pass: the union of the flow/link connected components containing
+// a dirty link. It consumes (clears) the dirty-link list and returns the
+// affected flows in admission order, in reusable scratch storage.
+func (f *Fabric) affectedFlows() []*Flow {
+	n := len(f.flows)
+	if cap(f.ufParent) < n {
+		f.ufParent = make([]int32, n)
+		f.rootMark = make([]uint64, n)
+	}
+	parent := f.ufParent[:n]
+	mark := f.rootMark[:n]
+	for i := range parent {
+		parent[i] = int32(i)
+	}
+	// Union flows sharing a link; linkOwner remembers the first flow seen
+	// on each link.
+	clear(f.linkOwner)
+	for i, fl := range f.flows {
+		for _, l := range fl.path {
+			if o, ok := f.linkOwner[l]; ok {
+				ufUnion(parent, o, int32(i))
+			} else {
+				f.linkOwner[l] = int32(i)
+			}
+		}
+	}
+	// Stamp the components that carry a dirty link. A dirty link with no
+	// remaining flows has no component and needs no recompute.
+	for _, l := range f.dirtyLinks {
+		l.dirty = false
+		if o, ok := f.linkOwner[l]; ok {
+			mark[ufFind(parent, o)] = f.epoch
+		}
+	}
+	f.dirtyLinks = f.dirtyLinks[:0]
+	aff := f.affScratch[:0]
+	for i, fl := range f.flows {
+		if mark[ufFind(parent, int32(i))] == f.epoch {
+			aff = append(aff, fl)
+		}
+	}
+	f.affScratch = aff
+	return aff
+}
+
+// reallocate brings the max-min fair allocation up to date after flow
+// arrivals/departures (restricted to the perturbed components, see the
+// package comment above), then re-arms the single next-completion event.
+func (f *Fabric) reallocate() {
+	f.epoch++
+	f.nextDone.Cancel()
+	f.nextDone = sim.EventRef{}
+	if len(f.flows) == 0 {
+		f.clearDirty()
+		return
+	}
+
+	affected := f.flows
+	if !f.fullRealloc {
+		affected = f.affectedFlows()
+	} else {
+		f.clearDirty()
+	}
+	if len(affected) > 0 {
+		f.waterFill(affected)
+	}
+
+	// Re-arm the completion event for the earliest-finishing flow.
+	next := math.Inf(1)
+	for _, fl := range f.flows {
+		if fl.rate <= 0 {
+			continue
+		}
+		t := fl.remaining / fl.rate
+		if t < next {
+			next = t
+		}
+	}
+	if math.IsInf(next, 1) {
+		return
+	}
+	if next < 0 {
+		next = 0
+	}
+	f.nextDone = f.eng.After(next, f.completeFn)
+}
+
+// waterFill runs progressive filling (water-filling) to a max-min fair
+// allocation over the given flows, which must be closed under link sharing
+// (no flow outside the set may cross any link used by a flow inside it) and
+// in admission order.
+func (f *Fabric) waterFill(flows []*Flow) {
+	// Build link states in the fabric's reusable scratch: the map is
+	// cleared per pass and its entries point into an arena pre-sized to
+	// the link count, so append below can never relocate live pointers.
+	state := f.lsScratch
+	clear(state)
+	if cap(f.lsArena) < len(f.links) {
+		f.lsArena = make([]linkState, 0, len(f.links))
+	}
+	f.lsArena = f.lsArena[:0]
+	for _, fl := range flows {
+		for _, l := range fl.path {
+			if s, ok := state[l]; ok {
+				s.cnt++
+			} else {
+				f.lsArena = append(f.lsArena, linkState{rem: float64(l.Capacity), cnt: 1})
+				state[l] = &f.lsArena[len(f.lsArena)-1]
+			}
+		}
+	}
+	unfrozen := len(flows)
+	for _, fl := range flows {
+		fl.frozen = false
+	}
+	for unfrozen > 0 {
+		// Find the tightest link among links carrying unfrozen flows.
+		minShare := math.Inf(1)
+		for _, s := range state {
+			if s.cnt > 0 {
+				if share := s.rem / float64(s.cnt); share < minShare {
+					minShare = share
+				}
+			}
+		}
+		if math.IsInf(minShare, 1) {
+			break
+		}
+		// Freeze every unfrozen flow crossing a link at the bottleneck share.
+		progressed := false
+		for _, fl := range flows {
+			if fl.frozen {
+				continue
+			}
+			bottlenecked := false
+			for _, l := range fl.path {
+				s := state[l]
+				if s.cnt > 0 && s.rem/float64(s.cnt) <= minShare*(1+1e-12) {
+					bottlenecked = true
+					break
+				}
+			}
+			if !bottlenecked {
+				continue
+			}
+			fl.rate = minShare
+			fl.frozen = true
+			unfrozen--
+			for _, l := range fl.path {
+				s := state[l]
+				s.rem -= minShare
+				if s.rem < 0 {
+					s.rem = 0
+				}
+				s.cnt--
+			}
+			progressed = true
+		}
+		if !progressed {
+			break // numerical safety: should not happen
+		}
+	}
+}

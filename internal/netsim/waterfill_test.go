@@ -1,0 +1,236 @@
+package netsim
+
+import (
+	"fmt"
+	"math/rand"
+	"testing"
+
+	"edisim/internal/sim"
+	"edisim/internal/units"
+)
+
+// leafSpineFabric builds a 2-spine × 2-leaf × 4-host fat tree: 100 Mbps
+// host access links, 1 Gbps leaf-spine uplinks (the platform_matrix shape).
+func leafSpineFabric(eng *sim.Engine) (*Fabric, []string) {
+	f := NewFabric(eng)
+	var hosts []string
+	for s := 0; s < 2; s++ {
+		f.AddVertex(fmt.Sprintf("spine%d", s))
+	}
+	for l := 0; l < 2; l++ {
+		leaf := fmt.Sprintf("leaf%d", l)
+		f.AddVertex(leaf)
+		for s := 0; s < 2; s++ {
+			f.Connect(leaf, fmt.Sprintf("spine%d", s), units.Gbps(1), 0.1e-3)
+		}
+		for h := 0; h < 4; h++ {
+			host := fmt.Sprintf("h%d-%d", l, h)
+			f.AddVertex(host)
+			f.Connect(host, leaf, units.Mbps(100), 0.2e-3)
+			hosts = append(hosts, host)
+		}
+	}
+	return f, hosts
+}
+
+// table6Fabric builds the paper's Table 6 testbed shape: 35 Edison-class
+// hosts (100 Mbps NICs) spread over three access switches, a Dell-class
+// host (1 Gbps NIC) on a fourth, 1 Gbps inter-switch links to a root.
+func table6Fabric(eng *sim.Engine) (*Fabric, []string) {
+	f := NewFabric(eng)
+	f.AddVertex("root")
+	var hosts []string
+	for s := 0; s < 3; s++ {
+		sw := fmt.Sprintf("esw%d", s)
+		f.AddVertex(sw)
+		f.Connect(sw, "root", units.Gbps(1), 0.1e-3)
+		for h := 0; h < 12 && len(hosts) < 35; h++ {
+			host := fmt.Sprintf("e%02d", len(hosts))
+			f.AddVertex(host)
+			f.Connect(host, sw, units.Mbps(100), 0.3e-3)
+			hosts = append(hosts, host)
+		}
+	}
+	f.AddVertex("dsw")
+	f.Connect("dsw", "root", units.Gbps(1), 0.1e-3)
+	f.AddVertex("dell")
+	f.Connect("dell", "dsw", units.Gbps(1), 0.1e-3)
+	hosts = append(hosts, "dell")
+	return f, hosts
+}
+
+// driveTrace schedules the given flow trace on the fabric, sampling every
+// flow's rate at fixed intervals and recording completion times. Returned
+// slices are deterministic given the trace.
+type flowEvent struct {
+	at       float64
+	src, dst string
+	size     units.Bytes
+}
+
+func driveTrace(eng *sim.Engine, f *Fabric, trace []flowEvent) (doneTimes []sim.Time, rateSamples []float64) {
+	refs := make([]FlowRef, len(trace))
+	doneTimes = make([]sim.Time, len(trace))
+	var horizon float64
+	for i, fe := range trace {
+		i, fe := i, fe
+		eng.At(sim.Time(fe.at), func() {
+			refs[i] = f.StartFlow(fe.src, fe.dst, fe.size, func() {
+				doneTimes[i] = eng.Now()
+			})
+		})
+		if fe.at > horizon {
+			horizon = fe.at
+		}
+	}
+	// Sample all live rates on a fixed grid spanning the arrival window.
+	for k := 0; k < 400; k++ {
+		eng.At(sim.Time(float64(k)*horizon/400), func() {
+			for _, r := range refs {
+				rateSamples = append(rateSamples, float64(r.Rate()))
+			}
+		})
+	}
+	eng.Run()
+	return doneTimes, rateSamples
+}
+
+// randomTrace builds a reproducible arrival/departure mix: flow sizes span
+// RPC-ish to HDFS-block-ish so completions interleave heavily with
+// arrivals.
+func randomTrace(rng *rand.Rand, hosts []string, n int) []flowEvent {
+	trace := make([]flowEvent, n)
+	for i := range trace {
+		src := hosts[rng.Intn(len(hosts))]
+		dst := hosts[rng.Intn(len(hosts))]
+		for dst == src {
+			dst = hosts[rng.Intn(len(hosts))]
+		}
+		trace[i] = flowEvent{
+			at:   rng.Float64() * 2.0,
+			src:  src,
+			dst:  dst,
+			size: units.Bytes(1e4 + rng.Float64()*2e6),
+		}
+	}
+	return trace
+}
+
+// TestIncrementalWaterFillingMatchesFull: on randomized flow traces over
+// the leaf-spine and Table-6 topologies, the incremental (dirty-component)
+// reallocation must reproduce the retained full recompute bit-identically —
+// same sampled rates, same completion times, same event count.
+func TestIncrementalWaterFillingMatchesFull(t *testing.T) {
+	builders := map[string]func(*sim.Engine) (*Fabric, []string){
+		"leafSpine": leafSpineFabric,
+		"table6":    table6Fabric,
+	}
+	for name, build := range builders {
+		for seed := int64(1); seed <= 4; seed++ {
+			t.Run(fmt.Sprintf("%s/seed%d", name, seed), func(t *testing.T) {
+				engInc := sim.NewEngine()
+				fabInc, hosts := build(engInc)
+				engFull := sim.NewEngine()
+				fabFull, _ := build(engFull)
+				fabFull.SetFullReallocate(true)
+
+				trace := randomTrace(rand.New(rand.NewSource(seed)), hosts, 120)
+				doneInc, ratesInc := driveTrace(engInc, fabInc, trace)
+				doneFull, ratesFull := driveTrace(engFull, fabFull, trace)
+
+				for i := range doneInc {
+					if doneInc[i] != doneFull[i] {
+						t.Fatalf("flow %d (%s->%s): completion %v (incremental) != %v (full)",
+							i, trace[i].src, trace[i].dst, doneInc[i], doneFull[i])
+					}
+				}
+				if len(ratesInc) != len(ratesFull) {
+					t.Fatalf("sample count %d != %d", len(ratesInc), len(ratesFull))
+				}
+				for i := range ratesInc {
+					if ratesInc[i] != ratesFull[i] {
+						t.Fatalf("rate sample %d: %v (incremental) != %v (full)",
+							i, ratesInc[i], ratesFull[i])
+					}
+				}
+				if engInc.Fired() != engFull.Fired() {
+					t.Fatalf("event counts diverged: %d (incremental) != %d (full)",
+						engInc.Fired(), engFull.Fired())
+				}
+			})
+		}
+	}
+}
+
+// TestIncrementalSkipsUntouchedComponent: a flow in a disjoint component
+// keeps its exact rate object through churn elsewhere, and the dirty-link
+// list drains after every pass.
+func TestIncrementalSkipsUntouchedComponent(t *testing.T) {
+	eng := sim.NewEngine()
+	f := NewFabric(eng)
+	for _, v := range []string{"a", "b", "c", "d", "sw1", "sw2"} {
+		f.AddVertex(v)
+	}
+	f.Connect("a", "sw1", units.Mbps(100), 0)
+	f.Connect("b", "sw1", units.Mbps(100), 0)
+	f.Connect("c", "sw2", units.Mbps(100), 0)
+	f.Connect("d", "sw2", units.Mbps(100), 0)
+	// Long-lived flow in the c/d component.
+	long := f.StartFlow("c", "d", units.Bytes(125e6), nil)
+	// Churn in the a/b component.
+	for i := 0; i < 5; i++ {
+		f.StartFlow("a", "b", units.Bytes(1e5), nil)
+	}
+	eng.RunUntil(1)
+	if got := float64(long.Rate()); got != 12.5e6 {
+		t.Fatalf("untouched flow rate %v, want 12.5e6", got)
+	}
+	if len(f.dirtyLinks) != 0 {
+		t.Fatalf("%d dirty links left after passes, want 0", len(f.dirtyLinks))
+	}
+	eng.Run()
+	if !long.Finished() {
+		t.Fatal("long flow never finished")
+	}
+}
+
+// BenchmarkFlowChurnManyComponents measures reallocation cost with many
+// disjoint active components: 128 long-lived pair flows plus churn on one
+// pair — the platform_matrix many-nodes shape. The incremental pass only
+// touches the churning component; the full variant is the retained
+// reference recompute over every component on every event.
+func BenchmarkFlowChurnManyComponents(b *testing.B) {
+	for _, mode := range []struct {
+		name string
+		full bool
+	}{{"incremental", false}, {"full", true}} {
+		b.Run(mode.name, func(b *testing.B) {
+			eng := sim.NewEngine()
+			f := NewFabric(eng)
+			f.SetFullReallocate(mode.full)
+			const pairs = 128
+			hosts := make([][2]string, pairs)
+			for i := 0; i < pairs; i++ {
+				sw := fmt.Sprintf("sw%d", i)
+				a, c := fmt.Sprintf("a%d", i), fmt.Sprintf("b%d", i)
+				f.AddVertex(sw)
+				f.AddVertex(a)
+				f.AddVertex(c)
+				f.Connect(a, sw, units.Gbps(1), 0)
+				f.Connect(c, sw, units.Gbps(1), 0)
+				hosts[i] = [2]string{a, c}
+			}
+			// Keep every pair busy with an effectively infinite background flow.
+			for i := 0; i < pairs; i++ {
+				f.StartFlow(hosts[i][0], hosts[i][1], units.Bytes(1e18), nil)
+			}
+			eng.RunUntil(1)
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				f.StartFlow(hosts[0][0], hosts[0][1], units.Bytes(1e6), nil)
+				eng.RunUntil(eng.Now() + 1)
+			}
+		})
+	}
+}

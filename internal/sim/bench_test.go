@@ -67,3 +67,15 @@ func BenchmarkProcShare(b *testing.B) {
 		e.Run()
 	}
 }
+
+// BenchmarkProcShareCancel measures submit/cancel churn through the pooled
+// task records (speculative work torn down before completion).
+func BenchmarkProcShareCancel(b *testing.B) {
+	e := NewEngine()
+	p := NewProcShare(e, 2, 1000)
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		p.Submit(1, nil).Cancel()
+	}
+	e.Run()
+}

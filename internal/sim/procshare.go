@@ -10,6 +10,12 @@ import "fmt"
 // The implementation uses virtual time: v(t) advances at the common
 // per-task rate, each task completes when v reaches its submission v plus
 // its work, so arrivals and departures cost O(log m) instead of O(m).
+//
+// PSTask records are pooled like Event records: Submit takes one from a
+// per-processor freelist (grown in chunks) and completion or cancellation
+// returns it, so the compute hot path does not allocate in steady state.
+// User code never holds *PSTask directly; it holds PSTaskRef handles,
+// which stay safe across recycling.
 type ProcShare struct {
 	eng   *Engine
 	cores float64 // effective parallel capacity (cores × HT factor)
@@ -19,6 +25,15 @@ type ProcShare struct {
 	lastT    Time    // when v was last advanced
 	tasks    psHeap
 	nextDone EventRef
+
+	// free is the PSTask record pool; taskSeq stamps each submission so
+	// stale PSTaskRefs are detected after recycling. doneQueue is reusable
+	// scratch for one completion round's callbacks; completeFn is the
+	// bound complete closure (allocated once instead of per re-arm).
+	free       []*PSTask
+	taskSeq    uint64
+	doneQueue  []func()
+	completeFn func()
 
 	// OnActiveChange, when set, is called whenever the number of active
 	// tasks changes (after the change); used for utilization/power tracking.
@@ -34,13 +49,63 @@ type psBusyIntegral struct {
 	area  float64
 }
 
-// PSTask is a task submitted to a ProcShare.
+// PSTask is a pooled task record. User code never holds *PSTask directly;
+// it holds PSTaskRef handles (see Submit).
 type PSTask struct {
-	key    float64 // v at which this task completes
-	index  int
-	done   func()
-	work   float64
-	cancel bool
+	key   float64 // v at which this task completes
+	seq   uint64  // unique per submission; 0 while on the freelist
+	index int     // heap position; -1 when not in the heap
+	done  func()
+	work  float64
+	ps    *ProcShare
+}
+
+// PSTaskRef is a cheap, copyable handle to a submitted task. The zero value
+// is inert. A ref stays valid-to-use after its task completes or is
+// cancelled: every operation on a dead ref is a no-op.
+type PSTaskRef struct {
+	t   *PSTask
+	seq uint64
+}
+
+// live reports whether the ref still names an in-flight task.
+func (r PSTaskRef) live() bool { return r.t != nil && r.t.seq == r.seq }
+
+// Active reports whether the task is still in flight (not completed, not
+// cancelled).
+func (r PSTaskRef) Active() bool { return r.live() }
+
+// Cancel removes the task before completion. Cancelling a completed,
+// already-cancelled or zero ref is a no-op.
+func (r PSTaskRef) Cancel() {
+	if r.live() {
+		r.t.ps.cancel(r.t)
+	}
+}
+
+// psTaskChunk is how many PSTask records the freelist grows by at once.
+const psTaskChunk = 64
+
+// allocTask takes a task record from the freelist, growing it when empty.
+func (p *ProcShare) allocTask() *PSTask {
+	if len(p.free) == 0 {
+		chunk := make([]PSTask, psTaskChunk)
+		for i := range chunk {
+			chunk[i].ps = p
+			p.free = append(p.free, &chunk[i])
+		}
+	}
+	t := p.free[len(p.free)-1]
+	p.free = p.free[:len(p.free)-1]
+	return t
+}
+
+// recycleTask invalidates outstanding refs and returns the record to the
+// pool.
+func (p *ProcShare) recycleTask(t *PSTask) {
+	t.seq = 0
+	t.done = nil // release the closure for GC
+	p.free = append(p.free, t)
 }
 
 // psHeap is a concrete binary min-heap on PSTask.key (virtual finish time),
@@ -115,13 +180,15 @@ func NewProcShare(eng *Engine, cores, speedPerCore float64) *ProcShare {
 	if cores <= 0 || speedPerCore <= 0 {
 		panic("sim: ProcShare needs positive cores and speed")
 	}
-	return &ProcShare{
+	p := &ProcShare{
 		eng:          eng,
 		cores:        cores,
 		speed:        speedPerCore,
 		lastT:        eng.Now(),
 		busyIntegral: &psBusyIntegral{lastT: eng.Now()},
 	}
+	p.completeFn = p.complete
+	return p
 }
 
 // rate reports the current per-task service rate in work units per second.
@@ -164,30 +231,35 @@ func (p *ProcShare) advance() {
 
 // Submit adds a task needing the given amount of work; done runs at
 // completion. Zero-work tasks complete via a zero-delay event.
-func (p *ProcShare) Submit(work float64, done func()) *PSTask {
+func (p *ProcShare) Submit(work float64, done func()) PSTaskRef {
 	if work < 0 {
 		panic(fmt.Sprintf("sim: negative work %g", work))
 	}
 	p.advance()
-	t := &PSTask{key: p.v + work, done: done, work: work}
+	p.taskSeq++
+	t := p.allocTask()
+	t.key = p.v + work
+	t.seq = p.taskSeq
+	t.done = done
+	t.work = work
 	p.tasks.push(t)
 	p.busyIntegral.cur = p.busyCores()
 	p.reschedule()
 	if p.OnActiveChange != nil {
 		p.OnActiveChange(len(p.tasks))
 	}
-	return t
+	return PSTaskRef{t: t, seq: t.seq}
 }
 
-// CancelTask removes a task before completion. Cancelling a finished task
-// is a no-op.
-func (p *ProcShare) CancelTask(t *PSTask) {
-	if t.index < 0 || t.cancel {
-		return
-	}
-	t.cancel = true
+// CancelTask removes a task before completion. Cancelling a completed,
+// already-cancelled or zero ref is a no-op (equivalent to ref.Cancel).
+func (p *ProcShare) CancelTask(r PSTaskRef) { r.Cancel() }
+
+// cancel removes a live task from the heap and recycles its record.
+func (p *ProcShare) cancel(t *PSTask) {
 	p.advance()
 	p.tasks.remove(t.index)
+	p.recycleTask(t)
 	p.busyIntegral.cur = p.busyCores()
 	p.reschedule()
 	if p.OnActiveChange != nil {
@@ -222,28 +294,41 @@ func (p *ProcShare) reschedule() {
 	}
 	r := p.rate()
 	dt := remaining / r
-	p.nextDone = p.eng.After(dt, p.complete)
+	p.nextDone = p.eng.After(dt, p.completeFn)
 }
 
 // complete pops every task whose virtual finish time has been reached.
+// Finished records are recycled before their done callbacks run, so a
+// callback submitting new work can reuse them immediately.
 func (p *ProcShare) complete() {
 	p.nextDone = EventRef{}
 	p.advance()
 	eps := p.veps()
-	var finished []*PSTask
+	// Collect done callbacks in the reusable queue. complete never nests
+	// (it only runs as an engine event), and callbacks submit tasks, not
+	// callbacks, so iterating the queue below is safe.
+	finished := p.doneQueue[:0]
+	popped := 0
 	for len(p.tasks) > 0 && p.tasks[0].key <= p.v+eps {
-		finished = append(finished, p.tasks.remove(0))
+		t := p.tasks.remove(0)
+		popped++
+		if t.done != nil {
+			finished = append(finished, t.done)
+		}
+		p.recycleTask(t)
 	}
 	p.busyIntegral.cur = p.busyCores()
 	p.reschedule()
-	if p.OnActiveChange != nil && len(finished) > 0 {
+	if p.OnActiveChange != nil && popped > 0 {
 		p.OnActiveChange(len(p.tasks))
 	}
-	for _, t := range finished {
-		if t.done != nil {
-			t.done()
-		}
+	for _, done := range finished {
+		done()
 	}
+	for i := range finished {
+		finished[i] = nil
+	}
+	p.doneQueue = finished[:0]
 }
 
 // Active reports the number of in-flight tasks.

@@ -1,0 +1,110 @@
+package sim
+
+import "testing"
+
+// TestPSTaskRecordsRecycled: records return to the pool when tasks finish,
+// and a stale ref must stay dead without touching the reused record.
+func TestPSTaskRecordsRecycled(t *testing.T) {
+	e := NewEngine()
+	p := NewProcShare(e, 1, 1)
+	ref1 := p.Submit(1, nil)
+	if !ref1.Active() {
+		t.Fatal("submitted task not active")
+	}
+	e.Run()
+	if ref1.Active() {
+		t.Fatal("completed task still active")
+	}
+	if got := len(p.free); got != psTaskChunk {
+		t.Fatalf("free list has %d records after completion, want %d", got, psTaskChunk)
+	}
+	// The next Submit must reuse the recycled record; the stale ref stays dead.
+	ref2 := p.Submit(1, nil)
+	if ref1.t != ref2.t {
+		t.Fatal("record not reused from the pool")
+	}
+	if ref1.Active() {
+		t.Fatal("stale ref leaked into the reused record")
+	}
+	ref1.Cancel() // must NOT cancel the recycled task
+	e.Run()
+	if ref2.Active() {
+		t.Fatal("second task not completed")
+	}
+}
+
+// TestPSTaskCancelAfterFinish: cancelling a completed task is a no-op even
+// after its record has been handed to a new task.
+func TestPSTaskCancelAfterFinish(t *testing.T) {
+	e := NewEngine()
+	p := NewProcShare(e, 1, 1)
+	stale := p.Submit(1, nil)
+	e.Run()
+	fired := false
+	fresh := p.Submit(1, func() { fired = true })
+	stale.Cancel()
+	p.CancelTask(stale)
+	e.Run()
+	if !fired {
+		t.Fatal("stale Cancel killed a recycled task")
+	}
+	if fresh.Active() {
+		t.Fatal("fresh ref active after completion")
+	}
+}
+
+// TestPSTaskCancelRemoves: a live cancel removes the task, recycles the
+// record, and the done callback never runs.
+func TestPSTaskCancelRemoves(t *testing.T) {
+	e := NewEngine()
+	p := NewProcShare(e, 1, 1)
+	ref := p.Submit(100, func() { t.Fatal("cancelled task completed") })
+	ref.Cancel()
+	if ref.Active() {
+		t.Fatal("ref active after cancel")
+	}
+	if p.Active() != 0 {
+		t.Fatalf("%d active tasks after cancel, want 0", p.Active())
+	}
+	if got := len(p.free); got != psTaskChunk {
+		t.Fatalf("free list has %d records after cancel, want %d", got, psTaskChunk)
+	}
+	ref.Cancel() // idempotent
+	e.Run()
+}
+
+// TestPSTaskZeroRefInert: the zero PSTaskRef is inert.
+func TestPSTaskZeroRefInert(t *testing.T) {
+	var r PSTaskRef
+	if r.Active() {
+		t.Fatal("zero ref active")
+	}
+	r.Cancel() // must not panic
+}
+
+// TestProcShareSteadyStateNoAlloc: after warm-up, submit/complete churn
+// through the processor-sharing resource must not allocate (pooled task
+// records, reusable completion queue, pooled engine events).
+func TestProcShareSteadyStateNoAlloc(t *testing.T) {
+	e := NewEngine()
+	p := NewProcShare(e, 2, 1000)
+	fn := func() {}
+	for i := 0; i < 10; i++ {
+		p.Submit(1, fn)
+		e.Run()
+	}
+	allocs := testing.AllocsPerRun(1000, func() {
+		p.Submit(1, fn)
+		e.Run()
+	})
+	if allocs > 0 {
+		t.Fatalf("Submit/complete allocates %.1f objects per task, want 0", allocs)
+	}
+	// Submit/cancel churn must not allocate either.
+	allocs = testing.AllocsPerRun(1000, func() {
+		p.Submit(1, fn).Cancel()
+	})
+	if allocs > 0 {
+		t.Fatalf("Submit/Cancel allocates %.1f objects per task, want 0", allocs)
+	}
+}

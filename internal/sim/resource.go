@@ -7,18 +7,18 @@ type Resource struct {
 	eng      *Engine
 	capacity int
 	inUse    int
-	waiters  []*waiter
+	// The waiting line is a growable FIFO ring: Acquire appends, Release
+	// pops at head, and the slice is reset once drained, so steady-state
+	// queueing reuses the backing array instead of allocating one waiter
+	// record per queued acquire.
+	waiters []func()
+	head    int
 	// MaxQueue, when > 0, bounds the waiting line; Acquire beyond it is
 	// rejected immediately (models a full accept queue / backlog).
 	MaxQueue int
 
 	peakInUse int
 	rejected  int64
-}
-
-type waiter struct {
-	fn       func()
-	canceled bool
 }
 
 // NewResource returns a resource with the given concurrent-holder capacity.
@@ -42,11 +42,11 @@ func (r *Resource) Acquire(fn func()) bool {
 		fn()
 		return true
 	}
-	if r.MaxQueue > 0 && len(r.waiters) >= r.MaxQueue {
+	if r.MaxQueue > 0 && len(r.waiters)-r.head >= r.MaxQueue {
 		r.rejected++
 		return false
 	}
-	r.waiters = append(r.waiters, &waiter{fn: fn})
+	r.waiters = append(r.waiters, fn)
 	return true
 }
 
@@ -62,23 +62,37 @@ func (r *Resource) TryAcquire() bool {
 	return false
 }
 
-// Release returns one unit and hands it to the oldest live waiter, if any.
+// Release returns one unit and hands it to the oldest waiter, if any.
 // The waiter's callback runs synchronously.
 func (r *Resource) Release() {
 	if r.inUse <= 0 {
 		panic("sim: release of idle resource")
 	}
 	r.inUse--
-	for len(r.waiters) > 0 {
-		w := r.waiters[0]
-		r.waiters = r.waiters[1:]
-		if w.canceled {
-			continue
-		}
-		r.inUse++
-		w.fn()
+	if r.head >= len(r.waiters) {
 		return
 	}
+	fn := r.waiters[r.head]
+	r.waiters[r.head] = nil // release the closure for GC
+	r.head++
+	if r.head == len(r.waiters) {
+		// Drained: rewind so the backing array is reused from the start.
+		r.waiters = r.waiters[:0]
+		r.head = 0
+	} else if r.head >= 64 && r.head*2 >= len(r.waiters) {
+		// The dead prefix has caught up with the live region: compact to
+		// the front (amortized O(1) per pop) so a never-drained queue's
+		// backing array stays proportional to queue depth, not total
+		// traffic.
+		n := copy(r.waiters, r.waiters[r.head:])
+		for i := n; i < len(r.waiters); i++ {
+			r.waiters[i] = nil
+		}
+		r.waiters = r.waiters[:n]
+		r.head = 0
+	}
+	r.inUse++
+	fn()
 }
 
 // InUse reports the current number of holders.
@@ -88,7 +102,7 @@ func (r *Resource) InUse() int { return r.inUse }
 func (r *Resource) Capacity() int { return r.capacity }
 
 // QueueLen reports the number of waiting acquirers.
-func (r *Resource) QueueLen() int { return len(r.waiters) }
+func (r *Resource) QueueLen() int { return len(r.waiters) - r.head }
 
 // PeakInUse reports the high-water mark of concurrent holders.
 func (r *Resource) PeakInUse() int { return r.peakInUse }

@@ -97,3 +97,38 @@ func TestResourceUtilization(t *testing.T) {
 		t.Fatalf("utilization %g, want 0.25", got)
 	}
 }
+
+// TestResourceWaiterRingBounded: a never-drained waiting line must keep its
+// backing array proportional to queue depth (the ring compacts its dead
+// prefix), not to total traffic, and FIFO order must survive compaction.
+func TestResourceWaiterRingBounded(t *testing.T) {
+	e := NewEngine()
+	r := NewResource(e, 1)
+	r.Acquire(func() {}) // permanent holder
+	next := 0
+	enqueue := func(id int) {
+		r.Acquire(func() {
+			if id != next {
+				t.Fatalf("waiter %d granted, want %d", id, next)
+			}
+			next++
+		})
+	}
+	// Keep the queue 2 deep across 100k grant cycles.
+	enqueue(0)
+	enqueue(1)
+	for i := 0; i < 100000; i++ {
+		enqueue(i + 2)
+		r.Release() // grants waiter i, requeues the unit via the holder below
+		r.TryAcquire()
+	}
+	if next != 100000 {
+		t.Fatalf("granted %d waiters, want 100000", next)
+	}
+	if got := r.QueueLen(); got != 2 {
+		t.Fatalf("queue length %d, want 2", got)
+	}
+	if c := cap(r.waiters); c > 1024 {
+		t.Fatalf("waiter ring capacity %d after 100k cycles with a 2-deep queue, want bounded", c)
+	}
+}

@@ -121,7 +121,7 @@ func NewResourceManager(eng *sim.Engine, master *hw.Node, slaves []*hw.Node, res
 		Master:             master,
 		HeartbeatInterval:  1.0,
 		GrantsPerHeartbeat: 24,
-		ContainerStartup: DefaultContainerStartup,
+		ContainerStartup:   DefaultContainerStartup,
 	}
 	for _, s := range slaves {
 		nm := &NodeManager{Node: s, capacity: res(s)}
