@@ -1,12 +1,12 @@
-// Package repro's root benchmarks regenerate every table and figure of the
-// paper's evaluation. Each benchmark runs the corresponding experiment from
-// the internal/core registry and reports domain metrics (req/s, joules,
+// The root benchmarks regenerate every table and figure of the paper's
+// evaluation. Each benchmark runs the corresponding experiment from the
+// internal/core registry and reports domain metrics (req/s, joules,
 // seconds) alongside the usual ns/op. Run all of them with:
 //
 //	go test -bench=. -benchmem
 //
 // Benchmarks use Quick mode under -short; full fidelity otherwise.
-package main
+package edisim
 
 import (
 	"os"

@@ -3,6 +3,8 @@
 // With -experiments it writes the EXPERIMENTS.md comparison section to
 // stdout in markdown.
 //
+// The command is a thin shell over the public edisim package: it builds a
+// Scenario of paper experiments and streams the artifacts through a sink.
 // Experiments and their sweep points are independent simulations, so -j
 // fans them across CPUs (default: GOMAXPROCS). Output is bit-identical for
 // any -j: every sweep point derives its seed from its identity, and results
@@ -14,6 +16,7 @@
 //	paper -quick        # reduced sweeps for a fast smoke run
 //	paper -j 1          # serial (same output, slower)
 //	paper -only fig4_fig7
+//	paper -only fig4_fig7 -format json   # the documented JSON schema
 //	paper -only platform_matrix -platforms pi3,xeon-modern
 //	paper -experiments > comparisons.md
 //
@@ -25,14 +28,13 @@
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"os"
 	"strings"
-	"sync"
 
-	"edisim/internal/core"
-	"edisim/internal/hw"
+	"edisim"
 	"edisim/internal/runner"
 )
 
@@ -44,109 +46,77 @@ func main() {
 		jobs      = flag.Int("j", runner.DefaultWorkers(), "parallel workers for experiments and sweep points")
 		markdown  = flag.Bool("experiments", false, "emit the EXPERIMENTS.md comparison ledger as markdown")
 		platforms = flag.String("platforms", "", "comma-separated hw catalog platforms for matrix experiments (default: whole catalog)")
+		format    = flag.String("format", "text", "output format: text, json or csv")
 	)
 	flag.Parse()
 
-	cfg := core.Config{Seed: *seed, Quick: *quick, Workers: *jobs}
-	if *platforms != "" {
-		for _, name := range strings.Split(*platforms, ",") {
-			p, ok := hw.LookupPlatform(name)
-			if !ok {
-				fmt.Fprintf(os.Stderr, "paper: unknown platform %q (catalog: %v)\n", name, hw.PlatformNames())
-				os.Exit(2)
-			}
-			cfg.Matrix = append(cfg.Matrix, p)
-		}
+	if !edisim.ValidOutputFormat(*format) {
+		fmt.Fprintf(os.Stderr, "paper: unknown format %q (want text, json or csv)\n", *format)
+		os.Exit(2)
 	}
-	wanted := map[string]bool{}
-	if *only != "" {
-		for _, id := range strings.Split(*only, ",") {
-			wanted[strings.TrimSpace(id)] = true
-		}
-	}
-
-	var all []core.Experiment
-	for _, e := range core.Experiments() {
-		if len(wanted) > 0 {
-			if !wanted[e.ID] {
-				continue
-			}
-		} else if e.OptIn && *platforms == "" {
-			// Opt-in matrices run when named with -only or when a
-			// -platforms selection implies them; never in the default
-			// paper reproduction.
-			continue
-		}
-		all = append(all, e)
-	}
-	if len(all) == 0 {
-		fmt.Fprintf(os.Stderr, "paper: no experiments match %q (have %v)\n", *only, core.IDs())
+	if *markdown && *format != "text" {
+		fmt.Fprintf(os.Stderr, "paper: -experiments emits markdown; it cannot combine with -format %s\n", *format)
 		os.Exit(2)
 	}
 
-	// Run every experiment, streaming results in registration order as the
-	// completed prefix grows — long full-fidelity runs show progress, and
-	// output stays bit-identical for any -j. Sweep points carry almost all
-	// of the work and fan across the full -j pool inside each experiment,
-	// so the experiment level only needs enough overlap to hide the serial
-	// (non-sweep) experiments: two at a time keeps the worst-case goroutine
-	// and testbed-memory load near 2×j rather than j².
-	outer := 1
-	if *jobs > 1 {
-		outer = 2
+	scn := edisim.Scenario{Name: "paper", Seed: *seed, Quick: *quick, Workers: *jobs}
+	if *platforms != "" {
+		for _, name := range strings.Split(*platforms, ",") {
+			scn.Matrix = append(scn.Matrix, edisim.Ref(name))
+		}
 	}
-	var (
-		mu       sync.Mutex
-		ready    = sync.NewCond(&mu)
-		outcomes = make([]*core.Outcome, len(all))
-	)
-	go runner.Map(outer, len(all), func(i int) *core.Outcome {
-		o := all[i].Run(cfg)
-		mu.Lock()
-		outcomes[i] = o
-		ready.Broadcast()
-		mu.Unlock()
-		return o
-	})
+	exps := &edisim.PaperExperiments{IncludeOptIn: *platforms != ""}
+	if *only != "" {
+		// Unknown IDs are a hard error (listing the valid set), not a
+		// silent drop — edisim.Run validates the whole list up front.
+		for _, id := range strings.Split(*only, ",") {
+			if id = strings.TrimSpace(id); id != "" {
+				exps.IDs = append(exps.IDs, id)
+			}
+		}
+		if len(exps.IDs) == 0 {
+			fmt.Fprintf(os.Stderr, "paper: no experiments match %q (have %v)\n", *only, edisim.ExperimentIDs())
+			os.Exit(2)
+		}
+	}
+	scn.Workloads = []edisim.Workload{exps}
 
-	if *markdown {
+	// Stream as artifacts complete (text blocks, or markdown ledger rows
+	// with -experiments); collect everything for the final ledger and the
+	// document formats.
+	var col edisim.Collector
+	sink := edisim.Sink(&col)
+	switch {
+	case *markdown:
 		fmt.Println("| artifact | metric | paper | simulated | ratio |")
 		fmt.Println("|---|---|---:|---:|---:|")
-	}
-	for i, e := range all {
-		mu.Lock()
-		for outcomes[i] == nil {
-			ready.Wait()
-		}
-		o := outcomes[i]
-		mu.Unlock()
-		if *markdown {
-			for _, c := range o.Comparisons {
+		sink = edisim.SinkFunc(func(a *edisim.Artifact) error {
+			for _, c := range a.Comparisons {
 				fmt.Printf("| %s | %s | %.4g | %.4g | %.2f |\n",
 					c.Artifact, c.Metric, c.Paper, c.Measured, c.RatioError())
 			}
-			continue
-		}
-		fmt.Printf("==== %s (§%s) — %s ====\n", e.ID, e.Section, e.Title)
-		for _, t := range o.Tables {
-			fmt.Println(t)
-		}
-		for _, f := range o.Figures {
-			fmt.Println(f)
-		}
-		for _, n := range o.Notes {
-			fmt.Printf("note: %s\n", n)
-		}
-		fmt.Println()
+			return nil
+		})
+	case *format == "text":
+		sink = edisim.MultiSink(edisim.NewTextSink(os.Stdout), &col)
+	}
+
+	if err := edisim.Run(context.Background(), scn, sink); err != nil {
+		fmt.Fprintf(os.Stderr, "paper: %v\n", err)
+		os.Exit(2)
 	}
 	if *markdown {
 		return
 	}
 
-	fmt.Println("==== paper-vs-simulated ledger ====")
-	for _, o := range outcomes {
-		for _, c := range o.Comparisons {
-			fmt.Println(c)
-		}
+	var err error
+	if *format == "text" {
+		err = edisim.WriteLedger(os.Stdout, col.Artifacts)
+	} else {
+		err = edisim.WriteDocument(*format, os.Stdout, col.Artifacts)
+	}
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "paper: %v\n", err)
+		os.Exit(1)
 	}
 }

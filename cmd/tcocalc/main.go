@@ -1,25 +1,25 @@
 // Command tcocalc evaluates the paper's total-cost-of-ownership model
 // (Section 6, Equation 1): the four Table 10 scenarios by default, a custom
 // micro-vs-brawny configuration via flags, or any set of hw catalog
-// platforms via -platforms.
+// platforms via -platforms (a TCOStudy scenario of the edisim package).
 //
 // Usage:
 //
 //	tcocalc                                  # Table 10
+//	tcocalc -format json                     # same, as the documented schema
 //	tcocalc -custom -micro 35 -brawny 3 -util 0.75
 //	tcocalc -platforms pi3,xeon-modern -nodes 16,1 -util 0.5
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"os"
 	"strconv"
 	"strings"
 
-	"edisim/internal/hw"
-	"edisim/internal/report"
-	"edisim/internal/tco"
+	"edisim"
 )
 
 func main() {
@@ -30,37 +30,65 @@ func main() {
 		util      = flag.Float64("util", 0.5, "utilization in [0,1] (custom / -platforms)")
 		platforms = flag.String("platforms", "", "comma-separated hw catalog platforms to price side by side")
 		nodes     = flag.String("nodes", "", "comma-separated node counts matching -platforms (default: catalog fleet slave counts)")
+		format    = flag.String("format", "text", "output format: text, json or csv")
 	)
 	flag.Parse()
 
+	if !edisim.ValidOutputFormat(*format) {
+		fmt.Fprintf(os.Stderr, "tcocalc: unknown format %q (want text, json or csv)\n", *format)
+		os.Exit(2)
+	}
+
 	if *platforms != "" {
-		priceMatrix(*platforms, *nodes, *util)
+		priceMatrix(*platforms, *nodes, *util, *format)
 		return
 	}
 
-	micro, brawny := hw.BaselinePair()
+	micro, brawny := edisim.BaselinePair()
 	if *custom {
-		e := tco.Compute(tco.ForPlatform(micro, *micros, *util))
-		d := tco.Compute(tco.ForPlatform(brawny, *brawnies, *util))
-		fmt.Printf("%s x%d @ %.0f%%: equipment $%.0f + electricity $%.0f = $%.0f\n",
-			micro.Label, *micros, *util*100, e.Equipment, e.Electricity, e.Total())
-		fmt.Printf("%s   x%d @ %.0f%%: equipment $%.0f + electricity $%.0f = $%.0f\n",
-			brawny.Label, *brawnies, *util*100, d.Equipment, d.Electricity, d.Total())
-		fmt.Printf("Savings: %.0f%%\n", 100*(1-e.Total()/d.Total()))
+		e := edisim.ComputeTCO(edisim.TCOForPlatform(micro, *micros, *util))
+		d := edisim.ComputeTCO(edisim.TCOForPlatform(brawny, *brawnies, *util))
+		if *format == "text" {
+			fmt.Printf("%s x%d @ %.0f%%: equipment $%.0f + electricity $%.0f = $%.0f\n",
+				micro.Label, *micros, *util*100, e.Equipment, e.Electricity, e.Total())
+			fmt.Printf("%s   x%d @ %.0f%%: equipment $%.0f + electricity $%.0f = $%.0f\n",
+				brawny.Label, *brawnies, *util*100, d.Equipment, d.Electricity, d.Total())
+			fmt.Printf("Savings: %.0f%%\n", 100*(1-e.Total()/d.Total()))
+			return
+		}
+		t := edisim.NewTable(fmt.Sprintf("Custom TCO at %.0f%% utilization", *util*100),
+			"platform", "nodes", "equipment $", "electricity $", "total $").
+			WithUnits("", "nodes", "$", "$", "$")
+		t.AddRow(micro.Label, *micros, edisim.Num(e.Equipment, "$"), edisim.Num(e.Electricity, "$"), edisim.Num(e.Total(), "$"))
+		t.AddRow(brawny.Label, *brawnies, edisim.Num(d.Equipment, "$"), edisim.Num(d.Electricity, "$"), edisim.Num(d.Total(), "$"))
+		emit(*format, &edisim.Artifact{ID: "tco_custom", Title: t.Title, Section: "6", Tables: []*edisim.Table{t}})
 		return
 	}
 
-	t := report.NewTable("Table 10 — 3-year TCO (USD)", "scenario", brawny.Label, micro.Label, "savings %")
-	for _, s := range tco.Table10() {
-		t.AddRow(s.Name, s.Brawny.Total(), s.Micro.Total(), 100*s.Savings())
+	t := edisim.NewTable("Table 10 — 3-year TCO (USD)", "scenario", brawny.Label, micro.Label, "savings %").
+		WithUnits("", "$", "$", "%")
+	for _, s := range edisim.TCOTable10() {
+		t.AddRow(s.Name, edisim.Num(s.Brawny.Total(), "$"), edisim.Num(s.Micro.Total(), "$"), edisim.Num(100*s.Savings(), "%"))
 	}
-	fmt.Println(t)
+	if *format == "text" {
+		fmt.Println(t)
+		return
+	}
+	emit(*format, &edisim.Artifact{ID: "table10", Title: t.Title, Section: "6", Tables: []*edisim.Table{t}})
 }
 
-// priceMatrix prices an arbitrary catalog platform set side by side.
-func priceMatrix(platforms, nodes string, util float64) {
-	names := strings.Split(platforms, ",")
-	var counts []int
+// priceMatrix prices an arbitrary catalog platform set side by side — a
+// TCOStudy scenario.
+func priceMatrix(platforms, nodes string, util float64, format string) {
+	if util == 0 {
+		// An explicit -util 0 prices an idle fleet; the TCOStudy zero
+		// value would mean "use the 50% default", so pass the sentinel.
+		util = edisim.ZeroUtilization
+	}
+	study := &edisim.TCOStudy{Utilization: util}
+	for _, name := range strings.Split(platforms, ",") {
+		study.Platforms = append(study.Platforms, edisim.Ref(name))
+	}
 	if nodes != "" {
 		for _, c := range strings.Split(nodes, ",") {
 			n, err := strconv.Atoi(strings.TrimSpace(c))
@@ -68,28 +96,29 @@ func priceMatrix(platforms, nodes string, util float64) {
 				fmt.Fprintf(os.Stderr, "tcocalc: bad node count %q\n", c)
 				os.Exit(2)
 			}
-			counts = append(counts, n)
-		}
-		if len(counts) != len(names) {
-			fmt.Fprintf(os.Stderr, "tcocalc: -nodes needs %d entries, got %d\n", len(names), len(counts))
-			os.Exit(2)
+			study.Nodes = append(study.Nodes, n)
 		}
 	}
 
-	t := report.NewTable(fmt.Sprintf("3-year TCO at %.0f%% utilization", util*100),
-		"platform", "nodes", "equipment $", "electricity $", "total $", "$ per node")
-	for i, name := range names {
-		p, ok := hw.LookupPlatform(name)
-		if !ok {
-			fmt.Fprintf(os.Stderr, "tcocalc: unknown platform %q (catalog: %v)\n", name, hw.PlatformNames())
-			os.Exit(2)
-		}
-		n := p.Fleet.Slaves
-		if counts != nil {
-			n = counts[i]
-		}
-		r := tco.Compute(tco.ForPlatform(p, n, util))
-		t.AddRow(p.Label, n, r.Equipment, r.Electricity, r.Total(), r.Total()/float64(n))
+	var col edisim.Collector
+	scn := edisim.Scenario{Name: "tcocalc", Workloads: []edisim.Workload{study}}
+	if err := edisim.Run(context.Background(), scn, &col); err != nil {
+		fmt.Fprintf(os.Stderr, "tcocalc: %v\n", err)
+		os.Exit(2)
 	}
-	fmt.Println(t)
+	if format == "text" {
+		for _, t := range col.Artifacts[0].Tables {
+			fmt.Println(t)
+		}
+		return
+	}
+	emit(format, col.Artifacts...)
+}
+
+// emit writes artifacts in the chosen document format.
+func emit(format string, artifacts ...*edisim.Artifact) {
+	if err := edisim.WriteDocument(format, os.Stdout, artifacts); err != nil {
+		fmt.Fprintf(os.Stderr, "tcocalc: %v\n", err)
+		os.Exit(1)
+	}
 }

@@ -6,6 +6,7 @@
 // Usage:
 //
 //	websvc -image 0.20 -cachehit 0.93 -duration 30 -scale full
+//	websvc -format csv    # figures as CSV blocks (progress lines omitted)
 package main
 
 import (
@@ -13,10 +14,7 @@ import (
 	"fmt"
 	"os"
 
-	"edisim/internal/cluster"
-	"edisim/internal/hw"
-	"edisim/internal/report"
-	"edisim/internal/web"
+	"edisim"
 )
 
 func main() {
@@ -26,16 +24,21 @@ func main() {
 		duration = flag.Float64("duration", 20, "simulated seconds per concurrency level")
 		scale    = flag.String("scale", "full", "cluster scale: full, 1/2, 1/4, 1/8")
 		seed     = flag.Int64("seed", 1, "root random seed")
+		format   = flag.String("format", "text", "output format: text, json or csv")
 	)
 	flag.Parse()
+	if !edisim.ValidOutputFormat(*format) {
+		fmt.Fprintf(os.Stderr, "websvc: unknown format %q (want text, json or csv)\n", *format)
+		os.Exit(2)
+	}
 	if *cacheHit == 0 {
-		// An explicit -cachehit 0 means a cold cache; the RunConfig zero
+		// An explicit -cachehit 0 means a cold cache; the WebRunConfig zero
 		// value would mean "use the default", so pass the sentinel through.
-		*cacheHit = web.ColdCache
+		*cacheHit = edisim.ColdCache
 	}
 
-	var ws *cluster.WebScale
-	for _, s := range cluster.Table6() {
+	var ws *edisim.WebScale
+	for _, s := range edisim.Table6() {
 		if s.Name == *scale {
 			s := s
 			ws = &s
@@ -47,21 +50,23 @@ func main() {
 	}
 
 	concurrencies := []float64{8, 16, 32, 64, 128, 256, 512, 1024, 2048}
-	fig := report.NewFigure("Throughput", "conn/s", "req/s", concurrencies)
-	dfig := report.NewFigure("Response delay", "conn/s", "ms", concurrencies)
-	pfig := report.NewFigure("Cluster power", "conn/s", "W", concurrencies)
+	fig := edisim.NewFigure("Throughput", "conn/s", "req/s", concurrencies)
+	dfig := edisim.NewFigure("Response delay", "conn/s", "ms", concurrencies)
+	pfig := edisim.NewFigure("Cluster power", "conn/s", "W", concurrencies)
 
-	run := func(p *hw.Platform, nWeb, nCache int) {
+	run := func(p *edisim.Platform, nWeb, nCache int) {
 		var tput, delay, pow []float64
 		for _, c := range concurrencies {
 			r := sweepPoint(p, nWeb, nCache, c, *image, *cacheHit, *duration, *seed)
-			mark := ""
-			if r.ErrorRate > 0.01 {
-				mark = " [errors]"
+			if *format == "text" {
+				mark := ""
+				if r.ErrorRate > 0.01 {
+					mark = " [errors]"
+				}
+				fmt.Printf("%-7s web=%-2d conc=%-6.0f tput=%-7.0f delay=%-8.2fms err=%-6.3f power=%-7.1fW cpu(web)=%.0f%% cpu(cache)=%.0f%% hit=%.2f%s\n",
+					p.Label, nWeb, c, r.Throughput, r.MeanDelay*1e3, r.ErrorRate,
+					float64(r.MeanPower), r.WebCPU*100, r.CacheCPU*100, r.HitRatio, mark)
 			}
-			fmt.Printf("%-7s web=%-2d conc=%-6.0f tput=%-7.0f delay=%-8.2fms err=%-6.3f power=%-7.1fW cpu(web)=%.0f%% cpu(cache)=%.0f%% hit=%.2f%s\n",
-				p.Label, nWeb, c, r.Throughput, r.MeanDelay*1e3, r.ErrorRate,
-				float64(r.MeanPower), r.WebCPU*100, r.CacheCPU*100, r.HitRatio, mark)
 			tput = append(tput, r.Throughput)
 			delay = append(delay, r.MeanDelay*1e3)
 			pow = append(pow, float64(r.MeanPower))
@@ -78,6 +83,18 @@ func main() {
 		}
 	}
 
+	if *format != "text" {
+		a := &edisim.Artifact{
+			ID: "websvc", Title: "httperf concurrency sweep", Section: "5.1",
+			Figures: []*edisim.Figure{fig, dfig, pfig},
+		}
+		if err := edisim.WriteDocument(*format, os.Stdout, []*edisim.Artifact{a}); err != nil {
+			fmt.Fprintf(os.Stderr, "websvc: %v\n", err)
+			os.Exit(1)
+		}
+		return
+	}
+
 	fmt.Println()
 	fmt.Println(fig)
 	fmt.Println(dfig)
@@ -86,13 +103,13 @@ func main() {
 
 // sweepPoint runs one concurrency level on a fresh testbed so runs are
 // independent and reproducible.
-func sweepPoint(p *hw.Platform, nWeb, nCache int, conc, image, hit, duration float64, seed int64) web.Result {
-	tb := cluster.New(cluster.Config{
-		Groups:  []cluster.GroupConfig{{Platform: p, Nodes: nWeb + nCache}},
+func sweepPoint(p *edisim.Platform, nWeb, nCache int, conc, image, hit, duration float64, seed int64) edisim.WebResult {
+	tb := edisim.NewTestbed(edisim.ClusterConfig{
+		Groups:  []edisim.ClusterGroup{{Platform: p, Nodes: nWeb + nCache}},
 		DBNodes: 2, Clients: 8,
 	})
-	dep := web.NewDeployment(tb, p, nWeb, nCache, seed)
-	rc := web.RunConfig{
+	dep := edisim.NewWebDeployment(tb, p, nWeb, nCache, seed)
+	rc := edisim.WebRunConfig{
 		Concurrency: conc,
 		ImageFrac:   image,
 		CacheHit:    hit,

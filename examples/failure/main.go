@@ -2,24 +2,32 @@
 // rests on (advantage 2 in §1: node failures matter less in micro
 // clusters): kill a datanode mid-life and watch re-replication restore
 // every block's replica count.
+//
+// Uses only the public edisim package; -quick shrinks the stored corpus
+// for CI smoke runs.
 package main
 
 import (
+	"flag"
 	"fmt"
 
-	"edisim/internal/cluster"
-	"edisim/internal/hdfs"
-	"edisim/internal/hw"
-	"edisim/internal/units"
+	"edisim"
 )
 
 func main() {
-	micro, brawny := hw.BaselinePair()
-	tb := cluster.New(cluster.Config{
-		Groups: []cluster.GroupConfig{{Platform: micro, Nodes: 8}, {Platform: brawny, Nodes: 1}},
+	quick := flag.Bool("quick", false, "smaller corpus (CI smoke run)")
+	flag.Parse()
+
+	micro, brawny := edisim.BaselinePair()
+	tb := edisim.NewTestbed(edisim.ClusterConfig{
+		Groups: []edisim.ClusterGroup{{Platform: micro, Nodes: 8}, {Platform: brawny, Nodes: 1}},
 	})
-	fs := hdfs.New(tb.Fab, tb.Nodes(brawny)[0].ID, tb.Nodes(micro), 16*units.MB, 2, 1)
-	fs.CreateInstant("/data/corpus", 512*units.MB)
+	corpus := 512 * edisim.MB
+	if *quick {
+		corpus = 128 * edisim.MB
+	}
+	fs := edisim.NewHDFS(tb, tb.Nodes(brawny)[0].ID, tb.Nodes(micro), 16*edisim.MB, 2, 1)
+	fs.CreateInstant("/data/corpus", corpus)
 
 	victim := fs.DataNodes()[0]
 	fmt.Printf("stored %v across %d datanodes (replication 2)\n",

@@ -1,29 +1,38 @@
 // Mapreduce: run the paper's wordcount and its combine-input optimization
 // on both simulated clusters, printing the per-phase trace the paper plots
 // in Figures 12–16 and the container-allocation-overhead story of §5.2.1.
+//
+// Uses only the public edisim package; -quick shrinks the clusters for CI
+// smoke runs.
 package main
 
 import (
+	"flag"
 	"fmt"
 	"log"
 
-	"edisim/internal/hw"
-	"edisim/internal/jobs"
-	"edisim/internal/mapred"
+	"edisim"
 )
 
 func main() {
-	micro, brawny := hw.BaselinePair()
+	quick := flag.Bool("quick", false, "smaller simulated clusters (CI smoke run)")
+	flag.Parse()
+
+	micro, brawny := edisim.BaselinePair()
+	microSlaves, brawnySlaves := 35, 2
+	if *quick {
+		microSlaves, brawnySlaves = 8, 1
+	}
 	for _, name := range []string{"wordcount", "wordcount2"} {
 		fmt.Printf("== %s ==\n", name)
 		for _, side := range []struct {
-			platform *hw.Platform
+			platform *edisim.Platform
 			slaves   int
 		}{
-			{micro, 35},
-			{brawny, 2},
+			{micro, microSlaves},
+			{brawny, brawnySlaves},
 		} {
-			r, err := jobs.Run(name, side.platform, side.slaves, 1)
+			r, err := edisim.RunJob(name, side.platform, side.slaves, 1)
 			if err != nil {
 				log.Fatal(err)
 			}
@@ -39,7 +48,7 @@ func main() {
 }
 
 // printPhases prints a compact five-point trace of the job.
-func printPhases(r *mapred.JobResult) {
+func printPhases(r *edisim.JobResult) {
 	fmt.Printf("   %8s %8s %8s %8s %8s\n", "t(s)", "cpu%", "map%", "reduce%", "power(W)")
 	for i := 0; i <= 4; i++ {
 		t := r.Duration * float64(i) / 4

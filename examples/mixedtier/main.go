@@ -1,0 +1,64 @@
+// Mixedtier: the heterogeneous-testbed scenario the platform catalog was
+// built for (ROADMAP: mixed-platform testbeds in one cluster) — a
+// Raspberry-Pi-3 web tier in front of a modern-Xeon cache tier, compared
+// with the all-Pi3 fleet, through the declarative Scenario API.
+//
+// One Xeon cache server replaces four Pi3 cache nodes: the web tier keeps
+// its wimpy-core energy profile while cache GETs stop queueing behind slow
+// cores at high concurrency.
+//
+// Uses only the public edisim package; -quick trims the sweep for CI.
+package main
+
+import (
+	"context"
+	"flag"
+	"fmt"
+	"log"
+	"os"
+
+	"edisim"
+)
+
+func main() {
+	quick := flag.Bool("quick", false, "fewer concurrency levels, shorter windows (CI smoke run)")
+	format := flag.String("format", "text", "output format: text, json or csv")
+	flag.Parse()
+
+	scn := edisim.Scenario{
+		Name:  "mixedtier",
+		Quick: *quick,
+		Workloads: []edisim.Workload{
+			&edisim.WebSweep{
+				ID:    "pi3_homogeneous",
+				Web:   edisim.TierSpec{Platform: edisim.Ref("pi3"), Nodes: 8},
+				Cache: edisim.TierSpec{Platform: edisim.Ref("pi3"), Nodes: 4},
+			},
+			&edisim.WebSweep{
+				ID:    "pi3_web_xeon_cache",
+				Web:   edisim.TierSpec{Platform: edisim.Ref("pi3"), Nodes: 8},
+				Cache: edisim.TierSpec{Platform: edisim.Ref("xeon"), Nodes: 1},
+			},
+		},
+	}
+
+	switch *format {
+	case "text":
+		if err := edisim.Run(context.Background(), scn, edisim.NewTextSink(os.Stdout)); err != nil {
+			log.Fatal(err)
+		}
+		fmt.Println("same web tier, same workload: the mixed testbed trades 4 Pi3")
+		fmt.Println("cache nodes for 1 Xeon — compare the delay columns near saturation")
+	case "json", "csv":
+		var col edisim.Collector
+		if err := edisim.Run(context.Background(), scn, &col); err != nil {
+			log.Fatal(err)
+		}
+		if err := edisim.WriteDocument(*format, os.Stdout, col.Artifacts); err != nil {
+			log.Fatal(err)
+		}
+	default:
+		fmt.Fprintf(os.Stderr, "mixedtier: unknown format %q (want text, json or csv)\n", *format)
+		os.Exit(2)
+	}
+}

@@ -2,30 +2,35 @@
 // sizing (Table 2), run a small MapReduce job both functionally (real
 // records through LocalRun) and on the simulated cluster (time + energy),
 // and print the work-done-per-joule comparison that motivates the paper.
+//
+// Everything comes from the public edisim package; -quick shrinks the
+// simulated clusters for CI smoke runs.
 package main
 
 import (
+	"flag"
 	"fmt"
 	"log"
 
-	"edisim/internal/hw"
-	"edisim/internal/jobs"
-	"edisim/internal/mapred"
+	"edisim"
 )
 
 func main() {
-	micro, brawny := hw.BaselinePair()
+	quick := flag.Bool("quick", false, "smaller simulated clusters (CI smoke run)")
+	flag.Parse()
+
+	micro, brawny := edisim.BaselinePair()
 
 	// 1. How many micro servers replace one brawny server? (§3.1)
-	est := hw.EstimateReplacement(micro.Spec, brawny.Spec)
+	est := edisim.EstimateReplacement(micro, brawny)
 	fmt.Printf("Table 2: %d %s nodes match one %s (CPU %d, RAM %d, NIC %d)\n\n",
 		est.Required, micro.Label, brawny.FullName, est.ByCPU, est.ByRAM, est.ByNIC)
 
 	// 2. Functional check: the real wordcount counts real words.
-	job := jobs.Wordcount(4, micro)
-	local, err := mapred.LocalRun(job, map[string][]string{
-		"part-0": jobs.GenerateTextLines(1, 200, 8),
-		"part-1": jobs.GenerateTextLines(2, 200, 8),
+	job := edisim.WordcountJob(4, micro)
+	local, err := edisim.LocalRun(job, map[string][]string{
+		"part-0": edisim.GenerateTextLines(1, 200, 8),
+		"part-1": edisim.GenerateTextLines(2, 200, 8),
 	})
 	if err != nil {
 		log.Fatal(err)
@@ -35,16 +40,20 @@ func main() {
 
 	// 3. The same workload on both simulated clusters (small scale for a
 	// fast demo): who does more work per joule?
+	microSlaves := 8
+	if *quick {
+		microSlaves = 4
+	}
 	fmt.Println("logcount2 on simulated clusters:")
-	e, err := jobs.Run("logcount2", micro, 8, 1)
+	e, err := edisim.RunJob("logcount2", micro, microSlaves, 1)
 	if err != nil {
 		log.Fatal(err)
 	}
-	d, err := jobs.Run("logcount2", brawny, 1, 1)
+	d, err := edisim.RunJob("logcount2", brawny, 1, 1)
 	if err != nil {
 		log.Fatal(err)
 	}
-	fmt.Printf("  8 %s slaves: %5.0f s, %6.0f J\n", micro.Label, e.Duration, float64(e.Energy))
+	fmt.Printf("  %d %s slaves: %5.0f s, %6.0f J\n", microSlaves, micro.Label, e.Duration, float64(e.Energy))
 	fmt.Printf("  1 %s slave:    %5.0f s, %6.0f J\n", brawny.Label, d.Duration, float64(d.Energy))
 	fmt.Printf("  %s work-done-per-joule advantage: %.2fx\n",
 		micro.Label, float64(d.Energy)/float64(e.Energy))

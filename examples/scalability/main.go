@@ -2,26 +2,37 @@
 // paper's cluster sizes (Figures 18–19, §5.3), showing where bigger micro
 // clusters help (heavier jobs, more allocation overhead) and where
 // coordination "friction loss" makes small clusters more efficient.
+//
+// Uses only the public edisim package; -quick trims the job list and the
+// size ladder for CI smoke runs.
 package main
 
 import (
+	"flag"
 	"fmt"
 	"log"
 
-	"edisim/internal/hw"
-	"edisim/internal/jobs"
+	"edisim"
 )
 
 func main() {
-	micro, _ := hw.BaselinePair()
+	quick := flag.Bool("quick", false, "fewer jobs and sizes (CI smoke run)")
+	flag.Parse()
+
+	micro, _ := edisim.BaselinePair()
 	sizes := []int{35, 17, 8, 4}
-	for _, job := range []string{"terasort", "logcount2"} {
+	jobList := []string{"terasort", "logcount2"}
+	if *quick {
+		sizes = []int{8, 4}
+		jobList = []string{"logcount2"}
+	}
+	for _, job := range jobList {
 		fmt.Printf("== %s on %s clusters ==\n", job, micro.Label)
 		fmt.Printf("%-8s %-10s %-10s %-14s\n", "slaves", "time(s)", "energy(J)", "speedup-vs-4")
 		var base float64
 		for i := len(sizes) - 1; i >= 0; i-- {
 			n := sizes[i]
-			r, err := jobs.Run(job, micro, n, 1)
+			r, err := edisim.RunJob(job, micro, n, 1)
 			if err != nil {
 				log.Fatal(err)
 			}

@@ -1,29 +1,36 @@
 // TCO: evaluate the paper's cost model (Section 6) for the published
 // scenarios and a sensitivity sweep over electricity price, showing when
 // the micro cluster's lower equipment + energy cost wins.
+//
+// Uses only the public edisim package. The cost model is closed-form, so
+// -quick changes nothing; the flag exists so CI can run every example
+// uniformly.
 package main
 
 import (
+	"flag"
 	"fmt"
 
-	"edisim/internal/hw"
-	"edisim/internal/tco"
+	"edisim"
 )
 
 func main() {
-	micro, brawny := hw.BaselinePair()
+	flag.Bool("quick", false, "accepted for CI uniformity (the cost model is instant)")
+	flag.Parse()
+
+	micro, brawny := edisim.BaselinePair()
 	fmt.Println("Table 10 — 3-year TCO:")
-	for _, s := range tco.Table10() {
+	for _, s := range edisim.TCOTable10() {
 		fmt.Printf("  %-34s %s $%7.1f   %s $%7.1f   savings %4.1f%%\n",
 			s.Name, brawny.Label, s.Brawny.Total(), micro.Label, s.Micro.Total(), 100*s.Savings())
 	}
 
 	fmt.Println("\nSensitivity: web-service high utilization vs electricity price")
 	for _, price := range []float64{0.05, 0.10, 0.20, 0.40} {
-		d := tco.ForPlatform(brawny, 3, 0.75)
-		e := tco.ForPlatform(micro, 35, 0.75)
+		d := edisim.TCOForPlatform(brawny, 3, 0.75)
+		e := edisim.TCOForPlatform(micro, 35, 0.75)
 		d.PricePerKWh, e.PricePerKWh = price, price
-		rd, re := tco.Compute(d), tco.Compute(e)
+		rd, re := edisim.ComputeTCO(d), edisim.ComputeTCO(e)
 		fmt.Printf("  $%.2f/kWh: %s $%8.1f  %s $%7.1f  savings %4.1f%%\n",
 			price, brawny.Label, rd.Total(), micro.Label, re.Total(), 100*(1-re.Total()/rd.Total()))
 	}

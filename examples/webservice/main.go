@@ -2,37 +2,49 @@
 // HAProxy) on both middle tiers at a few httperf concurrency levels,
 // showing the paper's headline trade-off: comparable peak throughput,
 // higher micro-server latency, and ≈3.5× better energy efficiency (§5.1).
+//
+// Uses only the public edisim package (the composition toolkit: testbeds
+// and web deployments built by hand); -quick trims the sweep for CI smoke
+// runs. See examples/mixedtier for the declarative Scenario API.
 package main
 
 import (
+	"flag"
 	"fmt"
 
-	"edisim/internal/cluster"
-	"edisim/internal/hw"
-	"edisim/internal/web"
+	"edisim"
 )
 
 func main() {
-	micro, brawny := hw.BaselinePair()
+	quick := flag.Bool("quick", false, "fewer concurrency levels, shorter windows (CI smoke run)")
+	flag.Parse()
+
+	micro, brawny := edisim.BaselinePair()
+	concs := []float64{128, 512, 1024}
+	duration := 8.0
+	if *quick {
+		concs = []float64{512}
+		duration = 4.0
+	}
 	fmt.Println("httperf sweep, 93% cache hit, no image queries (Figure 4 excerpt)")
 	fmt.Printf("%-8s %-8s %-10s %-10s %-10s %-12s\n",
 		"tier", "conn/s", "req/s", "delay", "power", "req/joule")
 
-	for _, conc := range []float64{128, 512, 1024} {
+	for _, conc := range concs {
 		for _, tier := range []struct {
-			p            *hw.Platform
+			p            *edisim.Platform
 			nWeb, nCache int
 		}{
 			{micro, 24, 11},
 			{brawny, 2, 1},
 		} {
-			tb := cluster.New(cluster.Config{
-				Groups:  []cluster.GroupConfig{{Platform: tier.p, Nodes: tier.nWeb + tier.nCache}},
+			tb := edisim.NewTestbed(edisim.ClusterConfig{
+				Groups:  []edisim.ClusterGroup{{Platform: tier.p, Nodes: tier.nWeb + tier.nCache}},
 				DBNodes: 2, Clients: 8,
 			})
-			dep := web.NewDeployment(tb, tier.p, tier.nWeb, tier.nCache, 1)
+			dep := edisim.NewWebDeployment(tb, tier.p, tier.nWeb, tier.nCache, 1)
 			dep.Warm(0.93)
-			r := dep.Run(web.RunConfig{Concurrency: conc, Duration: 8})
+			r := dep.Run(edisim.WebRunConfig{Concurrency: conc, Duration: duration})
 			fmt.Printf("%-8s %-8.0f %-10.0f %-10s %-10s %-12.1f\n",
 				tier.p.Label, conc, r.Throughput,
 				fmt.Sprintf("%.1fms", r.MeanDelay*1e3),

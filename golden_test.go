@@ -1,0 +1,52 @@
+package edisim
+
+import (
+	"bytes"
+	"flag"
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+var updateGolden = flag.Bool("update", false, "rewrite golden files from current output")
+
+// TestPaperQuickGolden pins the default `cmd/paper -quick` text output byte
+// for byte: the golden file was captured from the pre-typed-report tree, so
+// any rendering drift in the typed report layer, the scenario runner or the
+// text sink fails here instead of surfacing as a silent baseline change.
+// (PRs 1–3 verified this property by hand with cmp; this automates it.)
+//
+// The test goes through exactly the cmd/paper code path: a PaperExperiments
+// scenario streamed through NewTextSink plus the ledger. Workers is fixed
+// >1 deliberately — output must be identical for any worker count.
+func TestPaperQuickGolden(t *testing.T) {
+	if testing.Short() {
+		t.Skip("runs the full quick reproduction (~5 s)")
+	}
+	var buf bytes.Buffer
+	var col Collector
+	scn := Scenario{Seed: 1, Quick: true, Workers: 4,
+		Workloads: []Workload{&PaperExperiments{}}}
+	if err := Run(t.Context(), scn, MultiSink(NewTextSink(&buf), &col)); err != nil {
+		t.Fatalf("Run: %v", err)
+	}
+	if err := WriteLedger(&buf, col.Artifacts); err != nil {
+		t.Fatalf("WriteLedger: %v", err)
+	}
+
+	golden := filepath.Join("testdata", "paper_quick.golden")
+	if *updateGolden {
+		if err := os.WriteFile(golden, buf.Bytes(), 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+	want, err := os.ReadFile(golden)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(buf.Bytes(), want) {
+		t.Fatalf("quick reproduction output diverged from %s (got %d bytes, want %d); "+
+			"run `go test -run TestPaperQuickGolden -update` only with a planned baseline refresh",
+			golden, buf.Len(), len(want))
+	}
+}

@@ -65,6 +65,12 @@ func (tb *Testbed) Nodes(p *hw.Platform) []*hw.Node {
 	return nil
 }
 
+// MaxGroupNodes caps one platform group's node count — a sanity bound far
+// above any paper-scale testbed. Public-API validation (edisim workload
+// expansion) checks against this same constant so oversized scenarios fail
+// with an error before reaching the builder's panic.
+const MaxGroupNodes = 200
+
 // GroupConfig sizes one platform's node group.
 type GroupConfig struct {
 	Platform *hw.Platform
@@ -126,7 +132,7 @@ func NewOn(eng *sim.Engine, cfg Config) *Testbed {
 		if p == nil {
 			panic("cluster: group without a platform")
 		}
-		if gc.Nodes < 0 || gc.Nodes > 200 {
+		if gc.Nodes < 0 || gc.Nodes > MaxGroupNodes {
 			panic(fmt.Sprintf("cluster: invalid %s node count %d", p.Name, gc.Nodes))
 		}
 		if gc.Nodes == 0 {

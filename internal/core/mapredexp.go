@@ -76,8 +76,10 @@ func runPairJobs(cfg Config, jobNames []string) []*mapred.JobResult {
 	})
 }
 
-// traceFigure converts a JobResult's sampled series into a report figure.
-func traceFigure(name string, r *mapred.JobResult) *report.Figure {
+// TraceFigure converts a JobResult's sampled series (CPU/memory/progress/
+// power at the 1 Hz power sample times) into a report figure — the Figure
+// 12–17 shape. Exported for the public scenario package's trace workload.
+func TraceFigure(name string, r *mapred.JobResult) *report.Figure {
 	pts := r.Power.Points()
 	x := make([]float64, len(pts))
 	power := make([]float64, len(pts))
@@ -127,8 +129,8 @@ func traceExperiment(job string) func(cfg Config) *Outcome {
 		results := runPairJobs(cfg, []string{job})
 		re, rd := results[0], results[1]
 		o.Figures = append(o.Figures,
-			traceFigure(fmt.Sprintf(names[0], micro.Label), re),
-			traceFigure(fmt.Sprintf(names[1], brawny.Label), rd))
+			TraceFigure(fmt.Sprintf(names[0], micro.Label), re),
+			TraceFigure(fmt.Sprintf(names[1], brawny.Label), rd))
 		addTable8Comparisons(o, job, "35E", re)
 		addTable8Comparisons(o, job, "2D", rd)
 		if job == "wordcount" {
@@ -181,9 +183,11 @@ func runScalability(cfg Config) *Outcome {
 		labels = labels[:1]
 	}
 	timeTab := report.NewTable("Figure 18 / Table 8 — job finish time (s)",
-		append([]string{"job"}, labelNames(labels)...)...)
+		append([]string{"job"}, labelNames(labels)...)...).
+		WithUnits(uniformUnits("s", len(labels))...)
 	energyTab := report.NewTable("Figure 19 / Table 8 — energy (J)",
-		append([]string{"job"}, labelNames(labels)...)...)
+		append([]string{"job"}, labelNames(labels)...)...).
+		WithUnits(uniformUnits("J", len(labels))...)
 	// The (job × cluster) grid is one flat sweep: every cell simulates a
 	// whole Hadoop run on its own testbed, so cells parallelize perfectly.
 	results := RunSweep(cfg, "fig18_fig19_table8", len(names)*len(labels),
@@ -200,8 +204,8 @@ func runScalability(cfg Config) *Outcome {
 		erow := []any{job}
 		for li, l := range labels {
 			r := results[ji*len(labels)+li]
-			trow = append(trow, r.Duration)
-			erow = append(erow, float64(r.Energy))
+			trow = append(trow, report.Num(r.Duration, "s"))
+			erow = append(erow, report.Num(float64(r.Energy), "J"))
 			addTable8Comparisons(o, job, l.Label, r)
 		}
 		timeTab.AddRow(trow...)
@@ -209,6 +213,15 @@ func runScalability(cfg Config) *Outcome {
 	}
 	o.Tables = append(o.Tables, timeTab, energyTab)
 	return o
+}
+
+// uniformUnits tags a label column followed by n columns of one unit.
+func uniformUnits(unit string, n int) []string {
+	out := make([]string, n+1)
+	for i := 1; i <= n; i++ {
+		out[i] = unit
+	}
+	return out
 }
 
 func labelNames(labels []clusterConfig) []string {

@@ -45,7 +45,8 @@ func runTable3(cfg Config) *Outcome {
 	o := &Outcome{}
 	micro, brawny := cfg.Pair()
 	e, d := micro.Spec.Power, brawny.Spec.Power
-	t := report.NewTable("Table 3 — power states", "server state", "idle (W)", "busy (W)")
+	t := report.NewTable("Table 3 — power states", "server state", "idle (W)", "busy (W)").
+		WithUnits("", "W", "W")
 	rows := []struct {
 		label        string
 		idle, busy   units.Watts
@@ -58,7 +59,7 @@ func runTable3(cfg Config) *Outcome {
 		{fmt.Sprintf("%s cluster of 3 nodes", brawny.Label), 3 * d.IdleDraw(), 3 * d.BusyDraw(), 156, 327},
 	}
 	for _, r := range rows {
-		t.AddRow(r.label, float64(r.idle), float64(r.busy))
+		t.AddRow(r.label, report.Num(float64(r.idle), "W"), report.Num(float64(r.busy), "W"))
 		o.AddComparison("Table 3 / "+r.label, "idle W", r.pIdle, float64(r.idle))
 		o.AddComparison("Table 3 / "+r.label, "busy W", r.pBusy, float64(r.busy))
 	}
@@ -71,9 +72,10 @@ func runDhrystone(cfg Config) *Outcome {
 	micro, brawny := cfg.Pair()
 	e := microbench.Dhrystone(micro.Spec)
 	d := microbench.Dhrystone(brawny.Spec)
-	t := report.NewTable("§4.1 — Dhrystone", "platform", "DMIPS", "time for 100M runs (s)")
-	t.AddRow(e.Platform, float64(e.DMIPS), e.RunTime)
-	t.AddRow(d.Platform, float64(d.DMIPS), d.RunTime)
+	t := report.NewTable("§4.1 — Dhrystone", "platform", "DMIPS", "time for 100M runs (s)").
+		WithUnits("", "DMIPS", "s")
+	t.AddRow(e.Platform, report.Num(float64(e.DMIPS), "DMIPS"), report.Num(e.RunTime, "s"))
+	t.AddRow(d.Platform, report.Num(float64(d.DMIPS), "DMIPS"), report.Num(d.RunTime, "s"))
 	o.Tables = append(o.Tables, t)
 	o.AddComparison("§4.1 Dhrystone", micro.Label+" DMIPS", 632.3, float64(e.DMIPS))
 	o.AddComparison("§4.1 Dhrystone", brawny.Label+" DMIPS", 11383, float64(d.DMIPS))
@@ -154,21 +156,25 @@ func runMemory(cfg Config) *Outcome {
 func runStorage(cfg Config) *Outcome {
 	o := &Outcome{}
 	micro, brawny := cfg.Pair()
+	// Rows mix dimensions (rates vs latencies), so units ride on the
+	// cells, not the columns.
 	t := report.NewTable("Table 5 — storage I/O", "metric", micro.Label, brawny.Label)
 	e := microbench.Storage(micro.Spec)
 	d := microbench.Storage(brawny.Spec)
-	mb := func(r units.BytesPerSec) float64 { return float64(r) / float64(units.MBps) }
+	mbv := func(r units.BytesPerSec) float64 { return float64(r) / float64(units.MBps) }
+	mb := func(r units.BytesPerSec) report.Value { return report.Num(mbv(r), "MB/s") }
+	ms := func(sec float64) report.Value { return report.Num(sec*1e3, "ms") }
 	t.AddRow("write MB/s", mb(e.Write), mb(d.Write))
 	t.AddRow("buffered write MB/s", mb(e.BufWrite), mb(d.BufWrite))
 	t.AddRow("read MB/s", mb(e.Read), mb(d.Read))
 	t.AddRow("buffered read MB/s", mb(e.BufRead), mb(d.BufRead))
-	t.AddRow("write latency ms", e.WriteLatency*1e3, d.WriteLatency*1e3)
-	t.AddRow("read latency ms", e.ReadLatency*1e3, d.ReadLatency*1e3)
+	t.AddRow("write latency ms", ms(e.WriteLatency), ms(d.WriteLatency))
+	t.AddRow("read latency ms", ms(e.ReadLatency), ms(d.ReadLatency))
 	o.Tables = append(o.Tables, t)
-	o.AddComparison("Table 5", micro.Label+" write MB/s", 4.5, mb(e.Write))
-	o.AddComparison("Table 5", brawny.Label+" write MB/s", 24.0, mb(d.Write))
-	o.AddComparison("Table 5", micro.Label+" read MB/s", 19.5, mb(e.Read))
-	o.AddComparison("Table 5", brawny.Label+" read MB/s", 86.1, mb(d.Read))
+	o.AddComparison("Table 5", micro.Label+" write MB/s", 4.5, mbv(e.Write))
+	o.AddComparison("Table 5", brawny.Label+" write MB/s", 24.0, mbv(d.Write))
+	o.AddComparison("Table 5", micro.Label+" read MB/s", 19.5, mbv(e.Read))
+	o.AddComparison("Table 5", brawny.Label+" read MB/s", 86.1, mbv(d.Read))
 	o.AddComparison("Table 5", micro.Label+" write latency ms", 18.0, e.WriteLatency*1e3)
 	o.AddComparison("Table 5", brawny.Label+" read latency ms", 0.829, d.ReadLatency*1e3)
 	return o
@@ -177,7 +183,8 @@ func runStorage(cfg Config) *Outcome {
 func runNetwork(cfg Config) *Outcome {
 	o := &Outcome{}
 	micro, brawny := cfg.Pair()
-	t := report.NewTable("§4.4 — network", "pair", "TCP Mbit/s", "UDP Mbit/s", "RTT ms")
+	t := report.NewTable("§4.4 — network", "pair", "TCP Mbit/s", "UDP Mbit/s", "RTT ms").
+		WithUnits("", "Mbit/s", "Mbit/s", "ms")
 	pairName := func(a, b *hw.Platform) string { return a.Label + " to " + b.Label }
 	paperTCP := map[string]float64{
 		pairName(brawny, brawny): 942,
@@ -192,7 +199,7 @@ func runNetwork(cfg Config) *Outcome {
 	for _, r := range microbench.MeasureNetwork(micro, brawny) {
 		tcp := float64(r.TCP) * 8 / 1e6
 		udp := float64(r.UDP) * 8 / 1e6
-		t.AddRow(r.Pair, tcp, udp, r.RTT*1e3)
+		t.AddRow(r.Pair, report.Num(tcp, "Mbit/s"), report.Num(udp, "Mbit/s"), report.Num(r.RTT*1e3, "ms"))
 		o.AddComparison("§4.4 "+r.Pair, "TCP Mbit/s", paperTCP[r.Pair], tcp)
 		o.AddComparison("§4.4 "+r.Pair, "RTT ms", paperRTT[r.Pair], r.RTT*1e3)
 	}
@@ -203,7 +210,8 @@ func runNetwork(cfg Config) *Outcome {
 func runTCO(cfg Config) *Outcome {
 	o := &Outcome{}
 	micro, brawny := cfg.Pair()
-	t := report.NewTable("Table 10 — 3-year TCO (USD)", "scenario", brawny.Label, micro.Label, "savings %")
+	t := report.NewTable("Table 10 — 3-year TCO (USD)", "scenario", brawny.Label, micro.Label, "savings %").
+		WithUnits("", "$", "$", "%")
 	paper := map[string][2]float64{
 		"Web service, low utilization":  {7948.7, 4329.5},
 		"Web service, high utilization": {8236.8, 4346.1},
@@ -211,7 +219,7 @@ func runTCO(cfg Config) *Outcome {
 		"Big data, high utilization":    {5495.0, 4352.4},
 	}
 	for _, s := range tco.Table10() {
-		t.AddRow(s.Name, s.Brawny.Total(), s.Micro.Total(), 100*s.Savings())
+		t.AddRow(s.Name, report.Num(s.Brawny.Total(), "$"), report.Num(s.Micro.Total(), "$"), report.Num(100*s.Savings(), "%"))
 		p := paper[s.Name]
 		o.AddComparison("Table 10 / "+s.Name, brawny.Label+" TCO $", p[0], s.Brawny.Total())
 		o.AddComparison("Table 10 / "+s.Name, micro.Label+" TCO $", p[1], s.Micro.Total())

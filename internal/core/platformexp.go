@@ -62,7 +62,8 @@ func runPlatformMatrix(cfg Config) *Outcome {
 	webResults := s.Run(cfg)
 
 	webTab := report.NewTable("Platform matrix — web serving (catalog fleets, 93% cache hit)",
-		"platform", "web", "cache", "peak req/s", "W at peak", "req/s per W", "3y TCO $", "req/s per TCO-k$")
+		"platform", "web", "cache", "peak req/s", "W at peak", "req/s per W", "3y TCO $", "req/s per TCO-k$").
+		WithUnits("", "nodes", "nodes", "req/s", "W", "req/s/W", "$", "req/s/k$")
 	for pi, p := range plats {
 		var peak, peakPower float64
 		for _, r := range webResults[pi*len(concs) : (pi+1)*len(concs)] {
@@ -81,7 +82,8 @@ func runPlatformMatrix(cfg Config) *Outcome {
 		if cost > 0 {
 			perK = peak / (cost / 1000)
 		}
-		webTab.AddRow(p.Label, p.Fleet.Web, p.Fleet.Cache, peak, peakPower, perWatt, cost, perK)
+		webTab.AddRow(p.Label, p.Fleet.Web, p.Fleet.Cache, report.Num(peak, "req/s"),
+			report.Num(peakPower, "W"), report.Num(perWatt, "req/s/W"), report.Num(cost, "$"), report.Num(perK, "req/s/k$"))
 		o.AddComparison("platform matrix / web", p.Label+" peak req/s per W", 0, perWatt)
 	}
 	o.Tables = append(o.Tables, webTab)
@@ -98,7 +100,8 @@ func runPlatformMatrix(cfg Config) *Outcome {
 		})
 
 	teraTab := report.NewTable("Platform matrix — TeraSort (10 GB, catalog fleets)",
-		"platform", "slaves", "time s", "energy J", "MB per J", "3y TCO $", "GB per TCO-$")
+		"platform", "slaves", "time s", "energy J", "MB per J", "3y TCO $", "GB per TCO-$").
+		WithUnits("", "nodes", "s", "J", "MB/J", "$", "GB/$")
 	for pi, p := range plats {
 		r := teraResults[pi]
 		mbPerJ := 0.0
@@ -116,7 +119,8 @@ func runPlatformMatrix(cfg Config) *Outcome {
 		if cost > 0 {
 			perDollar = float64(jobs.TerasortBytes) / float64(units.GB) / cost
 		}
-		teraTab.AddRow(p.Label, p.Fleet.Slaves, r.Duration, float64(r.Energy), mbPerJ, cost, perDollar)
+		teraTab.AddRow(p.Label, p.Fleet.Slaves, report.Num(r.Duration, "s"), report.Num(float64(r.Energy), "J"),
+			report.Num(mbPerJ, "MB/J"), report.Num(cost, "$"), report.Num(perDollar, "GB/$"))
 		o.AddComparison("platform matrix / terasort", p.Label+" MB per J", 0, mbPerJ)
 	}
 	o.Tables = append(o.Tables, teraTab)

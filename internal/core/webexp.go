@@ -271,7 +271,8 @@ func runTable7(cfg Config) *Outcome {
 	o := &Outcome{}
 	micro, brawny := cfg.Pair()
 	t := report.NewTable("Table 7 — delay decomposition (ms)",
-		"req/s", "DB (E)", "DB (D)", "cache (E)", "cache (D)", "total (E)", "total (D)")
+		"req/s", "DB (E)", "DB (D)", "cache (E)", "cache (D)", "total (E)", "total (D)").
+		WithUnits("req/s", "ms", "ms", "ms", "ms", "ms", "ms")
 	rates := []float64{480, 960, 1920, 3840, 7680}
 	if cfg.Quick {
 		rates = []float64{480, 3840}
@@ -300,7 +301,8 @@ func runTable7(cfg Config) *Outcome {
 			re.CacheDelay.Mean() * 1e3, rd.CacheDelay.Mean() * 1e3,
 			re.WebTotal.Mean() * 1e3, rd.WebTotal.Mean() * 1e3,
 		}
-		t.AddRow(rate, row[0], row[1], row[2], row[3], row[4], row[5])
+		t.AddRow(report.Num(rate, "req/s"), report.Num(row[0], "ms"), report.Num(row[1], "ms"),
+			report.Num(row[2], "ms"), report.Num(row[3], "ms"), report.Num(row[4], "ms"), report.Num(row[5], "ms"))
 		p := paper[rate]
 		names := []string{"DB delay E ms", "DB delay D ms", "cache delay E ms", "cache delay D ms", "total E ms", "total D ms"}
 		for i, n := range names {

@@ -1,0 +1,140 @@
+package report
+
+// JSON wire forms for the report types. These are the stable public schema
+// (documented in API.md as edisim.report/v1): field names and shapes are a
+// compatibility surface, so they are explicit structs rather than derived
+// from the in-memory types. Encoding uses only structs and slices — never
+// maps — so re-encoding a decoded document reproduces it byte for byte.
+
+// ValueJSON is one typed cell on the wire. Exactly one of Str/Num/Int is
+// set, mirroring Value.Kind.
+type ValueJSON struct {
+	Str  *string  `json:"str,omitempty"`
+	Num  *float64 `json:"num,omitempty"`
+	Int  *int64   `json:"int,omitempty"`
+	Unit string   `json:"unit,omitempty"`
+}
+
+// JSON converts a Value to its wire form.
+func (v Value) JSON() ValueJSON {
+	out := ValueJSON{Unit: v.Unit}
+	switch v.Kind {
+	case KindFloat:
+		n := v.Num
+		out.Num = &n
+	case KindInt:
+		n := v.Int
+		out.Int = &n
+	default:
+		s := v.Str
+		out.Str = &s
+	}
+	return out
+}
+
+// Value converts the wire form back to a typed cell.
+func (v ValueJSON) Value() Value {
+	switch {
+	case v.Num != nil:
+		return Value{Kind: KindFloat, Num: *v.Num, Unit: v.Unit}
+	case v.Int != nil:
+		return Value{Kind: KindInt, Int: *v.Int, Unit: v.Unit}
+	case v.Str != nil:
+		return Value{Kind: KindString, Str: *v.Str, Unit: v.Unit}
+	default:
+		return Value{Unit: v.Unit}
+	}
+}
+
+// TableJSON is a table on the wire.
+type TableJSON struct {
+	Title   string        `json:"title"`
+	Headers []string      `json:"headers"`
+	Units   []string      `json:"units,omitempty"`
+	Rows    [][]ValueJSON `json:"rows"`
+}
+
+// JSON converts the table to its wire form.
+func (t *Table) JSON() TableJSON {
+	out := TableJSON{Title: t.Title, Headers: t.Headers, Units: t.Units}
+	out.Rows = make([][]ValueJSON, len(t.Rows))
+	for ri, r := range t.Rows {
+		row := make([]ValueJSON, len(r))
+		for i, c := range r {
+			row[i] = c.JSON()
+		}
+		out.Rows[ri] = row
+	}
+	return out
+}
+
+// Table converts the wire form back to a typed table.
+func (t TableJSON) Table() *Table {
+	out := &Table{Title: t.Title, Headers: t.Headers, Units: t.Units}
+	out.Rows = make([][]Value, len(t.Rows))
+	for ri, r := range t.Rows {
+		row := make([]Value, len(r))
+		for i, c := range r {
+			row[i] = c.Value()
+		}
+		out.Rows[ri] = row
+	}
+	return out
+}
+
+// SeriesJSON is one figure curve on the wire.
+type SeriesJSON struct {
+	Label string    `json:"label"`
+	Y     []float64 `json:"y"`
+}
+
+// FigureJSON is a figure on the wire. XLabel/YLabel carry the axes' units.
+type FigureJSON struct {
+	Name   string       `json:"name"`
+	XLabel string       `json:"xlabel"`
+	YLabel string       `json:"ylabel"`
+	X      []float64    `json:"x"`
+	Series []SeriesJSON `json:"series"`
+}
+
+// JSON converts the figure to its wire form.
+func (f *Figure) JSON() FigureJSON {
+	out := FigureJSON{Name: f.Name, XLabel: f.XLabel, YLabel: f.YLabel, X: f.X}
+	for _, s := range f.Series {
+		out.Series = append(out.Series, SeriesJSON{Label: s.Label, Y: s.Y})
+	}
+	return out
+}
+
+// Figure converts the wire form back to a figure.
+func (f FigureJSON) Figure() *Figure {
+	out := &Figure{Name: f.Name, XLabel: f.XLabel, YLabel: f.YLabel, X: f.X}
+	for _, s := range f.Series {
+		out.Series = append(out.Series, &Series{Label: s.Label, Y: s.Y})
+	}
+	return out
+}
+
+// ComparisonJSON is one paper-vs-measured pair on the wire. Ratio is
+// derived (Measured/Paper, 0 when the paper value is 0) and included for
+// consumers that do not want to recompute it.
+type ComparisonJSON struct {
+	Artifact string  `json:"artifact"`
+	Metric   string  `json:"metric"`
+	Paper    float64 `json:"paper"`
+	Measured float64 `json:"measured"`
+	Ratio    float64 `json:"ratio"`
+}
+
+// JSON converts the comparison to its wire form.
+func (c Comparison) JSON() ComparisonJSON {
+	return ComparisonJSON{
+		Artifact: c.Artifact, Metric: c.Metric,
+		Paper: c.Paper, Measured: c.Measured, Ratio: c.RatioError(),
+	}
+}
+
+// Comparison converts the wire form back (the derived ratio is dropped).
+func (c ComparisonJSON) Comparison() Comparison {
+	return Comparison{Artifact: c.Artifact, Metric: c.Metric, Paper: c.Paper, Measured: c.Measured}
+}

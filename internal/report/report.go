@@ -1,18 +1,111 @@
 // Package report renders experiment output: aligned ASCII tables, CSV, and
 // labeled x/y series ("figures"). Every cmd tool and EXPERIMENTS.md row goes
 // through these types so paper-vs-measured comparisons look uniform.
+//
+// Cells are typed Values (number + unit + display hint), so emitters beyond
+// the aligned-text renderer — the stable JSON schema and CSV — keep each
+// number's dimension instead of flattening everything to strings at
+// construction time. The text renderer is the reference output: a Value
+// renders exactly the way the pre-typed stringly tables did.
 package report
 
 import (
 	"fmt"
+	"strconv"
 	"strings"
 )
 
-// Table is a simple column-aligned table.
+// Kind discriminates what a Value holds.
+type Kind int
+
+const (
+	// KindString is a label cell (row names, cluster labels).
+	KindString Kind = iota
+	// KindFloat is a measurement; text-rendered with %.4g like every float
+	// cell has been since the first table.
+	KindFloat
+	// KindInt is an exact count (node counts, replica counts).
+	KindInt
+)
+
+// Value is one typed table cell: a measurement with its unit and display
+// hint, or a plain label. The zero value is the empty string cell.
+type Value struct {
+	Kind Kind
+	Str  string  // KindString
+	Num  float64 // KindFloat
+	Int  int64   // KindInt
+	// Unit tags the measurement's dimension ("s", "J", "req/s", "W", "$").
+	// It does not affect text rendering — units stay in headers and titles
+	// there — but survives into the JSON emitter (CSV surfaces column
+	// units only, as a comment line).
+	Unit string
+}
+
+// S builds a label cell.
+func S(s string) Value { return Value{Kind: KindString, Str: s} }
+
+// Num builds a measurement cell with a unit tag.
+func Num(v float64, unit string) Value { return Value{Kind: KindFloat, Num: v, Unit: unit} }
+
+// Count builds an exact integer cell with a unit tag.
+func Count(n int64, unit string) Value { return Value{Kind: KindInt, Int: n, Unit: unit} }
+
+// Cell converts an arbitrary AddRow argument to a Value. Values pass
+// through; floats become KindFloat, ints KindInt, everything else is
+// stringified with %v exactly as AddRow always did.
+func Cell(c any) Value {
+	switch v := c.(type) {
+	case Value:
+		return v
+	case float64:
+		return Value{Kind: KindFloat, Num: v}
+	case int:
+		return Value{Kind: KindInt, Int: int64(v)}
+	case int64:
+		return Value{Kind: KindInt, Int: v}
+	case string:
+		return S(v)
+	default:
+		return S(fmt.Sprintf("%v", c))
+	}
+}
+
+// String renders the cell for the aligned-text table: floats with %.4g,
+// ints exactly, labels as-is — byte-identical to the pre-typed renderer.
+func (v Value) String() string {
+	switch v.Kind {
+	case KindFloat:
+		return trimFloat(v.Num)
+	case KindInt:
+		return strconv.FormatInt(v.Int, 10)
+	default:
+		return v.Str
+	}
+}
+
+// Float reports the cell's numeric value (ints widen), and whether it is
+// numeric at all.
+func (v Value) Float() (float64, bool) {
+	switch v.Kind {
+	case KindFloat:
+		return v.Num, true
+	case KindInt:
+		return float64(v.Int), true
+	default:
+		return 0, false
+	}
+}
+
+// Table is a simple column-aligned table over typed cells.
 type Table struct {
 	Title   string
 	Headers []string
-	Rows    [][]string
+	// Units optionally tags each column's dimension (same length as
+	// Headers, "" where dimensionless); emitters carry it, the text
+	// renderer ignores it.
+	Units []string
+	Rows  [][]Value
 }
 
 // NewTable creates a table with the given title and column headers.
@@ -20,16 +113,23 @@ func NewTable(title string, headers ...string) *Table {
 	return &Table{Title: title, Headers: headers}
 }
 
-// AddRow appends a row; cells are stringified with %v.
+// WithUnits sets the per-column unit tags and returns the table. It must be
+// given one unit per header ("" for dimensionless columns).
+func (t *Table) WithUnits(units ...string) *Table {
+	if len(units) != len(t.Headers) {
+		panic(fmt.Sprintf("report: table %q has %d columns, got %d units",
+			t.Title, len(t.Headers), len(units)))
+	}
+	t.Units = units
+	return t
+}
+
+// AddRow appends a row; cells may be Values or any plain value (floats,
+// ints, strings), which convert via Cell.
 func (t *Table) AddRow(cells ...any) {
-	row := make([]string, len(cells))
+	row := make([]Value, len(cells))
 	for i, c := range cells {
-		switch v := c.(type) {
-		case float64:
-			row[i] = trimFloat(v)
-		default:
-			row[i] = fmt.Sprintf("%v", c)
-		}
+		row[i] = Cell(c)
 	}
 	t.Rows = append(t.Rows, row)
 }
@@ -49,10 +149,14 @@ func (t *Table) String() string {
 	for i, h := range t.Headers {
 		widths[i] = len(h)
 	}
-	for _, r := range t.Rows {
+	cells := make([][]string, len(t.Rows))
+	for ri, r := range t.Rows {
+		cells[ri] = make([]string, len(r))
 		for i, c := range r {
-			if i < len(widths) && len(c) > widths[i] {
-				widths[i] = len(c)
+			s := c.String()
+			cells[ri][i] = s
+			if i < len(widths) && len(s) > widths[i] {
+				widths[i] = len(s)
 			}
 		}
 	}
@@ -71,7 +175,7 @@ func (t *Table) String() string {
 		sep[i] = strings.Repeat("-", widths[i])
 	}
 	line(sep)
-	for _, r := range t.Rows {
+	for _, r := range cells {
 		line(r)
 	}
 	return b.String()
@@ -82,7 +186,11 @@ func (t *Table) CSV() string {
 	var b strings.Builder
 	writeCSVRow(&b, t.Headers)
 	for _, r := range t.Rows {
-		writeCSVRow(&b, r)
+		cells := make([]string, len(r))
+		for i, c := range r {
+			cells[i] = c.String()
+		}
+		writeCSVRow(&b, cells)
 	}
 	return b.String()
 }
@@ -107,6 +215,7 @@ type Series struct {
 }
 
 // Figure is a set of curves over a common x axis, mirroring a paper figure.
+// XLabel and YLabel double as the axes' units in the JSON emitter.
 type Figure struct {
 	Name   string // e.g. "Figure 4"
 	XLabel string
@@ -129,18 +238,22 @@ func (f *Figure) Add(label string, y []float64) {
 	f.Series = append(f.Series, &Series{Label: label, Y: y})
 }
 
-// Table renders the figure as a table with one column per series.
+// Table renders the figure as a table with one column per series. The x
+// column keeps the figure's x label; series columns carry the y label as
+// their unit tag.
 func (f *Figure) Table() *Table {
 	headers := append([]string{f.XLabel}, make([]string, len(f.Series))...)
+	units := make([]string, len(f.Series)+1)
 	for i, s := range f.Series {
 		headers[i+1] = s.Label
+		units[i+1] = f.YLabel
 	}
-	t := NewTable(fmt.Sprintf("%s — %s", f.Name, f.YLabel), headers...)
+	t := NewTable(fmt.Sprintf("%s — %s", f.Name, f.YLabel), headers...).WithUnits(units...)
 	for i, x := range f.X {
 		row := make([]any, 0, len(f.Series)+1)
 		row = append(row, trimFloat(x))
 		for _, s := range f.Series {
-			row = append(row, s.Y[i])
+			row = append(row, Num(s.Y[i], f.YLabel))
 		}
 		t.AddRow(row...)
 	}

@@ -17,6 +17,7 @@ import (
 func (d *Deployment) request(client string, w *WebServer, cfg RunConfig, done func(bool)) {
 	eng := d.Eng
 	costs := d.Plat.Web
+	cacheGetCPU := d.CachePlat.Web.CacheGetCPU
 
 	d.Fab.Send(client, w.Node.ID, requestBytes, func() {
 		arrived := eng.Now()
@@ -51,7 +52,7 @@ func (d *Deployment) request(client string, w *WebServer, cfg RunConfig, done fu
 				cache := d.cacheFor(k)
 				cacheStart := eng.Now()
 				d.Fab.Send(w.Node.ID, cache.Node.ID, rpcHeaderBytes, func() {
-					cache.Node.ComputeSeconds(costs.CacheGetCPU, func() {
+					cache.Node.ComputeSeconds(cacheGetCPU, func() {
 						size, hit := cache.lookup(k)
 						if hit {
 							d.Fab.Send(cache.Node.ID, w.Node.ID, size, func() {

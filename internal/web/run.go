@@ -28,10 +28,13 @@ type Deployment struct {
 	Fab    *netsim.Fabric
 	Params Params
 
-	// Plat is the middle-tier platform; its hw.Platform.Web block carries
-	// the per-platform CPU costs and admission rates. The DB tier uses the
-	// testbed's infra platform instead.
+	// Plat is the web-tier platform; its hw.Platform.Web block carries the
+	// per-platform CPU costs and admission rates for the web servers. The
+	// DB tier uses the testbed's infra platform instead.
 	Plat *hw.Platform
+	// CachePlat is the cache-tier platform (same as Plat in the paper's
+	// homogeneous middle tiers; tiered deployments may split them).
+	CachePlat *hw.Platform
 
 	Web     []*WebServer
 	Cache   []*CacheServer
@@ -55,24 +58,50 @@ type Deployment struct {
 // servers on the chosen platform's node group of testbed tb. The paper's
 // splits are in cluster.Table6.
 func NewDeployment(tb *cluster.Testbed, p *hw.Platform, nWeb, nCache int, seed int64) *Deployment {
-	pool := tb.Nodes(p)
-	if nWeb+nCache > len(pool) {
-		panic(fmt.Sprintf("web: need %d %s nodes, testbed has %d", nWeb+nCache, p.Name, len(pool)))
+	return NewTieredDeployment(tb, p, nWeb, p, nCache, seed)
+}
+
+// NewTieredDeployment builds a middle tier whose web and cache tiers may
+// sit on different platforms (e.g. a Pi3 web tier in front of a Xeon cache
+// tier): nWeb web servers on webPlat's node group and nCache cache servers
+// on cachePlat's. When the platforms coincide this is exactly NewDeployment:
+// both tiers split one node group, web servers first.
+func NewTieredDeployment(tb *cluster.Testbed, webPlat *hw.Platform, nWeb int, cachePlat *hw.Platform, nCache int, seed int64) *Deployment {
+	var webNodes, cacheNodes []*hw.Node
+	if webPlat == cachePlat {
+		pool := tb.Nodes(webPlat)
+		if nWeb+nCache > len(pool) {
+			panic(fmt.Sprintf("web: need %d %s nodes, testbed has %d", nWeb+nCache, webPlat.Name, len(pool)))
+		}
+		webNodes, cacheNodes = pool[:nWeb], pool[nWeb:nWeb+nCache]
+	} else {
+		wp, cp := tb.Nodes(webPlat), tb.Nodes(cachePlat)
+		if nWeb > len(wp) {
+			panic(fmt.Sprintf("web: need %d %s web nodes, testbed has %d", nWeb, webPlat.Name, len(wp)))
+		}
+		if nCache > len(cp) {
+			panic(fmt.Sprintf("web: need %d %s cache nodes, testbed has %d", nCache, cachePlat.Name, len(cp)))
+		}
+		webNodes, cacheNodes = wp[:nWeb], cp[:nCache]
 	}
 	if len(tb.DB) == 0 || len(tb.Clients) == 0 {
 		panic("web: testbed needs DB servers and clients")
 	}
-	d := &Deployment{Eng: tb.Eng, Fab: tb.Fab, Params: DefaultParams(), Plat: p, Clients: tb.Clients, loadFactor: 1}
-	for _, n := range pool[:nWeb] {
+	d := &Deployment{Eng: tb.Eng, Fab: tb.Fab, Params: DefaultParams(), Plat: webPlat, CachePlat: cachePlat, Clients: tb.Clients, loadFactor: 1}
+	for _, n := range webNodes {
 		d.Web = append(d.Web, newWebServer(d, n))
 	}
-	for _, n := range pool[nWeb : nWeb+nCache] {
+	for _, n := range cacheNodes {
 		d.Cache = append(d.Cache, newCacheServer(d, n))
 	}
 	for _, n := range tb.DB {
 		d.DBs = append(d.DBs, newDBServer(d, n, tb.Infra.Web.DBQueryCPU))
 	}
-	d.meter = power.NewMeter(p.Label+"-cluster", pool[:nWeb+nCache])
+	meterName := webPlat.Label + "-cluster"
+	if cachePlat != webPlat {
+		meterName = webPlat.Label + "+" + cachePlat.Label + "-tier"
+	}
+	d.meter = power.NewMeter(meterName, append(append([]*hw.Node(nil), webNodes...), cacheNodes...))
 	root := rng.New(seed)
 	d.rnd.arrival = root.Derive("web/arrival")
 	d.rnd.table = root.Derive("web/table")

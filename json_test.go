@@ -1,0 +1,171 @@
+package edisim
+
+import (
+	"bytes"
+	"context"
+	"strings"
+	"testing"
+
+	"edisim/internal/report"
+)
+
+// runOneQuick runs a single quick experiment through the scenario API and
+// returns its artifacts.
+func runOneQuick(t *testing.T, id string) []*Artifact {
+	t.Helper()
+	var col Collector
+	scn := Scenario{Quick: true, Workers: 2,
+		Workloads: []Workload{&PaperExperiments{IDs: []string{id}}}}
+	if err := Run(context.Background(), scn, &col); err != nil {
+		t.Fatalf("Run(%s): %v", id, err)
+	}
+	if len(col.Artifacts) != 1 {
+		t.Fatalf("got %d artifacts, want 1", len(col.Artifacts))
+	}
+	return col.Artifacts
+}
+
+// TestJSONRoundTripStable encodes a real experiment outcome, decodes it,
+// re-encodes it, and requires the two encodings to match byte for byte —
+// the documented schema loses nothing and the encoder is deterministic.
+func TestJSONRoundTripStable(t *testing.T) {
+	if testing.Short() {
+		t.Skip("runs a quick web sweep")
+	}
+	arts := runOneQuick(t, "fig4_fig7")
+
+	var first bytes.Buffer
+	if err := WriteJSON(&first, arts); err != nil {
+		t.Fatalf("WriteJSON: %v", err)
+	}
+	decoded, err := ReadJSON(bytes.NewReader(first.Bytes()))
+	if err != nil {
+		t.Fatalf("ReadJSON: %v", err)
+	}
+	var second bytes.Buffer
+	if err := WriteJSON(&second, decoded); err != nil {
+		t.Fatalf("re-encode: %v", err)
+	}
+	if !bytes.Equal(first.Bytes(), second.Bytes()) {
+		t.Fatalf("re-encoded document differs from the original (%d vs %d bytes)",
+			first.Len(), second.Len())
+	}
+}
+
+// TestJSONDecodedValuesMatchTypedCells checks the decoded document cell by
+// cell against the typed in-memory outcome of a real experiment: kinds,
+// numbers, units, figure series and comparisons all survive the wire.
+func TestJSONDecodedValuesMatchTypedCells(t *testing.T) {
+	if testing.Short() {
+		t.Skip("runs a quick web sweep")
+	}
+	arts := runOneQuick(t, "fig4_fig7")
+
+	var buf bytes.Buffer
+	if err := WriteJSON(&buf, arts); err != nil {
+		t.Fatalf("WriteJSON: %v", err)
+	}
+	decoded, err := ReadJSON(&buf)
+	if err != nil {
+		t.Fatalf("ReadJSON: %v", err)
+	}
+	if len(decoded) != len(arts) {
+		t.Fatalf("decoded %d artifacts, want %d", len(decoded), len(arts))
+	}
+	for ai, want := range arts {
+		got := decoded[ai]
+		if got.ID != want.ID || got.Title != want.Title || got.Section != want.Section {
+			t.Fatalf("artifact identity diverged: got %+v", got)
+		}
+		if len(got.Tables) != len(want.Tables) || len(got.Figures) != len(want.Figures) {
+			t.Fatalf("artifact %s shape diverged", want.ID)
+		}
+		for ti, wt := range want.Tables {
+			compareTables(t, want.ID, got.Tables[ti], wt)
+		}
+		for fi, wf := range want.Figures {
+			gf := got.Figures[fi]
+			if gf.Name != wf.Name || gf.XLabel != wf.XLabel || gf.YLabel != wf.YLabel {
+				t.Fatalf("figure %q metadata diverged", wf.Name)
+			}
+			compareFloats(t, wf.Name+" x", gf.X, wf.X)
+			if len(gf.Series) != len(wf.Series) {
+				t.Fatalf("figure %q has %d series, want %d", wf.Name, len(gf.Series), len(wf.Series))
+			}
+			for si, ws := range wf.Series {
+				if gf.Series[si].Label != ws.Label {
+					t.Fatalf("figure %q series %d label %q, want %q", wf.Name, si, gf.Series[si].Label, ws.Label)
+				}
+				compareFloats(t, wf.Name+"/"+ws.Label, gf.Series[si].Y, ws.Y)
+			}
+		}
+		if len(got.Comparisons) != len(want.Comparisons) {
+			t.Fatalf("artifact %s has %d comparisons, want %d", want.ID, len(got.Comparisons), len(want.Comparisons))
+		}
+		for ci, wc := range want.Comparisons {
+			if got.Comparisons[ci] != wc {
+				t.Fatalf("comparison %d diverged: got %+v want %+v", ci, got.Comparisons[ci], wc)
+			}
+		}
+	}
+	// The sweep must actually have produced figures with numeric content —
+	// guard against a vacuous pass on an empty outcome.
+	if len(arts[0].Figures) == 0 || len(arts[0].Figures[0].Series) == 0 {
+		t.Fatal("fig4_fig7 produced no figure series")
+	}
+}
+
+func compareTables(t *testing.T, id string, got, want *Table) {
+	t.Helper()
+	if got.Title != want.Title {
+		t.Fatalf("%s: table title %q, want %q", id, got.Title, want.Title)
+	}
+	if strings.Join(got.Headers, "|") != strings.Join(want.Headers, "|") ||
+		strings.Join(got.Units, "|") != strings.Join(want.Units, "|") {
+		t.Fatalf("%s: table %q header/unit rows diverged", id, want.Title)
+	}
+	if len(got.Rows) != len(want.Rows) {
+		t.Fatalf("%s: table %q has %d rows, want %d", id, want.Title, len(got.Rows), len(want.Rows))
+	}
+	for ri, wr := range want.Rows {
+		for ciVal, wc := range wr {
+			gc := got.Rows[ri][ciVal]
+			if gc != wc {
+				t.Fatalf("%s: table %q cell (%d,%d) = %#v, want %#v", id, want.Title, ri, ciVal, gc, wc)
+			}
+		}
+	}
+}
+
+func compareFloats(t *testing.T, what string, got, want []float64) {
+	t.Helper()
+	if len(got) != len(want) {
+		t.Fatalf("%s: %d values, want %d", what, len(got), len(want))
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("%s[%d] = %v, want %v (must be exact across the wire)", what, i, got[i], want[i])
+		}
+	}
+}
+
+// TestValueTextRendering pins the Value → text contract the golden output
+// rests on: floats as %.4g, ints exact, labels untouched.
+func TestValueTextRendering(t *testing.T) {
+	cases := []struct {
+		v    Value
+		want string
+	}{
+		{Num(1.23456, "s"), "1.235"},
+		{Num(17670, "J"), "1.767e+04"},
+		{Count(17670, "J"), "17670"},
+		{report.S("Edison"), "Edison"},
+		{report.Cell(42), "42"},
+		{report.Cell(3.5), "3.5"},
+	}
+	for _, c := range cases {
+		if got := c.v.String(); got != c.want {
+			t.Errorf("%#v renders %q, want %q", c.v, got, c.want)
+		}
+	}
+}

@@ -1,0 +1,68 @@
+package edisim
+
+import (
+	"edisim/internal/hw"
+)
+
+// Platform is one hardware catalog entry: spec, costs, network profile and
+// per-workload calibration as pure data (see PLATFORMS.md). It aliases the
+// internal catalog type, so custom platforms can be built as plain struct
+// literals without importing any internal package.
+type Platform = hw.Platform
+
+// NodeSpec is a platform's hardware description (CPU, memory, disk, NIC,
+// power envelope).
+type NodeSpec = hw.NodeSpec
+
+// Platforms returns every catalog entry in registration order.
+func Platforms() []*Platform { return hw.Platforms() }
+
+// PlatformNames lists the catalog names in registration order.
+func PlatformNames() []string { return hw.PlatformNames() }
+
+// LookupPlatform resolves a catalog platform by name or alias,
+// case-insensitively.
+func LookupPlatform(name string) (*Platform, bool) { return hw.LookupPlatform(name) }
+
+// BaselinePair returns the paper's compared pair: the Intel Edison micro
+// server and the Dell R620.
+func BaselinePair() (micro, brawny *Platform) { return hw.BaselinePair() }
+
+// ReplacementEstimate is the Table 2 back-of-the-envelope sizing: how many
+// micro servers replace one brawny server, per resource.
+type ReplacementEstimate = hw.ReplacementEstimate
+
+// EstimateReplacement computes the Table 2 sizing for a platform pair.
+func EstimateReplacement(micro, brawny *Platform) ReplacementEstimate {
+	return hw.EstimateReplacement(micro.Spec, brawny.Spec)
+}
+
+// PlatformRef names a platform: a catalog entry by Name, or a custom
+// Platform built by the caller (which takes precedence). The zero ref means
+// "unset" and resolves to each field's documented default.
+type PlatformRef struct {
+	Name     string
+	Platform *Platform
+}
+
+// Ref is shorthand for a catalog reference.
+func Ref(name string) PlatformRef { return PlatformRef{Name: name} }
+
+// Custom wraps a caller-built platform.
+func Custom(p *Platform) PlatformRef { return PlatformRef{Platform: p} }
+
+// resolve returns the referenced platform, nil for the zero ref, or an
+// error naming the catalog when the name is unknown.
+func (r PlatformRef) resolve() (*Platform, error) {
+	if r.Platform != nil {
+		return r.Platform, nil
+	}
+	if r.Name == "" {
+		return nil, nil
+	}
+	p, ok := hw.LookupPlatform(r.Name)
+	if !ok {
+		return nil, unknownNameError("platform", r.Name, hw.PlatformNames())
+	}
+	return p, nil
+}

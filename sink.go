@@ -1,0 +1,314 @@
+package edisim
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"strings"
+
+	"edisim/internal/core"
+	"edisim/internal/report"
+)
+
+// Re-exported typed report building blocks: artifacts are built from these,
+// and custom sinks consume them. They alias the internal types, so fields
+// and methods are usable without importing any internal package.
+type (
+	// Table is a column-aligned table of typed Value cells.
+	Table = report.Table
+	// Figure is a set of named curves over a shared x axis.
+	Figure = report.Figure
+	// Value is one typed cell: float + unit, exact int, or label.
+	Value = report.Value
+	// Comparison is one paper-reported vs simulator-measured pair.
+	Comparison = report.Comparison
+)
+
+// NewTable creates a table with the given title and column headers.
+func NewTable(title string, headers ...string) *Table { return report.NewTable(title, headers...) }
+
+// NewFigure creates an empty figure over the given x axis.
+func NewFigure(name, xlabel, ylabel string, x []float64) *Figure {
+	return report.NewFigure(name, xlabel, ylabel, x)
+}
+
+// Num builds a measurement cell with a unit tag; Count an exact integer
+// cell. Plain floats, ints and strings passed to Table.AddRow convert
+// implicitly.
+func Num(v float64, unit string) Value { return report.Num(v, unit) }
+
+// Count builds an exact integer cell with a unit tag.
+func Count(n int64, unit string) Value { return report.Count(n, unit) }
+
+// Artifact is one completed evaluation result: the renderable tables and
+// figures of an experiment, sweep or study, plus its paper-vs-measured
+// comparisons.
+type Artifact struct {
+	// ID is the stable artifact identifier ("fig4_fig7", "web_sweep").
+	ID string
+	// Title and Section describe the artifact (Section is the paper
+	// section for registry experiments, "scenario" for custom workloads).
+	Title   string
+	Section string
+
+	Tables      []*Table
+	Figures     []*Figure
+	Comparisons []Comparison
+	Notes       []string
+}
+
+// artifactFromOutcome pairs a unit's identity with what it produced.
+func artifactFromOutcome(u unit, o *core.Outcome) *Artifact {
+	return &Artifact{
+		ID: u.id, Title: u.title, Section: u.section,
+		Tables: o.Tables, Figures: o.Figures,
+		Comparisons: o.Comparisons, Notes: o.Notes,
+	}
+}
+
+// Sink receives artifacts as they complete, in scenario order. Each
+// artifact is freshly built and never touched by the runner after Emit, so
+// sinks may retain it (Collector does). Returning an error aborts the run.
+type Sink interface {
+	Emit(a *Artifact) error
+}
+
+// SinkFunc adapts a function to the Sink interface.
+type SinkFunc func(*Artifact) error
+
+// Emit calls f.
+func (f SinkFunc) Emit(a *Artifact) error { return f(a) }
+
+// MultiSink fans each artifact out to every sink in order, stopping at the
+// first error.
+func MultiSink(sinks ...Sink) Sink {
+	return SinkFunc(func(a *Artifact) error {
+		for _, s := range sinks {
+			if err := s.Emit(a); err != nil {
+				return err
+			}
+		}
+		return nil
+	})
+}
+
+// Collector is a Sink that accumulates every artifact, for emitters that
+// need the whole run at once (JSON and CSV documents, ledgers).
+type Collector struct {
+	Artifacts []*Artifact
+}
+
+// Emit appends the artifact.
+func (c *Collector) Emit(a *Artifact) error {
+	c.Artifacts = append(c.Artifacts, a)
+	return nil
+}
+
+// NewTextSink streams artifacts as the aligned-text blocks cmd/paper has
+// always printed: a "==== id (§section) — title ====" header, then each
+// table, figure and note. Any write error aborts the run.
+func NewTextSink(w io.Writer) Sink {
+	return SinkFunc(func(a *Artifact) error {
+		var err error
+		write := func(format string, args ...any) {
+			if err == nil {
+				_, err = fmt.Fprintf(w, format, args...)
+			}
+		}
+		write("==== %s (§%s) — %s ====\n", a.ID, a.Section, a.Title)
+		for _, t := range a.Tables {
+			write("%v\n", t)
+		}
+		for _, f := range a.Figures {
+			write("%v\n", f)
+		}
+		for _, n := range a.Notes {
+			write("note: %s\n", n)
+		}
+		write("\n")
+		return err
+	})
+}
+
+// WriteLedger writes the paper-vs-simulated comparison ledger: one line per
+// comparison across all artifacts, in order.
+func WriteLedger(w io.Writer, artifacts []*Artifact) error {
+	if _, err := fmt.Fprintln(w, "==== paper-vs-simulated ledger ===="); err != nil {
+		return err
+	}
+	for _, a := range artifacts {
+		for _, c := range a.Comparisons {
+			if _, err := fmt.Fprintln(w, c); err != nil {
+				return err
+			}
+		}
+	}
+	return nil
+}
+
+// --- JSON ------------------------------------------------------------------
+
+// DocumentSchema identifies the JSON document layout written by WriteJSON.
+// The schema is documented in API.md and is a compatibility surface:
+// removing or renaming a field is a breaking change; additions bump the
+// version suffix.
+const DocumentSchema = "edisim.report/v1"
+
+// Document is the JSON wire form of a whole run.
+type Document struct {
+	Schema    string         `json:"schema"`
+	Artifacts []ArtifactJSON `json:"artifacts"`
+}
+
+// ArtifactJSON is one artifact on the wire.
+type ArtifactJSON struct {
+	ID          string                  `json:"id"`
+	Title       string                  `json:"title,omitempty"`
+	Section     string                  `json:"section,omitempty"`
+	Tables      []report.TableJSON      `json:"tables,omitempty"`
+	Figures     []report.FigureJSON     `json:"figures,omitempty"`
+	Comparisons []report.ComparisonJSON `json:"comparisons,omitempty"`
+	Notes       []string                `json:"notes,omitempty"`
+}
+
+// JSON converts the artifact to its wire form.
+func (a *Artifact) JSON() ArtifactJSON {
+	out := ArtifactJSON{ID: a.ID, Title: a.Title, Section: a.Section, Notes: a.Notes}
+	for _, t := range a.Tables {
+		out.Tables = append(out.Tables, t.JSON())
+	}
+	for _, f := range a.Figures {
+		out.Figures = append(out.Figures, f.JSON())
+	}
+	for _, c := range a.Comparisons {
+		out.Comparisons = append(out.Comparisons, c.JSON())
+	}
+	return out
+}
+
+// Artifact converts the wire form back to a typed artifact.
+func (a ArtifactJSON) Artifact() *Artifact {
+	out := &Artifact{ID: a.ID, Title: a.Title, Section: a.Section, Notes: a.Notes}
+	for _, t := range a.Tables {
+		out.Tables = append(out.Tables, t.Table())
+	}
+	for _, f := range a.Figures {
+		out.Figures = append(out.Figures, f.Figure())
+	}
+	for _, c := range a.Comparisons {
+		out.Comparisons = append(out.Comparisons, c.Comparison())
+	}
+	return out
+}
+
+// WriteJSON writes the artifacts as one DocumentSchema JSON document
+// (two-space indented, trailing newline). Encoding uses only structs and
+// slices, so WriteJSON(ReadJSON(x)) == x byte for byte.
+func WriteJSON(w io.Writer, artifacts []*Artifact) error {
+	doc := Document{Schema: DocumentSchema, Artifacts: make([]ArtifactJSON, len(artifacts))}
+	for i, a := range artifacts {
+		doc.Artifacts[i] = a.JSON()
+	}
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(doc)
+}
+
+// ReadJSON decodes a WriteJSON document back into typed artifacts,
+// rejecting unknown schemas.
+func ReadJSON(r io.Reader) ([]*Artifact, error) {
+	var doc Document
+	dec := json.NewDecoder(r)
+	if err := dec.Decode(&doc); err != nil {
+		return nil, fmt.Errorf("edisim: decoding report document: %w", err)
+	}
+	if doc.Schema != DocumentSchema {
+		return nil, fmt.Errorf("edisim: unsupported document schema %q (want %q)", doc.Schema, DocumentSchema)
+	}
+	out := make([]*Artifact, len(doc.Artifacts))
+	for i, a := range doc.Artifacts {
+		out[i] = a.Artifact()
+	}
+	return out, nil
+}
+
+// ValidOutputFormat reports whether format names an output mode the
+// bundled cmds accept: "text" (streamed via NewTextSink) or a
+// WriteDocument format. CLI front-ends share this so a format the library
+// gains is accepted everywhere at once.
+func ValidOutputFormat(format string) bool {
+	switch format {
+	case "text", "json", "csv":
+		return true
+	}
+	return false
+}
+
+// WriteDocument dispatches to the document emitter named by format: "json"
+// (WriteJSON) or "csv" (WriteCSV). The streaming "text" rendering is a
+// Sink, not a document — use NewTextSink during the run instead.
+func WriteDocument(format string, w io.Writer, artifacts []*Artifact) error {
+	switch format {
+	case "json":
+		return WriteJSON(w, artifacts)
+	case "csv":
+		return WriteCSV(w, artifacts)
+	default:
+		return fmt.Errorf("edisim: unknown document format %q (want json or csv)", format)
+	}
+}
+
+// --- CSV -------------------------------------------------------------------
+
+// WriteCSV writes every table of every artifact (figures render through
+// their table form) as comma-separated blocks. Each block is introduced by
+// a "# <artifact-id>: <title>" comment line — plus a "# units: ..." line
+// when the table carries column units — and separated by a blank line; a
+// final "# run: ..." block carries the paper-vs-measured ledger. See
+// API.md for the exact layout.
+func WriteCSV(w io.Writer, artifacts []*Artifact) error {
+	var comparisons []Comparison
+	blank := false
+	block := func(id string, t *Table) error {
+		if blank {
+			if _, err := fmt.Fprintln(w); err != nil {
+				return err
+			}
+		}
+		blank = true
+		if _, err := fmt.Fprintf(w, "# %s: %s\n", id, t.Title); err != nil {
+			return err
+		}
+		for _, u := range t.Units {
+			if u != "" {
+				if _, err := fmt.Fprintf(w, "# units: %s\n", strings.Join(t.Units, ",")); err != nil {
+					return err
+				}
+				break
+			}
+		}
+		_, err := io.WriteString(w, t.CSV())
+		return err
+	}
+	for _, a := range artifacts {
+		for _, t := range a.Tables {
+			if err := block(a.ID, t); err != nil {
+				return err
+			}
+		}
+		for _, f := range a.Figures {
+			if err := block(a.ID, f.Table()); err != nil {
+				return err
+			}
+		}
+		comparisons = append(comparisons, a.Comparisons...)
+	}
+	if len(comparisons) == 0 {
+		return nil
+	}
+	t := report.NewTable("paper-vs-simulated comparisons", "artifact", "metric", "paper", "measured", "ratio")
+	for _, c := range comparisons {
+		t.AddRow(c.Artifact, c.Metric, c.Paper, c.Measured, c.RatioError())
+	}
+	return block("run", t)
+}

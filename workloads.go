@@ -1,0 +1,411 @@
+package edisim
+
+import (
+	"fmt"
+
+	"edisim/internal/cluster"
+	"edisim/internal/core"
+	"edisim/internal/hw"
+	"edisim/internal/jobs"
+	"edisim/internal/report"
+	"edisim/internal/tco"
+	"edisim/internal/web"
+)
+
+// --- Paper experiments -----------------------------------------------------
+
+// PaperExperiments runs experiments from the paper registry: every table
+// and figure of the source paper, plus the opt-in cross-platform matrices.
+// Each experiment becomes its own Artifact.
+type PaperExperiments struct {
+	// IDs selects experiments by registry ID, run in registration order
+	// (see ExperimentIDs). An unknown ID is an error naming the valid set.
+	// Empty selects the full default reproduction: every experiment that
+	// is not opt-in.
+	IDs []string
+	// IncludeOptIn adds the opt-in experiments (cross-platform matrices
+	// beyond the paper's artifact set) to an empty-IDs selection.
+	IncludeOptIn bool
+}
+
+// ExperimentIDs lists the registered paper experiment IDs, sorted.
+func ExperimentIDs() []string { return core.IDs() }
+
+func (p *PaperExperiments) expand(core.Config) ([]unit, error) {
+	// Every selected ID must exist: a typo silently dropping an experiment
+	// poisons comparisons downstream.
+	wanted := map[string]bool{}
+	for _, id := range p.IDs {
+		if _, ok := core.Lookup(id); !ok {
+			return nil, unknownNameError("experiment", id, core.IDs())
+		}
+		wanted[id] = true
+	}
+	var units []unit
+	for _, e := range core.Experiments() {
+		if len(wanted) > 0 {
+			if !wanted[e.ID] {
+				continue
+			}
+		} else if e.OptIn && !p.IncludeOptIn {
+			continue
+		}
+		run := e.Run
+		units = append(units, unit{
+			id: e.ID, title: e.Title, section: e.Section,
+			run: func(cfg core.Config) (*core.Outcome, error) { return run(cfg), nil },
+		})
+	}
+	return units, nil
+}
+
+// --- Web sweep -------------------------------------------------------------
+
+// TierSpec sizes one middle-tier role on a platform.
+type TierSpec struct {
+	Platform PlatformRef
+	Nodes    int
+}
+
+// WebSweep sweeps the paper's httperf workload over a concurrency axis on
+// a web tier and a cache tier that may sit on different platforms — the
+// heterogeneous-testbed scenario the platform catalog exists for (e.g. a
+// Pi3 web tier in front of a Xeon cache tier).
+type WebSweep struct {
+	// ID names the artifact (default "web_sweep"). Two web sweeps in one
+	// scenario need distinct IDs: the ID namespaces per-point seeds.
+	ID string
+
+	// Web is the web-server tier; its platform defaults to the baseline
+	// micro server and its size to the platform's fleet web count.
+	Web TierSpec
+	// Cache is the cache tier; its platform defaults to the web tier's and
+	// its size to that platform's fleet cache count.
+	Cache TierSpec
+
+	// DBNodes and Clients size the shared infrastructure tier
+	// (defaults: the paper's 2 database servers and 8 load generators).
+	DBNodes, Clients int
+
+	// Concurrencies is the swept conn/s axis (default: the paper's 8…2048,
+	// trimmed in Quick runs).
+	Concurrencies []float64
+	// ImageFrac is the image-query probability (paper: 0, 0.06, 0.10, 0.20).
+	ImageFrac float64
+	// CacheHit is the warmed cache hit ratio; 0 means the paper's 0.93,
+	// ColdCache means no warm entries.
+	CacheHit float64
+	// Duration is the simulated seconds per point (default 15, 4 in Quick).
+	Duration float64
+}
+
+// ColdCache is the CacheHit sentinel for a fully cold cache (the field's
+// zero value means "use the paper's 0.93 default").
+const ColdCache = web.ColdCache
+
+func (ws *WebSweep) expand(cfg core.Config) ([]unit, error) {
+	id := ws.ID
+	if id == "" {
+		id = "web_sweep"
+	}
+	webPlat, err := ws.Web.Platform.resolve()
+	if err != nil {
+		return nil, err
+	}
+	if webPlat == nil {
+		webPlat, _ = hw.BaselinePair()
+	}
+	cachePlat, err := ws.Cache.Platform.resolve()
+	if err != nil {
+		return nil, err
+	}
+	if cachePlat == nil {
+		cachePlat = webPlat
+	}
+	nWeb, nCache := ws.Web.Nodes, ws.Cache.Nodes
+	if nWeb == 0 {
+		nWeb = webPlat.Fleet.Web
+	}
+	if nCache == 0 {
+		nCache = cachePlat.Fleet.Cache
+	}
+	if nWeb <= 0 || nCache <= 0 {
+		return nil, fmt.Errorf("edisim: %s: web and cache tiers need at least one node (got %d web, %d cache)", id, nWeb, nCache)
+	}
+	// Same-platform tiers share one node group; split tiers get one each.
+	grp := max(nWeb, nCache)
+	if webPlat == cachePlat {
+		grp = nWeb + nCache
+	}
+	if grp > cluster.MaxGroupNodes {
+		return nil, fmt.Errorf("edisim: %s: tier group of %d nodes exceeds the %d-node group cap", id, grp, cluster.MaxGroupNodes)
+	}
+	db, clients := ws.DBNodes, ws.Clients
+	if db == 0 {
+		db = 2
+	}
+	if clients == 0 {
+		clients = 8
+	}
+	if db < 0 || clients < 0 {
+		return nil, fmt.Errorf("edisim: %s: DBNodes and Clients must be positive (got %d, %d)", id, db, clients)
+	}
+	concs := ws.Concurrencies
+	if len(concs) == 0 {
+		if cfg.Quick {
+			concs = []float64{64, 512, 1024}
+		} else {
+			concs = []float64{8, 16, 32, 64, 128, 256, 512, 1024, 2048}
+		}
+	}
+
+	title := fmt.Sprintf("Web sweep: %d %s web + %d %s cache", nWeb, webPlat.Label, nCache, cachePlat.Label)
+	label := fmt.Sprintf("%d %s / %d %s", nWeb, webPlat.Label, nCache, cachePlat.Label)
+
+	run := func(cfg core.Config) (*core.Outcome, error) {
+		duration := ws.Duration
+		if duration == 0 {
+			duration = 15
+			if cfg.Quick {
+				duration = 4
+			}
+		}
+		s := core.Sweep[float64, web.Result]{Name: id, Points: concs}
+		s.Point = func(_ int, conc float64, seed int64) web.Result {
+			rc := web.RunConfig{
+				Concurrency: conc,
+				ImageFrac:   ws.ImageFrac,
+				CacheHit:    ws.CacheHit,
+				Duration:    duration,
+			}
+			tb := cluster.New(tierClusterConfig(webPlat, nWeb, cachePlat, nCache, db, clients))
+			dep := web.NewTieredDeployment(tb, webPlat, nWeb, cachePlat, nCache, seed)
+			dep.WarmFor(rc)
+			return dep.Run(rc)
+		}
+		results := s.Run(cfg)
+
+		o := &core.Outcome{}
+		t := report.NewTable(title,
+			"conn/s", "req/s", "delay ms", "err rate", "power W", "web cpu %", "cache cpu %").
+			WithUnits("conn/s", "req/s", "ms", "", "W", "%", "%")
+		var tput, delay, pow []float64
+		for i, r := range results {
+			t.AddRow(
+				report.Num(concs[i], "conn/s"),
+				report.Num(r.Throughput, "req/s"),
+				report.Num(r.MeanDelay*1e3, "ms"),
+				report.Num(r.ErrorRate, ""),
+				report.Num(float64(r.MeanPower), "W"),
+				report.Num(r.WebCPU*100, "%"),
+				report.Num(r.CacheCPU*100, "%"),
+			)
+			tput = append(tput, r.Throughput)
+			delay = append(delay, r.MeanDelay*1e3)
+			pow = append(pow, float64(r.MeanPower))
+		}
+		o.Tables = append(o.Tables, t)
+		ft := report.NewFigure(title+" — throughput", "conn/s", "req/s", concs)
+		ft.Add(label, tput)
+		fd := report.NewFigure(title+" — response delay", "conn/s", "ms", concs)
+		fd.Add(label, delay)
+		fp := report.NewFigure(title+" — cluster power", "conn/s", "W", concs)
+		fp.Add(label, pow)
+		o.Figures = append(o.Figures, ft, fd, fp)
+		return o, nil
+	}
+	return []unit{{id: id, title: title, section: "scenario", run: run}}, nil
+}
+
+// tierClusterConfig builds the cluster config for a (web, cache) tier pair:
+// one node group when the platforms coincide (the paper's shape), two
+// groups otherwise.
+func tierClusterConfig(webPlat *hw.Platform, nWeb int, cachePlat *hw.Platform, nCache, db, clients int) cluster.Config {
+	groups := []cluster.GroupConfig{{Platform: webPlat, Nodes: nWeb + nCache}}
+	if cachePlat != webPlat {
+		groups = []cluster.GroupConfig{
+			{Platform: webPlat, Nodes: nWeb},
+			{Platform: cachePlat, Nodes: nCache},
+		}
+	}
+	return cluster.Config{Groups: groups, DBNodes: db, Clients: clients}
+}
+
+// --- MapReduce job ---------------------------------------------------------
+
+// MapReduceJob simulates one Hadoop job end to end on a platform's cluster,
+// optionally with the 1 Hz utilization/power trace the paper plots in
+// Figures 12–17 (the YARN container lifecycle, HDFS placement and network
+// shuffle all run in the simulation).
+type MapReduceJob struct {
+	// ID names the artifact (default "mapreduce_<job>").
+	ID string
+	// Job is one of JobNames(): wordcount, wordcount2, logcount,
+	// logcount2, pi, terasort.
+	Job string
+	// Platform defaults to the baseline micro server.
+	Platform PlatformRef
+	// Slaves defaults to the platform's fleet slave count.
+	Slaves int
+	// Trace adds the utilization/power trace figure.
+	Trace bool
+}
+
+func (mj *MapReduceJob) expand(core.Config) ([]unit, error) {
+	job := mj.Job
+	found := false
+	for _, n := range jobs.Names() {
+		if n == job {
+			found = true
+		}
+	}
+	if !found {
+		return nil, unknownNameError("job", job, jobs.Names())
+	}
+	p, err := mj.Platform.resolve()
+	if err != nil {
+		return nil, err
+	}
+	if p == nil {
+		p, _ = hw.BaselinePair()
+	}
+	slaves := mj.Slaves
+	if slaves == 0 {
+		slaves = p.Fleet.Slaves
+	}
+	if slaves <= 0 {
+		return nil, fmt.Errorf("edisim: mapreduce %s: need at least one slave", job)
+	}
+	// A self-hosted master shares the slaves' group (slaves+1 nodes); an
+	// external master (Edison/Pi-class hybrids) lives in its own group.
+	group := slaves
+	if p.Hadoop.MasterPlatform == "" {
+		group = slaves + 1
+	}
+	if group > cluster.MaxGroupNodes {
+		detail := fmt.Sprintf("%d slaves", slaves)
+		if group != slaves {
+			detail += " plus the self-hosted master"
+		}
+		return nil, fmt.Errorf("edisim: mapreduce %s: %s exceeds the %d-node group cap", job, detail, cluster.MaxGroupNodes)
+	}
+	id := mj.ID
+	if id == "" {
+		id = "mapreduce_" + job
+	}
+	title := fmt.Sprintf("%s on %d %s slaves", job, slaves, p.Label)
+
+	run := func(cfg core.Config) (*core.Outcome, error) {
+		r, err := jobs.Run(job, p, slaves, cfg.Seed)
+		if err != nil {
+			return nil, err
+		}
+		o := &core.Outcome{}
+		t := report.NewTable(title,
+			"job", "platform", "slaves", "time s", "energy J", "maps", "reduces", "local %").
+			WithUnits("", "", "nodes", "s", "J", "tasks", "tasks", "%")
+		t.AddRow(
+			job, p.Label,
+			report.Count(int64(slaves), "nodes"),
+			report.Num(r.Duration, "s"),
+			report.Num(float64(r.Energy), "J"),
+			report.Count(int64(r.MapTasks), "tasks"),
+			report.Count(int64(r.ReduceTasks), "tasks"),
+			report.Num(100*r.LocalityFraction(), "%"),
+		)
+		o.Tables = append(o.Tables, t)
+		if mj.Trace {
+			o.Figures = append(o.Figures, core.TraceFigure(title+" — 1 Hz trace", r))
+		}
+		return o, nil
+	}
+	return []unit{{id: id, title: title, section: "scenario", run: run}}, nil
+}
+
+// JobNames lists the simulatable Hadoop workloads.
+func JobNames() []string { return jobs.Names() }
+
+// --- TCO study -------------------------------------------------------------
+
+// TCOStudy prices platform fleets with the paper's 3-year
+// total-cost-of-ownership model (Section 6, Equation 1).
+type TCOStudy struct {
+	// ID names the artifact (default "tco_study").
+	ID string
+	// Platforms to price side by side (default: the whole catalog).
+	Platforms []PlatformRef
+	// Nodes matches Platforms entry for entry (default: each platform's
+	// fleet slave count).
+	Nodes []int
+	// Utilization in [0,1] (default 0.5). The zero value means "use the
+	// default"; pass ZeroUtilization for a genuinely idle fleet.
+	Utilization float64
+}
+
+// ZeroUtilization is the TCOStudy.Utilization sentinel for pricing a fully
+// idle fleet (equipment plus idle electricity only) — the field's zero
+// value selects the 50% default instead.
+const ZeroUtilization = -1
+
+func (ts *TCOStudy) expand(core.Config) ([]unit, error) {
+	id := ts.ID
+	if id == "" {
+		id = "tco_study"
+	}
+	var plats []*hw.Platform
+	for _, r := range ts.Platforms {
+		p, err := r.resolve()
+		if err != nil {
+			return nil, err
+		}
+		if p == nil {
+			return nil, fmt.Errorf("edisim: %s: empty platform ref", id)
+		}
+		plats = append(plats, p)
+	}
+	if len(plats) == 0 {
+		plats = hw.Platforms()
+	}
+	if ts.Nodes != nil && len(ts.Nodes) != len(plats) {
+		return nil, fmt.Errorf("edisim: %s: %d node counts for %d platforms", id, len(ts.Nodes), len(plats))
+	}
+	util := ts.Utilization
+	if util == 0 {
+		util = 0.5
+	}
+	if util < 0 { // ZeroUtilization sentinel (any negative value)
+		util = 0
+	}
+	if util > 1 {
+		return nil, fmt.Errorf("edisim: %s: utilization %v outside [0,1]", id, util)
+	}
+	title := fmt.Sprintf("3-year TCO at %.0f%% utilization", util*100)
+
+	run := func(core.Config) (*core.Outcome, error) {
+		o := &core.Outcome{}
+		t := report.NewTable(title,
+			"platform", "nodes", "equipment $", "electricity $", "total $", "$ per node").
+			WithUnits("", "nodes", "$", "$", "$", "$")
+		for i, p := range plats {
+			n := p.Fleet.Slaves
+			if ts.Nodes != nil {
+				n = ts.Nodes[i]
+			}
+			if n <= 0 {
+				return nil, fmt.Errorf("edisim: %s: bad node count %d for %s", id, n, p.Label)
+			}
+			r := tco.Compute(tco.ForPlatform(p, n, util))
+			t.AddRow(
+				p.Label,
+				report.Count(int64(n), "nodes"),
+				report.Num(r.Equipment, "$"),
+				report.Num(r.Electricity, "$"),
+				report.Num(r.Total(), "$"),
+				report.Num(r.Total()/float64(n), "$"),
+			)
+		}
+		o.Tables = append(o.Tables, t)
+		return o, nil
+	}
+	return []unit{{id: id, title: title, section: "scenario", run: run}}, nil
+}
