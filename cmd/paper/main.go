@@ -61,8 +61,12 @@ func main() {
 
 	scn := edisim.Scenario{Name: "paper", Seed: *seed, Quick: *quick, Workers: *jobs}
 	if *platforms != "" {
-		for _, name := range strings.Split(*platforms, ",") {
-			scn.Matrix = append(scn.Matrix, edisim.Ref(name))
+		// Shared -platforms parsing: whitespace-trimmed, duplicates (and
+		// alias respellings) collapsed so no fleet is simulated twice.
+		scn.Matrix = edisim.ParsePlatformRefs(*platforms)
+		if len(scn.Matrix) == 0 {
+			fmt.Fprintf(os.Stderr, "paper: no platforms in %q (have %v)\n", *platforms, edisim.PlatformNames())
+			os.Exit(2)
 		}
 	}
 	exps := &edisim.PaperExperiments{IncludeOptIn: *platforms != ""}

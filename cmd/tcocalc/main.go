@@ -1,7 +1,9 @@
 // Command tcocalc evaluates the paper's total-cost-of-ownership model
 // (Section 6, Equation 1): the four Table 10 scenarios by default, a custom
 // micro-vs-brawny configuration via flags, or any set of hw catalog
-// platforms via -platforms (a TCOStudy scenario of the edisim package).
+// platforms via -platforms (a TCOStudy scenario of the edisim package) —
+// either at fixed node counts (-nodes) or sized to an equal spending cap
+// (-budget), the paper's comparable-cost framing.
 //
 // Usage:
 //
@@ -9,12 +11,18 @@
 //	tcocalc -format json                     # same, as the documented schema
 //	tcocalc -custom -micro 35 -brawny 3 -util 0.75
 //	tcocalc -platforms pi3,xeon-modern -nodes 16,1 -util 0.5
+//	tcocalc -platforms edison,dell -budget 8236 -util 0.75
+//
+// Invalid inputs (utilization outside [0,1], non-positive node counts or
+// budgets) exit 2 with a usage message.
 package main
 
 import (
 	"context"
 	"flag"
 	"fmt"
+	"io"
+	"math"
 	"os"
 	"strconv"
 	"strings"
@@ -23,46 +31,74 @@ import (
 )
 
 func main() {
-	var (
-		custom    = flag.Bool("custom", false, "evaluate a custom baseline-pair scenario instead of Table 10")
-		micros    = flag.Int("micro", 35, "micro node count (custom)")
-		brawnies  = flag.Int("brawny", 3, "brawny server count (custom)")
-		util      = flag.Float64("util", 0.5, "utilization in [0,1] (custom / -platforms)")
-		platforms = flag.String("platforms", "", "comma-separated hw catalog platforms to price side by side")
-		nodes     = flag.String("nodes", "", "comma-separated node counts matching -platforms (default: catalog fleet slave counts)")
-		format    = flag.String("format", "text", "output format: text, json or csv")
-	)
-	flag.Parse()
+	os.Exit(run(os.Args[1:], os.Stdout, os.Stderr))
+}
 
+// run is main with its streams and exit code lifted out, so the validation
+// table tests drive the real flag and error paths.
+func run(args []string, stdout, stderr io.Writer) int {
+	fs := flag.NewFlagSet("tcocalc", flag.ContinueOnError)
+	fs.SetOutput(stderr)
+	var (
+		custom    = fs.Bool("custom", false, "evaluate a custom baseline-pair scenario instead of Table 10")
+		micros    = fs.Int("micro", 35, "micro node count (custom)")
+		brawnies  = fs.Int("brawny", 3, "brawny server count (custom)")
+		util      = fs.Float64("util", 0.5, "utilization in [0,1] (custom / -platforms)")
+		platforms = fs.String("platforms", "", "comma-separated hw catalog platforms to price side by side")
+		nodes     = fs.String("nodes", "", "comma-separated node counts matching -platforms (default: catalog fleet slave counts)")
+		budget    = fs.Float64("budget", 0, "3-year budget in USD: size each -platforms fleet to it instead of fixed node counts")
+		format    = fs.String("format", "text", "output format: text, json or csv")
+	)
+	if err := fs.Parse(args); err != nil {
+		return 2
+	}
+
+	usage := func(format string, a ...any) int {
+		fmt.Fprintf(stderr, "tcocalc: "+format+"\n", a...)
+		fs.Usage()
+		return 2
+	}
 	if !edisim.ValidOutputFormat(*format) {
-		fmt.Fprintf(os.Stderr, "tcocalc: unknown format %q (want text, json or csv)\n", *format)
-		os.Exit(2)
+		return usage("unknown format %q (want text, json or csv)", *format)
+	}
+	if math.IsNaN(*util) || *util < 0 || *util > 1 {
+		return usage("-util %v outside [0,1]", *util)
 	}
 
 	if *platforms != "" {
-		priceMatrix(*platforms, *nodes, *util, *format)
-		return
+		return priceMatrix(*platforms, *nodes, *budget, *util, *format, stdout, stderr, usage)
+	}
+	if *budget != 0 {
+		return usage("-budget needs a -platforms selection to size")
 	}
 
 	micro, brawny := edisim.BaselinePair()
 	if *custom {
-		e := edisim.ComputeTCO(edisim.TCOForPlatform(micro, *micros, *util))
-		d := edisim.ComputeTCO(edisim.TCOForPlatform(brawny, *brawnies, *util))
+		if *micros <= 0 || *brawnies <= 0 {
+			return usage("-micro and -brawny need positive node counts (got %d, %d)", *micros, *brawnies)
+		}
+		e, err := edisim.ComputeTCO(edisim.TCOForPlatform(micro, *micros, *util))
+		if err != nil {
+			return usage("%v", err)
+		}
+		d, err := edisim.ComputeTCO(edisim.TCOForPlatform(brawny, *brawnies, *util))
+		if err != nil {
+			return usage("%v", err)
+		}
 		if *format == "text" {
-			fmt.Printf("%s x%d @ %.0f%%: equipment $%.0f + electricity $%.0f = $%.0f\n",
+			fmt.Fprintf(stdout, "%s x%d @ %.0f%%: equipment $%.0f + electricity $%.0f = $%.0f\n",
 				micro.Label, *micros, *util*100, e.Equipment, e.Electricity, e.Total())
-			fmt.Printf("%s   x%d @ %.0f%%: equipment $%.0f + electricity $%.0f = $%.0f\n",
+			fmt.Fprintf(stdout, "%s   x%d @ %.0f%%: equipment $%.0f + electricity $%.0f = $%.0f\n",
 				brawny.Label, *brawnies, *util*100, d.Equipment, d.Electricity, d.Total())
-			fmt.Printf("Savings: %.0f%%\n", 100*(1-e.Total()/d.Total()))
-			return
+			fmt.Fprintf(stdout, "Savings: %.0f%%\n", 100*(1-e.Total()/d.Total()))
+			return 0
 		}
 		t := edisim.NewTable(fmt.Sprintf("Custom TCO at %.0f%% utilization", *util*100),
 			"platform", "nodes", "equipment $", "electricity $", "total $").
 			WithUnits("", "nodes", "$", "$", "$")
 		t.AddRow(micro.Label, *micros, edisim.Num(e.Equipment, "$"), edisim.Num(e.Electricity, "$"), edisim.Num(e.Total(), "$"))
 		t.AddRow(brawny.Label, *brawnies, edisim.Num(d.Equipment, "$"), edisim.Num(d.Electricity, "$"), edisim.Num(d.Total(), "$"))
-		emit(*format, &edisim.Artifact{ID: "tco_custom", Title: t.Title, Section: "6", Tables: []*edisim.Table{t}})
-		return
+		return emit(*format, stdout, stderr, &edisim.Artifact{ID: "tco_custom", Title: t.Title, Section: "6", Tables: []*edisim.Table{t}})
 	}
 
 	t := edisim.NewTable("Table 10 — 3-year TCO (USD)", "scenario", brawny.Label, micro.Label, "savings %").
@@ -71,30 +107,37 @@ func main() {
 		t.AddRow(s.Name, edisim.Num(s.Brawny.Total(), "$"), edisim.Num(s.Micro.Total(), "$"), edisim.Num(100*s.Savings(), "%"))
 	}
 	if *format == "text" {
-		fmt.Println(t)
-		return
+		fmt.Fprintln(stdout, t)
+		return 0
 	}
-	emit(*format, &edisim.Artifact{ID: "table10", Title: t.Title, Section: "6", Tables: []*edisim.Table{t}})
+	return emit(*format, stdout, stderr, &edisim.Artifact{ID: "table10", Title: t.Title, Section: "6", Tables: []*edisim.Table{t}})
 }
 
 // priceMatrix prices an arbitrary catalog platform set side by side — a
-// TCOStudy scenario.
-func priceMatrix(platforms, nodes string, util float64, format string) {
+// TCOStudy scenario, at fixed node counts or sized to an equal budget.
+func priceMatrix(platforms, nodes string, budget, util float64, format string,
+	stdout, stderr io.Writer, usage func(string, ...any) int) int {
 	if util == 0 {
 		// An explicit -util 0 prices an idle fleet; the TCOStudy zero
 		// value would mean "use the 50% default", so pass the sentinel.
 		util = edisim.ZeroUtilization
 	}
-	study := &edisim.TCOStudy{Utilization: util}
-	for _, name := range strings.Split(platforms, ",") {
-		study.Platforms = append(study.Platforms, edisim.Ref(name))
+	if budget < 0 || math.IsNaN(budget) || math.IsInf(budget, 0) {
+		return usage("-budget $%v must be positive and finite", budget)
+	}
+	if budget > 0 && nodes != "" {
+		return usage("-budget and -nodes are mutually exclusive")
+	}
+	study := &edisim.TCOStudy{Utilization: util, Budget: budget,
+		Platforms: edisim.ParsePlatformRefs(platforms)}
+	if len(study.Platforms) == 0 {
+		return usage("no platforms in %q", platforms)
 	}
 	if nodes != "" {
 		for _, c := range strings.Split(nodes, ",") {
 			n, err := strconv.Atoi(strings.TrimSpace(c))
 			if err != nil || n <= 0 {
-				fmt.Fprintf(os.Stderr, "tcocalc: bad node count %q\n", c)
-				os.Exit(2)
+				return usage("bad node count %q", c)
 			}
 			study.Nodes = append(study.Nodes, n)
 		}
@@ -103,22 +146,26 @@ func priceMatrix(platforms, nodes string, util float64, format string) {
 	var col edisim.Collector
 	scn := edisim.Scenario{Name: "tcocalc", Workloads: []edisim.Workload{study}}
 	if err := edisim.Run(context.Background(), scn, &col); err != nil {
-		fmt.Fprintf(os.Stderr, "tcocalc: %v\n", err)
-		os.Exit(2)
+		fmt.Fprintf(stderr, "tcocalc: %v\n", err)
+		return 2
 	}
 	if format == "text" {
 		for _, t := range col.Artifacts[0].Tables {
-			fmt.Println(t)
+			fmt.Fprintln(stdout, t)
 		}
-		return
+		for _, n := range col.Artifacts[0].Notes {
+			fmt.Fprintf(stdout, "note: %s\n", n)
+		}
+		return 0
 	}
-	emit(format, col.Artifacts...)
+	return emit(format, stdout, stderr, col.Artifacts...)
 }
 
 // emit writes artifacts in the chosen document format.
-func emit(format string, artifacts ...*edisim.Artifact) {
-	if err := edisim.WriteDocument(format, os.Stdout, artifacts); err != nil {
-		fmt.Fprintf(os.Stderr, "tcocalc: %v\n", err)
-		os.Exit(1)
+func emit(format string, stdout, stderr io.Writer, artifacts ...*edisim.Artifact) int {
+	if err := edisim.WriteDocument(format, stdout, artifacts); err != nil {
+		fmt.Fprintf(stderr, "tcocalc: %v\n", err)
+		return 1
 	}
+	return 0
 }

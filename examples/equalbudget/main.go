@@ -1,0 +1,72 @@
+// Equalbudget: the paper's §6 economic question asked properly — not "what
+// does a fixed fleet cost" but "what does a fixed spend buy". The 3-year
+// TCO of the Dell baseline fleets becomes a budget, every platform's web
+// and Hadoop fleets are sized to it (edisim.FleetComparison), and the
+// equal-spend fleets race: peak web throughput across a Table-6-style
+// scale ladder, terasort on the sized slave sets, throughput-per-watt and
+// throughput-per-dollar matrices. A mixed Edison+Dell slave group then runs
+// the same terasort, showing the hybrid cluster the paper's Dell-master
+// configuration stops short of.
+//
+// Uses only the public edisim package; -quick trims sweeps for CI.
+package main
+
+import (
+	"context"
+	"flag"
+	"fmt"
+	"log"
+	"os"
+
+	"edisim"
+)
+
+func main() {
+	quick := flag.Bool("quick", false, "fewer concurrency levels and ladder rungs, shorter windows (CI smoke run)")
+	format := flag.String("format", "text", "output format: text, json or csv")
+	platforms := flag.String("platforms", "edison,dell", "comma-separated platforms to size and compare")
+	flag.Parse()
+
+	refs := edisim.ParsePlatformRefs(*platforms)
+	if len(refs) == 0 {
+		fmt.Fprintf(os.Stderr, "equalbudget: no platforms in %q (have %v)\n", *platforms, edisim.PlatformNames())
+		os.Exit(2)
+	}
+
+	scn := edisim.Scenario{
+		Name:  "equalbudget",
+		Quick: *quick,
+		Workloads: []edisim.Workload{
+			&edisim.FleetComparison{Platforms: refs},
+			&edisim.MapReduceJob{
+				ID:  "mixed_terasort",
+				Job: "terasort",
+				SlaveGroups: []edisim.TierSpec{
+					{Platform: edisim.Ref("edison"), Nodes: 3},
+					{Platform: edisim.Ref("dell"), Nodes: 1},
+				},
+			},
+		},
+	}
+
+	switch *format {
+	case "text":
+		if err := edisim.Run(context.Background(), scn, edisim.NewTextSink(os.Stdout)); err != nil {
+			log.Fatal(err)
+		}
+		fmt.Println("every fleet above spends the same 3-year budget; compare the")
+		fmt.Println("req/s-per-TCO-k$ and GB-per-$ columns — and the mixed Edison+Dell")
+		fmt.Println("slave group shows budget splits need not be all-or-nothing")
+	case "json", "csv":
+		var col edisim.Collector
+		if err := edisim.Run(context.Background(), scn, &col); err != nil {
+			log.Fatal(err)
+		}
+		if err := edisim.WriteDocument(*format, os.Stdout, col.Artifacts); err != nil {
+			log.Fatal(err)
+		}
+	default:
+		fmt.Fprintf(os.Stderr, "equalbudget: unknown format %q (want text, json or csv)\n", *format)
+		os.Exit(2)
+	}
+}

@@ -10,6 +10,7 @@ package main
 import (
 	"flag"
 	"fmt"
+	"log"
 
 	"edisim"
 )
@@ -30,9 +31,29 @@ func main() {
 		d := edisim.TCOForPlatform(brawny, 3, 0.75)
 		e := edisim.TCOForPlatform(micro, 35, 0.75)
 		d.PricePerKWh, e.PricePerKWh = price, price
-		rd, re := edisim.ComputeTCO(d), edisim.ComputeTCO(e)
+		rd, err := edisim.ComputeTCO(d)
+		if err != nil {
+			log.Fatal(err)
+		}
+		re, err := edisim.ComputeTCO(e)
+		if err != nil {
+			log.Fatal(err)
+		}
 		fmt.Printf("  $%.2f/kWh: %s $%8.1f  %s $%7.1f  savings %4.1f%%\n",
 			price, brawny.Label, rd.Total(), micro.Label, re.Total(), 100*(1-re.Total()/rd.Total()))
 	}
 	fmt.Println("\nhigher electricity prices widen the micro cluster's advantage")
+
+	fmt.Println("\nEqual-budget sizing: what the brawny web fleet's spend buys per platform")
+	budget, err := edisim.ComputeTCO(edisim.TCOForPlatform(brawny, 3, 0.75))
+	if err != nil {
+		log.Fatal(err)
+	}
+	for _, p := range edisim.Platforms() {
+		n, err := edisim.SizeFleetForBudget(p, budget.Total(), 0.75)
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("  $%.0f buys %3d × %s\n", budget.Total(), n, p.FullName)
+	}
 }

@@ -77,7 +77,7 @@ func runPlatformMatrix(cfg Config) *Outcome {
 			perWatt = peak / peakPower
 		}
 		// Web-service TCO at the paper's high-utilization point (75%).
-		cost := tco.Compute(tco.ForPlatform(p, p.Fleet.Web+p.Fleet.Cache, 0.75)).Total()
+		cost := tco.MustCompute(tco.ForPlatform(p, p.Fleet.Web+p.Fleet.Cache, 0.75)).Total()
 		perK := 0.0
 		if cost > 0 {
 			perK = peak / (cost / 1000)
@@ -114,7 +114,7 @@ func runPlatformMatrix(cfg Config) *Outcome {
 		if p.Micro {
 			util = 1.0
 		}
-		cost := tco.Compute(tco.ForPlatform(p, p.Fleet.Slaves, util)).Total()
+		cost := tco.MustCompute(tco.ForPlatform(p, p.Fleet.Slaves, util)).Total()
 		perDollar := 0.0
 		if cost > 0 {
 			perDollar = float64(jobs.TerasortBytes) / float64(units.GB) / cost

@@ -278,7 +278,7 @@ func dellR620Platform() *Platform {
 		Name:     "DellR620",
 		Label:    "Dell",
 		FullName: "Dell R620",
-		Aliases:  []string{"dell", "r620"},
+		Aliases:  []string{"dell", "r620", "dell-r620"},
 		Micro:    false,
 		Spec:     DellR620Spec(),
 

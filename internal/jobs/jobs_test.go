@@ -219,6 +219,105 @@ func TestRunSmallClusterEndToEnd(t *testing.T) {
 	}
 }
 
+func pair() (micro, brawny *hw.Platform) { return hw.BaselinePair() }
+
+// TestMixedSlaveGroupsEndToEnd runs terasort on a hybrid Edison+Dell slave
+// set: the heterogeneous cluster the paper's hybrid (Dell master over
+// Edison slaves) stops short of. The run must complete, be deterministic
+// for a fixed seed, and actually use per-platform task rates — adding one
+// Dell slave to an Edison group must beat adding one more Edison.
+func TestMixedSlaveGroupsEndToEnd(t *testing.T) {
+	if testing.Short() {
+		t.Skip("cluster simulation in -short mode")
+	}
+	micro, brawny := pair()
+	mixed := []SlaveGroup{{Platform: micro, Nodes: 3}, {Platform: brawny, Nodes: 1}}
+	r1, err := RunGroups("terasort", mixed, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r1.Duration <= 0 || r1.Energy <= 0 || r1.ReduceTasks <= 0 {
+		t.Fatalf("bad mixed result: %+v", r1)
+	}
+	r2, err := RunGroups("terasort", mixed, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r1.Duration != r2.Duration || r1.Energy != r2.Energy {
+		t.Fatalf("mixed run not deterministic: %v/%v vs %v/%v", r1.Duration, r1.Energy, r2.Duration, r2.Energy)
+	}
+	allMicro, err := RunGroups("terasort", []SlaveGroup{{Platform: micro, Nodes: 4}}, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r1.Duration >= allMicro.Duration {
+		t.Fatalf("swapping an Edison slave for a Dell did not speed terasort up: mixed %.0f s vs all-Edison %.0f s",
+			r1.Duration, allMicro.Duration)
+	}
+}
+
+// TestMixedGroupsResolvePerPlatformCosts checks the JobDef carries one rate
+// model per slave platform, keyed so mapred resolves them per container
+// node, and that a mixed deployment's reducer count sums vcores across
+// groups.
+func TestMixedGroupsResolvePerPlatformCosts(t *testing.T) {
+	micro, brawny := pair()
+	h, err := NewHadoopGroups([]SlaveGroup{{Platform: micro, Nodes: 2}, {Platform: brawny, Nodes: 1}},
+		micro.Hadoop.BlockSize, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	j := h.Def("wordcount")
+	if len(j.PlatformCosts) != 2 {
+		t.Fatalf("PlatformCosts has %d entries, want 2", len(j.PlatformCosts))
+	}
+	em, ok1 := j.PlatformCosts[micro.Spec.Name]
+	dm, ok2 := j.PlatformCosts[brawny.Spec.Name]
+	if !ok1 || !ok2 {
+		t.Fatalf("PlatformCosts missing a platform: %v", j.PlatformCosts)
+	}
+	if em.MapMBps >= dm.MapMBps {
+		t.Fatalf("micro map rate %v should be below brawny %v", em.MapMBps, dm.MapMBps)
+	}
+	wantReduces := micro.Hadoop.VCores*2 + brawny.Hadoop.VCores*1
+	if j.NumReduces != wantReduces {
+		t.Fatalf("mixed reducer count %d, want %d (vcores summed across groups)", j.NumReduces, wantReduces)
+	}
+	// Homogeneous deployments keep the flat model: no per-platform table.
+	hh, err := NewHadoop(micro, 2, micro.Hadoop.BlockSize, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if jj := hh.Def("wordcount"); jj.PlatformCosts != nil {
+		t.Fatalf("homogeneous JobDef grew PlatformCosts: %v", jj.PlatformCosts)
+	}
+}
+
+// TestSlaveGroupValidation pins the error paths: empty sets, nil platforms,
+// non-positive node counts and duplicate groups must error, not panic.
+func TestSlaveGroupValidation(t *testing.T) {
+	micro, _ := pair()
+	cases := []struct {
+		name   string
+		groups []SlaveGroup
+		want   string
+	}{
+		{"empty", nil, "at least one"},
+		{"nil platform", []SlaveGroup{{Platform: nil, Nodes: 2}}, "without a platform"},
+		{"zero nodes", []SlaveGroup{{Platform: micro, Nodes: 0}}, "positive node count"},
+		{"negative nodes", []SlaveGroup{{Platform: micro, Nodes: -3}}, "positive node count"},
+		{"duplicate group", []SlaveGroup{{Platform: micro, Nodes: 2}, {Platform: micro, Nodes: 1}}, "duplicate"},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			_, err := NewHadoopGroups(tc.groups, microP().Hadoop.BlockSize, 1)
+			if err == nil || !strings.Contains(err.Error(), tc.want) {
+				t.Fatalf("want error containing %q, got %v", tc.want, err)
+			}
+		})
+	}
+}
+
 func atoi(t *testing.T, s string) int {
 	t.Helper()
 	n := 0

@@ -14,42 +14,128 @@ import (
 // terasort equalizes block size across platforms for fairness.
 const TeraBlockSize = 64 * units.MB
 
+// SlaveGroup sizes one platform's share of a Hadoop slave set. A
+// deployment built from several groups is the mixed-platform cluster the
+// paper could not build (its hybrid stops at a Dell master over Edison
+// slaves): YARN places containers against each node's own catalog
+// capacity, and task rates resolve per slave platform.
+type SlaveGroup struct {
+	Platform *hw.Platform
+	Nodes    int
+}
+
 // Hadoop is a ready-to-run deployment: cluster + staged inputs.
 type Hadoop struct {
 	*mapred.Cluster
+	// Platform is the primary (first-group) platform: cluster-global job
+	// tuning — block size, replication, container memory sizes, reducer
+	// scaling — follows it, exactly as one mapred-site.xml governs a real
+	// mixed cluster.
 	Platform *hw.Platform
-	Slaves   int
+	// Slaves is the total worker count across all groups.
+	Slaves int
+	// Groups is the slave set; a single entry is the paper's homogeneous
+	// deployment.
+	Groups []SlaveGroup
 }
 
-// NewHadoop builds a Hadoop deployment of n slaves on platform p. When the
-// platform's catalog entry names a master platform (micro servers cannot
-// host namenode + ResourceManager, §5.2), one extra node of that platform
-// is deployed as the master — the paper's hybrid configuration; otherwise
-// the deployment is homogeneous with one extra node of p as master.
+// NewHadoop builds a homogeneous Hadoop deployment of n slaves on platform
+// p — one-group shorthand for NewHadoopGroups.
 func NewHadoop(p *hw.Platform, n int, blockSize units.Bytes, seed int64) (*Hadoop, error) {
+	return NewHadoopGroups([]SlaveGroup{{Platform: p, Nodes: n}}, blockSize, seed)
+}
+
+// MasterGroupIndex reports which slave group's platform hosts the
+// namenode + ResourceManager as one extra node of that group: the first
+// group able to self-host (catalog MasterPlatform empty). -1 means no
+// group can, and NewHadoopGroups deploys the first group's catalog-named
+// master platform as its own extra group — the paper's hybrid. Exported so
+// public-API validation sizes group caps against the same rule the builder
+// uses.
+func MasterGroupIndex(groups []SlaveGroup) int {
+	for i, g := range groups {
+		if g.Platform != nil && g.Platform.Hadoop.MasterPlatform == "" {
+			return i
+		}
+	}
+	return -1
+}
+
+// NewHadoopGroups builds a Hadoop deployment over a (possibly mixed) slave
+// set. The master is the first group platform able to host namenode +
+// ResourceManager (micro servers cannot, §5.2), deployed as one extra node
+// of that platform; when no group platform can, the first group's catalog
+// MasterPlatform hosts it — the paper's hybrid configuration. HDFS
+// placement, YARN capacities and container startup times all resolve per
+// node, so a hybrid Edison+Dell slave set schedules exactly like the real
+// thing would.
+func NewHadoopGroups(groups []SlaveGroup, blockSize units.Bytes, seed int64) (*Hadoop, error) {
+	if len(groups) == 0 {
+		return nil, fmt.Errorf("jobs: deployment needs at least one slave group")
+	}
+	seen := map[*hw.Platform]bool{}
+	total := 0
+	for _, g := range groups {
+		if g.Platform == nil {
+			return nil, fmt.Errorf("jobs: slave group without a platform")
+		}
+		if g.Nodes <= 0 {
+			return nil, fmt.Errorf("jobs: slave group %s needs a positive node count (got %d)", g.Platform.Name, g.Nodes)
+		}
+		if seen[g.Platform] {
+			return nil, fmt.Errorf("jobs: duplicate slave group for %s", g.Platform.Name)
+		}
+		seen[g.Platform] = true
+		total += g.Nodes
+	}
+
+	// Master selection: the first self-hosting-capable group platform, or
+	// the first group's catalog-named master platform (hybrid).
+	selfIdx := MasterGroupIndex(groups)
+	var masterPlat *hw.Platform
+	if selfIdx >= 0 {
+		masterPlat = groups[selfIdx].Platform
+	} else {
+		mp := groups[0].Platform.Hadoop.MasterPlatform
+		found, ok := hw.LookupPlatform(mp)
+		if !ok {
+			panic(fmt.Sprintf("jobs: platform %s names unknown master platform %q", groups[0].Platform.Name, mp))
+		}
+		masterPlat = found
+	}
+
+	gcs := make([]cluster.GroupConfig, 0, len(groups)+1)
+	for i, g := range groups {
+		n := g.Nodes
+		if i == selfIdx {
+			n++ // the master shares its platform's group
+		}
+		gcs = append(gcs, cluster.GroupConfig{Platform: g.Platform, Nodes: n})
+	}
+	if selfIdx < 0 {
+		gcs = append(gcs, cluster.GroupConfig{Platform: masterPlat, Nodes: 1})
+	}
+	tb := cluster.New(cluster.Config{Groups: gcs})
+
 	var master *hw.Node
 	var workers []*hw.Node
-	if mp := p.Hadoop.MasterPlatform; mp != "" {
-		mplat, ok := hw.LookupPlatform(mp)
-		if !ok {
-			panic(fmt.Sprintf("jobs: platform %s names unknown master platform %q", p.Name, mp))
+	for i, g := range groups {
+		ns := tb.Nodes(g.Platform)
+		if i == selfIdx {
+			master, ns = ns[0], ns[1:]
 		}
-		tb := cluster.New(cluster.Config{Groups: []cluster.GroupConfig{{Platform: p, Nodes: n}, {Platform: mplat, Nodes: 1}}})
-		master = tb.Nodes(mplat)[0]
-		workers = tb.Nodes(p)
-		c, err := mapred.NewCluster(tb.Eng, tb.Fab, master, workers, blockSize, p.Hadoop.Replicas, seed)
-		if err != nil {
-			return nil, err
-		}
-		return &Hadoop{Cluster: c, Platform: p, Slaves: n}, nil
+		workers = append(workers, ns...)
 	}
-	tb := cluster.New(cluster.Config{Groups: []cluster.GroupConfig{{Platform: p, Nodes: n + 1}}})
-	all := tb.Nodes(p)
-	c, err := mapred.NewCluster(tb.Eng, tb.Fab, all[0], all[1:], blockSize, p.Hadoop.Replicas, seed)
+	if selfIdx < 0 {
+		master = tb.Nodes(masterPlat)[0]
+	}
+
+	primary := groups[0].Platform
+	c, err := mapred.NewCluster(tb.Eng, tb.Fab, master, workers, blockSize, primary.Hadoop.Replicas, seed)
 	if err != nil {
 		return nil, err
 	}
-	return &Hadoop{Cluster: c, Platform: p, Slaves: n}, nil
+	return &Hadoop{Cluster: c, Platform: primary, Slaves: total, Groups: groups}, nil
 }
 
 // Stage registers a job's input files in HDFS (the datasets pre-exist when
@@ -77,11 +163,16 @@ func (h *Hadoop) Stage(job string) {
 	}
 }
 
-// Def builds the JobDef for this deployment's platform. Reducer counts
-// follow §5.2: one per vcore (70 on the full Edison cluster, 24 on Dell),
-// scaled with cluster size; pi uses a single reducer.
+// Def builds the JobDef for this deployment. Reducer counts follow §5.2:
+// one per vcore (70 on the full Edison cluster, 24 on Dell), summed across
+// mixed groups; pi uses a single reducer. On mixed slave sets the primary
+// platform provides the cluster-global container sizes while map/reduce
+// rates and task overheads attach per slave platform.
 func (h *Hadoop) Def(job string) *mapred.JobDef {
-	reduces := h.Platform.Hadoop.VCores * h.Slaves
+	reduces := 0
+	for _, g := range h.Groups {
+		reduces += g.Platform.Hadoop.VCores * g.Nodes
+	}
 	var j *mapred.JobDef
 	switch job {
 	case "wordcount":
@@ -105,6 +196,16 @@ func (h *Hadoop) Def(job string) *mapred.JobDef {
 		total := int64(WordcountBytes)
 		j.MaxSplitSize = units.Bytes(total/int64(reduces) + 1)
 	}
+	if len(h.Groups) > 1 {
+		j.PlatformCosts = make(map[string]mapred.CostModel, len(h.Groups))
+		for _, g := range h.Groups {
+			if job == "pi" {
+				j.PlatformCosts[g.Platform.Spec.Name] = piCost(len(j.Inputs), g.Platform)
+				continue
+			}
+			j.PlatformCosts[g.Platform.Spec.Name] = costFor(job, g.Platform)
+		}
+	}
 	return j
 }
 
@@ -121,10 +222,24 @@ func Names() []string {
 	return []string{"wordcount", "wordcount2", "logcount", "logcount2", "pi", "terasort"}
 }
 
-// Run stages and executes one named job on a fresh deployment, returning
-// the result. This is the one-call path used by experiments and benches.
+// Run stages and executes one named job on a fresh homogeneous deployment,
+// returning the result. This is the one-call path used by experiments and
+// benches.
 func Run(job string, p *hw.Platform, slaves int, seed int64) (*mapred.JobResult, error) {
-	h, err := NewHadoop(p, slaves, BlockSizeFor(job, p), seed)
+	return RunGroups(job, []SlaveGroup{{Platform: p, Nodes: slaves}}, seed)
+}
+
+// RunGroups stages and executes one named job on a fresh deployment over a
+// (possibly mixed-platform) slave set — the heterogeneous-cluster
+// counterpart of Run. Job tuning follows the first group's platform.
+func RunGroups(job string, groups []SlaveGroup, seed int64) (*mapred.JobResult, error) {
+	if len(groups) == 0 {
+		return nil, fmt.Errorf("jobs: %s needs at least one slave group", job)
+	}
+	if groups[0].Platform == nil {
+		return nil, fmt.Errorf("jobs: slave group without a platform")
+	}
+	h, err := NewHadoopGroups(groups, BlockSizeFor(job, groups[0].Platform), seed)
 	if err != nil {
 		return nil, err
 	}

@@ -13,6 +13,7 @@
 package mapred
 
 import (
+	"edisim/internal/hw"
 	"edisim/internal/units"
 )
 
@@ -28,11 +29,13 @@ type MapFunc func(record string, emit func(k, v string))
 type ReduceFunc func(key string, values []string, emit func(k, v string))
 
 // CostModel carries the calibrated rates for a job on the worker platform
-// it runs on (containers only ever land on workers, which are homogeneous,
-// so the model is flat — internal/jobs resolves it from the hw platform
-// catalog). Rates are per container running on one dedicated core;
-// oversubscription slowdowns (4 containers on 2 Edison cores, 24 on ≈11
-// Dell core-equivalents) emerge from the processor-sharing CPU model.
+// it runs on (internal/jobs resolves it from the hw platform catalog).
+// Rates are per container running on one dedicated core; oversubscription
+// slowdowns (4 containers on 2 Edison cores, 24 on ≈11 Dell
+// core-equivalents) emerge from the processor-sharing CPU model. On a
+// homogeneous cluster JobDef.Cost is the whole story; mixed-platform slave
+// sets add per-platform rate overrides via JobDef.PlatformCosts, resolved
+// per container node at run time.
 type CostModel struct {
 	// MapMBps is map-function throughput over its split, MB per core-second.
 	MapMBps float64
@@ -79,9 +82,27 @@ type JobDef struct {
 
 	Cost CostModel
 
+	// PlatformCosts overrides Cost's compute rates per worker platform
+	// (keyed by NodeSpec.Name) for mixed-platform slave sets: a task's
+	// map/reduce rate, fixed map seconds and per-attempt overhead follow
+	// the node its container lands on. The byte-shape ratios (OutputRatio,
+	// CombineRatio, ReduceOutputRatio) are properties of the workload, not
+	// the platform, and always come from Cost. Nil on the paper's
+	// homogeneous clusters.
+	PlatformCosts map[string]CostModel
+
 	// Functional implementations for LocalRun.
 	Map    MapFunc
 	Reduce ReduceFunc
+}
+
+// rates resolves the compute-rate model for a container on node n: the
+// per-platform override when the slave set is mixed, Cost otherwise.
+func (j *JobDef) rates(n *hw.Node) CostModel {
+	if c, ok := j.PlatformCosts[n.Spec.Name]; ok {
+		return c
+	}
+	return j.Cost
 }
 
 // Validate reports a configuration error, if any.

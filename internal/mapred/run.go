@@ -4,28 +4,37 @@ import (
 	"fmt"
 	"sort"
 
+	"edisim/internal/hw"
 	"edisim/internal/power"
 	"edisim/internal/stats"
 	"edisim/internal/units"
 	"edisim/internal/yarn"
 )
 
-// mapSeconds resolves the per-core map duration for a split.
-func mapSeconds(job *JobDef, size units.Bytes) float64 {
-	if job.Cost.MapFixedSeconds > 0 {
-		return job.Cost.MapFixedSeconds
+// mapSeconds resolves the per-core map duration for a split on node n
+// (mixed-platform slave sets calibrate rates per platform).
+func mapSeconds(job *JobDef, n *hw.Node, size units.Bytes) float64 {
+	c := job.rates(n)
+	if c.MapFixedSeconds > 0 {
+		return c.MapFixedSeconds
 	}
-	if job.Cost.MapMBps <= 0 {
+	if c.MapMBps <= 0 {
 		panic(fmt.Sprintf("mapred: job %q has no map rate", job.Name))
 	}
-	return float64(size) / float64(units.MBps) / job.Cost.MapMBps
+	return float64(size) / float64(units.MBps) / c.MapMBps
 }
 
-func reduceSeconds(job *JobDef, size units.Bytes) float64 {
-	if job.Cost.ReduceMBps <= 0 {
+func reduceSeconds(job *JobDef, n *hw.Node, size units.Bytes) float64 {
+	c := job.rates(n)
+	if c.ReduceMBps <= 0 {
 		panic(fmt.Sprintf("mapred: job %q has no reduce rate", job.Name))
 	}
-	return float64(size) / float64(units.MBps) / job.Cost.ReduceMBps
+	return float64(size) / float64(units.MBps) / c.ReduceMBps
+}
+
+// overheadSeconds is the fixed per-task-attempt cost on node n's platform.
+func overheadSeconds(job *JobDef, n *hw.Node) float64 {
+	return job.rates(n).TaskOverheadSeconds
 }
 
 // maxShuffleFetches bounds a reducer's parallel fetch streams (Hadoop's
@@ -150,7 +159,7 @@ func (c *Cluster) Start(job *JobDef, done func()) (*JobResult, error) {
 			active--
 			if fetched >= len(sources) {
 				// Sort+merge+reduce, then write output to HDFS.
-				node.ComputeSeconds(reduceSeconds(job, shuffleShare), func() {
+				node.ComputeSeconds(reduceSeconds(job, node, shuffleShare), func() {
 					out := units.Bytes(float64(shuffleShare) * job.Cost.ReduceOutputRatio)
 					res.OutputBytes += out
 					outSeq++
@@ -231,7 +240,7 @@ func (c *Cluster) Start(job *JobDef, done func()) (*JobResult, error) {
 				})
 				share := units.Bytes(float64(expectedMapOut) / float64(job.NumReduces))
 				// Reduce attempts pay the same (CPU-bound) setup overhead.
-				ct.Node.Node.ComputeSeconds(job.Cost.TaskOverheadSeconds, func() {
+				ct.Node.Node.ComputeSeconds(overheadSeconds(job, ct.Node.Node), func() {
 					runReducer(ct, share, sources)
 				})
 			})
@@ -253,8 +262,8 @@ func (c *Cluster) Start(job *JobDef, done func()) (*JobResult, error) {
 				// CPU-bound, which is why the paper's Dell trace pegs 100%
 				// CPU through the map phase), then the map computation and
 				// the spill of (combined) output.
-				work := job.Cost.TaskOverheadSeconds +
-					mapSeconds(job, s.size)
+				work := overheadSeconds(job, node) +
+					mapSeconds(job, node, s.size)
 				node.ComputeSeconds(work, func() {
 					out := units.Bytes(float64(s.size) * job.Cost.OutputRatio * combine)
 					node.Disk().Write(out, true, func() {

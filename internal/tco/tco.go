@@ -2,10 +2,16 @@
 // (Section 6): equipment cost plus electricity over a server lifetime,
 // C = Cs + Ts·Ceph·(U·Pp + (1−U)·Pi), with the Table 9 constants and the
 // Table 10 scenarios. Per-platform unit costs and power endpoints come from
-// the hw platform catalog, so any catalog entry can be priced.
+// the hw platform catalog, so any catalog entry can be priced — either at a
+// fixed fleet size (Compute) or sized to a spending cap (SizeForBudget),
+// which is how the paper's "35 Edisons vs 3 Dells at comparable cost"
+// comparison generalizes to arbitrary platforms.
 package tco
 
 import (
+	"fmt"
+	"math"
+
 	"edisim/internal/hw"
 	"edisim/internal/units"
 )
@@ -19,6 +25,25 @@ type Inputs struct {
 	Utilization float64     // U in [0,1]
 	LifeYears   float64     // Ts
 	PricePerKWh float64     // Ceph
+}
+
+// Validate reports the first invalid field, if any. Every Compute input is
+// user-reachable through cmd/tcocalc and the public edisim package, so
+// out-of-range values must surface as errors, not panics or negative costs.
+func (in Inputs) Validate() error {
+	switch {
+	case in.Servers <= 0:
+		return fmt.Errorf("tco: server count %d must be positive", in.Servers)
+	case math.IsNaN(in.Utilization) || in.Utilization < 0 || in.Utilization > 1:
+		return fmt.Errorf("tco: utilization %v outside [0,1]", in.Utilization)
+	case in.CostPerUnit < 0:
+		return fmt.Errorf("tco: negative unit cost %v", in.CostPerUnit)
+	case in.LifeYears < 0:
+		return fmt.Errorf("tco: negative lifetime %v years", in.LifeYears)
+	case in.PricePerKWh < 0:
+		return fmt.Errorf("tco: negative electricity price %v", in.PricePerKWh)
+	}
+	return nil
 }
 
 // Defaults from Table 9.
@@ -36,10 +61,11 @@ type Result struct {
 // Total reports equipment plus electricity.
 func (r Result) Total() float64 { return r.Equipment + r.Electricity }
 
-// Compute evaluates Equation (1).
-func Compute(in Inputs) Result {
-	if in.Utilization < 0 || in.Utilization > 1 {
-		panic("tco: utilization must be within [0,1]")
+// Compute evaluates Equation (1), rejecting invalid inputs (non-positive
+// server counts, utilization outside [0,1], negative costs) with an error.
+func Compute(in Inputs) (Result, error) {
+	if err := in.Validate(); err != nil {
+		return Result{}, err
 	}
 	hours := in.LifeYears * 365 * 24
 	meanWatts := in.Utilization*float64(in.Peak) + (1-in.Utilization)*float64(in.Idle)
@@ -47,7 +73,17 @@ func Compute(in Inputs) Result {
 	return Result{
 		Equipment:   float64(in.Servers) * in.CostPerUnit,
 		Electricity: kwh * in.PricePerKWh,
+	}, nil
+}
+
+// MustCompute is Compute for inputs known valid by construction (catalog
+// platforms at fixed utilization points); it panics on invalid inputs.
+func MustCompute(in Inputs) Result {
+	r, err := Compute(in)
+	if err != nil {
+		panic(err)
 	}
+	return r
 }
 
 // ForPlatform builds Inputs for n nodes of a catalog platform at
@@ -64,6 +100,42 @@ func ForPlatform(p *hw.Platform, n int, u float64) Inputs {
 		LifeYears:   LifeYears,
 		PricePerKWh: PricePerKWh,
 	}
+}
+
+// sizeSlack absorbs float rounding when a budget is an exact multiple of
+// the per-server cost: budgets are dollars, so a relative 1e-9 never admits
+// a genuinely unaffordable server.
+const sizeSlack = 1 + 1e-9
+
+// MaxFleet caps SizeForBudget's answer: absurd budgets size to this bound
+// instead of overflowing the int conversion. It sits far beyond anything
+// the simulator (or the planet) deploys; callers with tighter bounds
+// (cluster.MaxGroupNodes) clamp further.
+const MaxFleet = math.MaxInt32
+
+// SizeForBudget reports the largest fleet of platform p whose 3-year TCO at
+// utilization u fits within budgetUSD — the equal-spend sizing behind the
+// paper's 35-Edisons-vs-3-Dells framing (§6). The TCO is linear in the
+// server count, so the answer is budget divided by one server's lifetime
+// cost, rounded down (capped at MaxFleet); 0 means a single server already
+// exceeds the budget.
+func SizeForBudget(p *hw.Platform, budgetUSD, u float64) (int, error) {
+	if math.IsNaN(budgetUSD) || math.IsInf(budgetUSD, 0) || budgetUSD <= 0 {
+		return 0, fmt.Errorf("tco: budget $%v must be positive and finite", budgetUSD)
+	}
+	one, err := Compute(ForPlatform(p, 1, u))
+	if err != nil {
+		return 0, err
+	}
+	per := one.Total()
+	if per <= 0 {
+		return 0, fmt.Errorf("tco: platform %s has non-positive per-server cost $%v", p.Name, per)
+	}
+	q := budgetUSD / per * sizeSlack
+	if q > MaxFleet {
+		return MaxFleet, nil
+	}
+	return int(q), nil
 }
 
 // Scenario is one Table 10 row comparing a micro fleet to a brawny fleet.
@@ -89,23 +161,23 @@ func Table10() []Scenario {
 	return []Scenario{
 		{
 			Name:   "Web service, low utilization",
-			Brawny: Compute(ForPlatform(brawny, 3, 0.10)),
-			Micro:  Compute(ForPlatform(micro, 35, 0.10)),
+			Brawny: MustCompute(ForPlatform(brawny, 3, 0.10)),
+			Micro:  MustCompute(ForPlatform(micro, 35, 0.10)),
 		},
 		{
 			Name:   "Web service, high utilization",
-			Brawny: Compute(ForPlatform(brawny, 3, 0.75)),
-			Micro:  Compute(ForPlatform(micro, 35, 0.75)),
+			Brawny: MustCompute(ForPlatform(brawny, 3, 0.75)),
+			Micro:  MustCompute(ForPlatform(micro, 35, 0.75)),
 		},
 		{
 			Name:   "Big data, low utilization",
-			Brawny: Compute(ForPlatform(brawny, 2, 0.25)),
-			Micro:  Compute(ForPlatform(micro, 35, 1.0)),
+			Brawny: MustCompute(ForPlatform(brawny, 2, 0.25)),
+			Micro:  MustCompute(ForPlatform(micro, 35, 1.0)),
 		},
 		{
 			Name:   "Big data, high utilization",
-			Brawny: Compute(ForPlatform(brawny, 2, 0.74)),
-			Micro:  Compute(ForPlatform(micro, 35, 1.0)),
+			Brawny: MustCompute(ForPlatform(brawny, 2, 0.74)),
+			Micro:  MustCompute(ForPlatform(micro, 35, 1.0)),
 		},
 	}
 }

@@ -3,6 +3,7 @@ package tco
 import (
 	"math"
 	"math/rand"
+	"strings"
 	"testing"
 	"testing/quick"
 
@@ -45,7 +46,7 @@ func TestSavingsUpTo47Percent(t *testing.T) {
 
 func TestEquipmentDominatesMicroCost(t *testing.T) {
 	micro, _ := basePair()
-	r := Compute(ForPlatform(micro, 35, 1.0))
+	r := MustCompute(ForPlatform(micro, 35, 1.0))
 	if r.Equipment != 35*micro.UnitCost {
 		t.Fatalf("equipment %.0f", r.Equipment)
 	}
@@ -55,14 +56,159 @@ func TestEquipmentDominatesMicroCost(t *testing.T) {
 	}
 }
 
-func TestUtilizationBoundsChecked(t *testing.T) {
+// TestInvalidInputsRejected pins the bugfix: out-of-range utilization and
+// non-positive server counts are errors, never panics or negative costs —
+// both are user-reachable through cmd/tcocalc and edisim.ComputeTCO.
+func TestInvalidInputsRejected(t *testing.T) {
+	micro, brawny := basePair()
+	cases := []struct {
+		name string
+		in   Inputs
+		want string // substring of the error
+	}{
+		{"utilization above 1", ForPlatform(brawny, 1, 1.5), "outside [0,1]"},
+		{"negative utilization", ForPlatform(brawny, 3, -0.25), "outside [0,1]"},
+		{"NaN utilization", ForPlatform(brawny, 3, math.NaN()), "outside [0,1]"},
+		{"negative servers", ForPlatform(micro, -5, 0.5), "must be positive"},
+		{"zero servers", ForPlatform(micro, 0, 0.5), "must be positive"},
+		{"negative unit cost", Inputs{Servers: 1, CostPerUnit: -120, Utilization: 0.5, LifeYears: 3, PricePerKWh: 0.1}, "unit cost"},
+		{"negative lifetime", Inputs{Servers: 1, CostPerUnit: 120, Utilization: 0.5, LifeYears: -3, PricePerKWh: 0.1}, "lifetime"},
+		{"negative price", Inputs{Servers: 1, CostPerUnit: 120, Utilization: 0.5, LifeYears: 3, PricePerKWh: -0.1}, "electricity price"},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			r, err := Compute(tc.in)
+			if err == nil {
+				t.Fatalf("Compute(%+v) accepted invalid input: %+v", tc.in, r)
+			}
+			if !strings.Contains(err.Error(), tc.want) {
+				t.Fatalf("error %q does not mention %q", err, tc.want)
+			}
+			if r.Total() != 0 {
+				t.Fatalf("invalid input still priced: %+v", r)
+			}
+		})
+	}
+}
+
+func TestMustComputePanicsOnInvalid(t *testing.T) {
 	defer func() {
 		if recover() == nil {
-			t.Fatal("invalid utilization accepted")
+			t.Fatal("MustCompute accepted invalid utilization")
 		}
 	}()
 	_, brawny := basePair()
-	Compute(ForPlatform(brawny, 1, 1.5))
+	MustCompute(ForPlatform(brawny, 1, 1.5))
+}
+
+// TestSizeForBudget pins the equal-spend sizing math: floor(budget / one
+// server's 3-year cost), exact multiples included, with errors for
+// non-positive budgets and invalid utilization.
+func TestSizeForBudget(t *testing.T) {
+	micro, brawny := basePair()
+	perMicro := MustCompute(ForPlatform(micro, 1, 0.75)).Total()
+	perBrawny := MustCompute(ForPlatform(brawny, 1, 0.75)).Total()
+	cases := []struct {
+		name    string
+		p       *hw.Platform
+		budget  float64
+		util    float64
+		want    int
+		wantErr string
+	}{
+		{name: "under one server", p: brawny, budget: perBrawny * 0.99, util: 0.75, want: 0},
+		{name: "exactly one server", p: brawny, budget: perBrawny, util: 0.75, want: 1},
+		{name: "exact multiple", p: micro, budget: 7 * perMicro, util: 0.75, want: 7},
+		{name: "just under a multiple", p: micro, budget: 7*perMicro - 1, util: 0.75, want: 6},
+		{name: "paper web budget", p: micro, budget: MustCompute(ForPlatform(brawny, 3, 0.75)).Total(), util: 0.75},
+		{name: "zero budget", p: micro, budget: 0, util: 0.5, wantErr: "must be positive"},
+		{name: "negative budget", p: micro, budget: -100, util: 0.5, wantErr: "must be positive"},
+		{name: "NaN budget", p: micro, budget: math.NaN(), util: 0.5, wantErr: "must be positive"},
+		{name: "infinite budget", p: micro, budget: math.Inf(1), util: 0.5, wantErr: "finite"},
+		{name: "bad utilization", p: micro, budget: 1000, util: 2, wantErr: "outside [0,1]"},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			n, err := SizeForBudget(tc.p, tc.budget, tc.util)
+			if tc.wantErr != "" {
+				if err == nil || !strings.Contains(err.Error(), tc.wantErr) {
+					t.Fatalf("want error containing %q, got n=%d err=%v", tc.wantErr, n, err)
+				}
+				return
+			}
+			if err != nil {
+				t.Fatalf("SizeForBudget: %v", err)
+			}
+			if tc.want > 0 && n != tc.want {
+				t.Fatalf("got %d servers, want %d", n, tc.want)
+			}
+			// The sized fleet must fit the budget, and one more must not.
+			if n > 0 {
+				if got := MustCompute(ForPlatform(tc.p, n, tc.util)).Total(); got > tc.budget*1.000001 {
+					t.Fatalf("sized fleet $%.2f exceeds budget $%.2f", got, tc.budget)
+				}
+			}
+			if over := MustCompute(ForPlatform(tc.p, n+1, tc.util)).Total(); over <= tc.budget*0.999999 {
+				t.Fatalf("fleet of %d (+1) at $%.2f still fits budget $%.2f — not maximal", n+1, over, tc.budget)
+			}
+		})
+	}
+}
+
+// TestSizeForBudgetOverflowClamped: a finite but absurd budget must clamp
+// to MaxFleet, never wrap the int conversion into a negative fleet.
+func TestSizeForBudgetOverflowClamped(t *testing.T) {
+	micro, _ := basePair()
+	n, err := SizeForBudget(micro, 1e30, 0.5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n != MaxFleet {
+		t.Fatalf("absurd budget sized to %d, want the MaxFleet clamp %d", n, MaxFleet)
+	}
+}
+
+// TestSizeForBudgetMatchesPaperScale: at the paper's high-utilization web
+// point, the brawny 3-server budget buys a micro fleet in the tens of
+// nodes — the §6 "comparable cost" framing (the paper deploys 35).
+func TestSizeForBudgetMatchesPaperScale(t *testing.T) {
+	micro, brawny := basePair()
+	budget := MustCompute(ForPlatform(brawny, 3, 0.75)).Total()
+	n, err := SizeForBudget(micro, budget, 0.75)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n < 30 || n > 80 {
+		t.Fatalf("budget $%.0f buys %d micro nodes; expected the paper's tens-of-nodes scale", budget, n)
+	}
+}
+
+// TestSizingStaysAllocationFree pins that the budget-sizing path is pure
+// math: it must never allocate, so experiments can size fleets per sweep
+// point without touching the allocation-free request path's budget (the CI
+// alloc-regression step runs this).
+func TestSizingStaysAllocationFree(t *testing.T) {
+	micro, brawny := basePair()
+	budget := MustCompute(ForPlatform(brawny, 3, 0.75)).Total()
+	allocs := testing.AllocsPerRun(100, func() {
+		if _, err := SizeForBudget(micro, budget, 0.75); err != nil {
+			t.Fatal(err)
+		}
+	})
+	if allocs != 0 {
+		t.Fatalf("SizeForBudget allocates %.1f times per call, want 0", allocs)
+	}
+}
+
+func BenchmarkSizeForBudget(b *testing.B) {
+	micro, brawny := basePair()
+	budget := MustCompute(ForPlatform(brawny, 3, 0.75)).Total()
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		if _, err := SizeForBudget(micro, budget, 0.75); err != nil {
+			b.Fatal(err)
+		}
+	}
 }
 
 // Property: TCO is monotone in utilization (peak power > idle power).
@@ -75,7 +221,7 @@ func TestTCOMonotoneInUtilization(t *testing.T) {
 		}
 		lo, hi := math.Min(u1, u2), math.Max(u1, u2)
 		_, brawny := basePair()
-		return Compute(ForPlatform(brawny, 2, lo)).Total() <= Compute(ForPlatform(brawny, 2, hi)).Total()+1e-9
+		return MustCompute(ForPlatform(brawny, 2, lo)).Total() <= MustCompute(ForPlatform(brawny, 2, hi)).Total()+1e-9
 	}
 	if err := quick.Check(f, &quick.Config{MaxCount: 200, Rand: rand.New(rand.NewSource(10))}); err != nil {
 		t.Fatal(err)
@@ -87,8 +233,8 @@ func TestTCOLinearInServers(t *testing.T) {
 	f := func(nRaw uint8) bool {
 		n := int(nRaw%20) + 1
 		micro, _ := basePair()
-		one := Compute(ForPlatform(micro, 1, 0.5)).Total()
-		many := Compute(ForPlatform(micro, n, 0.5)).Total()
+		one := MustCompute(ForPlatform(micro, 1, 0.5)).Total()
+		many := MustCompute(ForPlatform(micro, n, 0.5)).Total()
 		return almost(many, float64(n)*one, 1e-6*many+1e-6)
 	}
 	if err := quick.Check(f, &quick.Config{MaxCount: 50, Rand: rand.New(rand.NewSource(11))}); err != nil {

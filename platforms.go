@@ -1,6 +1,8 @@
 package edisim
 
 import (
+	"strings"
+
 	"edisim/internal/hw"
 )
 
@@ -52,17 +54,47 @@ func Ref(name string) PlatformRef { return PlatformRef{Name: name} }
 func Custom(p *Platform) PlatformRef { return PlatformRef{Platform: p} }
 
 // resolve returns the referenced platform, nil for the zero ref, or an
-// error naming the catalog when the name is unknown.
+// error naming the catalog when the name is unknown. Names are
+// whitespace-trimmed, so refs built from comma-separated CLI lists
+// ("edison, dell-r620") resolve and report cleanly.
 func (r PlatformRef) resolve() (*Platform, error) {
 	if r.Platform != nil {
 		return r.Platform, nil
 	}
-	if r.Name == "" {
+	name := strings.TrimSpace(r.Name)
+	if name == "" {
 		return nil, nil
 	}
-	p, ok := hw.LookupPlatform(r.Name)
+	p, ok := hw.LookupPlatform(name)
 	if !ok {
-		return nil, unknownNameError("platform", r.Name, hw.PlatformNames())
+		return nil, unknownNameError("platform", name, hw.PlatformNames())
 	}
 	return p, nil
+}
+
+// ParsePlatformRefs parses a comma-separated platform list (the shape of
+// the cmds' -platforms flag) into refs: entries are whitespace-trimmed,
+// empties dropped, and duplicates — including alias spellings of the same
+// catalog entry ("dell,r620") — collapsed to their first occurrence, so a
+// repeated platform is never priced or simulated twice. Unknown names are
+// kept verbatim; resolution reports them against the valid catalog set.
+func ParsePlatformRefs(list string) []PlatformRef {
+	var out []PlatformRef
+	seen := map[string]bool{}
+	for _, tok := range strings.Split(list, ",") {
+		tok = strings.TrimSpace(tok)
+		if tok == "" {
+			continue
+		}
+		key := strings.ToLower(tok)
+		if p, ok := hw.LookupPlatform(tok); ok {
+			key = p.Name
+		}
+		if seen[key] {
+			continue
+		}
+		seen[key] = true
+		out = append(out, Ref(tok))
+	}
+	return out
 }

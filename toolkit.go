@@ -169,8 +169,18 @@ func TCOForPlatform(p *Platform, n int, utilization float64) TCOInputs {
 	return tco.ForPlatform(p, n, utilization)
 }
 
-// ComputeTCO evaluates the cost model.
-func ComputeTCO(in TCOInputs) TCOResult { return tco.Compute(in) }
+// ComputeTCO evaluates the cost model. Invalid inputs — a non-positive
+// server count, utilization outside [0,1], negative costs — return an
+// error rather than panicking or pricing a negative fleet.
+func ComputeTCO(in TCOInputs) (TCOResult, error) { return tco.Compute(in) }
+
+// SizeFleetForBudget reports the largest fleet of platform p whose 3-year
+// TCO at the given utilization fits within budgetUSD — the equal-spend
+// sizing behind the paper's 35-Edisons-vs-3-Dells comparison (§6). Zero
+// means one server already exceeds the budget.
+func SizeFleetForBudget(p *Platform, budgetUSD, utilization float64) (int, error) {
+	return tco.SizeForBudget(p, budgetUSD, utilization)
+}
 
 // TCOTable10 returns the paper's four published TCO scenarios.
 func TCOTable10() []TCOScenario { return tco.Table10() }

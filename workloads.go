@@ -2,6 +2,7 @@ package edisim
 
 import (
 	"fmt"
+	"math"
 
 	"edisim/internal/cluster"
 	"edisim/internal/core"
@@ -236,7 +237,9 @@ func tierClusterConfig(webPlat *hw.Platform, nWeb int, cachePlat *hw.Platform, n
 // MapReduceJob simulates one Hadoop job end to end on a platform's cluster,
 // optionally with the 1 Hz utilization/power trace the paper plots in
 // Figures 12–17 (the YARN container lifecycle, HDFS placement and network
-// shuffle all run in the simulation).
+// shuffle all run in the simulation). SlaveGroups runs the job on a
+// mixed-platform slave set — the heterogeneous cluster the paper's hybrid
+// (Dell master over Edison slaves) stops short of.
 type MapReduceJob struct {
 	// ID names the artifact (default "mapreduce_<job>").
 	ID string
@@ -247,8 +250,67 @@ type MapReduceJob struct {
 	Platform PlatformRef
 	// Slaves defaults to the platform's fleet slave count.
 	Slaves int
+	// SlaveGroups, when set, replaces Platform/Slaves with a mixed-platform
+	// slave set: each entry is one platform's share of the workers, with
+	// YARN capacities, container startup and task rates resolved per
+	// platform. The first group is primary — cluster-global job tuning
+	// (block size, replication, container sizes, reducer scaling) follows
+	// it. Every entry needs an explicit platform and a positive node count.
+	SlaveGroups []TierSpec
 	// Trace adds the utilization/power trace figure.
 	Trace bool
+}
+
+// expandGroups resolves SlaveGroups into the jobs-layer slave set,
+// validating each entry (explicit platform, positive nodes, no duplicate
+// platforms) and the per-group node caps.
+func (mj *MapReduceJob) expandGroups(job string) ([]jobs.SlaveGroup, error) {
+	var groups []jobs.SlaveGroup
+	seen := map[*hw.Platform]bool{}
+	for i, ts := range mj.SlaveGroups {
+		p, err := ts.Platform.resolve()
+		if err != nil {
+			return nil, err
+		}
+		if p == nil {
+			return nil, fmt.Errorf("edisim: mapreduce %s: slave group %d needs an explicit platform", job, i)
+		}
+		if ts.Nodes <= 0 {
+			return nil, fmt.Errorf("edisim: mapreduce %s: slave group %d (%s) needs a positive node count (got %d)", job, i, p.Label, ts.Nodes)
+		}
+		if seen[p] {
+			return nil, fmt.Errorf("edisim: mapreduce %s: duplicate slave group for %s", job, p.Label)
+		}
+		seen[p] = true
+		groups = append(groups, jobs.SlaveGroup{Platform: p, Nodes: ts.Nodes})
+	}
+	// Per-group cluster caps, sized against the builder's own master
+	// placement rule (jobs.MasterGroupIndex): the hosting group deploys
+	// one extra node.
+	selfIdx := jobs.MasterGroupIndex(groups)
+	for i, g := range groups {
+		n := g.Nodes
+		if i == selfIdx {
+			n++
+		}
+		if n > cluster.MaxGroupNodes {
+			return nil, fmt.Errorf("edisim: mapreduce %s: %s group of %d nodes exceeds the %d-node group cap",
+				job, g.Platform.Label, g.Nodes, cluster.MaxGroupNodes)
+		}
+	}
+	return groups, nil
+}
+
+// groupsLabel renders a mixed slave set for titles: "3 Edison + 1 Dell".
+func groupsLabel(groups []jobs.SlaveGroup) string {
+	s := ""
+	for i, g := range groups {
+		if i > 0 {
+			s += " + "
+		}
+		s += fmt.Sprintf("%d %s", g.Nodes, g.Platform.Label)
+	}
+	return s
 }
 
 func (mj *MapReduceJob) expand(core.Config) ([]unit, error) {
@@ -262,41 +324,61 @@ func (mj *MapReduceJob) expand(core.Config) ([]unit, error) {
 	if !found {
 		return nil, unknownNameError("job", job, jobs.Names())
 	}
-	p, err := mj.Platform.resolve()
-	if err != nil {
-		return nil, err
-	}
-	if p == nil {
-		p, _ = hw.BaselinePair()
-	}
-	slaves := mj.Slaves
-	if slaves == 0 {
-		slaves = p.Fleet.Slaves
-	}
-	if slaves <= 0 {
-		return nil, fmt.Errorf("edisim: mapreduce %s: need at least one slave", job)
-	}
-	// A self-hosted master shares the slaves' group (slaves+1 nodes); an
-	// external master (Edison/Pi-class hybrids) lives in its own group.
-	group := slaves
-	if p.Hadoop.MasterPlatform == "" {
-		group = slaves + 1
-	}
-	if group > cluster.MaxGroupNodes {
-		detail := fmt.Sprintf("%d slaves", slaves)
-		if group != slaves {
-			detail += " plus the self-hosted master"
+
+	var groups []jobs.SlaveGroup
+	if len(mj.SlaveGroups) > 0 {
+		var err error
+		if groups, err = mj.expandGroups(job); err != nil {
+			return nil, err
 		}
-		return nil, fmt.Errorf("edisim: mapreduce %s: %s exceeds the %d-node group cap", job, detail, cluster.MaxGroupNodes)
+	} else {
+		p, err := mj.Platform.resolve()
+		if err != nil {
+			return nil, err
+		}
+		if p == nil {
+			p, _ = hw.BaselinePair()
+		}
+		slaves := mj.Slaves
+		if slaves == 0 {
+			slaves = p.Fleet.Slaves
+		}
+		if slaves <= 0 {
+			return nil, fmt.Errorf("edisim: mapreduce %s: need at least one slave", job)
+		}
+		// A self-hosted master shares the slaves' group (slaves+1 nodes);
+		// an external master (Edison/Pi-class hybrids) lives in its own
+		// group.
+		group := slaves
+		if p.Hadoop.MasterPlatform == "" {
+			group = slaves + 1
+		}
+		if group > cluster.MaxGroupNodes {
+			detail := fmt.Sprintf("%d slaves", slaves)
+			if group != slaves {
+				detail += " plus the self-hosted master"
+			}
+			return nil, fmt.Errorf("edisim: mapreduce %s: %s exceeds the %d-node group cap", job, detail, cluster.MaxGroupNodes)
+		}
+		groups = []jobs.SlaveGroup{{Platform: p, Nodes: slaves}}
 	}
+
 	id := mj.ID
 	if id == "" {
 		id = "mapreduce_" + job
 	}
-	title := fmt.Sprintf("%s on %d %s slaves", job, slaves, p.Label)
+	title := fmt.Sprintf("%s on %s slaves", job, groupsLabel(groups))
+	platLabel := groups[0].Platform.Label
+	if len(groups) > 1 {
+		platLabel = "mixed"
+	}
+	totalSlaves := 0
+	for _, g := range groups {
+		totalSlaves += g.Nodes
+	}
 
 	run := func(cfg core.Config) (*core.Outcome, error) {
-		r, err := jobs.Run(job, p, slaves, cfg.Seed)
+		r, err := jobs.RunGroups(job, groups, cfg.Seed)
 		if err != nil {
 			return nil, err
 		}
@@ -305,8 +387,8 @@ func (mj *MapReduceJob) expand(core.Config) ([]unit, error) {
 			"job", "platform", "slaves", "time s", "energy J", "maps", "reduces", "local %").
 			WithUnits("", "", "nodes", "s", "J", "tasks", "tasks", "%")
 		t.AddRow(
-			job, p.Label,
-			report.Count(int64(slaves), "nodes"),
+			job, platLabel,
+			report.Count(int64(totalSlaves), "nodes"),
 			report.Num(r.Duration, "s"),
 			report.Num(float64(r.Energy), "J"),
 			report.Count(int64(r.MapTasks), "tasks"),
@@ -328,15 +410,23 @@ func JobNames() []string { return jobs.Names() }
 // --- TCO study -------------------------------------------------------------
 
 // TCOStudy prices platform fleets with the paper's 3-year
-// total-cost-of-ownership model (Section 6, Equation 1).
+// total-cost-of-ownership model (Section 6, Equation 1). Fleets are sized
+// explicitly (Nodes), from the catalog (the default), or to an equal
+// spending cap (Budget) — the paper's comparable-cost framing.
 type TCOStudy struct {
 	// ID names the artifact (default "tco_study").
 	ID string
 	// Platforms to price side by side (default: the whole catalog).
 	Platforms []PlatformRef
 	// Nodes matches Platforms entry for entry (default: each platform's
-	// fleet slave count).
+	// fleet slave count). Every count must be positive. Mutually exclusive
+	// with Budget.
 	Nodes []int
+	// Budget, when positive, sizes every platform's fleet to the largest
+	// node count whose 3-year TCO fits the budget (tco.SizeForBudget)
+	// instead of using Nodes or the catalog fleets. A platform whose
+	// single server exceeds the budget prices as a zero-node row.
+	Budget float64
 	// Utilization in [0,1] (default 0.5). The zero value means "use the
 	// default"; pass ZeroUtilization for a genuinely idle fleet.
 	Utilization float64
@@ -369,6 +459,17 @@ func (ts *TCOStudy) expand(core.Config) ([]unit, error) {
 	if ts.Nodes != nil && len(ts.Nodes) != len(plats) {
 		return nil, fmt.Errorf("edisim: %s: %d node counts for %d platforms", id, len(ts.Nodes), len(plats))
 	}
+	if ts.Budget < 0 || math.IsNaN(ts.Budget) || math.IsInf(ts.Budget, 0) {
+		return nil, fmt.Errorf("edisim: %s: budget $%v must be positive and finite", id, ts.Budget)
+	}
+	if ts.Budget > 0 && ts.Nodes != nil {
+		return nil, fmt.Errorf("edisim: %s: Budget and Nodes are mutually exclusive", id)
+	}
+	for i, n := range ts.Nodes {
+		if n <= 0 {
+			return nil, fmt.Errorf("edisim: %s: bad node count %d for %s", id, n, plats[i].Label)
+		}
+	}
 	util := ts.Utilization
 	if util == 0 {
 		util = 0.5
@@ -380,6 +481,9 @@ func (ts *TCOStudy) expand(core.Config) ([]unit, error) {
 		return nil, fmt.Errorf("edisim: %s: utilization %v outside [0,1]", id, util)
 	}
 	title := fmt.Sprintf("3-year TCO at %.0f%% utilization", util*100)
+	if ts.Budget > 0 {
+		title = fmt.Sprintf("3-year TCO at %.0f%% utilization, fleets sized to $%.0f", util*100, ts.Budget)
+	}
 
 	run := func(core.Config) (*core.Outcome, error) {
 		o := &core.Outcome{}
@@ -391,10 +495,26 @@ func (ts *TCOStudy) expand(core.Config) ([]unit, error) {
 			if ts.Nodes != nil {
 				n = ts.Nodes[i]
 			}
+			if ts.Budget > 0 {
+				var err error
+				if n, err = tco.SizeForBudget(p, ts.Budget, util); err != nil {
+					return nil, fmt.Errorf("edisim: %s: %w", id, err)
+				}
+				if n == 0 {
+					t.AddRow(p.Label, report.Count(0, "nodes"),
+						report.Num(0, "$"), report.Num(0, "$"), report.Num(0, "$"), report.Num(0, "$"))
+					o.Notes = append(o.Notes, fmt.Sprintf(
+						"%s: one server already exceeds the $%.0f budget", p.Label, ts.Budget))
+					continue
+				}
+			}
 			if n <= 0 {
 				return nil, fmt.Errorf("edisim: %s: bad node count %d for %s", id, n, p.Label)
 			}
-			r := tco.Compute(tco.ForPlatform(p, n, util))
+			r, err := tco.Compute(tco.ForPlatform(p, n, util))
+			if err != nil {
+				return nil, fmt.Errorf("edisim: %s: %w", id, err)
+			}
 			t.AddRow(
 				p.Label,
 				report.Count(int64(n), "nodes"),
@@ -406,6 +526,94 @@ func (ts *TCOStudy) expand(core.Config) ([]unit, error) {
 		}
 		o.Tables = append(o.Tables, t)
 		return o, nil
+	}
+	return []unit{{id: id, title: title, section: "scenario", run: run}}, nil
+}
+
+// --- Fleet comparison --------------------------------------------------------
+
+// FleetComparison is the paper's §6 economic question asked of any platform
+// set: price a baseline fleet with the 3-year TCO model, size every
+// compared platform's web and Hadoop fleets to that same spend
+// (SizeFleetForBudget), then measure what each equal-budget fleet actually
+// delivers — peak web throughput across a Table-6-style scale ladder and
+// one Hadoop job — reporting throughput-per-watt and throughput-per-dollar
+// matrices. The equal_budget registry experiment is this workload over the
+// whole catalog.
+type FleetComparison struct {
+	// ID names the artifact (default "fleet_comparison") and namespaces
+	// per-point seeds: two comparisons in one scenario need distinct IDs.
+	ID string
+	// Baseline sets the budget: its catalog web (Fleet.Web+Fleet.Cache)
+	// and Hadoop (Fleet.Slaves) fleets priced over 3 years. Defaults to
+	// the baseline brawny platform (the paper's Dell R620). A custom
+	// baseline needs positive catalog fleet sizes unless Budget is set.
+	Baseline PlatformRef
+	// Platforms is the compared set (default: the whole catalog).
+	Platforms []PlatformRef
+	// Job is the Hadoop workload the sized slave fleets run, one of
+	// JobNames() (default "terasort").
+	Job string
+	// Budget, when positive, replaces both derived budgets with an
+	// explicit 3-year spend in USD.
+	Budget float64
+}
+
+func (fc *FleetComparison) expand(core.Config) ([]unit, error) {
+	id := fc.ID
+	if id == "" {
+		id = "fleet_comparison"
+	}
+	baseline, err := fc.Baseline.resolve()
+	if err != nil {
+		return nil, err
+	}
+	var plats []*hw.Platform
+	for _, r := range fc.Platforms {
+		p, err := r.resolve()
+		if err != nil {
+			return nil, err
+		}
+		if p == nil {
+			return nil, fmt.Errorf("edisim: %s: empty platform ref", id)
+		}
+		plats = append(plats, p)
+	}
+	if fc.Budget < 0 || math.IsNaN(fc.Budget) || math.IsInf(fc.Budget, 0) {
+		return nil, fmt.Errorf("edisim: %s: budget $%v must be positive and finite", id, fc.Budget)
+	}
+	if fc.Job != "" {
+		found := false
+		for _, n := range jobs.Names() {
+			found = found || n == fc.Job
+		}
+		if !found {
+			return nil, unknownNameError("job", fc.Job, jobs.Names())
+		}
+	}
+	// The same guard the sized fleets get downstream, surfaced at
+	// expansion: a budget-less baseline must have a priceable catalog
+	// fleet (positive node counts).
+	if fc.Budget == 0 {
+		b := baseline
+		if b == nil {
+			_, b = hw.BaselinePair()
+		}
+		if f := b.Fleet; f.Web <= 0 || f.Cache <= 0 || f.Slaves <= 0 {
+			return nil, fmt.Errorf("edisim: %s: baseline %s has no catalog fleet to price (web %d, cache %d, slaves %d) — set Budget",
+				id, b.Label, f.Web, f.Cache, f.Slaves)
+		}
+	}
+	title := "Equal-budget fleet comparison"
+
+	run := func(cfg core.Config) (*core.Outcome, error) {
+		return core.EqualBudget(cfg, core.EqualBudgetSpec{
+			SweepName: id,
+			Baseline:  baseline,
+			Platforms: plats,
+			Job:       fc.Job,
+			Budget:    fc.Budget,
+		})
 	}
 	return []unit{{id: id, title: title, section: "scenario", run: run}}, nil
 }
