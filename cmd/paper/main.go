@@ -18,6 +18,8 @@
 //	paper -only fig4_fig7
 //	paper -only fig4_fig7 -format json   # the documented JSON schema
 //	paper -only platform_matrix -platforms pi3,xeon-modern
+//	paper -only fault_tolerance -platforms edison,r620 \
+//	      -faults 'node_crash@30+120:slave[1];straggler@10+60x0.25:web'
 //	paper -experiments > comparisons.md
 //
 // Experiments marked opt-in (cross-platform matrices beyond the paper's
@@ -25,6 +27,11 @@
 // given, keeping the default output exactly the paper reproduction.
 // -platforms selects which hw catalog platforms those matrices cover
 // (default: the whole catalog).
+//
+// -faults overrides the built-in fault schedules of the fault-injecting
+// experiments (fault_tolerance) with the API.md schedule grammar; the
+// default paper reproduction never injects faults, so the flag changes
+// nothing unless such an experiment is selected.
 package main
 
 import (
@@ -47,6 +54,8 @@ func main() {
 		markdown  = flag.Bool("experiments", false, "emit the EXPERIMENTS.md comparison ledger as markdown")
 		platforms = flag.String("platforms", "", "comma-separated hw catalog platforms for matrix experiments (default: whole catalog)")
 		format    = flag.String("format", "text", "output format: text, json or csv")
+		faultSpec = flag.String("faults", "", "fault schedule for fault-injecting experiments, e.g. 'node_crash@30+120:slave[1];straggler@10+60x0.25:web' (see API.md)")
+		jitter    = flag.Float64("fault-jitter", 0, "uniform seed-derived jitter bound in seconds added to every fault time")
 	)
 	flag.Parse()
 
@@ -60,6 +69,19 @@ func main() {
 	}
 
 	scn := edisim.Scenario{Name: "paper", Seed: *seed, Quick: *quick, Workers: *jobs}
+	if *faultSpec != "" || *jitter != 0 {
+		plan, err := edisim.ParseFaultPlan(*faultSpec)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "paper: %v\n", err)
+			os.Exit(2)
+		}
+		if plan == nil {
+			fmt.Fprintln(os.Stderr, "paper: -fault-jitter without -faults schedules nothing")
+			os.Exit(2)
+		}
+		plan.Jitter = *jitter
+		scn.Faults = plan
+	}
 	if *platforms != "" {
 		// Shared -platforms parsing: whitespace-trimmed, duplicates (and
 		// alias respellings) collapsed so no fleet is simulated twice.

@@ -7,6 +7,7 @@
 //
 //	websvc -image 0.20 -cachehit 0.93 -duration 30 -scale full
 //	websvc -format csv    # figures as CSV blocks (progress lines omitted)
+//	websvc -scale 1/4 -timeout 0.5 -crash 2 -downtime 10   # availability drill
 package main
 
 import (
@@ -25,6 +26,10 @@ func main() {
 		scale    = flag.String("scale", "full", "cluster scale: full, 1/2, 1/4, 1/8")
 		seed     = flag.Int64("seed", 1, "root random seed")
 		format   = flag.String("format", "text", "output format: text, json or csv")
+		timeout  = flag.Float64("timeout", 0, "client request timeout in seconds; 0 disables recovery (the paper's behavior)")
+		retries  = flag.Int("retries", 0, "max retries per request after a timeout (0 = default 3 when -timeout is set)")
+		crash    = flag.Int("crash", 0, "crash drill: this many web servers crash in a rolling wave mid-measurement")
+		downtime = flag.Float64("downtime", 30, "seconds each crashed server stays down before rebooting")
 	)
 	flag.Parse()
 	if !edisim.ValidOutputFormat(*format) {
@@ -54,14 +59,21 @@ func main() {
 	dfig := edisim.NewFigure("Response delay", "conn/s", "ms", concurrencies)
 	pfig := edisim.NewFigure("Cluster power", "conn/s", "W", concurrencies)
 
+	if *crash > 0 && *timeout == 0 {
+		fmt.Fprintln(os.Stderr, "websvc: a -crash drill without -timeout loses every request on the dead servers; set -timeout to measure recovery")
+	}
+
 	run := func(p *edisim.Platform, nWeb, nCache int) {
 		var tput, delay, pow []float64
 		for _, c := range concurrencies {
-			r := sweepPoint(p, nWeb, nCache, c, *image, *cacheHit, *duration, *seed)
+			r := sweepPoint(p, nWeb, nCache, c, *image, *cacheHit, *duration, *seed, *timeout, *retries, *crash, *downtime)
 			if *format == "text" {
 				mark := ""
 				if r.ErrorRate > 0.01 {
 					mark = " [errors]"
+				}
+				if r.Timeouts > 0 || r.Retries > 0 {
+					mark += fmt.Sprintf(" [timeouts=%d retries=%d]", r.Timeouts, r.Retries)
 				}
 				fmt.Printf("%-7s web=%-2d conc=%-6.0f tput=%-7.0f delay=%-8.2fms err=%-6.3f power=%-7.1fW cpu(web)=%.0f%% cpu(cache)=%.0f%% hit=%.2f%s\n",
 					p.Label, nWeb, c, r.Throughput, r.MeanDelay*1e3, r.ErrorRate,
@@ -102,19 +114,37 @@ func main() {
 }
 
 // sweepPoint runs one concurrency level on a fresh testbed so runs are
-// independent and reproducible.
-func sweepPoint(p *edisim.Platform, nWeb, nCache int, conc, image, hit, duration float64, seed int64) edisim.WebResult {
+// independent and reproducible. With crash > 0, that many web servers go
+// down in a rolling wave through the middle of the measurement window.
+func sweepPoint(p *edisim.Platform, nWeb, nCache int, conc, image, hit, duration float64,
+	seed int64, timeout float64, retries, crash int, downtime float64) edisim.WebResult {
 	tb := edisim.NewTestbed(edisim.ClusterConfig{
 		Groups:  []edisim.ClusterGroup{{Platform: p, Nodes: nWeb + nCache}},
 		DBNodes: 2, Clients: 8,
 	})
 	dep := edisim.NewWebDeployment(tb, p, nWeb, nCache, seed)
 	rc := edisim.WebRunConfig{
-		Concurrency: conc,
-		ImageFrac:   image,
-		CacheHit:    hit,
-		Duration:    duration,
+		Concurrency:    conc,
+		ImageFrac:      image,
+		CacheHit:       hit,
+		Duration:       duration,
+		RequestTimeout: timeout,
+		MaxRetries:     retries,
 	}
 	dep.WarmFor(rc)
+	if crash > 0 {
+		if crash > nWeb {
+			crash = nWeb
+		}
+		// The wave starts after the warm-up quarter and spreads over the
+		// middle half of the window.
+		start := 0.3 * duration
+		gap := 0.5 * duration / float64(crash)
+		plan := edisim.RollingCrashFaults("web", crash, start, gap, downtime)
+		if err := edisim.ScheduleWebFaults(dep, plan, seed); err != nil {
+			fmt.Fprintf(os.Stderr, "websvc: %v\n", err)
+			os.Exit(2)
+		}
+	}
 	return dep.Run(rc)
 }

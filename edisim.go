@@ -33,9 +33,11 @@ import (
 	"context"
 	"errors"
 	"fmt"
+	"runtime/debug"
 	"sync"
 
 	"edisim/internal/core"
+	"edisim/internal/faults"
 	"edisim/internal/runner"
 )
 
@@ -65,9 +67,66 @@ type Scenario struct {
 	// empty selects the whole catalog.
 	Matrix []PlatformRef
 
+	// Faults, when non-nil, overrides the built-in fault schedule of the
+	// fault-injecting workloads (the fault_tolerance experiment; the default
+	// paper reproduction never injects faults). Every event is validated at
+	// Run; the schedule itself is deterministic — each workload unit derives
+	// its injection seed from the unit's identity, so a faulty scenario is
+	// exactly as reproducible as a healthy one, for any Workers value.
+	Faults *FaultPlan
+
 	// Workloads are evaluated in order; each produces one or more
 	// Artifacts, emitted to the Sink in workload order.
 	Workloads []Workload
+}
+
+// FaultPlan is a reproducible fault-injection schedule (see API.md for the
+// schedule grammar). The zero value injects nothing.
+type FaultPlan struct {
+	// Events are applied in order; see FaultEvent.
+	Events []FaultEvent
+	// Jitter perturbs every event time by a uniform seed-derived offset in
+	// [0, Jitter) seconds; 0 keeps the literal schedule.
+	Jitter float64
+}
+
+// FaultEvent is one scheduled fault against a named role of the workload's
+// testbed ("web" for the web tier, "slave"/"master" for a Hadoop cluster).
+type FaultEvent struct {
+	// Kind is one of "node_crash", "straggler", "link_cut", "link_degrade".
+	Kind string
+	// At is the injection time in seconds into the run; Duration is how long
+	// the fault lasts before the target recovers (0 = permanent).
+	At, Duration float64
+	// Factor scales CPU/disk speed (straggler) or link capacity
+	// (link_degrade); ignored by the other kinds.
+	Factor float64
+	// Role names the target set; Index picks the target within it (reduced
+	// modulo the role's size).
+	Role  string
+	Index int
+}
+
+// compile converts the public plan into the internal one, validating it.
+func (fp *FaultPlan) compile() (*faults.Plan, error) {
+	if fp == nil {
+		return nil, nil
+	}
+	p := &faults.Plan{Jitter: fp.Jitter}
+	for _, e := range fp.Events {
+		p.Events = append(p.Events, faults.Event{
+			Kind:     faults.Kind(e.Kind),
+			At:       e.At,
+			Duration: e.Duration,
+			Factor:   e.Factor,
+			Role:     e.Role,
+			Index:    e.Index,
+		})
+	}
+	if err := p.Validate(); err != nil {
+		return nil, err
+	}
+	return p, nil
 }
 
 // Workload is one unit of evaluation inside a Scenario. Implementations
@@ -111,22 +170,30 @@ func (s *Scenario) config() (core.Config, error) {
 		}
 		cfg.Matrix = append(cfg.Matrix, p)
 	}
+	if cfg.Faults, err = s.Faults.compile(); err != nil {
+		return cfg, err
+	}
 	return cfg, nil
 }
 
 // Run evaluates the scenario, streaming each completed Artifact to sink in
 // workload order. Units (experiments, sweeps) run concurrently up to
 // Scenario.Workers, but emission order — and every number — is independent
-// of the worker count. The context is observed between units: cancellation
-// stops new work and returns ctx.Err() promptly, though an in-flight
-// simulation runs to completion first.
+// of the worker count. The context is observed between units and polled at
+// engine-step checkpoints inside long-running units: cancellation stops new
+// work and returns ctx.Err() promptly, aborting in-flight simulations at
+// their next checkpoint (a few thousand events away, so within
+// milliseconds of wall clock).
 //
-// A sink error aborts the run and is returned as-is.
+// A unit that panics fails with that unit's error (carrying the worker
+// stack); other units complete normally first. A sink error aborts the run
+// and is returned as-is.
 func Run(ctx context.Context, s Scenario, sink Sink) error {
 	cfg, err := s.config()
 	if err != nil {
 		return err
 	}
+	cfg.Interrupt = func() bool { return ctx.Err() != nil }
 	var units []unit
 	for _, w := range s.Workloads {
 		if w == nil {
@@ -178,12 +245,22 @@ func Run(ctx context.Context, s Scenario, sink Sink) error {
 		ready   = sync.NewCond(&mu)
 		results = make([]*result, len(units))
 	)
+	// Unit panics must not kill the caller's process: a poisoned unit fails
+	// with its own error (worker stack attached) while the others complete.
+	runUnit := func(i int) (o *core.Outcome, err error) {
+		defer func() {
+			if v := recover(); v != nil {
+				err = &runner.PanicError{Index: i, Value: v, Stack: debug.Stack()}
+			}
+		}()
+		return units[i].run(cfg)
+	}
 	go runner.Map(outer, len(units), func(i int) *result {
 		r := &result{}
 		if ctx.Err() != nil {
 			r.err = ctx.Err()
 		} else {
-			r.o, r.err = units[i].run(cfg)
+			r.o, r.err = runUnit(i)
 		}
 		mu.Lock()
 		results[i] = r

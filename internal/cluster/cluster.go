@@ -85,6 +85,11 @@ type Config struct {
 	// Infra hosts the DB/client tier; nil selects the baseline brawny
 	// platform (the paper's Dell machine room).
 	Infra *hw.Platform
+	// Interrupt, when non-nil, is polled by the testbed's engine every few
+	// thousand events; returning true stops the run early (sim.Engine's
+	// cooperative cancellation — edisim.Run wires the caller's context here
+	// so a long faulty simulation honors cancellation mid-run).
+	Interrupt func() bool
 }
 
 // PairConfig sizes a two-group testbed over the baseline pair — the shape
@@ -114,6 +119,9 @@ func NewOn(eng *sim.Engine, cfg Config) *Testbed {
 	infra := cfg.Infra
 	if infra == nil {
 		_, infra = hw.BaselinePair()
+	}
+	if cfg.Interrupt != nil {
+		eng.SetInterrupt(cfg.Interrupt)
 	}
 	tb := &Testbed{Eng: eng, Fab: netsim.NewFabric(eng), Infra: infra}
 	f := tb.Fab

@@ -8,6 +8,7 @@ import (
 	"fmt"
 	"sort"
 
+	"edisim/internal/faults"
 	"edisim/internal/hw"
 	"edisim/internal/report"
 )
@@ -32,7 +33,20 @@ type Config struct {
 	// Matrix lists the platforms cross-platform matrix experiments cover;
 	// empty selects the whole catalog (cmd/paper's -platforms).
 	Matrix []*hw.Platform
+
+	// Faults overrides the fault_tolerance experiment's built-in fault plan
+	// (edisim.Scenario.Faults, cmd/paper's fault flags). Nil keeps the
+	// built-in schedule; the default paper experiments never inject faults
+	// regardless.
+	Faults *faults.Plan
+	// Interrupt, when non-nil, is polled by long-running experiment engines;
+	// returning true aborts the simulation early. edisim.Run wires context
+	// cancellation here.
+	Interrupt func() bool
 }
+
+// Interrupted reports whether the run has been cancelled (nil-safe).
+func (c Config) Interrupted() bool { return c.Interrupt != nil && c.Interrupt() }
 
 // Pair resolves the compared platform pair, defaulting to the catalog
 // baseline.

@@ -4,6 +4,7 @@ import (
 	"runtime"
 	"testing"
 
+	"edisim/internal/faults"
 	"edisim/internal/hw"
 )
 
@@ -103,5 +104,40 @@ func TestPlatformMatrixCoversConfiguredPlatforms(t *testing.T) {
 	}
 	if len(o.Tables) != 2 {
 		t.Fatalf("matrix produced %d tables, want 2", len(o.Tables))
+	}
+}
+
+// TestFaultTolerancePlanOverride smoke-runs the fault_tolerance experiment
+// with a caller-supplied (non-empty) quick plan, the cfg.Faults path the
+// default registry sweep never exercises: events against both rosters must
+// replace the built-in drills without panicking on role mismatches.
+func TestFaultTolerancePlanOverride(t *testing.T) {
+	if testing.Short() {
+		t.Skip("fault-injection sweep in -short mode")
+	}
+	r620, ok := hw.LookupPlatform("r620")
+	if !ok {
+		t.Fatal("r620 not in catalog")
+	}
+	plan := &faults.Plan{Events: []faults.Event{
+		{Kind: faults.NodeCrash, At: 3, Duration: 2, Role: "web"},
+		{Kind: faults.Straggler, At: 1, Duration: 30, Factor: 0.4, Role: "slave", Index: 1},
+		{Kind: faults.LinkDegrade, At: 2, Duration: 20, Factor: 0.5, Role: "slave"},
+	}}
+	if err := plan.Validate(); err != nil {
+		t.Fatalf("quick plan invalid: %v", err)
+	}
+	e, ok := Lookup("fault_tolerance")
+	if !ok {
+		t.Fatal("fault_tolerance not registered")
+	}
+	cfg := Config{Seed: 1, Quick: true, Workers: runtime.GOMAXPROCS(0),
+		Matrix: []*hw.Platform{r620}, Faults: plan}
+	o := e.Run(cfg)
+	if o == nil || len(o.Tables) != 2 {
+		t.Fatalf("fault_tolerance with a custom plan returned %+v", o)
+	}
+	if len(o.Comparisons) == 0 {
+		t.Fatal("no availability comparisons recorded under the custom plan")
 	}
 }

@@ -99,6 +99,27 @@ func New(fab *netsim.Fabric, master string, nodes []*hw.Node, blockSize units.By
 // DataNodes returns the datanode set.
 func (fs *FileSystem) DataNodes() []*DataNode { return fs.nodes }
 
+// DataNodeOf finds the datanode on a given hardware node (nil if none).
+func (fs *FileSystem) DataNodeOf(n *hw.Node) *DataNode {
+	for _, d := range fs.nodes {
+		if d.Node == n {
+			return d
+		}
+	}
+	return nil
+}
+
+// SetNodeAlive flips a datanode's liveness for a TRANSIENT outage: unlike
+// FailNode, the replica metadata survives, because the blocks are still on
+// the rebooted node's disk when it comes back. While dead the node serves no
+// reads and takes no new replicas; readers fail over to surviving replicas
+// (see ReadBlock). Unknown nodes are ignored.
+func (fs *FileSystem) SetNodeAlive(n *hw.Node, alive bool) {
+	if d := fs.DataNodeOf(n); d != nil {
+		d.alive = alive
+	}
+}
+
 // Files reports the stored file names, sorted.
 func (fs *FileSystem) Files() []string {
 	out := make([]string, 0, len(fs.files))
@@ -228,9 +249,23 @@ func (fs *FileSystem) Write(writer string, writerNode *hw.Node, name string, siz
 	writeBlock(0)
 }
 
+// readProbeInterval and maxReadProbes bound a reader's wait for a replica to
+// come back from a transient outage: one probe per second for ten minutes,
+// then the read is silently abandoned (the caller's watchdog owns recovery).
+// The bound keeps the event stream finite when nothing ever recovers.
+const (
+	readProbeInterval = 1.0
+	maxReadProbes     = 600
+)
+
 // ReadBlock delivers one block to the reader vertex: a local disk read when
 // a replica is co-located, otherwise a remote replica's disk read plus a
 // network flow. It reports whether the read was data-local.
+//
+// When every replica is down but still registered (a transient outage, see
+// SetNodeAlive) the read probes once a second until a replica returns, up to
+// maxReadProbes; a block with NO registered replicas is permanent data loss
+// (FailNode removed them) and panics, as before.
 func (fs *FileSystem) ReadBlock(reader string, readerNode *hw.Node, b *Block, done func()) (local bool) {
 	// Prefer a replica on the reading node.
 	for _, d := range b.Replicas {
@@ -239,7 +274,13 @@ func (fs *FileSystem) ReadBlock(reader string, readerNode *hw.Node, b *Block, do
 			return true
 		}
 	}
-	// Remote read from the first live replica.
+	fs.remoteRead(reader, b, done, 0)
+	return false
+}
+
+// remoteRead reads from the first live replica, retrying while every replica
+// is transiently dead.
+func (fs *FileSystem) remoteRead(reader string, b *Block, done func(), probes int) {
 	for _, d := range b.Replicas {
 		if !d.alive {
 			continue
@@ -248,9 +289,17 @@ func (fs *FileSystem) ReadBlock(reader string, readerNode *hw.Node, b *Block, do
 		d.Node.Disk().Read(b.Size, true, func() {
 			fs.fab.StartFlow(d.Node.ID, reader, b.Size, done)
 		})
-		return false
+		return
 	}
-	panic(fmt.Sprintf("hdfs: no live replica of %v", b.ID))
+	if len(b.Replicas) == 0 {
+		panic(fmt.Sprintf("hdfs: no live replica of %v", b.ID))
+	}
+	if probes >= maxReadProbes {
+		return // abandoned: the caller's timeout machinery takes over
+	}
+	fs.fab.Engine().After(readProbeInterval, func() {
+		fs.remoteRead(reader, b, done, probes+1)
+	})
 }
 
 // FailNode marks a datanode dead: its replicas are lost, and every block it

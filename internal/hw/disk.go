@@ -13,6 +13,13 @@ type Disk struct {
 	spec DiskSpec
 	q    *sim.Resource
 
+	// down black-holes new operations (node crash); gen invalidates the
+	// completion events of operations in flight at kill time; rate scales
+	// service times for straggler injection (0 = never set = nominal).
+	down bool
+	gen  uint64
+	rate float64
+
 	readBytes, writeBytes units.Bytes
 	ops                   int64
 }
@@ -49,9 +56,19 @@ func (d *Disk) Write(size units.Bytes, buffered bool, done func()) {
 }
 
 func (d *Disk) submit(service float64, done func()) {
+	if d.down {
+		return // black hole: the device is dead, done never runs
+	}
+	if d.rate > 0 && d.rate != 1 {
+		service /= d.rate
+	}
 	d.ops++
+	gen := d.gen
 	d.q.Acquire(func() {
 		d.eng.After(service, func() {
+			if gen != d.gen {
+				return // killed while in service
+			}
 			d.q.Release()
 			if done != nil {
 				done()
@@ -59,6 +76,23 @@ func (d *Disk) submit(service float64, done func()) {
 		})
 	})
 }
+
+// killAll drops every queued and in-service operation without running its
+// done callback — the disk side of a node crash. The FIFO is replaced
+// wholesale; stale completion events detect the generation bump and expire.
+func (d *Disk) killAll() {
+	d.down = true
+	d.gen++
+	d.q = sim.NewResource(d.eng, 1)
+}
+
+// restore re-opens a killed disk for new operations (reboot: the device is
+// empty, any data-level consequences are the storage layer's to model).
+func (d *Disk) restore() { d.down = false }
+
+// setRateFactor rescales service times to nominal/factor (straggler
+// injection). The caller (hw.Node.SetSlowFactor) validates the factor.
+func (d *Disk) setRateFactor(factor float64) { d.rate = factor }
 
 // QueueLen reports queued (not yet in service) operations.
 func (d *Disk) QueueLen() int { return d.q.QueueLen() }

@@ -21,6 +21,16 @@ type Node struct {
 
 	memUsed units.Bytes
 
+	// down marks a crashed node: its CPU and disk black-hole new work (a
+	// submission is silently dropped, done callbacks never run) and power
+	// draw is zero until Restore. slow is the straggler factor (0 = never
+	// set = nominal speed); it survives a crash/reboot cycle.
+	down bool
+	slow float64
+	// incarnation counts crashes, letting services detect across a reboot
+	// that their in-kernel state (backlogs, inflight counts) was wiped.
+	incarnation uint64
+
 	energy *stats.Integrator // integrates watts over time
 	// BusyFloor pins a minimum "busy fraction" for power purposes, modeling
 	// always-on daemons (e.g. datanode+nodemanager keep some load).
@@ -93,10 +103,68 @@ func (n *Node) updatePower() {
 			fn(u)
 		}
 	}
+	if n.down {
+		n.energy.Set(float64(n.eng.Now()), 0)
+		return
+	}
 	if u < n.BusyFloor {
 		u = n.BusyFloor
 	}
 	n.energy.Set(float64(n.eng.Now()), float64(n.Spec.Power.Draw(u)))
+}
+
+// Up reports whether the node is powered and serving (not crashed).
+func (n *Node) Up() bool { return !n.down }
+
+// Crash powers the node off: every in-flight CPU task and disk operation is
+// dropped without its done callback (outstanding refs go stale), new work is
+// black-holed until Restore, and the power draw falls to zero. Crashing a
+// down node is a no-op. Memory reservations survive, as the reservation is
+// a planning construct (YARN capacities), not live state.
+func (n *Node) Crash() {
+	if n.down {
+		return
+	}
+	n.cpu.KillAll() // fires OnActiveChange → updatePower at the old state
+	n.down = true
+	n.incarnation++
+	n.dsk.killAll()
+	n.updatePower()
+}
+
+// Restore reboots a crashed node: it accepts work again (empty CPU and
+// disk — the crash dropped everything) and resumes idle power draw. Any
+// straggler slow factor set before the crash still applies. Restoring an
+// up node is a no-op.
+func (n *Node) Restore() {
+	if !n.down {
+		return
+	}
+	n.down = false
+	n.dsk.restore()
+	n.updatePower()
+}
+
+// Incarnation reports how many times the node has crashed — 0 for a node
+// that never failed. Services compare it against a remembered value to
+// notice, lazily, that a reboot wiped their kernel-side state.
+func (n *Node) Incarnation() uint64 { return n.incarnation }
+
+// SetSlowFactor rescales the node's CPU speed and disk rate to factor × the
+// nominal value — straggler injection (factor < 1) or recovery (factor 1).
+// The factor must be positive and finite.
+func (n *Node) SetSlowFactor(factor float64) {
+	n.cpu.SetSpeedFactor(factor) // validates the factor
+	n.slow = factor
+	n.dsk.setRateFactor(factor)
+}
+
+// SlowFactor reports the current straggler factor (1 when never set).
+func (n *Node) SlowFactor() float64 {
+	if n.slow == 0 {
+		return 1
+	}
+	return n.slow
 }
 
 // SetBusyFloor sets the minimum busy fraction (clamped to [0,1]) and
@@ -114,19 +182,30 @@ func (n *Node) SetBusyFloor(f float64) {
 
 // Compute submits work DMIPS-seconds to the CPU; done runs on completion.
 // The returned handle can cancel the task and stays safe across pooled
-// task-record recycling.
+// task-record recycling. On a crashed node the work is black-holed: the
+// zero (inert) ref is returned and done never runs — recovery belongs to
+// the caller's timeout machinery, as with a real dead host.
 func (n *Node) Compute(work float64, done func()) sim.PSTaskRef {
+	if n.down {
+		return sim.PSTaskRef{}
+	}
 	return n.cpu.Submit(work, done)
 }
 
 // ComputeSeconds submits work sized so that it takes roughly seconds of
 // single-core time on THIS platform when the CPU is otherwise idle.
 func (n *Node) ComputeSeconds(seconds float64, done func()) sim.PSTaskRef {
+	if n.down {
+		return sim.PSTaskRef{}
+	}
 	return n.cpu.Submit(seconds*float64(n.Spec.CPU.DMIPS), done)
 }
 
-// Power reports instantaneous draw.
+// Power reports instantaneous draw (zero while crashed).
 func (n *Node) Power() units.Watts {
+	if n.down {
+		return 0
+	}
 	u := n.cpu.Utilization()
 	if u < n.BusyFloor {
 		u = n.BusyFloor

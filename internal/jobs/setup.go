@@ -4,8 +4,10 @@ import (
 	"fmt"
 
 	"edisim/internal/cluster"
+	"edisim/internal/faults"
 	"edisim/internal/hw"
 	"edisim/internal/mapred"
+	"edisim/internal/sim"
 	"edisim/internal/units"
 )
 
@@ -245,4 +247,56 @@ func RunGroups(job string, groups []SlaveGroup, seed int64) (*mapred.JobResult, 
 	}
 	h.Stage(job)
 	return h.Cluster.Run(h.Def(job))
+}
+
+// FaultRoster maps the deployment's nodes to fault-plan roles: "slave" (the
+// workers, in cluster order) and "master". Every target carries the fabric,
+// so link faults against either role resolve too.
+func (h *Hadoop) FaultRoster() map[string][]faults.Target {
+	slaves := make([]faults.Target, len(h.Workers))
+	for i, w := range h.Workers {
+		slaves[i] = faults.Target{Node: w, Fab: h.Fab}
+	}
+	return map[string][]faults.Target{
+		"slave":  slaves,
+		"master": {{Node: h.Master, Fab: h.Fab}},
+	}
+}
+
+// RunGroupsFaulty stages and executes one named job under an injected fault
+// plan with the given recovery policy, cutting the run off at deadline
+// simulated seconds (a job that cannot recover — say, fault tolerance
+// disabled under a permanent crash — heartbeats forever, so the engine is
+// bounded rather than drained). interrupt (optional) is polled by the engine
+// for cooperative cancellation. The result always reports completion state:
+// Failed with FailReason "deadline exceeded" when the deadline fired first.
+func RunGroupsFaulty(job string, groups []SlaveGroup, seed int64, plan *faults.Plan,
+	ft *mapred.FaultTolerance, deadline float64, interrupt func() bool) (*mapred.JobResult, error) {
+	if len(groups) == 0 {
+		return nil, fmt.Errorf("jobs: %s needs at least one slave group", job)
+	}
+	if groups[0].Platform == nil {
+		return nil, fmt.Errorf("jobs: slave group without a platform")
+	}
+	h, err := NewHadoopGroups(groups, BlockSizeFor(job, groups[0].Platform), seed)
+	if err != nil {
+		return nil, err
+	}
+	if interrupt != nil {
+		h.Eng.SetInterrupt(interrupt)
+	}
+	h.Stage(job)
+	def := h.Def(job)
+	def.FT = ft
+	faults.Schedule(h.Eng, plan, seed, h.FaultRoster())
+	res, err := h.Cluster.Start(def, nil)
+	if err != nil {
+		return nil, err
+	}
+	h.Eng.RunUntil(sim.Time(deadline))
+	if !res.Completed && !res.Failed {
+		res.Failed = true
+		res.FailReason = "deadline exceeded"
+	}
+	return res, nil
 }

@@ -88,6 +88,20 @@ type JobResult struct {
 
 	ShuffledBytes units.Bytes
 	OutputBytes   units.Bytes
+
+	// Completion state. A healthy run always completes; with fault injection
+	// a job either completes (possibly degraded), fails (a task ran out of
+	// attempts — FailReason says which), or is cut off by the driver's
+	// deadline (jobs.RunGroupsFaulty marks that as failed too).
+	Completed  bool
+	Failed     bool
+	FailReason string
+
+	// Recovery accounting (all zero without fault tolerance configured).
+	TaskAttempts       int // containers granted for map+reduce attempts
+	TaskRetries        int // attempts re-launched after a failure/timeout
+	LostMapOutputs     int // completed maps re-executed after their node died
+	SpeculativeBackups int // backup attempts launched for stragglers
 }
 
 // LocalityFraction reports the share of data-local map tasks (the paper

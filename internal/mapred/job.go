@@ -13,6 +13,9 @@
 package mapred
 
 import (
+	"fmt"
+	"math"
+
 	"edisim/internal/hw"
 	"edisim/internal/units"
 )
@@ -91,9 +94,67 @@ type JobDef struct {
 	// homogeneous clusters.
 	PlatformCosts map[string]CostModel
 
+	// FT enables failure recovery for the job: task-attempt watchdogs,
+	// re-execution, node blacklisting and (optionally) speculative backup
+	// attempts. Nil (the default) runs the pre-fault-injection engine with a
+	// byte-identical event stream; a healthy cluster never needs it, a
+	// faulty one deadlocks without it.
+	FT *FaultTolerance
+
 	// Functional implementations for LocalRun.
 	Map    MapFunc
 	Reduce ReduceFunc
+}
+
+// FaultTolerance is the job's recovery policy, mirroring the Hadoop knobs
+// that matter for availability-under-failure: mapreduce.task.timeout,
+// mapreduce.map/reduce.maxattempts, the AM's node blacklisting threshold and
+// speculative execution.
+type FaultTolerance struct {
+	// TaskTimeout declares a task attempt dead when it has not completed
+	// this many seconds after its container was granted. Required (> 0): it
+	// is the only way a task stranded on a crashed node is ever noticed.
+	TaskTimeout float64
+	// MaxAttempts bounds attempts per task before the whole job fails
+	// (0 = 4, Hadoop's default).
+	MaxAttempts int
+	// BlacklistAfter excludes a node from further placement once this many
+	// attempts have failed on it for reasons other than a detected crash
+	// (0 = 3, mirroring yarn.app.mapreduce.am.job.node-blacklisting).
+	BlacklistAfter int
+	// Speculative launches one backup attempt for a straggling map task
+	// (running > 2× the mean completed-map duration once half the maps are
+	// done); the first attempt to finish wins, the loser is killed.
+	Speculative bool
+}
+
+// withDefaults fills the Hadoop-default knobs.
+func (ft FaultTolerance) withDefaults() FaultTolerance {
+	if ft.MaxAttempts == 0 {
+		ft.MaxAttempts = 4
+	}
+	if ft.BlacklistAfter == 0 {
+		ft.BlacklistAfter = 3
+	}
+	return ft
+}
+
+// Validate rejects the silent-failure values: a zero, negative or non-finite
+// timeout would disable the only crash detector without saying so.
+func (ft *FaultTolerance) Validate() error {
+	if ft == nil {
+		return nil
+	}
+	if math.IsNaN(ft.TaskTimeout) || math.IsInf(ft.TaskTimeout, 0) || ft.TaskTimeout <= 0 {
+		return fmt.Errorf("mapred: task timeout %g must be positive and finite", ft.TaskTimeout)
+	}
+	if ft.MaxAttempts < 0 {
+		return fmt.Errorf("mapred: max attempts %d must be non-negative", ft.MaxAttempts)
+	}
+	if ft.BlacklistAfter < 0 {
+		return fmt.Errorf("mapred: blacklist threshold %d must be non-negative", ft.BlacklistAfter)
+	}
+	return nil
 }
 
 // rates resolves the compute-rate model for a container on node n: the
@@ -119,7 +180,7 @@ func (j *JobDef) Validate() error {
 	case j.MapMemoryMB <= 0 || j.ReduceMemoryMB <= 0 || j.AMMemoryMB <= 0:
 		return errString("job needs container memory sizes")
 	}
-	return nil
+	return j.FT.Validate()
 }
 
 type errString string

@@ -6,6 +6,7 @@ import (
 
 	"edisim/internal/hw"
 	"edisim/internal/power"
+	"edisim/internal/sim"
 	"edisim/internal/stats"
 	"edisim/internal/units"
 	"edisim/internal/yarn"
@@ -48,7 +49,10 @@ const maxShuffleFetches = 4
 const slowstartFraction = 0.05
 
 // Run executes the job on the simulated cluster, returning when it
-// completes. It drives the engine itself (synchronous convenience).
+// completes. It drives the engine itself (synchronous convenience). Jobs
+// with fault tolerance enabled under an injected fault plan should use
+// Start plus Engine.RunUntil instead: a cluster that never recovers keeps
+// heartbeating, so its event stream need not drain.
 func (c *Cluster) Run(job *JobDef) (*JobResult, error) {
 	res, err := c.Start(job, nil)
 	if err != nil {
@@ -58,8 +62,48 @@ func (c *Cluster) Run(job *JobDef) (*JobResult, error) {
 	return res, nil
 }
 
-// Start launches the job asynchronously; done (optional) runs at completion.
-// The returned JobResult is filled in progressively and final once done.
+// attempt is one container-backed try at a task. A dead attempt's callbacks
+// are inert: every stage of the task pipeline checks the flag, so a killed
+// or superseded attempt can never release its container twice or corrupt
+// job progress, no matter which of its events still fire.
+type attempt struct {
+	ct       *yarn.Container
+	dead     bool
+	watchdog sim.EventRef
+	started  sim.Time
+}
+
+// mapTask tracks one split across its attempts. outputOn remembers where
+// the winning attempt spilled its map output: if that node dies before the
+// job finishes, the output is lost and the task reverts to not-done.
+type mapTask struct {
+	idx       int
+	s         *split
+	tries     int
+	done      bool
+	outputOn  *yarn.NodeManager
+	out       units.Bytes
+	cur, spec *attempt
+}
+
+// reduceTask tracks one reducer across its attempts.
+type reduceTask struct {
+	idx   int
+	tries int
+	done  bool
+	cur   *attempt
+}
+
+// Start launches the job asynchronously; done (optional) runs at completion
+// (successful or failed — check JobResult.Failed). The returned JobResult is
+// filled in progressively and final once done.
+//
+// Without job.FT the execution path is the original fail-free engine, event
+// for event. With it, every task attempt is watched: a timeout kills and
+// re-launches it (up to MaxAttempts), a detected node crash fails the
+// node's attempts immediately, re-executes completed maps whose output died
+// with the node, and excludes the node from placement until it returns;
+// repeated non-crash failures blacklist a node for the rest of the job.
 func (c *Cluster) Start(job *JobDef, done func()) (*JobResult, error) {
 	if err := job.Validate(); err != nil {
 		return nil, err
@@ -69,6 +113,11 @@ func (c *Cluster) Start(job *JobDef, done func()) (*JobResult, error) {
 	nMaps := len(splits)
 	if nMaps == 0 {
 		return nil, fmt.Errorf("mapred: job %q has no input splits", job.Name)
+	}
+	ftOn := job.FT != nil
+	var ft FaultTolerance
+	if ftOn {
+		ft = job.FT.withDefaults()
 	}
 
 	res := &JobResult{
@@ -95,9 +144,32 @@ func (c *Cluster) Start(job *JobDef, done func()) (*JobResult, error) {
 	outSeq := 0
 	reducersStarted := 0
 	reducersRequested := false
-	var mapOutPerNode map[*yarn.NodeManager]units.Bytes
-	mapOutPerNode = make(map[*yarn.NodeManager]units.Bytes)
+	mapOutPerNode := make(map[*yarn.NodeManager]units.Bytes)
 	var totalMapOut units.Bytes
+
+	maps := make([]*mapTask, nMaps)
+	for i, s := range splits {
+		maps[i] = &mapTask{idx: i, s: s}
+	}
+	reduces := make([]*reduceTask, job.NumReduces)
+	for i := range reduces {
+		reduces[i] = &reduceTask{idx: i}
+	}
+	// Completed-map durations feed the speculative-execution straggler
+	// threshold; nodeWasUp and the failure counts drive detection and
+	// blacklisting (indexed/keyed over the RM's fixed node slice, so every
+	// scan is deterministic).
+	var mapDurSum float64
+	var mapDurN int
+	var nodeWasUp []bool
+	nodeFailures := make(map[*yarn.NodeManager]int)
+	blacklisted := make(map[*yarn.NodeManager]bool)
+	if ftOn {
+		nodeWasUp = make([]bool, len(c.RM.Nodes()))
+		for i := range nodeWasUp {
+			nodeWasUp[i] = true
+		}
+	}
 
 	finished := false
 	sample := func() {
@@ -111,17 +183,10 @@ func (c *Cluster) Start(job *JobDef, done func()) (*JobResult, error) {
 		rp := (float64(reducersStarted)/3 + float64(reducersDone)*2/3) / float64(job.NumReduces)
 		res.ReduceProgress.Add(t, 100*rp)
 	}
-	var tick func()
-	tick = func() {
-		if finished {
-			return
-		}
-		sample()
-		eng.After(1.0, tick)
-	}
 
 	finish := func() {
 		finished = true
+		res.Completed = !res.Failed
 		res.Duration = float64(eng.Now() - start)
 		res.Energy = c.meter.Energy()
 		sample()
@@ -131,7 +196,9 @@ func (c *Cluster) Start(job *JobDef, done func()) (*JobResult, error) {
 		}
 	}
 
-	// The job holds an AM container for its whole life.
+	// The job holds an AM container for its whole life. (The AM is assumed
+	// resilient — YARN restarts it elsewhere on failure — so it is not a
+	// fault target here.)
 	var amContainer *yarn.Container
 	combine := 1.0
 	if job.UseCombiner {
@@ -139,14 +206,113 @@ func (c *Cluster) Start(job *JobDef, done func()) (*JobResult, error) {
 	}
 
 	maybeFinish := func() {
+		if finished {
+			return
+		}
 		if reducersDone == job.NumReduces {
 			c.RM.Release(amContainer)
 			finish()
 		}
 	}
 
-	var runReducer func(ct *yarn.Container, shuffleShare units.Bytes, sources []*yarn.NodeManager)
-	runReducer = func(ct *yarn.Container, shuffleShare units.Bytes, sources []*yarn.NodeManager) {
+	failJob := func(reason string) {
+		if finished {
+			return
+		}
+		res.Failed = true
+		res.FailReason = reason
+		if amContainer != nil {
+			c.RM.Release(amContainer)
+		}
+		finish()
+	}
+
+	// killAttempt retires a live attempt: its remaining pipeline callbacks
+	// become no-ops and its container is released exactly once.
+	killAttempt := func(at *attempt) {
+		if at == nil || at.dead {
+			return
+		}
+		at.dead = true
+		at.watchdog.Cancel()
+		c.RM.Release(at.ct)
+	}
+
+	// noteFailure counts a non-crash attempt failure against the node and
+	// blacklists it at the threshold (crashes are not counted: the node is
+	// already excluded while down and is fine once rebooted).
+	noteFailure := func(nm *yarn.NodeManager) {
+		nodeFailures[nm]++
+		if nodeFailures[nm] >= ft.BlacklistAfter && !blacklisted[nm] {
+			blacklisted[nm] = true
+			c.RM.SetNodeUsable(nm.Node, false)
+		}
+	}
+
+	armWatchdog := func(at *attempt, expire func()) {
+		if ftOn {
+			at.watchdog = eng.After(ft.TaskTimeout, expire)
+		}
+	}
+
+	var launchMap func(mt *mapTask, speculative bool)
+	var launchReduce func(rt *reduceTask)
+
+	// failMapAttempt retires a map attempt and re-launches the task unless a
+	// sibling attempt is still running. countNode distinguishes timeout-ish
+	// failures (blacklistable) from detected crashes.
+	failMapAttempt := func(mt *mapTask, at *attempt, countNode bool) {
+		if finished || at == nil || at.dead {
+			return
+		}
+		nm := at.ct.Node
+		killAttempt(at)
+		if mt.cur == at {
+			mt.cur = nil
+		}
+		if mt.spec == at {
+			mt.spec = nil
+		}
+		if countNode {
+			noteFailure(nm)
+		}
+		if mt.done || mt.cur != nil || mt.spec != nil {
+			return
+		}
+		if mt.tries >= ft.MaxAttempts {
+			failJob(fmt.Sprintf("map %d failed %d attempts", mt.idx, mt.tries))
+			return
+		}
+		res.TaskRetries++
+		launchMap(mt, false)
+	}
+
+	failReduceAttempt := func(rt *reduceTask, at *attempt, countNode bool) {
+		if finished || at == nil || at.dead {
+			return
+		}
+		nm := at.ct.Node
+		killAttempt(at)
+		if rt.cur == at {
+			rt.cur = nil
+		}
+		if countNode {
+			noteFailure(nm)
+		}
+		if rt.done {
+			return
+		}
+		if rt.tries >= ft.MaxAttempts {
+			failJob(fmt.Sprintf("reduce %d failed %d attempts", rt.idx, rt.tries))
+			return
+		}
+		res.TaskRetries++
+		launchReduce(rt)
+	}
+
+	var runReducer func(at *attempt, rt *reduceTask, shuffleShare units.Bytes, sources []*yarn.NodeManager)
+	runReducer = func(at *attempt, rt *reduceTask, shuffleShare units.Bytes, sources []*yarn.NodeManager) {
+		ct := at.ct
 		node := ct.Node.Node
 		// Fetch phase: pull this reducer's partition from every map node,
 		// at most maxShuffleFetches streams at once.
@@ -155,16 +321,29 @@ func (c *Cluster) Start(job *JobDef, done func()) (*JobResult, error) {
 		var fetchNext func()
 		fetched := 0
 		afterFetch := func() {
+			if at.dead {
+				return
+			}
 			fetched++
 			active--
 			if fetched >= len(sources) {
 				// Sort+merge+reduce, then write output to HDFS.
 				node.ComputeSeconds(reduceSeconds(job, node, shuffleShare), func() {
+					if at.dead {
+						return
+					}
 					out := units.Bytes(float64(shuffleShare) * job.Cost.ReduceOutputRatio)
-					res.OutputBytes += out
 					outSeq++
 					outName := fmt.Sprintf("%s/part-r-%05d", job.Name, outSeq)
 					c.FS.Write(node.ID, node, outName, out, func() {
+						if at.dead || rt.done {
+							return
+						}
+						at.dead = true
+						at.watchdog.Cancel()
+						rt.done = true
+						rt.cur = nil
+						res.OutputBytes += out
 						c.RM.Release(ct)
 						reducersDone++
 						maybeFinish()
@@ -212,48 +391,70 @@ func (c *Cluster) Start(job *JobDef, done func()) (*JobResult, error) {
 	for _, nm := range c.RM.Nodes() {
 		earlyReducers += int(0.1 * float64(nm.Capacity().MemoryMB) / float64(job.ReduceMemoryMB))
 	}
+
+	launchReduce = func(rt *reduceTask) {
+		rt.tries++
+		prio := 0
+		if rt.idx < earlyReducers {
+			prio = 1
+		}
+		c.RM.Request(yarn.ContainerRequest{MemoryMB: job.ReduceMemoryMB, Priority: prio}, func(ct *yarn.Container) {
+			if finished || rt.done {
+				c.RM.Release(ct)
+				return
+			}
+			reducersStarted++
+			res.TaskAttempts++
+			at := &attempt{ct: ct, started: eng.Now()}
+			rt.cur = at
+			armWatchdog(at, func() { failReduceAttempt(rt, at, true) })
+			// Fetch from the nodes holding map output at grant time;
+			// output still being produced is folded into the evenly
+			// divided expected share (incremental-shuffle model).
+			// Deterministic source order: map iteration order would
+			// perturb event ordering run-to-run.
+			var sources []*yarn.NodeManager
+			for nm, b := range mapOutPerNode {
+				if b > 0 {
+					sources = append(sources, nm)
+				}
+			}
+			sort.Slice(sources, func(i, j int) bool {
+				return sources[i].Node.ID < sources[j].Node.ID
+			})
+			share := units.Bytes(float64(expectedMapOut) / float64(job.NumReduces))
+			// Reduce attempts pay the same (CPU-bound) setup overhead.
+			ct.Node.Node.ComputeSeconds(overheadSeconds(job, ct.Node.Node), func() {
+				if at.dead {
+					return
+				}
+				runReducer(at, rt, share, sources)
+			})
+		})
+	}
+
 	requestReducers := func() {
 		if reducersRequested {
 			return
 		}
 		reducersRequested = true
-		for r := 0; r < job.NumReduces; r++ {
-			prio := 0
-			if r < earlyReducers {
-				prio = 1
-			}
-			c.RM.Request(yarn.ContainerRequest{MemoryMB: job.ReduceMemoryMB, Priority: prio}, func(ct *yarn.Container) {
-				reducersStarted++
-				// Fetch from the nodes holding map output at grant time;
-				// output still being produced is folded into the evenly
-				// divided expected share (incremental-shuffle model).
-				// Deterministic source order: map iteration order would
-				// perturb event ordering run-to-run.
-				var sources []*yarn.NodeManager
-				for nm, b := range mapOutPerNode {
-					if b > 0 {
-						sources = append(sources, nm)
-					}
-				}
-				sort.Slice(sources, func(i, j int) bool {
-					return sources[i].Node.ID < sources[j].Node.ID
-				})
-				share := units.Bytes(float64(expectedMapOut) / float64(job.NumReduces))
-				// Reduce attempts pay the same (CPU-bound) setup overhead.
-				ct.Node.Node.ComputeSeconds(overheadSeconds(job, ct.Node.Node), func() {
-					runReducer(ct, share, sources)
-				})
-			})
+		for _, rt := range reduces {
+			launchReduce(rt)
 		}
 	}
 
-	runMapper := func(ct *yarn.Container, s *split) {
+	runMapper := func(at *attempt, mt *mapTask) {
+		ct := at.ct
 		node := ct.Node.Node
+		s := mt.s
 		// Read every block of the split (local disk or remote flow).
 		remaining := len(s.blocks)
 		local := true
 		for _, b := range s.blocks {
 			wasLocal := c.FS.ReadBlock(node.ID, node, b, func() {
+				if at.dead {
+					return
+				}
 				remaining--
 				if remaining > 0 {
 					return
@@ -265,12 +466,35 @@ func (c *Cluster) Start(job *JobDef, done func()) (*JobResult, error) {
 				work := overheadSeconds(job, node) +
 					mapSeconds(job, node, s.size)
 				node.ComputeSeconds(work, func() {
+					if at.dead {
+						return
+					}
 					out := units.Bytes(float64(s.size) * job.Cost.OutputRatio * combine)
 					node.Disk().Write(out, true, func() {
+						if at.dead || mt.done {
+							return
+						}
+						at.dead = true
+						at.watchdog.Cancel()
+						mt.done = true
+						mt.outputOn = ct.Node
+						mt.out = out
+						if local {
+							res.DataLocalMaps++
+						}
+						mapDurSum += float64(eng.Now() - at.started)
+						mapDurN++
+						// Kill the losing speculative sibling, if any.
+						loser := mt.cur
+						if loser == at {
+							loser = mt.spec
+						}
+						mt.cur, mt.spec = nil, nil
 						mapOutPerNode[ct.Node] += out
 						totalMapOut += out
 						mapsDone++
 						c.RM.Release(ct)
+						killAttempt(loser)
 						if float64(mapsDone) >= slowstartFraction*float64(nMaps) {
 							requestReducers()
 						}
@@ -279,20 +503,141 @@ func (c *Cluster) Start(job *JobDef, done func()) (*JobResult, error) {
 			})
 			local = local && wasLocal
 		}
-		if local {
-			res.DataLocalMaps++
+	}
+
+	launchMap = func(mt *mapTask, speculative bool) {
+		mt.tries++
+		req := yarn.ContainerRequest{
+			MemoryMB:       job.MapMemoryMB,
+			PreferredNodes: c.preferredNodes(mt.s),
 		}
+		if speculative {
+			// Backup attempts run wherever there is room, right away.
+			req.PreferredNodes = nil
+		}
+		c.RM.Request(req, func(ct *yarn.Container) {
+			if finished || mt.done {
+				c.RM.Release(ct)
+				return
+			}
+			res.TaskAttempts++
+			at := &attempt{ct: ct, started: eng.Now()}
+			if speculative {
+				mt.spec = at
+			} else {
+				mt.cur = at
+			}
+			armWatchdog(at, func() { failMapAttempt(mt, at, true) })
+			runMapper(at, mt)
+		})
+	}
+
+	// Failure detection, piggybacked on the job's existing 1 Hz sampling
+	// tick (no extra events): an up→down transition fails the node's live
+	// attempts and re-executes completed maps whose output died with it; a
+	// down→up transition re-admits the node (unless blacklisted).
+	onNodeDown := func(nm *yarn.NodeManager) {
+		c.RM.SetNodeUsable(nm.Node, false)
+		c.FS.SetNodeAlive(nm.Node, false)
+		for _, mt := range maps {
+			if mt.cur != nil && mt.cur.ct.Node == nm {
+				failMapAttempt(mt, mt.cur, false)
+			}
+			if mt.spec != nil && mt.spec.ct.Node == nm {
+				failMapAttempt(mt, mt.spec, false)
+			}
+		}
+		for _, rt := range reduces {
+			if rt.cur != nil && rt.cur.ct.Node == nm {
+				failReduceAttempt(rt, rt.cur, false)
+			}
+		}
+		if finished {
+			return
+		}
+		// Map output on the dead node is gone; those maps must run again
+		// (the shuffle can no longer fetch from it).
+		if mapOutPerNode[nm] > 0 {
+			mapOutPerNode[nm] = 0
+			for _, mt := range maps {
+				if !mt.done || mt.outputOn != nm {
+					continue
+				}
+				mt.done = false
+				mt.outputOn = nil
+				totalMapOut -= mt.out
+				mapsDone--
+				res.LostMapOutputs++
+				if mt.cur != nil || mt.spec != nil {
+					continue // a (speculative) attempt is already running
+				}
+				if mt.tries >= ft.MaxAttempts {
+					failJob(fmt.Sprintf("map %d failed %d attempts", mt.idx, mt.tries))
+					return
+				}
+				res.TaskRetries++
+				launchMap(mt, false)
+			}
+		}
+	}
+	onNodeUp := func(nm *yarn.NodeManager) {
+		c.FS.SetNodeAlive(nm.Node, true)
+		if !blacklisted[nm] {
+			c.RM.SetNodeUsable(nm.Node, true)
+		}
+	}
+	detect := func() {
+		for i, nm := range c.RM.Nodes() {
+			up := nm.Node.Up()
+			if nodeWasUp[i] == up {
+				continue
+			}
+			nodeWasUp[i] = up
+			if up {
+				onNodeUp(nm)
+			} else {
+				onNodeDown(nm)
+			}
+		}
+	}
+	speculate := func() {
+		if 2*mapsDone < nMaps || mapDurN == 0 {
+			return
+		}
+		threshold := 2 * mapDurSum / float64(mapDurN)
+		for _, mt := range maps {
+			if mt.done || mt.spec != nil || mt.cur == nil {
+				continue
+			}
+			if float64(eng.Now()-mt.cur.started) > threshold {
+				res.SpeculativeBackups++
+				launchMap(mt, true)
+			}
+		}
+	}
+	var tick func()
+	tick = func() {
+		if finished {
+			return
+		}
+		if ftOn {
+			detect()
+			if finished {
+				return // detection can fail the job (attempts exhausted)
+			}
+			if ft.Speculative {
+				speculate()
+			}
+		}
+		sample()
+		eng.After(1.0, tick)
 	}
 
 	// Kick off: AM first, then all map requests with locality preferences.
 	c.RM.Request(yarn.ContainerRequest{MemoryMB: job.AMMemoryMB}, func(am *yarn.Container) {
 		amContainer = am
-		for _, s := range splits {
-			s := s
-			c.RM.Request(yarn.ContainerRequest{
-				MemoryMB:       job.MapMemoryMB,
-				PreferredNodes: c.preferredNodes(s),
-			}, func(ct *yarn.Container) { runMapper(ct, s) })
+		for _, mt := range maps {
+			launchMap(mt, false)
 		}
 	})
 	eng.After(0, tick)

@@ -15,6 +15,7 @@ package netsim
 
 import (
 	"fmt"
+	"math"
 
 	"edisim/internal/sim"
 	"edisim/internal/units"
@@ -31,10 +32,25 @@ type Link struct {
 	bytes     units.Bytes   // cumulative bytes carried (messages + flows)
 	flowCount int           // active max-min flows crossing this link
 	dirty     bool          // on the fabric's dirty list for the next reallocate
+	// scale rescales the effective capacity for fault injection: 1 is the
+	// healthy default, (0,1) a degraded link, 0 a cut. It multiplies the
+	// nameplate capacity exactly, so at 1 every float downstream — water
+	// filling, Send transmission times — is bit-identical to the
+	// pre-fault-injection arithmetic.
+	scale float64
 }
 
 // Bytes reports the cumulative bytes carried over this link.
 func (l *Link) Bytes() units.Bytes { return l.bytes }
+
+// Scale reports the link's capacity scale (1 healthy, 0 cut).
+func (l *Link) Scale() float64 { return l.scale }
+
+// Down reports whether the link is cut.
+func (l *Link) Down() bool { return l.scale == 0 }
+
+// effCap is the scaled capacity in bytes/sec used by both transfer models.
+func (l *Link) effCap() float64 { return float64(l.Capacity) * l.scale }
 
 // Fabric is the network graph plus the active flow set.
 type Fabric struct {
@@ -133,7 +149,7 @@ func (f *Fabric) Connect(a, b string, capacity units.BytesPerSec, delay float64)
 	}
 	for _, pair := range [][2]string{{a, b}, {b, a}} {
 		l := &Link{Src: pair[0], Dst: pair[1], Capacity: capacity, Delay: delay,
-			q: sim.NewResource(f.eng, 1)}
+			q: sim.NewResource(f.eng, 1), scale: 1}
 		f.adj[pair[0]] = append(f.adj[pair[0]], l)
 		f.links = append(f.links, l)
 	}
@@ -145,7 +161,7 @@ func (f *Fabric) ConnectAsym(a, b string, capacity units.BytesPerSec, delay floa
 	if !f.vertices[a] || !f.vertices[b] {
 		panic(fmt.Sprintf("netsim: connect of unknown vertex %q or %q", a, b))
 	}
-	l := &Link{Src: a, Dst: b, Capacity: capacity, Delay: delay, q: sim.NewResource(f.eng, 1)}
+	l := &Link{Src: a, Dst: b, Capacity: capacity, Delay: delay, q: sim.NewResource(f.eng, 1), scale: 1}
 	f.adj[a] = append(f.adj[a], l)
 	f.links = append(f.links, l)
 	f.routes = make(map[[2]string][]*Link)
@@ -207,6 +223,71 @@ func (f *Fabric) Latency(src, dst string) float64 {
 // RTT reports Latency both ways, matching what ping measures on idle links.
 func (f *Fabric) RTT(a, b string) float64 {
 	return f.Latency(a, b) + f.Latency(b, a)
+}
+
+// SetVertexLinks rescales the effective capacity of every link adjacent to
+// vertex v (both directions) to scale × nameplate: 1 restores the healthy
+// link, a value in (0,1) degrades it, and 0 cuts it. Cutting is a departure
+// storm for the max-min flow set: every active flow crossing a cut link is
+// aborted without its done callback (the sender's timeout machinery owns
+// recovery), handled by the same incremental dirty-component sweep as normal
+// departures. Flows started while a link on their path is down are admitted
+// at rate 0 and resume when the link is restored. In-flight Send messages
+// reaching a cut link are dropped (see message.acquired).
+func (f *Fabric) SetVertexLinks(v string, scale float64) {
+	if !(scale >= 0) || math.IsInf(scale, 0) {
+		panic(fmt.Sprintf("netsim: link scale %g must be finite and non-negative", scale))
+	}
+	if !f.vertices[v] {
+		panic(fmt.Sprintf("netsim: SetVertexLinks of unknown vertex %q", v))
+	}
+	f.advanceFlows()
+	changed := false
+	for _, l := range f.links {
+		if (l.Src == v || l.Dst == v) && l.scale != scale {
+			l.scale = scale
+			f.markDirty(l)
+			changed = true
+		}
+	}
+	if !changed {
+		return
+	}
+	if scale == 0 {
+		f.abortCrossing()
+	}
+	f.reallocate()
+}
+
+// abortCrossing drops every active flow whose path contains a cut link,
+// compacting the live set in place. Aborted flows never run their done
+// callbacks — the transfer is simply lost, like a TCP connection through a
+// yanked cable. Progress must already be credited (advanceFlows) and the
+// cut links marked dirty by the caller.
+func (f *Fabric) abortCrossing() {
+	live := f.flows[:0]
+	for _, fl := range f.flows {
+		crossed := false
+		for _, l := range fl.path {
+			if l.Down() {
+				crossed = true
+				break
+			}
+		}
+		if !crossed {
+			live = append(live, fl)
+			continue
+		}
+		for _, l := range fl.path {
+			l.flowCount--
+			f.markDirty(l)
+		}
+		f.recycleFlow(fl)
+	}
+	for i := len(live); i < len(f.flows); i++ {
+		f.flows[i] = nil
+	}
+	f.flows = live
 }
 
 // TotalBytes reports bytes carried across all links (each hop counted).

@@ -76,10 +76,18 @@ func (m *message) next() {
 }
 
 // acquired runs when the current hop's link FIFO admits the message: hold
-// the link for the transmission time.
+// the link for the transmission time. On a cut link the message is dropped
+// silently — done never runs, like a frame on a dead cable; recovery belongs
+// to the sender's timeout machinery. At scale 1 the transmission time is
+// bit-identical to the unscaled capacity arithmetic (÷1.0 is exact).
 func (m *message) acquired() {
 	l := m.path[m.hop]
-	m.fab.eng.After(l.Capacity.Seconds(m.size), m.txFn)
+	if l.Down() {
+		l.q.Release()
+		m.fab.recycleMsg(m)
+		return
+	}
+	m.fab.eng.After(float64(m.size)/l.effCap(), m.txFn)
 }
 
 // transmitted runs when the last byte leaves the link: free it for the next

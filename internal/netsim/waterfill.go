@@ -177,7 +177,7 @@ func (f *Fabric) waterFill(flows []*Flow) {
 			if s, ok := state[l]; ok {
 				s.cnt++
 			} else {
-				f.lsArena = append(f.lsArena, linkState{rem: float64(l.Capacity), cnt: 1})
+				f.lsArena = append(f.lsArena, linkState{rem: l.effCap(), cnt: 1})
 				state[l] = &f.lsArena[len(f.lsArena)-1]
 			}
 		}

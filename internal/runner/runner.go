@@ -103,6 +103,41 @@ func Map[T any](workers, n int, f func(i int) T) []T {
 	return out
 }
 
+// PanicError is a worker panic converted into an error by MapRecover: the
+// unit's index, the recovered value and the goroutine stack at the point of
+// the panic.
+type PanicError struct {
+	Index int
+	Value any
+	Stack []byte
+}
+
+func (e *PanicError) Error() string {
+	return fmt.Sprintf("runner: unit %d panicked: %v\nworker stack:\n%s", e.Index, e.Value, e.Stack)
+}
+
+// MapRecover evaluates f(0), …, f(n-1) like Map, but a panicking unit
+// becomes a *PanicError in the errors slice instead of killing the process:
+// the remaining units keep running and return their results. errs[i] is nil
+// for every unit that completed; out[i] is the zero value for one that
+// panicked. Used at the edisim API boundary, where one poisoned workload
+// must surface as that unit's error, not tear down the caller.
+func MapRecover[T any](workers, n int, f func(i int) T) (out []T, errs []error) {
+	if n <= 0 {
+		return nil, nil
+	}
+	errs = make([]error, n)
+	out = Map(workers, n, func(i int) (r T) {
+		defer func() {
+			if v := recover(); v != nil {
+				errs[i] = &PanicError{Index: i, Value: v, Stack: debug.Stack()}
+			}
+		}()
+		return f(i)
+	})
+	return out, errs
+}
+
 // Each runs f(i) for every index without collecting results.
 func Each(workers, n int, f func(i int)) {
 	Map(workers, n, func(i int) struct{} {

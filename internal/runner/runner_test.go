@@ -78,3 +78,51 @@ func TestMapSerialMatchesParallel(t *testing.T) {
 		}
 	}
 }
+
+func TestMapRecoverPoisonedUnit(t *testing.T) {
+	for _, workers := range []int{1, 4} {
+		out, errs := MapRecover(workers, 8, func(i int) int {
+			if i == 3 {
+				panic("poisoned point")
+			}
+			return i * 10
+		})
+		for i := 0; i < 8; i++ {
+			if i == 3 {
+				continue
+			}
+			if errs[i] != nil || out[i] != i*10 {
+				t.Fatalf("workers=%d: unit %d = (%d, %v), want (%d, nil)", workers, i, out[i], errs[i], i*10)
+			}
+		}
+		pe, ok := errs[3].(*PanicError)
+		if !ok {
+			t.Fatalf("workers=%d: errs[3] = %v (%T), want *PanicError", workers, errs[3], errs[3])
+		}
+		if pe.Index != 3 || pe.Value != "poisoned point" || len(pe.Stack) == 0 {
+			t.Fatalf("workers=%d: PanicError = {Index:%d Value:%v stack:%d bytes}", workers, pe.Index, pe.Value, len(pe.Stack))
+		}
+		if msg := pe.Error(); !strings.Contains(msg, "unit 3 panicked") || !strings.Contains(msg, "poisoned point") {
+			t.Fatalf("workers=%d: error text %q lacks unit and value", workers, msg)
+		}
+		if out[3] != 0 {
+			t.Fatalf("workers=%d: panicked unit left a result %d", workers, out[3])
+		}
+	}
+}
+
+func TestMapRecoverAllHealthy(t *testing.T) {
+	out, errs := MapRecover(4, 5, func(i int) int { return i })
+	for i := range errs {
+		if errs[i] != nil || out[i] != i {
+			t.Fatalf("unit %d = (%d, %v)", i, out[i], errs[i])
+		}
+	}
+}
+
+func TestMapRecoverEmpty(t *testing.T) {
+	out, errs := MapRecover(4, 0, func(i int) int { return i })
+	if out != nil || errs != nil {
+		t.Fatalf("MapRecover over 0 items returned (%v, %v)", out, errs)
+	}
+}

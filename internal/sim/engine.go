@@ -78,7 +78,31 @@ type Engine struct {
 	free    []*Event // recycled event records
 	stopped bool
 	fired   uint64
+
+	// interrupt, when set, is polled every interruptStride events inside
+	// Run/RunUntil; returning true abandons the run (see SetInterrupt).
+	interrupt   func() bool
+	interrupted bool
 }
+
+// interruptStride is how many events execute between interrupt polls: often
+// enough that a cancelled context stops a stuck simulation within
+// milliseconds of wall time, rare enough that the poll is invisible in the
+// event-loop profile.
+const interruptStride = 4096
+
+// SetInterrupt installs a poll called every few thousand executed events
+// during Run/RunUntil; when it returns true the run stops early (like Stop)
+// and Interrupted reports true. It is how context cancellation reaches the
+// inside of a long-running simulation: the engine is single-threaded, so
+// without a checkpoint a stuck unit could only be abandoned between units.
+// nil (the default) disables polling. The hook must be deterministic-safe:
+// it is only ever used to abandon a run, never to steer one.
+func (e *Engine) SetInterrupt(fn func() bool) { e.interrupt = fn }
+
+// Interrupted reports whether the last Run/RunUntil was abandoned by the
+// interrupt poll. Results computed after an interrupted run are partial.
+func (e *Engine) Interrupted() bool { return e.interrupted }
 
 // NewEngine returns an engine with the clock at zero and no pending events.
 func NewEngine() *Engine { return &Engine{} }
@@ -241,9 +265,14 @@ func (e *Engine) popHead() func() {
 // finite and later).
 func (e *Engine) RunUntil(deadline Time) {
 	e.stopped = false
+	e.interrupted = false
 	for len(e.heap) > 0 && !e.stopped {
 		if e.heap[0].at > deadline {
 			break
+		}
+		if e.interrupt != nil && e.fired%interruptStride == 0 && e.interrupt() {
+			e.interrupted = true
+			return
 		}
 		e.popHead()()
 	}

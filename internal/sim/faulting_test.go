@@ -1,0 +1,111 @@
+package sim
+
+import "testing"
+
+func TestProcShareSetSpeedFactor(t *testing.T) {
+	e := NewEngine()
+	p := NewProcShare(e, 1, 100)
+	var doneAt Time
+	p.Submit(100, func() { doneAt = e.Now() })
+	// Halve the speed halfway through: 0.5 s at full rate does half the
+	// work, the remaining 50 units at 50 work/s take another 1 s.
+	e.After(0.5, func() { p.SetSpeedFactor(0.5) })
+	e.Run()
+	if !almost(float64(doneAt), 1.5, 1e-9) {
+		t.Fatalf("slowed task done at %v, want 1.5", doneAt)
+	}
+	if p.SpeedFactor() != 0.5 {
+		t.Fatalf("speed factor %v, want 0.5", p.SpeedFactor())
+	}
+}
+
+func TestProcShareSpeedFactorOneIsExact(t *testing.T) {
+	e := NewEngine()
+	p := NewProcShare(e, 2, 100)
+	p.SetSpeedFactor(1)
+	var doneAt Time
+	p.Submit(137, func() { doneAt = e.Now() })
+	e.Run()
+	if float64(doneAt) != 1.37 {
+		t.Fatalf("factor-1 task done at %v, want exactly 1.37", doneAt)
+	}
+}
+
+func TestProcShareKillAll(t *testing.T) {
+	e := NewEngine()
+	p := NewProcShare(e, 2, 100)
+	fired := 0
+	p.Submit(100, func() { fired++ })
+	p.Submit(100, func() { fired++ })
+	e.After(0.5, p.KillAll)
+	e.Run()
+	if fired != 0 {
+		t.Fatalf("%d callbacks fired after KillAll, want 0", fired)
+	}
+	if p.Active() != 0 {
+		t.Fatalf("%d active tasks after KillAll, want 0", p.Active())
+	}
+	// The CPU still works after the massacre.
+	var doneAt Time
+	p.Submit(100, func() { doneAt = e.Now() })
+	e.Run()
+	if !almost(float64(doneAt), 1.5, 1e-9) {
+		t.Fatalf("post-kill task done at %v, want 1.5", doneAt)
+	}
+}
+
+func TestEngineInterrupt(t *testing.T) {
+	e := NewEngine()
+	stop := false
+	e.SetInterrupt(func() bool { return stop })
+	n := 0
+	var tick func()
+	tick = func() {
+		n++
+		if n == 10*interruptStride {
+			stop = true
+		}
+		e.After(1e-6, tick)
+	}
+	e.After(0, tick)
+	e.Run()
+	if !e.Interrupted() {
+		t.Fatal("engine did not report interruption")
+	}
+	// The poll happens every interruptStride events, so the run stops
+	// within one stride of the trigger instead of draining the schedule.
+	if n > 11*interruptStride {
+		t.Fatalf("engine ran %d events past the interrupt point", n-10*interruptStride)
+	}
+}
+
+func TestEngineInterruptUnsetRunsToCompletion(t *testing.T) {
+	e := NewEngine()
+	n := 0
+	var tick func()
+	tick = func() {
+		n++
+		if n < 3*interruptStride {
+			e.After(1e-6, tick)
+		}
+	}
+	e.After(0, tick)
+	e.Run()
+	if n != 3*interruptStride || e.Interrupted() {
+		t.Fatalf("uninterrupted engine ran %d events (interrupted=%v)", n, e.Interrupted())
+	}
+}
+
+// BenchmarkProcShareSlowFactor pins the fault path's cost: a CPU running at
+// a non-unit speed factor must stay allocation-free on the submit/complete
+// hot path, like the healthy CPU BenchmarkProcShare pins.
+func BenchmarkProcShareSlowFactor(b *testing.B) {
+	e := NewEngine()
+	p := NewProcShare(e, 2, 1000)
+	p.SetSpeedFactor(0.5)
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		p.Submit(1, func() {})
+		e.Run()
+	}
+}

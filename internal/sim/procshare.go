@@ -1,6 +1,9 @@
 package sim
 
-import "fmt"
+import (
+	"fmt"
+	"math"
+)
 
 // ProcShare models an N-core processor shared by single-threaded tasks
 // (egalitarian processor sharing): with m active tasks each runs at
@@ -19,7 +22,8 @@ import "fmt"
 type ProcShare struct {
 	eng   *Engine
 	cores float64 // effective parallel capacity (cores × HT factor)
-	speed float64 // work units per second per core at full speed
+	speed float64 // work units per second per core at the current factor
+	base  float64 // nominal per-core speed (speed = base × slow factor)
 
 	v        float64 // virtual work served per task so far
 	lastT    Time    // when v was last advanced
@@ -184,6 +188,7 @@ func NewProcShare(eng *Engine, cores, speedPerCore float64) *ProcShare {
 		eng:          eng,
 		cores:        cores,
 		speed:        speedPerCore,
+		base:         speedPerCore,
 		lastT:        eng.Now(),
 		busyIntegral: &psBusyIntegral{lastT: eng.Now()},
 	}
@@ -329,6 +334,44 @@ func (p *ProcShare) complete() {
 		finished[i] = nil
 	}
 	p.doneQueue = finished[:0]
+}
+
+// SetSpeedFactor rescales the per-core speed to factor × the nominal speed
+// (the construction-time speedPerCore). It models straggler injection: a
+// factor below 1 slows every in-flight and future task proportionally from
+// this instant on; factor 1 restores nominal speed. Work already served is
+// untouched (virtual time is advanced before the rate changes). The factor
+// must be positive and finite — a dead CPU is KillAll, not factor 0.
+func (p *ProcShare) SetSpeedFactor(factor float64) {
+	if !(factor > 0) || math.IsInf(factor, 0) {
+		panic(fmt.Sprintf("sim: speed factor %g must be positive and finite", factor))
+	}
+	p.advance()
+	p.speed = p.base * factor
+	p.reschedule()
+}
+
+// SpeedFactor reports the current speed scaling (1 when never adjusted).
+func (p *ProcShare) SpeedFactor() float64 { return p.speed / p.base }
+
+// KillAll drops every in-flight task without running its done callback —
+// the CPU side of a node crash. Outstanding PSTaskRefs go stale (every
+// operation on them becomes a no-op); recovery is the caller's problem
+// (upper-layer timeouts), exactly as with a real power loss.
+func (p *ProcShare) KillAll() {
+	if len(p.tasks) == 0 {
+		return
+	}
+	p.advance()
+	for len(p.tasks) > 0 {
+		t := p.tasks.remove(len(p.tasks) - 1)
+		p.recycleTask(t)
+	}
+	p.busyIntegral.cur = 0
+	p.reschedule()
+	if p.OnActiveChange != nil {
+		p.OnActiveChange(0)
+	}
 }
 
 // Active reports the number of in-flight tasks.

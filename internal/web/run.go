@@ -2,6 +2,7 @@ package web
 
 import (
 	"fmt"
+	"math"
 
 	"edisim/internal/cluster"
 	"edisim/internal/hw"
@@ -159,6 +160,21 @@ type RunConfig struct {
 	CacheHit   float64
 	Duration   float64 // generation time in simulated seconds
 	WarmupFrac float64 // fraction of Duration excluded from measurement
+
+	// Failure recovery (all zero = off, the paper's healthy-run behavior,
+	// with an event stream byte-identical to builds without these knobs).
+	//
+	// RequestTimeout > 0 arms a client-side timer per request: a reply that
+	// does not arrive in time abandons the attempt and retries — against
+	// the next live web server when the current one is down — with capped
+	// exponential backoff, up to MaxRetries times; exhaustion counts the
+	// operation as errored. Connection setup gains the matching protection:
+	// a SYN (or SYN-ACK) lost to a cut link times out on the kernel retry
+	// schedule instead of hanging, and new connections steer around dead
+	// servers to the next live one in ring order.
+	RequestTimeout float64 // seconds; 0 disables all recovery machinery
+	MaxRetries     int     // retries after the first attempt; 0 means 3 when enabled
+	RetryBase      float64 // first backoff in seconds; 0 means 0.05 when enabled
 }
 
 // withDefaults fills unset fields with the values used across the paper
@@ -179,7 +195,54 @@ func (c RunConfig) withDefaults() RunConfig {
 	if c.CacheHit < 0 {
 		c.CacheHit = 0
 	}
+	if c.RequestTimeout > 0 {
+		if c.MaxRetries == 0 {
+			c.MaxRetries = 3
+		}
+		if c.RetryBase == 0 {
+			c.RetryBase = 0.05
+		}
+	}
 	return c
+}
+
+// badDur rejects the silent-failure values for a duration-like knob: NaN
+// would poison every comparison quietly, ±Inf and negatives turn timers into
+// never/always. Zero is left to the caller (usually a meaningful default).
+func badDur(v float64) bool { return math.IsNaN(v) || math.IsInf(v, 0) || v < 0 }
+
+// Validate rejects configurations whose zero-ish values would fail silently
+// rather than loudly: NaN/Inf anywhere, negative times, rates and counts.
+// Run panics on an invalid config; the public API surfaces the error.
+func (c RunConfig) Validate() error {
+	if math.IsNaN(c.Concurrency) || math.IsInf(c.Concurrency, 0) || c.Concurrency <= 0 {
+		return fmt.Errorf("web: concurrency %g must be positive and finite", c.Concurrency)
+	}
+	if c.CallsPerConn < 0 {
+		return fmt.Errorf("web: calls per connection %d must be non-negative", c.CallsPerConn)
+	}
+	if math.IsNaN(c.ImageFrac) || c.ImageFrac < 0 || c.ImageFrac > 1 {
+		return fmt.Errorf("web: image fraction %g must be in [0,1]", c.ImageFrac)
+	}
+	if math.IsNaN(c.CacheHit) || math.IsInf(c.CacheHit, 0) || c.CacheHit > 1 {
+		return fmt.Errorf("web: cache hit ratio %g must be finite and at most 1", c.CacheHit)
+	}
+	if badDur(c.Duration) {
+		return fmt.Errorf("web: duration %g must be finite and non-negative", c.Duration)
+	}
+	if math.IsNaN(c.WarmupFrac) || c.WarmupFrac < 0 || c.WarmupFrac >= 1 {
+		return fmt.Errorf("web: warmup fraction %g must be in [0,1)", c.WarmupFrac)
+	}
+	if badDur(c.RequestTimeout) {
+		return fmt.Errorf("web: request timeout %g must be finite and non-negative", c.RequestTimeout)
+	}
+	if c.MaxRetries < 0 {
+		return fmt.Errorf("web: max retries %d must be non-negative", c.MaxRetries)
+	}
+	if badDur(c.RetryBase) {
+		return fmt.Errorf("web: retry base %g must be finite and non-negative", c.RetryBase)
+	}
+	return nil
 }
 
 // Result is the outcome of one run.
@@ -195,6 +258,13 @@ type Result struct {
 	ConnFailures int64
 	ErrorRate    float64 // errored operations / attempted operations
 
+	// Recovery accounting (all zero when RequestTimeout is off). Attempts
+	// counts request transmissions inside the window including retries, so
+	// Attempts / (successes + failures) is the retry amplification factor.
+	Timeouts int64
+	Retries  int64
+	Attempts int64
+
 	MeanPower units.Watts // cluster draw averaged over the window
 	Energy    units.Joules
 
@@ -208,7 +278,13 @@ type Result struct {
 // Run executes one measurement on a fresh traffic epoch. The deployment's
 // caches must already be warmed.
 func (d *Deployment) Run(cfg RunConfig) Result {
+	if err := cfg.Validate(); err != nil {
+		panic(err)
+	}
 	cfg = cfg.withDefaults()
+	// ft gates every piece of recovery machinery: with it false the run's
+	// event stream is byte-identical to the pre-fault-injection code.
+	ft := cfg.RequestTimeout > 0
 	eng := d.Eng
 	d.loadFactor = 1 + d.Params.TransferPenaltyPerKB*AvgReplyBytes(cfg.ImageFrac)/1024
 
@@ -235,6 +311,9 @@ func (d *Deployment) Run(cfg RunConfig) Result {
 
 	// Connection generator: Poisson arrivals at Concurrency conn/s spread
 	// over the client machines, each conn routed round-robin by HAProxy.
+	// With recovery on, the balancer health-checks: a conn aimed at a dead
+	// server is steered to the next live one in ring order (identical
+	// routing while everything is up).
 	next := 0
 	var gen func()
 	stopGen := eng.Now() + sim.Time(cfg.Duration)
@@ -246,6 +325,11 @@ func (d *Deployment) Run(cfg RunConfig) Result {
 		client := d.Clients[next%len(d.Clients)]
 		w := d.Web[next%len(d.Web)]
 		next++
+		if ft && !w.Node.Up() {
+			if nl := d.nextLive(w); nl != nil {
+				w = nl
+			}
+		}
 		launch(client, w)
 		eng.After(d.rnd.arrival.Exp(1/cfg.Concurrency), gen)
 	}
@@ -256,59 +340,209 @@ func (d *Deployment) Run(cfg RunConfig) Result {
 		connStart := eng.Now()
 		attempt := 0
 		var try func()
-		established := func() {
+		established := func(conn *WebServer) {
 			// Run the request loop; record the conn setup + first reply
 			// delay in ConnDelays (the python-logger view of Figs 10–11).
 			call := 0
 			var doCall func()
-			doCall = func() {
-				if call >= cfg.CallsPerConn {
-					w.closeConn()
-					return
-				}
-				call++
-				first := call == 1
-				reqStart := eng.Now()
-				attempts++
-				d.request(client, w, cfg, func(ok bool) {
-					delay := float64(eng.Now() - reqStart)
-					if inWindow() {
-						if ok {
-							served++
-							res.Delays.Add(delay)
-							if first {
-								res.ConnDelays.Add(float64(eng.Now() - connStart))
+			if !ft {
+				doCall = func() {
+					if call >= cfg.CallsPerConn {
+						conn.closeConn()
+						return
+					}
+					call++
+					first := call == 1
+					reqStart := eng.Now()
+					attempts++
+					d.request(client, conn, cfg, func(ok bool) {
+						delay := float64(eng.Now() - reqStart)
+						if inWindow() {
+							if ok {
+								served++
+								res.Delays.Add(delay)
+								if first {
+									res.ConnDelays.Add(float64(eng.Now() - connStart))
+								}
+							} else {
+								errored++
 							}
-						} else {
-							errored++
+						}
+						doCall()
+					})
+				}
+			} else {
+				// Recovery request loop: each call is a chain of attempts,
+				// each guarded by the client timeout; a timed-out attempt is
+				// abandoned (a late reply is ignored) and retried against a
+				// live server after capped exponential backoff.
+				doCall = func() {
+					if call >= cfg.CallsPerConn {
+						conn.closeConn()
+						return
+					}
+					call++
+					first := call == 1
+					reqStart := eng.Now()
+					settled := false
+					tryNo := 0
+					settle := func(ok bool) {
+						settled = true
+						if inWindow() {
+							if ok {
+								served++
+								res.Delays.Add(float64(eng.Now() - reqStart))
+								if first {
+									res.ConnDelays.Add(float64(eng.Now() - connStart))
+								}
+							} else {
+								errored++
+							}
+						}
+						doCall()
+					}
+					var tryReq func(srv *WebServer)
+					tryReq = func(srv *WebServer) {
+						tryNo++
+						id := tryNo
+						attempts++
+						res.Attempts++
+						timer := eng.After(cfg.RequestTimeout, func() {
+							if settled || id != tryNo {
+								return
+							}
+							tryNo++ // abandon: the straggling reply is ignored
+							if inWindow() {
+								res.Timeouts++
+							}
+							if id > cfg.MaxRetries {
+								settle(false)
+								return
+							}
+							if inWindow() {
+								res.Retries++
+							}
+							backoff := cfg.RetryBase * float64(uint(1)<<uint(min(id-1, 3)))
+							eng.After(backoff, func() {
+								if settled {
+									return
+								}
+								nxt := srv
+								if !nxt.Node.Up() {
+									if nl := d.nextLive(nxt); nl != nil {
+										nxt = nl
+									}
+								}
+								tryReq(nxt)
+							})
+						})
+						d.request(client, srv, cfg, func(ok bool) {
+							if settled || id != tryNo {
+								return
+							}
+							timer.Cancel()
+							settle(ok)
+						})
+					}
+					start := conn
+					if !start.Node.Up() {
+						if nl := d.nextLive(start); nl != nil {
+							start = nl
 						}
 					}
-					doCall()
-				})
+					tryReq(start)
+				}
 			}
 			doCall()
 		}
-		try = func() {
-			// SYN travels to the server; ~60 bytes.
-			d.Fab.Send(client, w.Node.ID, rpcHeaderBytes, func() {
-				if w.admitConn(func() {
-					// SYN-ACK back, then the conn is usable.
-					d.Fab.Send(w.Node.ID, client, rpcHeaderBytes, established)
-				}) {
-					return
+		if !ft {
+			try = func() {
+				// SYN travels to the server; ~60 bytes.
+				d.Fab.Send(client, w.Node.ID, rpcHeaderBytes, func() {
+					if w.admitConn(func() {
+						// SYN-ACK back, then the conn is usable.
+						d.Fab.Send(w.Node.ID, client, rpcHeaderBytes, func() { established(w) })
+					}) {
+						return
+					}
+					// Dropped: kernel retry schedule, then give up.
+					if attempt < len(d.Params.RetryBackoff) {
+						backoff := d.Params.RetryBackoff[attempt]
+						attempt++
+						eng.After(backoff, try)
+						return
+					}
+					if inWindow() {
+						res.ConnFailures++
+						res.ConnDelays.Add(float64(eng.Now() - connStart))
+					}
+				})
+			}
+		} else {
+			// Recovery handshake: a SYN or SYN-ACK lost to a cut link gets
+			// no feedback, so each attempt also arms the kernel retransmit
+			// timer; whichever fires first (explicit drop or timeout) drives
+			// the shared retry schedule, steering to a live server.
+			srv := w
+			synNo := 0
+			var est bool
+			giveUp := func() {
+				if inWindow() {
+					res.ConnFailures++
+					res.ConnDelays.Add(float64(eng.Now() - connStart))
 				}
-				// Dropped: kernel retry schedule, then give up.
+			}
+			dropped := func() {
+				synNo++ // invalidate the attempt's other outcome path
 				if attempt < len(d.Params.RetryBackoff) {
 					backoff := d.Params.RetryBackoff[attempt]
 					attempt++
 					eng.After(backoff, try)
 					return
 				}
-				if inWindow() {
-					res.ConnFailures++
-					res.ConnDelays.Add(float64(eng.Now() - connStart))
+				giveUp()
+			}
+			try = func() {
+				if est {
+					return
 				}
-			})
+				if !srv.Node.Up() {
+					nl := d.nextLive(srv)
+					if nl == nil {
+						giveUp()
+						return
+					}
+					srv = nl
+				}
+				synNo++
+				id := synNo
+				target := srv
+				d.Fab.Send(client, target.Node.ID, rpcHeaderBytes, func() {
+					if est || id != synNo {
+						return
+					}
+					if !target.admitConn(func() {
+						d.Fab.Send(target.Node.ID, client, rpcHeaderBytes, func() {
+							if est || id != synNo {
+								return
+							}
+							est = true
+							established(target)
+						})
+					}) {
+						dropped()
+					}
+				})
+				// Kernel retransmit timeout: reuse the backoff schedule's
+				// current step as the wait for the (possibly lost) SYN-ACK.
+				wait := d.Params.RetryBackoff[min(attempt, len(d.Params.RetryBackoff)-1)]
+				eng.After(wait, func() {
+					if est || id != synNo {
+						return
+					}
+					dropped()
+				})
+			}
 		}
 		try()
 	}
@@ -342,6 +576,25 @@ func (d *Deployment) Run(cfg RunConfig) Result {
 	res.WebTotal = d.webTotal
 	d.dbDelay, d.cacheDelay, d.webTotal = stats.Summary{}, stats.Summary{}, stats.Summary{}
 	return res
+}
+
+// nextLive returns the first web server after w in ring order whose node is
+// up, or nil when the whole tier is down. Ring order keeps failover
+// deterministic and spreads a dead server's inherited load evenly.
+func (d *Deployment) nextLive(w *WebServer) *WebServer {
+	start := 0
+	for i, s := range d.Web {
+		if s == w {
+			start = i
+			break
+		}
+	}
+	for k := 1; k <= len(d.Web); k++ {
+		if s := d.Web[(start+k)%len(d.Web)]; s.Node.Up() {
+			return s
+		}
+	}
+	return nil
 }
 
 func (d *Deployment) webNodes() []*hw.Node {

@@ -26,6 +26,11 @@ type WebServer struct {
 	// Counters.
 	accepted, synDropped, refused int64
 	served, errored               int64
+
+	// inc is the node incarnation the admission state belongs to; a crash
+	// bumps the node's counter and the first admission after the reboot
+	// resets the wiped kernel-side state (see syncIncarnation).
+	inc uint64
 }
 
 func newWebServer(dep *Deployment, node *hw.Node) *WebServer {
@@ -48,10 +53,28 @@ func (w *WebServer) connInterval() float64 {
 	return base
 }
 
+// syncIncarnation lazily clears admission state wiped by a crash: the SYN
+// backlog, connection and inflight counts died with the kernel, so the first
+// admission attempt after a reboot starts from a clean table. Events queued
+// before the crash may still decrement the fresh counters (briefly negative),
+// which only loosens admission — matching a freshly booted, empty server.
+// On a never-crashed node this is a single compare.
+func (w *WebServer) syncIncarnation() {
+	if inc := w.Node.Incarnation(); inc != w.inc {
+		w.inc = inc
+		w.pendingSyn, w.activeConns, w.inflight = 0, 0, 0
+	}
+}
+
 // admitConn processes an arriving SYN. It returns false when the SYN is
-// dropped (backlog full); otherwise accept() will run once the server gets
-// to it.
+// dropped (backlog full, or the host is down); otherwise accept() will run
+// once the server gets to it.
 func (w *WebServer) admitConn(accept func()) bool {
+	w.syncIncarnation()
+	if !w.Node.Up() {
+		w.synDropped++
+		return false
+	}
 	if w.pendingSyn >= w.dep.Params.SynBacklog {
 		w.synDropped++
 		return false
@@ -75,8 +98,13 @@ func (w *WebServer) admitConn(accept func()) bool {
 func (w *WebServer) closeConn() { w.activeConns-- }
 
 // admitRequest applies the request-rate cap and the inflight bound.
-// It returns false (500) when the server is overloaded.
+// It returns false (500) when the server is overloaded or down.
 func (w *WebServer) admitRequest(start func()) bool {
+	w.syncIncarnation()
+	if !w.Node.Up() {
+		w.errored++
+		return false
+	}
 	if w.inflight >= w.costs().MaxInflight {
 		w.errored++
 		return false

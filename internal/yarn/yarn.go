@@ -51,7 +51,16 @@ type NodeManager struct {
 	capacity NodeResources
 	usedMem  int
 	usedVC   int
+
+	// unusable excludes the node from placement — crashed, unreachable or
+	// blacklisted by an application master. Already-granted containers are
+	// the application's to clean up (as in YARN, where the RM only learns of
+	// their fate from heartbeats).
+	unusable bool
 }
+
+// Usable reports whether the scheduler may place containers here.
+func (nm *NodeManager) Usable() bool { return !nm.unusable }
 
 // Available reports free resources.
 func (nm *NodeManager) Available() NodeResources {
@@ -219,7 +228,7 @@ func (rm *ResourceManager) tick() {
 // rounds (or has no preference).
 func (rm *ResourceManager) place(req ContainerRequest, anyNode bool) *NodeManager {
 	for _, nm := range req.PreferredNodes {
-		if nm.fits(req) {
+		if !nm.unusable && nm.fits(req) {
 			return nm
 		}
 	}
@@ -228,7 +237,7 @@ func (rm *ResourceManager) place(req ContainerRequest, anyNode bool) *NodeManage
 	}
 	var best *NodeManager
 	for _, nm := range rm.nodes {
-		if !nm.fits(req) {
+		if nm.unusable || !nm.fits(req) {
 			continue
 		}
 		if best == nil || nm.Available().MemoryMB > best.Available().MemoryMB {
@@ -249,6 +258,16 @@ func (rm *ResourceManager) Release(c *Container) {
 	c.Node.usedVC -= c.Req.VCores
 	if len(rm.pending) > 0 {
 		rm.ensureTicking()
+	}
+}
+
+// SetNodeUsable includes or excludes a node from container placement
+// (failure detection and blacklisting). Unknown nodes are ignored. Toggling
+// usability never touches granted containers or queued requests; a request
+// that can no longer be placed simply keeps waiting for the next heartbeat.
+func (rm *ResourceManager) SetNodeUsable(n *hw.Node, usable bool) {
+	if nm := rm.NodeManagerOf(n); nm != nil {
+		nm.unusable = !usable
 	}
 }
 
