@@ -6,6 +6,8 @@ import (
 	"math"
 	"strings"
 	"testing"
+
+	"edisim/internal/cluster"
 )
 
 // TestParsePlatformRefs pins the shared -platforms parsing: whitespace
@@ -135,7 +137,7 @@ func TestSlaveGroupValidationErrors(t *testing.T) {
 		{"empty platform", mk(TierSpec{Nodes: 2}), "explicit platform"},
 		{"unknown platform", mk(TierSpec{Platform: Ref("pdp11"), Nodes: 2}), `"pdp11"`},
 		{"duplicate group", mk(TierSpec{Platform: Ref("edison"), Nodes: 2}, TierSpec{Platform: Ref("Edison"), Nodes: 1}), "duplicate slave group"},
-		{"over group cap", mk(TierSpec{Platform: Ref("edison"), Nodes: 500}), "group cap"},
+		{"over group cap", mk(TierSpec{Platform: Ref("edison"), Nodes: cluster.MaxGroupNodes + 300}), "group cap"},
 	}
 	for _, tc := range cases {
 		t.Run(tc.name, func(t *testing.T) {

@@ -65,11 +65,13 @@ func (tb *Testbed) Nodes(p *hw.Platform) []*hw.Node {
 	return nil
 }
 
-// MaxGroupNodes caps one platform group's node count — a sanity bound far
-// above any paper-scale testbed. Public-API validation (edisim workload
-// expansion) checks against this same constant so oversized scenarios fail
-// with an error before reaching the builder's panic.
-const MaxGroupNodes = 200
+// MaxGroupNodes caps one platform group's node count — a sanity bound
+// against typo-sized configs. Datacenter-scale sweeps (leaf-spine fleets up
+// to ~10k nodes, the ROADMAP north-star) are in range; only clearly absurd
+// sizes are rejected. Public-API validation (edisim workload expansion)
+// checks against this same constant so oversized scenarios fail with an
+// error before reaching the builder's panic.
+const MaxGroupNodes = 10000
 
 // GroupConfig sizes one platform's node group.
 type GroupConfig struct {

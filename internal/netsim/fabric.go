@@ -28,16 +28,31 @@ type Link struct {
 	Capacity units.BytesPerSec
 	Delay    float64 // one-way propagation delay in seconds
 
-	q         *sim.Resource // transmission FIFO for Send messages
-	bytes     units.Bytes   // cumulative bytes carried (messages + flows)
-	flowCount int           // active max-min flows crossing this link
-	dirty     bool          // on the fabric's dirty list for the next reallocate
+	q     *sim.Resource // transmission FIFO for Send messages
+	bytes units.Bytes   // cumulative bytes carried (messages + flows); may
+	// lag behind live flow progress until Fabric.FlushProgress credits it
+	flows []linkSlot // active max-min flows crossing this link
+	dirty bool       // on the fabric's dirty list for the next reallocate
+	mark  uint64     // epoch stamp for the dirty-component sweep
+	// Water-filling working state, validity-stamped by wfPass so passes
+	// need no per-pass map or clearing (see waterFill).
+	wfPass uint64
+	wfRem  float64
+	wfCnt  int
 	// scale rescales the effective capacity for fault injection: 1 is the
 	// healthy default, (0,1) a degraded link, 0 a cut. It multiplies the
 	// nameplate capacity exactly, so at 1 every float downstream — water
 	// filling, Send transmission times — is bit-identical to the
 	// pre-fault-injection arithmetic.
 	scale float64
+}
+
+// linkSlot is one entry of a link's flow list: the crossing flow plus the
+// index of this link in that flow's path, so swap-removal can repair the
+// moved entry's back-pointer (Flow.linkPos) in O(1).
+type linkSlot struct {
+	fl      *Flow
+	pathIdx int32
 }
 
 // Bytes reports the cumulative bytes carried over this link.
@@ -60,14 +75,18 @@ type Fabric struct {
 	links    []*Link
 	routes   map[[2]string][]*Link
 
-	// flows is the active max-min flow set in admission order. A slice
-	// (not a map) so that every allocation and completion pass iterates
-	// deterministically — map iteration order would leak scheduling noise
-	// into callback ordering and float accumulation, breaking bit-identical
-	// reruns.
+	// flows is the live max-min flow set. Maintained by swap-removal (each
+	// flow carries its index), so iteration order is NOT admission order;
+	// every pass that cares — water-filling arithmetic, completion
+	// callbacks — orders on Flow.seq instead (affectedFlows sorts, the
+	// completion heap ties on seq), keeping reruns bit-identical.
 	flows    []*Flow
 	epoch    uint64
 	nextDone sim.EventRef
+
+	// doneHeap is the indexed 4-ary min-heap of projected completion times
+	// (see doneheap.go); one engine event is armed at its minimum.
+	doneHeap []*Flow
 
 	// freeFlows is the Flow record pool (see StartFlow); flowSeq stamps
 	// each started flow so stale FlowRefs are detected after recycling.
@@ -76,59 +95,52 @@ type Fabric struct {
 	flowSeq   uint64
 	freeMsgs  []*message
 
-	// Reusable scratch for the water-filling pass and the completion
-	// sweep, so steady-state flow churn does not allocate: a link-state
-	// map cleared per pass, an arena its entries point into (pre-sized to
-	// the link count so append never relocates), the pending done
-	// callbacks of one completion round, and the bound completeFlows
-	// closure (allocated once instead of per re-arm).
-	lsScratch  map[*Link]*linkState
-	lsArena    []linkState
+	// Reusable scratch so steady-state flow churn does not allocate: the
+	// links touched by the current water-filling pass, the pending done
+	// callbacks of one completion round, the affected-flow list of the
+	// dirty-component sweep, the abort set of a link-cut storm, and the
+	// bound completeFlows closure (allocated once instead of per re-arm).
+	wfPass     uint64
+	wfLinks    []*Link
 	doneQueue  []func()
+	affScratch []*Flow
+	abortFlows []*Flow
 	completeFn func()
 
-	// Incremental water-filling state (see reallocate): the links dirtied
-	// by flow arrivals/departures since the last pass, a toggle forcing
-	// the retained full recompute (the reference implementation and the
-	// documented fallback), and reusable scratch for the connected-
-	// component sweep — union-find parents and dirty-root stamps per flow
-	// index, the link → first-carrying-flow map, and the affected-flow
-	// list handed to the water-filling pass.
-	dirtyLinks  []*Link
-	fullRealloc bool
-	ufParent    []int32
-	rootMark    []uint64
-	linkOwner   map[*Link]int32
-	affScratch  []*Flow
-}
-
-// linkState is one link's remaining capacity and unfrozen-flow count
-// during a water-filling pass.
-type linkState struct {
-	rem float64
-	cnt int
+	// dirtyLinks are the links dirtied by flow arrivals/departures/capacity
+	// changes since the last pass; eager selects the retained reference
+	// implementation (eager crediting + full recompute + linear
+	// next-completion scan) instead of the lazy default.
+	dirtyLinks []*Link
+	eager      bool
 }
 
 // NewFabric returns an empty network on the engine.
 func NewFabric(eng *sim.Engine) *Fabric {
 	f := &Fabric{
-		eng:       eng,
-		vertices:  make(map[string]bool),
-		adj:       make(map[string][]*Link),
-		routes:    make(map[[2]string][]*Link),
-		lsScratch: make(map[*Link]*linkState),
-		linkOwner: make(map[*Link]int32),
+		eng:      eng,
+		vertices: make(map[string]bool),
+		adj:      make(map[string][]*Link),
+		routes:   make(map[[2]string][]*Link),
 	}
 	f.completeFn = f.completeFlows
 	return f
 }
 
-// SetFullReallocate forces every water-filling pass to recompute all flows
-// from scratch (the pre-incremental reference behavior) instead of only the
-// connected components perturbed since the last pass. The two modes produce
-// identical rates (pinned by TestIncrementalWaterFillingMatchesFull); the
-// toggle exists as a debugging fallback and for the equivalence test.
-func (f *Fabric) SetFullReallocate(on bool) { f.fullRealloc = on }
+// SetEagerReference switches the fabric to the retained reference
+// implementation of flow accounting: progress is credited to every live
+// flow on every event (the old eager advanceFlows), every water-filling
+// pass recomputes all flows from scratch, and the next completion is found
+// by a linear scan — O(flows) per event, semantically equivalent to the
+// lazy default (pinned within tolerance by TestLazyMatchesEagerReference).
+// It exists as the equivalence baseline and debugging fallback, and must be
+// selected before any flow starts.
+func (f *Fabric) SetEagerReference(on bool) {
+	if len(f.flows) > 0 || len(f.doneHeap) > 0 {
+		panic("netsim: SetEagerReference with live flows")
+	}
+	f.eager = on
+}
 
 // Engine returns the engine the fabric runs on.
 func (f *Fabric) Engine() *sim.Engine { return f.eng }
@@ -241,7 +253,9 @@ func (f *Fabric) SetVertexLinks(v string, scale float64) {
 	if !f.vertices[v] {
 		panic(fmt.Sprintf("netsim: SetVertexLinks of unknown vertex %q", v))
 	}
-	f.advanceFlows()
+	if f.eager {
+		f.advanceFlows()
+	}
 	changed := false
 	for _, l := range f.links {
 		if (l.Src == v || l.Dst == v) && l.scale != scale {
@@ -259,39 +273,71 @@ func (f *Fabric) SetVertexLinks(v string, scale float64) {
 	f.reallocate()
 }
 
-// abortCrossing drops every active flow whose path contains a cut link,
-// compacting the live set in place. Aborted flows never run their done
-// callbacks — the transfer is simply lost, like a TCP connection through a
-// yanked cable. Progress must already be credited (advanceFlows) and the
-// cut links marked dirty by the caller.
+// abortCrossing drops every active flow whose path contains a just-cut
+// link (flows parked at rate 0 on an earlier, unrelated cut keep waiting).
+// Aborted flows never run their done callbacks — the transfer is simply
+// lost, like a TCP connection through a yanked cable. The cut links must
+// already be marked dirty by the caller; in the lazy default the victims
+// are found through the cut links' own flow lists (cost proportional to the
+// crossing flows, not the live set) and credited just before recycling, per
+// the lazy-crediting invariant.
 func (f *Fabric) abortCrossing() {
-	live := f.flows[:0]
-	for _, fl := range f.flows {
-		crossed := false
-		for _, l := range fl.path {
-			if l.Down() {
-				crossed = true
-				break
+	if f.eager {
+		live := f.flows[:0]
+		for _, fl := range f.flows {
+			crossed := false
+			for _, l := range fl.path {
+				if l.dirty && l.Down() {
+					crossed = true
+					break
+				}
 			}
+			if !crossed {
+				fl.idx = int32(len(live))
+				live = append(live, fl)
+				continue
+			}
+			f.unlink(fl)
+			f.recycleFlow(fl)
 		}
-		if !crossed {
-			live = append(live, fl)
+		for i := len(live); i < len(f.flows); i++ {
+			f.flows[i] = nil
+		}
+		f.flows = live
+		return
+	}
+	// The just-cut links sit on the dirty list; collect their crossing
+	// flows once (epoch-deduplicated), then retire each.
+	f.epoch++
+	victims := f.abortFlows[:0]
+	for _, l := range f.dirtyLinks {
+		if !l.Down() {
 			continue
 		}
-		for _, l := range fl.path {
-			l.flowCount--
-			f.markDirty(l)
+		for _, s := range l.flows {
+			if s.fl.mark != f.epoch {
+				s.fl.mark = f.epoch
+				victims = append(victims, s.fl)
+			}
 		}
+	}
+	for _, fl := range victims {
+		f.credit(fl)
+		f.unlink(fl)
+		f.removeFlow(fl)
+		f.heapRemove(fl)
 		f.recycleFlow(fl)
 	}
-	for i := len(live); i < len(f.flows); i++ {
-		f.flows[i] = nil
+	for i := range victims {
+		victims[i] = nil
 	}
-	f.flows = live
+	f.abortFlows = victims[:0]
 }
 
-// TotalBytes reports bytes carried across all links (each hop counted).
+// TotalBytes reports bytes carried across all links (each hop counted),
+// crediting any lazily deferred flow progress first.
 func (f *Fabric) TotalBytes() units.Bytes {
+	f.FlushProgress()
 	var total units.Bytes
 	for _, l := range f.links {
 		total += l.bytes

@@ -1,6 +1,8 @@
 package netsim
 
 import (
+	"math"
+
 	"edisim/internal/sim"
 	"edisim/internal/units"
 )
@@ -14,17 +16,30 @@ import (
 // iperf stream — does not allocate in steady state. User code never holds
 // *Flow directly; it holds FlowRef handles, which stay safe across
 // recycling.
+//
+// Progress accounting is lazy (see the invariant in waterfill.go): a flow
+// accumulates at its frozen rate from lastT without per-event bookkeeping,
+// and credit brings remaining/lastT/link-byte counters up to now only when
+// the rate is about to change or the flow leaves the fabric. Its projected
+// completion is therefore closed-form (doneAt = lastT + remaining/rate) and
+// lives in the fabric's completion heap (doneheap.go).
 type Flow struct {
 	Src, Dst string
 
 	fab       *Fabric
 	seq       uint64 // unique per start; 0 while on the freelist
 	path      []*Link
-	remaining float64 // bytes left
-	rate      float64 // bytes/sec, current allocation
+	remaining float64 // bytes left as of lastT
+	rate      float64 // bytes/sec, current allocation (frozen between passes)
 	lastT     sim.Time
 	done      func()
 	frozen    bool // scratch flag for the water-filling pass
+
+	idx     int32    // position in Fabric.flows
+	heapPos int32    // position in the completion heap, -1 when absent
+	doneAt  sim.Time // projected completion (heap key), valid while heapPos >= 0
+	mark    uint64   // epoch stamp for the dirty-component sweep
+	linkPos []int32  // position in each path link's flow list, parallel to path
 
 	// Pre-bound continuations, created once per record (amortized to zero
 	// by the pool) so StartFlow never allocates a closure: admission into
@@ -50,6 +65,8 @@ func (r FlowRef) live() bool { return r.fl != nil && r.fl.seq == r.seq }
 func (r FlowRef) Finished() bool { return r.fl != nil && !r.live() }
 
 // Rate reports the current allocated rate in bytes/sec (0 once finished).
+// The rate is always current — lazy accounting defers progress counters,
+// never rate changes.
 func (r FlowRef) Rate() units.BytesPerSec {
 	if r.live() {
 		return units.BytesPerSec(r.fl.rate)
@@ -67,6 +84,7 @@ func (f *Fabric) allocFlow() *Flow {
 		for i := range chunk {
 			fl := &chunk[i]
 			fl.fab = f
+			fl.heapPos = -1
 			fl.admitFn = fl.admit
 			fl.zeroFn = fl.finishZero
 			f.freeFlows = append(f.freeFlows, fl)
@@ -79,11 +97,12 @@ func (f *Fabric) allocFlow() *Flow {
 
 // recycleFlow invalidates outstanding refs and returns the record to the
 // pool. The path slice belongs to the route cache, so dropping the
-// reference costs nothing.
+// reference costs nothing; linkPos keeps its capacity for the next use.
 func (f *Fabric) recycleFlow(fl *Flow) {
 	fl.seq = 0
 	fl.done = nil // release the closure for GC
 	fl.path = nil
+	fl.linkPos = fl.linkPos[:0]
 	f.freeFlows = append(f.freeFlows, fl)
 }
 
@@ -124,61 +143,158 @@ func (fl *Flow) finishZero() {
 
 // admit adds the flow to the bandwidth-sharing set once its first byte has
 // crossed the path, dirtying the path links for the incremental
-// water-filling pass.
+// water-filling pass. Only the flow's connected component is touched: the
+// lazy-crediting sweep in reallocate credits exactly the flows whose rate
+// may change.
 func (fl *Flow) admit() {
 	f := fl.fab
-	f.advanceFlows()
+	if f.eager {
+		f.advanceFlows()
+	}
+	// The propagation window transferred nothing: advance lastT so the first
+	// crediting pass doesn't pay the flow phantom bytes over [start, admit)
+	// at its post-admission rate (the pre-lazy code had exactly that
+	// double-count; the golden refresh covers the fix).
+	fl.lastT = f.eng.Now()
+	fl.idx = int32(len(f.flows))
 	f.flows = append(f.flows, fl)
-	for _, l := range fl.path {
-		l.flowCount++
+	fl.linkPos = fl.linkPos[:0]
+	for i, l := range fl.path {
+		fl.linkPos = append(fl.linkPos, int32(len(l.flows)))
+		l.flows = append(l.flows, linkSlot{fl: fl, pathIdx: int32(i)})
 		f.markDirty(l)
 	}
 	f.reallocate()
 }
 
-// advanceFlows credits progress to every active flow at its current rate.
-func (f *Fabric) advanceFlows() {
+// credit brings one flow's lazy progress accounting up to now: remaining,
+// lastT and the per-link byte counters. It MUST run before the flow's rate
+// changes or the flow leaves the fabric (the lazy-crediting invariant, see
+// waterfill.go). Idempotent at a fixed time.
+func (f *Fabric) credit(fl *Flow) {
 	now := f.eng.Now()
-	for _, fl := range f.flows {
-		dt := float64(now - fl.lastT)
-		if dt > 0 {
-			progress := fl.rate * dt
-			if progress > fl.remaining {
-				progress = fl.remaining
-			}
-			fl.remaining -= progress
-			for _, l := range fl.path {
-				l.bytes += units.Bytes(progress)
-			}
+	dt := float64(now - fl.lastT)
+	if dt > 0 && fl.rate > 0 {
+		progress := fl.rate * dt
+		if progress > fl.remaining {
+			progress = fl.remaining
 		}
-		fl.lastT = now
+		fl.remaining -= progress
+		for _, l := range fl.path {
+			l.bytes += units.Bytes(progress)
+		}
+	}
+	fl.lastT = now
+}
+
+// advanceFlows credits progress to every active flow at its current rate —
+// an O(flows) pass used by the eager reference mode on every event, and by
+// FlushProgress on demand. The lazy default never calls it per event.
+func (f *Fabric) advanceFlows() {
+	for _, fl := range f.flows {
+		f.credit(fl)
 	}
 }
 
-// completeFlows advances progress and finishes every drained flow, in
-// admission order, compacting the live set in place. Finished records are
-// recycled before their done callbacks run, so a callback starting a new
-// flow can reuse them immediately.
+// FlushProgress brings every live flow's lazy byte accounting up to now, so
+// Link.Bytes and TotalBytes reflect all progress. Reports and assertions
+// should call it (TotalBytes does so itself); the hot path never needs it.
+func (f *Fabric) FlushProgress() { f.advanceFlows() }
+
+// unlink removes the flow from its path links' flow lists (swap-remove via
+// the linkPos back-pointers, O(path)) and marks the links dirty for the next
+// reallocation pass.
+func (f *Fabric) unlink(fl *Flow) {
+	for i, l := range fl.path {
+		pos := fl.linkPos[i]
+		last := len(l.flows) - 1
+		if int(pos) != last {
+			moved := l.flows[last]
+			l.flows[pos] = moved
+			moved.fl.linkPos[moved.pathIdx] = pos
+		}
+		l.flows[last] = linkSlot{}
+		l.flows = l.flows[:last]
+		f.markDirty(l)
+	}
+}
+
+// removeFlow drops the flow from the live set by swap-remove (lazy mode:
+// admission order is restored where it matters by sorting affected
+// components on seq; see affectedFlows).
+func (f *Fabric) removeFlow(fl *Flow) {
+	i := fl.idx
+	last := len(f.flows) - 1
+	if int(i) != last {
+		f.flows[i] = f.flows[last]
+		f.flows[i].idx = i
+	}
+	f.flows[last] = nil
+	f.flows = f.flows[:last]
+}
+
+// completeFlows is the single pending-completion event: it finishes every
+// flow whose projected completion has arrived, in (time, admission) order
+// from the completion heap, then reallocates the perturbed components.
+// Finished records are recycled before their done callbacks run, so a
+// callback starting a new flow can reuse them immediately.
 func (f *Fabric) completeFlows() {
+	if f.eager {
+		f.completeFlowsEager()
+		return
+	}
 	f.nextDone = sim.EventRef{}
-	f.advanceFlows()
-	const eps = 1 // byte tolerance
+	now := f.eng.Now()
 	// Collect done callbacks in the reusable queue. completeFlows never
 	// nests (it only runs as an engine event), and callbacks append flows,
 	// not callbacks, so iterating the queue below is safe.
 	finished := f.doneQueue[:0]
+	for len(f.doneHeap) > 0 && f.doneHeap[0].doneAt <= now {
+		fl := f.heapPopMin()
+		f.credit(fl)
+		if fl.remaining > 0 {
+			// Closed-form completion: the last float residue of the
+			// transfer is delivered exactly at the projected instant.
+			for _, l := range fl.path {
+				l.bytes += units.Bytes(fl.remaining)
+			}
+			fl.remaining = 0
+		}
+		f.unlink(fl)
+		f.removeFlow(fl)
+		if fl.done != nil {
+			finished = append(finished, fl.done)
+		}
+		f.recycleFlow(fl)
+	}
+	f.reallocate()
+	for _, done := range finished {
+		done()
+	}
+	for i := range finished {
+		finished[i] = nil
+	}
+	f.doneQueue = finished[:0]
+}
+
+// completeFlowsEager is the reference-mode completion sweep: advance every
+// flow eagerly and finish the drained ones in admission order, compacting
+// the live set in place (the pre-lazy-accounting behavior).
+func (f *Fabric) completeFlowsEager() {
+	f.nextDone = sim.EventRef{}
+	f.advanceFlows()
+	const eps = 1 // byte tolerance
+	finished := f.doneQueue[:0]
 	live := f.flows[:0]
 	for _, fl := range f.flows {
 		if fl.remaining <= eps {
-			for _, l := range fl.path {
-				l.flowCount--
-				f.markDirty(l)
-			}
+			f.unlink(fl)
 			if fl.done != nil {
 				finished = append(finished, fl.done)
 			}
 			f.recycleFlow(fl)
 		} else {
+			fl.idx = int32(len(live))
 			live = append(live, fl)
 		}
 	}
@@ -194,6 +310,22 @@ func (f *Fabric) completeFlows() {
 		finished[i] = nil
 	}
 	f.doneQueue = finished[:0]
+}
+
+// rekey recomputes the flow's projected completion after a credit +
+// possible rate change and fixes its heap position. Rate-0 flows (and the
+// pathological non-finite projection) leave the heap: they cannot complete
+// until a later reallocation re-rates them.
+func (f *Fabric) rekey(fl *Flow, now sim.Time) {
+	if fl.rate > 0 {
+		at := now + sim.Time(fl.remaining/fl.rate)
+		if !math.IsInf(float64(at), 0) {
+			fl.doneAt = at
+			f.heapFix(fl)
+			return
+		}
+	}
+	f.heapRemove(fl)
 }
 
 // ActiveFlows reports the number of in-flight bulk transfers.

@@ -2,32 +2,55 @@ package netsim
 
 import (
 	"math"
+	"slices"
 
 	"edisim/internal/sim"
 )
 
-// Incremental max-min reallocation.
+// Incremental max-min reallocation with lazy progress crediting.
 //
 // Flow arrivals and departures perturb only the connected component of the
 // flow/link sharing graph they touch: a flow's rate can change only if it
-// shares a link — transitively — with a link whose flow set changed. Every
-// admission and completion therefore marks its path links dirty
-// (markDirty), and reallocate recomputes the water-filling pass only for
-// the flows in components carrying a dirty link, keeping the frozen shares
-// of every untouched flow. A clean component's flow and link sets are
-// unchanged since its rates were last computed, and the water-filling pass
-// is a deterministic function of exactly those sets, so the kept rates are
-// bit-identical to what a full recompute would assign — pinned by
-// TestIncrementalWaterFillingMatchesFull against the retained full pass
-// (SetFullReallocate), which also remains available as a fallback.
+// shares a link — transitively — with a link whose flow set or capacity
+// changed. Every admission, completion and capacity change therefore marks
+// the links it touches dirty (markDirty), and reallocate recomputes the
+// water-filling pass only for the flows in components carrying a dirty
+// link, keeping the frozen shares of every untouched flow. A clean
+// component's flow and link sets are unchanged since its rates were last
+// computed, and the water-filling pass is a deterministic function of
+// exactly those sets, so the kept rates equal what a full recompute would
+// assign.
 //
-// Component discovery is a union-find sweep over the active flows — linear
-// in the flow set like the progress-crediting advanceFlows pass — so the
-// per-event cost drops from O(bottleneck rounds × flows × links) to the
-// linear sweeps plus a water-filling pass over just the perturbed region.
-// (advanceFlows stays eager over all flows on purpose: crediting progress
-// in the same per-event chunks as the full recompute keeps the float
-// arithmetic — and therefore cmd/paper output — bit-identical.)
+// Component discovery is a breadth-first sweep over the per-link flow lists
+// (Link.flows, maintained by admit/unlink with O(1) swap-removal), starting
+// from the dirty links: it touches only the flows and links of the
+// perturbed components, never the full live set. Combined with the
+// completion heap (doneheap.go) this makes the whole per-event flow path —
+// crediting, component discovery, water-filling, rescheduling — independent
+// of the total number of live flows: an arrival or departure costs
+// O(component + log flows), where the log is the heap re-key.
+//
+// THE LAZY-CREDITING INVARIANT. For every live flow, `remaining` and the
+// per-link byte counters are exact as of `lastT`, and the flow has been
+// transferring at constant `rate` ever since; `lastT` is allowed to lag
+// arbitrarily far behind the clock while the rate is frozen. Whoever is
+// about to change a flow's rate — or remove the flow — must call
+// Fabric.credit(fl) first, at the current time, to realize the accumulated
+// progress; reallocate does this for every affected flow before water-
+// filling, completion does it when popping the heap, and abortCrossing
+// does it before recycling. Reads of byte counters (TotalBytes, reports)
+// go through FlushProgress. Untouched flows are deliberately NOT credited
+// per event — that O(flows) pass (the old eager advanceFlows) is exactly
+// what this design removes; it survives only behind SetEagerReference as
+// the reference implementation.
+//
+// Compatibility note: crediting progress in one closed-form chunk per rate
+// change instead of one chunk per fabric event changes the float
+// accumulation order, so completion times differ from the eager reference
+// in the last bits. TestLazyMatchesEagerReference pins the two modes
+// together within tolerance on randomized traces (including link-fault
+// storms); the paper-output baseline was refreshed once for this change
+// (see API.md).
 
 // markDirty queues the link for the next reallocate pass. Idempotent
 // between passes.
@@ -46,99 +69,91 @@ func (f *Fabric) clearDirty() {
 	f.dirtyLinks = f.dirtyLinks[:0]
 }
 
-// ufFind follows parents to the representative flow index, halving the
-// path as it goes.
-func ufFind(parent []int32, i int32) int32 {
-	for parent[i] != i {
-		parent[i] = parent[parent[i]]
-		i = parent[i]
-	}
-	return i
-}
-
-// ufUnion joins the components of a and b, keeping the smaller index as the
-// representative so the result is deterministic.
-func ufUnion(parent []int32, a, b int32) {
-	ra, rb := ufFind(parent, a), ufFind(parent, b)
-	if ra == rb {
-		return
-	}
-	if ra < rb {
-		parent[rb] = ra
-	} else {
-		parent[ra] = rb
-	}
-}
-
 // affectedFlows computes the set of flows whose rate may have changed since
 // the last pass: the union of the flow/link connected components containing
-// a dirty link. It consumes (clears) the dirty-link list and returns the
-// affected flows in admission order, in reusable scratch storage.
+// a dirty link, found by BFS over the per-link flow lists. It consumes
+// (clears) the dirty-link list and returns the affected flows in admission
+// order, in reusable scratch storage. Cost is proportional to the size of
+// the perturbed components, not the live flow set.
 func (f *Fabric) affectedFlows() []*Flow {
-	n := len(f.flows)
-	if cap(f.ufParent) < n {
-		f.ufParent = make([]int32, n)
-		f.rootMark = make([]uint64, n)
-	}
-	parent := f.ufParent[:n]
-	mark := f.rootMark[:n]
-	for i := range parent {
-		parent[i] = int32(i)
-	}
-	// Union flows sharing a link; linkOwner remembers the first flow seen
-	// on each link.
-	clear(f.linkOwner)
-	for i, fl := range f.flows {
-		for _, l := range fl.path {
-			if o, ok := f.linkOwner[l]; ok {
-				ufUnion(parent, o, int32(i))
-			} else {
-				f.linkOwner[l] = int32(i)
+	f.epoch++
+	epoch := f.epoch
+	aff := f.affScratch[:0]
+	for _, l := range f.dirtyLinks {
+		l.dirty = false
+		l.mark = epoch
+		for _, s := range l.flows {
+			if s.fl.mark != epoch {
+				s.fl.mark = epoch
+				aff = append(aff, s.fl)
 			}
 		}
 	}
-	// Stamp the components that carry a dirty link. A dirty link with no
-	// remaining flows has no component and needs no recompute.
-	for _, l := range f.dirtyLinks {
-		l.dirty = false
-		if o, ok := f.linkOwner[l]; ok {
-			mark[ufFind(parent, o)] = f.epoch
-		}
-	}
 	f.dirtyLinks = f.dirtyLinks[:0]
-	aff := f.affScratch[:0]
-	for i, fl := range f.flows {
-		if mark[ufFind(parent, int32(i))] == f.epoch {
-			aff = append(aff, fl)
+	// BFS: aff doubles as the traversal queue; flows appended while
+	// scanning earlier flows' path links.
+	for i := 0; i < len(aff); i++ {
+		for _, l := range aff[i].path {
+			if l.mark == epoch {
+				continue
+			}
+			l.mark = epoch
+			for _, s := range l.flows {
+				if s.fl.mark != epoch {
+					s.fl.mark = epoch
+					aff = append(aff, s.fl)
+				}
+			}
 		}
 	}
+	// Water-filling iterates (and subtracts shares) in admission order so
+	// the arithmetic is independent of traversal order.
+	slices.SortFunc(aff, func(a, b *Flow) int {
+		if a.seq < b.seq {
+			return -1
+		}
+		return 1
+	})
 	f.affScratch = aff
 	return aff
 }
 
 // reallocate brings the max-min fair allocation up to date after flow
-// arrivals/departures (restricted to the perturbed components, see the
-// package comment above), then re-arms the single next-completion event.
+// arrivals/departures/capacity changes: credit the lazy progress of every
+// affected flow (restricted to the perturbed components, see the package
+// comment above), re-water-fill them, re-key them in the completion heap,
+// and re-arm the single next-completion event.
 func (f *Fabric) reallocate() {
+	if f.eager {
+		f.reallocateEager()
+		return
+	}
+	if len(f.dirtyLinks) > 0 {
+		affected := f.affectedFlows()
+		now := f.eng.Now()
+		for _, fl := range affected {
+			f.credit(fl) // invariant: credit before the rate may change
+		}
+		f.waterFill(affected)
+		for _, fl := range affected {
+			f.rekey(fl, now)
+		}
+	}
+	f.armCompletion()
+}
+
+// reallocateEager is the retained reference implementation: every pass
+// recomputes all flows from scratch and re-arms the completion event from a
+// linear next-completion scan (the pre-lazy behavior, O(flows) per event).
+func (f *Fabric) reallocateEager() {
 	f.epoch++
+	f.clearDirty()
 	f.nextDone.Cancel()
 	f.nextDone = sim.EventRef{}
 	if len(f.flows) == 0 {
-		f.clearDirty()
 		return
 	}
-
-	affected := f.flows
-	if !f.fullRealloc {
-		affected = f.affectedFlows()
-	} else {
-		f.clearDirty()
-	}
-	if len(affected) > 0 {
-		f.waterFill(affected)
-	}
-
-	// Re-arm the completion event for the earliest-finishing flow.
+	f.waterFill(f.flows)
 	next := math.Inf(1)
 	for _, fl := range f.flows {
 		if fl.rate <= 0 {
@@ -161,27 +176,26 @@ func (f *Fabric) reallocate() {
 // waterFill runs progressive filling (water-filling) to a max-min fair
 // allocation over the given flows, which must be closed under link sharing
 // (no flow outside the set may cross any link used by a flow inside it) and
-// in admission order.
+// in admission order. Link working state lives inline on the Link records
+// (validity-stamped by wfPass), so the pass allocates nothing and touches
+// only the given flows' links.
 func (f *Fabric) waterFill(flows []*Flow) {
-	// Build link states in the fabric's reusable scratch: the map is
-	// cleared per pass and its entries point into an arena pre-sized to
-	// the link count, so append below can never relocate live pointers.
-	state := f.lsScratch
-	clear(state)
-	if cap(f.lsArena) < len(f.links) {
-		f.lsArena = make([]linkState, 0, len(f.links))
-	}
-	f.lsArena = f.lsArena[:0]
+	f.wfPass++
+	pass := f.wfPass
+	links := f.wfLinks[:0]
 	for _, fl := range flows {
 		for _, l := range fl.path {
-			if s, ok := state[l]; ok {
-				s.cnt++
+			if l.wfPass != pass {
+				l.wfPass = pass
+				l.wfRem = l.effCap()
+				l.wfCnt = 1
+				links = append(links, l)
 			} else {
-				f.lsArena = append(f.lsArena, linkState{rem: l.effCap(), cnt: 1})
-				state[l] = &f.lsArena[len(f.lsArena)-1]
+				l.wfCnt++
 			}
 		}
 	}
+	f.wfLinks = links
 	unfrozen := len(flows)
 	for _, fl := range flows {
 		fl.frozen = false
@@ -189,9 +203,9 @@ func (f *Fabric) waterFill(flows []*Flow) {
 	for unfrozen > 0 {
 		// Find the tightest link among links carrying unfrozen flows.
 		minShare := math.Inf(1)
-		for _, s := range state {
-			if s.cnt > 0 {
-				if share := s.rem / float64(s.cnt); share < minShare {
+		for _, l := range links {
+			if l.wfCnt > 0 {
+				if share := l.wfRem / float64(l.wfCnt); share < minShare {
 					minShare = share
 				}
 			}
@@ -207,8 +221,7 @@ func (f *Fabric) waterFill(flows []*Flow) {
 			}
 			bottlenecked := false
 			for _, l := range fl.path {
-				s := state[l]
-				if s.cnt > 0 && s.rem/float64(s.cnt) <= minShare*(1+1e-12) {
+				if l.wfCnt > 0 && l.wfRem/float64(l.wfCnt) <= minShare*(1+1e-12) {
 					bottlenecked = true
 					break
 				}
@@ -220,12 +233,11 @@ func (f *Fabric) waterFill(flows []*Flow) {
 			fl.frozen = true
 			unfrozen--
 			for _, l := range fl.path {
-				s := state[l]
-				s.rem -= minShare
-				if s.rem < 0 {
-					s.rem = 0
+				l.wfRem -= minShare
+				if l.wfRem < 0 {
+					l.wfRem = 0
 				}
-				s.cnt--
+				l.wfCnt--
 			}
 			progressed = true
 		}

@@ -1,97 +1,235 @@
 package web
 
 import (
+	"edisim/internal/sim"
 	"edisim/internal/stats"
 	"edisim/internal/units"
 )
 
-// request drives one HTTP request through the stack:
+// webReq is a pooled in-flight request record driven as a state machine:
 //
 //	client --req--> web [CPU: parse] --get--> cache [CPU] --value--> web
 //	                 (on miss: web --q--> DB [CPU+disk] --row--> web)
 //	web [CPU: assemble] --reply--> client
 //
+// Instead of allocating a fresh chain of closures per request, each record
+// carries its cursor state (key, sizes, interval anchors) and a set of
+// continuations pre-bound once when the record is created — the same
+// pattern as netsim's pooled message and Flow records — so the steady-state
+// request path is 0 allocs/op (CI-pinned). Records come from a Deployment
+// freelist grown in chunks and are recycled when the reply (or the 500)
+// fully arrives. A request stranded by a crash or cut link mid-chain never
+// reaches a recycling continuation; its record is simply lost to the pool,
+// like the request itself.
+type webReq struct {
+	d         *Deployment
+	w         *WebServer
+	cache     *CacheServer
+	db        *DBServer
+	client    string
+	imageFrac float64
+	done      func(bool)
+
+	k          rowKey
+	rowSize    units.Bytes // row size on the chosen table (miss reply size)
+	replySize  units.Bytes
+	arrived    sim.Time
+	cacheStart sim.Time
+	dbStart    sim.Time
+
+	// Pre-bound continuations, created once per record (amortized to zero
+	// by the pool), one per edge of the diagram above.
+	arrivedFn, startFn, prologueFn, atCacheFn, cacheGetFn func()
+	hitReturnFn, hitDoneFn                                func()
+	missReturnFn, atDBFn, dbCPUFn, dbReadFn, dbReturnFn   func()
+	dbDoneFn, assembledFn, okFn, errFn                    func()
+}
+
+// reqChunk is how many request records the freelist grows by at once.
+const reqChunk = 64
+
+// allocReq takes a request record from the freelist, growing it when empty.
+func (d *Deployment) allocReq() *webReq {
+	if len(d.freeReqs) == 0 {
+		chunk := make([]webReq, reqChunk)
+		for i := range chunk {
+			r := &chunk[i]
+			r.d = d
+			r.arrivedFn = r.arrivedAtWeb
+			r.startFn = r.start
+			r.prologueFn = r.prologueDone
+			r.atCacheFn = r.arrivedAtCache
+			r.cacheGetFn = r.cacheLooked
+			r.hitReturnFn = r.hitReturned
+			r.hitDoneFn = r.hitUnmarshaled
+			r.missReturnFn = r.missReturned
+			r.atDBFn = r.arrivedAtDB
+			r.dbCPUFn = r.dbComputed
+			r.dbReadFn = r.dbRead
+			r.dbReturnFn = r.dbReturned
+			r.dbDoneFn = r.dbUnmarshaled
+			r.assembledFn = r.assembled
+			r.okFn = r.deliverOK
+			r.errFn = r.deliverErr
+			d.freeReqs = append(d.freeReqs, r)
+		}
+	}
+	r := d.freeReqs[len(d.freeReqs)-1]
+	d.freeReqs = d.freeReqs[:len(d.freeReqs)-1]
+	return r
+}
+
+// recycleReq returns the record to the pool, releasing callback and server
+// references for GC.
+func (d *Deployment) recycleReq(r *webReq) {
+	r.done = nil
+	r.w = nil
+	r.cache = nil
+	r.db = nil
+	d.freeReqs = append(d.freeReqs, r)
+}
+
+// request drives one HTTP request through the stack on a pooled record.
 // done(ok) runs at the client when the reply (or the 500) fully arrives.
 // The web-server-side interval and the cache/DB sub-intervals feed the
 // Table 7 decomposition.
 func (d *Deployment) request(client string, w *WebServer, cfg RunConfig, done func(bool)) {
-	eng := d.Eng
-	costs := d.Plat.Web
-	cacheGetCPU := d.CachePlat.Web.CacheGetCPU
+	r := d.allocReq()
+	r.w = w
+	r.client = client
+	r.imageFrac = cfg.ImageFrac
+	r.done = done
+	d.Fab.Send(client, w.Node.ID, requestBytes, r.arrivedFn)
+}
 
-	d.Fab.Send(client, w.Node.ID, requestBytes, func() {
-		arrived := eng.Now()
-		admitted := w.admitRequest(func() {
-			// Pick the table and row the paper's PHP page would.
-			var table int
-			if d.rnd.table.Bool(cfg.ImageFrac) {
-				table = numPlainTables + d.rnd.table.Intn(numImageTables)
-			} else {
-				table = d.rnd.table.Intn(numPlainTables)
-			}
-			row := d.rnd.row.Intn(rowsPerTable)
-			k := key(table, row)
-			rowSize := units.Bytes(plainReplyBytes)
-			if table >= numPlainTables {
-				rowSize = units.Bytes(imageReplyBytes)
-			}
+// arrivedAtWeb runs when the request bytes reach the web server: admission,
+// or a short 500 error page (still delivered) when overloaded.
+func (r *webReq) arrivedAtWeb() {
+	r.arrived = r.d.Eng.Now()
+	if !r.w.admitRequest(r.startFn) {
+		r.d.Fab.Send(r.w.Node.ID, r.client, 512, r.errFn)
+	}
+}
 
-			finish := func(size units.Bytes) {
-				// Assemble the page and push the reply to the client.
-				kb := float64(size) / 1024
-				work := costs.ReplyCPU + costs.PerKBCPU*kb
-				w.Node.ComputeSeconds(work, func() {
-					d.recordWebTotal(float64(eng.Now() - arrived))
-					w.finishRequest(true)
-					d.Fab.Send(w.Node.ID, client, size+256, func() { done(true) })
-				})
-			}
+// start runs when a worker thread picks the request up: choose the table
+// and row the paper's PHP page would, then burn the parse prologue CPU.
+func (r *webReq) start() {
+	d := r.d
+	var table int
+	if d.rnd.table.Bool(r.imageFrac) {
+		table = numPlainTables + d.rnd.table.Intn(numImageTables)
+	} else {
+		table = d.rnd.table.Intn(numPlainTables)
+	}
+	row := d.rnd.row.Intn(rowsPerTable)
+	r.k = key(table, row)
+	r.rowSize = units.Bytes(plainReplyBytes)
+	if table >= numPlainTables {
+		r.rowSize = units.Bytes(imageReplyBytes)
+	}
+	r.w.Node.ComputeSeconds(d.Plat.Web.BaseCPU, r.prologueFn)
+}
 
-			// PHP prologue, then the memcached GET.
-			w.Node.ComputeSeconds(costs.BaseCPU, func() {
-				cache := d.cacheFor(k)
-				cacheStart := eng.Now()
-				d.Fab.Send(w.Node.ID, cache.Node.ID, rpcHeaderBytes, func() {
-					cache.Node.ComputeSeconds(cacheGetCPU, func() {
-						size, hit := cache.lookup(k)
-						if hit {
-							d.Fab.Send(cache.Node.ID, w.Node.ID, size, func() {
-								// The client-side unmarshal is inside the
-								// timed $memcache->get() interval; at high
-								// web CPU it queues and the measured cache
-								// delay balloons (Table 7's right column).
-								w.Node.ComputeSeconds(costs.CacheClientCPU, func() {
-									d.recordCacheDelay(float64(eng.Now() - cacheStart))
-									finish(size)
-								})
-							})
-							return
-						}
-						// Miss: tiny negative response, then MySQL.
-						d.Fab.Send(cache.Node.ID, w.Node.ID, rpcHeaderBytes, func() {
-							d.recordCacheDelay(float64(eng.Now() - cacheStart))
-							db := d.DBs[d.rnd.db.Intn(len(d.DBs))]
-							dbStart := eng.Now()
-							d.Fab.Send(w.Node.ID, db.Node.ID, requestBytes, func() {
-								db.query(rowSize, func() {
-									d.Fab.Send(db.Node.ID, w.Node.ID, rowSize, func() {
-										w.Node.ComputeSeconds(costs.CacheClientCPU, func() {
-											d.recordDBDelay(float64(eng.Now() - dbStart))
-											finish(rowSize)
-										})
-									})
-								})
-							})
-						})
-					})
-				})
-			})
-		})
-		if !admitted {
-			// 500: a short error page, still delivered.
-			d.Fab.Send(w.Node.ID, client, 512, func() { done(false) })
-		}
-	})
+// prologueDone launches the memcached GET at the key's cache server.
+func (r *webReq) prologueDone() {
+	d := r.d
+	r.cache = d.cacheFor(r.k)
+	r.cacheStart = d.Eng.Now()
+	d.Fab.Send(r.w.Node.ID, r.cache.Node.ID, rpcHeaderBytes, r.atCacheFn)
+}
+
+// arrivedAtCache burns the server-side GET cost on the cache node.
+func (r *webReq) arrivedAtCache() {
+	r.cache.Node.ComputeSeconds(r.d.CachePlat.Web.CacheGetCPU, r.cacheGetFn)
+}
+
+// cacheLooked performs the in-memory hit check and sends back either the
+// value or the tiny negative response.
+func (r *webReq) cacheLooked() {
+	size, hit := r.cache.lookup(r.k)
+	if hit {
+		r.replySize = size
+		r.d.Fab.Send(r.cache.Node.ID, r.w.Node.ID, size, r.hitReturnFn)
+		return
+	}
+	r.d.Fab.Send(r.cache.Node.ID, r.w.Node.ID, rpcHeaderBytes, r.missReturnFn)
+}
+
+// hitReturned runs when the cached value reaches the web server. The
+// client-side unmarshal is inside the timed $memcache->get() interval; at
+// high web CPU it queues and the measured cache delay balloons (Table 7's
+// right column).
+func (r *webReq) hitReturned() {
+	r.w.Node.ComputeSeconds(r.d.Plat.Web.CacheClientCPU, r.hitDoneFn)
+}
+
+func (r *webReq) hitUnmarshaled() {
+	r.d.recordCacheDelay(float64(r.d.Eng.Now() - r.cacheStart))
+	r.finish(r.replySize)
+}
+
+// missReturned runs when the negative response arrives: close the cache
+// interval and fall through to MySQL.
+func (r *webReq) missReturned() {
+	d := r.d
+	d.recordCacheDelay(float64(d.Eng.Now() - r.cacheStart))
+	r.db = d.DBs[d.rnd.db.Intn(len(d.DBs))]
+	r.dbStart = d.Eng.Now()
+	d.Fab.Send(r.w.Node.ID, r.db.Node.ID, requestBytes, r.atDBFn)
+}
+
+// arrivedAtDB..dbRead execute one MySQL lookup on the record: query CPU,
+// then a buffered read of the row (the DBServer keeps the counter).
+func (r *webReq) arrivedAtDB() {
+	r.db.queries++
+	r.db.Node.ComputeSeconds(r.db.queryCPU, r.dbCPUFn)
+}
+
+func (r *webReq) dbComputed() {
+	r.db.Node.Disk().Read(r.rowSize, true, r.dbReadFn)
+}
+
+func (r *webReq) dbRead() {
+	r.d.Fab.Send(r.db.Node.ID, r.w.Node.ID, r.rowSize, r.dbReturnFn)
+}
+
+func (r *webReq) dbReturned() {
+	r.w.Node.ComputeSeconds(r.d.Plat.Web.CacheClientCPU, r.dbDoneFn)
+}
+
+func (r *webReq) dbUnmarshaled() {
+	r.d.recordDBDelay(float64(r.d.Eng.Now() - r.dbStart))
+	r.finish(r.rowSize)
+}
+
+// finish assembles the page (reply CPU scales with size) and pushes the
+// reply to the client.
+func (r *webReq) finish(size units.Bytes) {
+	r.replySize = size
+	costs := r.d.Plat.Web
+	kb := float64(size) / 1024
+	r.w.Node.ComputeSeconds(costs.ReplyCPU+costs.PerKBCPU*kb, r.assembledFn)
+}
+
+func (r *webReq) assembled() {
+	d := r.d
+	d.recordWebTotal(float64(d.Eng.Now() - r.arrived))
+	r.w.finishRequest(true)
+	d.Fab.Send(r.w.Node.ID, r.client, r.replySize+256, r.okFn)
+}
+
+// deliverOK/deliverErr run at the client on full arrival of the reply/500:
+// recycle first so the callback can immediately reuse the record.
+func (r *webReq) deliverOK() {
+	done := r.done
+	r.d.recycleReq(r)
+	done(true)
+}
+
+func (r *webReq) deliverErr() {
+	done := r.done
+	r.d.recycleReq(r)
+	done(false)
 }
 
 // Table 7 decomposition accumulators. They live on the Deployment and are

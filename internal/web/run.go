@@ -52,6 +52,9 @@ type Deployment struct {
 	// the current run (threads and ports are held for transfer durations).
 	loadFactor float64
 
+	// freeReqs is the pooled webReq freelist (see request.go).
+	freeReqs []*webReq
+
 	decomposition
 }
 

@@ -1,8 +1,6 @@
 package web
 
 import (
-	"fmt"
-
 	"edisim/internal/hw"
 	"edisim/internal/sim"
 	"edisim/internal/units"
@@ -139,18 +137,18 @@ type CacheServer struct {
 	Node *hw.Node
 
 	dep   *Deployment
-	items map[string]units.Bytes
+	items map[rowKey]units.Bytes
 	used  units.Bytes
 
 	gets, hits int64
 }
 
 func newCacheServer(dep *Deployment, node *hw.Node) *CacheServer {
-	return &CacheServer{Node: node, dep: dep, items: make(map[string]units.Bytes)}
+	return &CacheServer{Node: node, dep: dep, items: make(map[rowKey]units.Bytes)}
 }
 
 // Set stores a value size under key (warm-up path).
-func (c *CacheServer) Set(key string, size units.Bytes) {
+func (c *CacheServer) Set(key rowKey, size units.Bytes) {
 	if old, ok := c.items[key]; ok {
 		c.used -= old
 	}
@@ -160,7 +158,7 @@ func (c *CacheServer) Set(key string, size units.Bytes) {
 
 // lookup performs the in-memory hit check (the actual data structure, not a
 // coin flip) and returns the stored size.
-func (c *CacheServer) lookup(key string) (units.Bytes, bool) {
+func (c *CacheServer) lookup(key rowKey) (units.Bytes, bool) {
 	c.gets++
 	size, ok := c.items[key]
 	if ok {
@@ -191,23 +189,24 @@ func newDBServer(dep *Deployment, node *hw.Node, queryCPU float64) *DBServer {
 	return &DBServer{Node: node, dep: dep, queryCPU: queryCPU}
 }
 
-// query executes one lookup: CPU work plus a buffered read of the row.
-func (d *DBServer) query(size units.Bytes, done func()) {
-	d.queries++
-	d.Node.ComputeSeconds(d.queryCPU, func() {
-		d.Node.Disk().Read(size, true, done)
-	})
-}
+// rowKey identifies a row in the synthetic wikipedia+images dataset: a
+// dense integer (table × rowsPerTable + row). The pre-pooling code
+// formatted a "tNN:rNNNNNN" string per lookup, which allocated on every
+// request; the integer hashes and compares without allocating. (The query
+// path is driven by the pooled webReq record in request.go.)
+type rowKey int32
 
-// key identifies a row in the synthetic wikipedia+images dataset.
-func key(table, row int) string { return fmt.Sprintf("t%02d:r%06d", table, row) }
+// key builds the rowKey for a table/row pair.
+func key(table, row int) rowKey { return rowKey(table*rowsPerTable + row) }
 
 // cacheFor maps a key to its cache server (client-side consistent hashing,
-// as PHP memcached clients do).
-func (dep *Deployment) cacheFor(k string) *CacheServer {
+// as PHP memcached clients do): FNV-1a over the key's 4 little-endian bytes.
+func (dep *Deployment) cacheFor(k rowKey) *CacheServer {
 	var h uint32 = 2166136261
-	for i := 0; i < len(k); i++ {
-		h = (h ^ uint32(k[i])) * 16777619
+	v := uint32(k)
+	for i := 0; i < 4; i++ {
+		h = (h ^ (v & 0xff)) * 16777619
+		v >>= 8
 	}
 	return dep.Cache[int(h)%len(dep.Cache)]
 }

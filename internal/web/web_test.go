@@ -167,15 +167,16 @@ func TestCacheServerStore(t *testing.T) {
 	tb := smallTestbed(microP(), 5, 2, 4)
 	d := NewDeployment(tb, microP(), 3, 2, 1) // unwarmed: byte accounting is exact
 	c := d.Cache[0]
-	c.Set("k", 100)
-	c.Set("k", 200) // overwrite
+	k := key(1, 1)
+	c.Set(k, 100)
+	c.Set(k, 200) // overwrite
 	if c.used != 200 {
 		t.Fatalf("used %d after overwrite", c.used)
 	}
-	if _, ok := c.lookup("k"); !ok {
+	if _, ok := c.lookup(k); !ok {
 		t.Fatal("stored key missing")
 	}
-	if _, ok := c.lookup("absent"); ok {
+	if _, ok := c.lookup(key(9, 99)); ok {
 		t.Fatal("absent key found")
 	}
 	if c.HitRatio() != 0.5 {
@@ -185,7 +186,7 @@ func TestCacheServerStore(t *testing.T) {
 
 func TestCacheForIsConsistent(t *testing.T) {
 	d := smallDeployment(t, microP(), 3, 2)
-	if d.cacheFor("t01:r000001") != d.cacheFor("t01:r000001") {
+	if d.cacheFor(key(1, 1)) != d.cacheFor(key(1, 1)) {
 		t.Fatal("cache mapping not stable")
 	}
 	spread := map[*CacheServer]bool{}
@@ -194,5 +195,32 @@ func TestCacheForIsConsistent(t *testing.T) {
 	}
 	if len(spread) < 2 {
 		t.Fatal("hashing does not spread keys across cache servers")
+	}
+}
+
+// TestWebRequestSteadyStateNoAlloc pins the pooled request path — Send,
+// admission, table/row draws, cache GET, reply assembly, delivery — at zero
+// allocations per request once the record pool, message pool and PS-task
+// pools have warmed up. The cache is fully warm so the path is the
+// steady-state hit chain (the DB miss leg crosses the hw disk layer, which
+// has its own closures and is pinned by the hw benchmarks).
+func TestWebRequestSteadyStateNoAlloc(t *testing.T) {
+	tb := smallTestbed(microP(), 9, 2, 4)
+	d := NewDeployment(tb, microP(), 6, 3, 1)
+	d.Warm(1.0)
+	eng := d.Eng
+	cfg := RunConfig{Concurrency: 1}.withDefaults()
+	done := func(bool) {}
+	// Warm every pool and the route cache.
+	for i := 0; i < 100; i++ {
+		d.request(d.Clients[i%len(d.Clients)], d.Web[i%len(d.Web)], cfg, done)
+		eng.RunUntil(eng.Now() + 0.05)
+	}
+	avg := testing.AllocsPerRun(200, func() {
+		d.request(d.Clients[0], d.Web[1], cfg, done)
+		eng.RunUntil(eng.Now() + 0.05)
+	})
+	if avg != 0 {
+		t.Fatalf("steady-state request path allocates %.2f allocs/op, want 0", avg)
 	}
 }

@@ -5,6 +5,8 @@ import (
 	"context"
 	"strings"
 	"testing"
+
+	"edisim/internal/cluster"
 )
 
 // heteroScenario is the ROADMAP's mixed-platform testbed: a Pi3 web tier in
@@ -147,12 +149,12 @@ func TestDuplicateArtifactIDsRejected(t *testing.T) {
 // group cap must error at expansion, not panic a worker goroutine.
 func TestOversizedTiersRejected(t *testing.T) {
 	scn := heteroScenario(1)
-	scn.Workloads[0].(*WebSweep).Web.Nodes = 300
+	scn.Workloads[0].(*WebSweep).Web.Nodes = cluster.MaxGroupNodes + 100
 	if err := Run(context.Background(), scn, &Collector{}); err == nil || !strings.Contains(err.Error(), "group cap") {
 		t.Fatalf("oversized web tier not rejected usefully: %v", err)
 	}
 	scn2 := Scenario{Quick: true, Workloads: []Workload{
-		&MapReduceJob{Job: "pi", Slaves: 500}}}
+		&MapReduceJob{Job: "pi", Slaves: cluster.MaxGroupNodes + 300}}}
 	if err := Run(context.Background(), scn2, &Collector{}); err == nil || !strings.Contains(err.Error(), "group cap") {
 		t.Fatalf("oversized slave count not rejected usefully: %v", err)
 	}
