@@ -8,12 +8,20 @@
 //	websvc -image 0.20 -cachehit 0.93 -duration 30 -scale full
 //	websvc -format csv    # figures as CSV blocks (progress lines omitted)
 //	websvc -scale 1/4 -timeout 0.5 -crash 2 -downtime 10   # availability drill
+//
+// With -profile the closed-loop concurrency sweep is replaced by one
+// open-loop overload run per tier (see API.md for the profile grammar):
+//
+//	websvc -scale 1/4 -profile spike:120,600@6+6 -shed deadline:0.5 \
+//	       -retrybudget 0.1 -slo 0.5 -brownout
 package main
 
 import (
 	"flag"
 	"fmt"
 	"os"
+	"strconv"
+	"strings"
 
 	"edisim"
 )
@@ -30,8 +38,29 @@ func main() {
 		retries  = flag.Int("retries", 0, "max retries per request after a timeout (0 = default 3 when -timeout is set)")
 		crash    = flag.Int("crash", 0, "crash drill: this many web servers crash in a rolling wave mid-measurement")
 		downtime = flag.Float64("downtime", 30, "seconds each crashed server stays down before rebooting")
+
+		profileSpec = flag.String("profile", "", "open-loop load profile (steady:RATE, spike:BASE,PEAK@START+DUR, diurnal:MIN..MAX/PERIOD, bursty:BASE,BURST,MEANBURST,MEANGAP); replaces the concurrency sweep")
+		shedSpec    = flag.String("shed", "", "admission control: drop[:QUEUE], deadline[:SECS] or priority[:LOWFRAC]")
+		retryBudget = flag.Float64("retrybudget", 0, "client retry budget as a fraction of first attempts (0 = unbudgeted); needs -timeout")
+		sloTarget   = flag.Float64("slo", 0, "SLO: p99 latency target in seconds, evaluated per 1s window (0 = no controller)")
+		brownout    = flag.Bool("brownout", false, "degrade cache misses to stale answers while the SLO burns (needs -slo)")
 	)
 	flag.Parse()
+	profile, err := edisim.ParseLoadProfile(*profileSpec)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "websvc: %v\n", err)
+		os.Exit(2)
+	}
+	shed, err := parseShed(*shedSpec)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "websvc: %v\n", err)
+		os.Exit(2)
+	}
+	if profile != nil && *timeout == 0 {
+		// Open-loop clients must time out: an unanswered open-loop request
+		// otherwise waits forever.
+		*timeout = 0.5
+	}
 	if !edisim.ValidOutputFormat(*format) {
 		fmt.Fprintf(os.Stderr, "websvc: unknown format %q (want text, json or csv)\n", *format)
 		os.Exit(2)
@@ -52,6 +81,12 @@ func main() {
 	if ws == nil {
 		fmt.Fprintf(os.Stderr, "websvc: unknown scale %q\n", *scale)
 		os.Exit(2)
+	}
+
+	if profile != nil {
+		runOverload(ws, profile, shed, *retryBudget, *sloTarget, *brownout,
+			*image, *cacheHit, *duration, *seed, *timeout, *retries, *crash, *downtime, *format)
+		return
 	}
 
 	concurrencies := []float64{8, 16, 32, 64, 128, 256, 512, 1024, 2048}
@@ -111,6 +146,117 @@ func main() {
 	fmt.Println(fig)
 	fmt.Println(dfig)
 	fmt.Println(pfig)
+}
+
+// parseShed parses the -shed grammar: MODE[:PARAM], where drop takes a
+// queue bound, deadline takes seconds and priority takes the low-priority
+// fraction; the parameter is optional (policy defaults apply).
+func parseShed(spec string) (edisim.ShedPolicy, error) {
+	var p edisim.ShedPolicy
+	spec = strings.TrimSpace(spec)
+	if spec == "" {
+		return p, nil
+	}
+	mode, param, hasParam := strings.Cut(spec, ":")
+	var v float64
+	if hasParam {
+		var err error
+		if v, err = strconv.ParseFloat(strings.TrimSpace(param), 64); err != nil {
+			return p, fmt.Errorf("shed %q: bad parameter %q", spec, param)
+		}
+	}
+	switch strings.TrimSpace(mode) {
+	case "drop":
+		p.Mode = edisim.ShedDropTail
+		p.Queue = int(v)
+	case "deadline":
+		p.Mode = edisim.ShedDeadline
+		p.Deadline = v
+	case "priority":
+		p.Mode = edisim.ShedPriority
+		p.LowFrac = v
+	default:
+		return p, fmt.Errorf("shed %q: unknown mode (want drop, deadline or priority)", spec)
+	}
+	return p, nil
+}
+
+// runOverload replaces the concurrency sweep with one open-loop run per
+// tier: the profile sets the offered load, and the resilience knobs
+// (shedding, retry budget, SLO controller) shape how the tier degrades.
+func runOverload(ws *edisim.WebScale, profile edisim.LoadProfile, shed edisim.ShedPolicy,
+	retryBudget, sloTarget float64, brownout bool,
+	image, hit, duration float64, seed int64, timeout float64, retries, crash int, downtime float64, format string) {
+	t := edisim.NewTable(fmt.Sprintf("Open-loop overload: %v", profile),
+		"platform", "web", "offered conn/s", "goodput req/s", "shed /s", "degraded /s",
+		"p50 ms", "p99 ms", "p999 ms", "err rate", "denied", "power W").
+		WithUnits("", "nodes", "conn/s", "req/s", "/s", "/s", "ms", "ms", "ms", "", "", "W")
+	for _, tier := range ws.Tiers {
+		if tier.Web == 0 {
+			continue
+		}
+		p, nWeb, nCache := tier.Platform, tier.Web, tier.Cache
+		tb := edisim.NewTestbed(edisim.ClusterConfig{
+			Groups:  []edisim.ClusterGroup{{Platform: p, Nodes: nWeb + nCache}},
+			DBNodes: 2, Clients: 8,
+		})
+		dep := edisim.NewWebDeployment(tb, p, nWeb, nCache, seed)
+		rc := edisim.WebRunConfig{
+			Profile:        profile,
+			ImageFrac:      image,
+			CacheHit:       hit,
+			Duration:       duration,
+			RequestTimeout: timeout,
+			MaxRetries:     retries,
+			RetryBudget:    retryBudget,
+			Shed:           shed,
+		}
+		if sloTarget > 0 {
+			rc.SLO = &edisim.SLO{Latency: sloTarget, Window: 1, Brownout: brownout}
+		}
+		dep.WarmFor(rc)
+		if crash > 0 {
+			if crash > nWeb {
+				crash = nWeb
+			}
+			start := 0.3 * duration
+			gap := 0.5 * duration / float64(crash)
+			plan := edisim.RollingCrashFaults("web", crash, start, gap, downtime)
+			if err := edisim.ScheduleWebFaults(dep, plan, seed); err != nil {
+				fmt.Fprintf(os.Stderr, "websvc: %v\n", err)
+				os.Exit(2)
+			}
+		}
+		r := dep.Run(rc)
+		window := duration * (1 - 0.25) // default warmup fraction
+		if r.Config.WarmupFrac > 0 {
+			window = duration * (1 - r.Config.WarmupFrac)
+		}
+		t.AddRow(p.Label, nWeb,
+			edisim.Num(float64(r.Offered)/window, "conn/s"),
+			edisim.Num(r.Throughput, "req/s"),
+			edisim.Num(float64(r.Shed)/window, "/s"),
+			edisim.Num(float64(r.Degraded)/window, "/s"),
+			edisim.Num(r.Latency.Quantile(0.5)*1e3, "ms"),
+			edisim.Num(r.Latency.Quantile(0.99)*1e3, "ms"),
+			edisim.Num(r.Latency.Quantile(0.999)*1e3, "ms"),
+			edisim.Num(r.ErrorRate, ""),
+			edisim.Count(r.RetryDenied, ""),
+			edisim.Num(float64(r.MeanPower), "W"),
+		)
+	}
+	if format == "text" {
+		fmt.Println(t)
+		return
+	}
+	a := &edisim.Artifact{
+		ID: "websvc_overload", Title: "open-loop overload run", Section: "beyond-paper",
+		Tables: []*edisim.Table{t},
+	}
+	if err := edisim.WriteDocument(format, os.Stdout, []*edisim.Artifact{a}); err != nil {
+		fmt.Fprintf(os.Stderr, "websvc: %v\n", err)
+		os.Exit(1)
+	}
 }
 
 // sweepPoint runs one concurrency level on a fresh testbed so runs are

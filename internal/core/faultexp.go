@@ -110,11 +110,21 @@ func runFaultTolerance(cfg Config) *Outcome {
 		WithUnits("", "nodes", "req/s", "req/s", "%", "s", "x", "")
 	for pi, p := range plats {
 		r := webResults[pi]
-		avail := 100 * (1 - r.faulty.ErrorRate)
-		amp := 1.0
-		if n := r.faulty.Attempts - r.faulty.Retries; n > 0 {
-			amp = float64(r.faulty.Attempts) / float64(n)
+		// A faulty run that settled no operations at all (total outage or a
+		// degenerate plan) must say so, not report a vacuous 100%
+		// availability computed over zero attempts.
+		if r.faulty.Throughput == 0 && r.faulty.Errors500 == 0 && r.faulty.ConnFailures == 0 {
+			webTab.AddRow(p.Label, p.Fleet.Web,
+				report.Num(r.healthy.Throughput, "req/s"),
+				report.Num(0, "req/s"),
+				"no traffic", "no traffic",
+				report.Num(1, "x"),
+				report.Count(r.faulty.Timeouts, ""))
+			o.AddComparison("fault tolerance / web", p.Label+" availability %", 0, 0)
+			continue
 		}
+		avail := 100 * (1 - r.faulty.ErrorRate)
+		amp := safeDiv(float64(r.faulty.Attempts), float64(r.faulty.Attempts-r.faulty.Retries), 1)
 		p99 := r.faulty.Delays.Quantile(0.99)
 		webTab.AddRow(p.Label, p.Fleet.Web,
 			report.Num(r.healthy.Throughput, "req/s"),
@@ -156,10 +166,7 @@ func runFaultTolerance(cfg Config) *Outcome {
 		WithUnits("", "nodes", "s", "s", "x", "", "", "")
 	for pi, p := range plats {
 		r := teraResults[pi]
-		slow := 0.0
-		if r.healthy.Duration > 0 {
-			slow = r.faulty.Duration / r.healthy.Duration
-		}
+		slow := safeDiv(r.faulty.Duration, r.healthy.Duration, 0)
 		state := "yes"
 		if !r.faulty.Completed {
 			state = "NO: " + r.faulty.FailReason

@@ -1,0 +1,249 @@
+// Package load provides deterministic open-loop arrival processes for the
+// web-serving simulations: a traffic shape (Profile) describes the target
+// arrival rate over time, and Arrivals turns it into a concrete sequence of
+// arrival instants via Poisson thinning (Lewis & Shedler). Open-loop means
+// the client population does not wait for responses — arrivals keep coming
+// at the profiled rate whether or not the servers keep up, which is what
+// exposes overload behaviour that closed-loop concurrency ladders hide.
+//
+// Everything is driven by a seeded rng.Source substream, so a (profile,
+// seed) pair always yields the same arrival sequence regardless of worker
+// count or wall-clock.
+package load
+
+import (
+	"fmt"
+	"math"
+
+	"edisim/internal/rng"
+)
+
+// Profile is a deterministic time-varying arrival-rate shape, in arrivals
+// per second of simulated time.
+type Profile interface {
+	// At reports the target arrival rate at time t seconds after the
+	// process origin. Arrivals only calls it with non-decreasing t, which
+	// lets stateful shapes (Bursty) advance a cursor instead of
+	// materialising a schedule.
+	At(t float64) float64
+	// PeakRate is a finite upper bound on At over any horizon: the
+	// thinning envelope.
+	PeakRate() float64
+	// Validate rejects shapes that would fail silently (non-finite or
+	// non-positive rates, negative times, degenerate periods).
+	Validate() error
+}
+
+// binder is implemented by profiles whose shape itself is stochastic
+// (Bursty): NewArrivals hands them a dedicated substream so modulation
+// draws never interleave with thinning draws.
+type binder interface {
+	bind(src *rng.Source) Profile
+}
+
+func checkRate(what string, v float64) error {
+	if math.IsNaN(v) || math.IsInf(v, 0) || v <= 0 {
+		return fmt.Errorf("load: %s must be a positive finite rate, got %v", what, v)
+	}
+	return nil
+}
+
+// Steady is a homogeneous Poisson process at a fixed rate — the open-loop
+// analogue of one concurrency-ladder point.
+type Steady struct {
+	Rate float64 // arrivals per second
+}
+
+func (s Steady) At(float64) float64 { return s.Rate }
+func (s Steady) PeakRate() float64  { return s.Rate }
+func (s Steady) Validate() error    { return checkRate("Steady.Rate", s.Rate) }
+func (s Steady) String() string     { return fmt.Sprintf("steady:%g", s.Rate) }
+
+// Spike is base traffic with one rectangular surge — a flash crowd, a
+// failover of a sibling datacenter, a retry storm from a buggy client.
+type Spike struct {
+	Base     float64 // rate outside the spike
+	Peak     float64 // rate inside [Start, Start+Duration)
+	Start    float64 // seconds after the origin
+	Duration float64 // seconds
+}
+
+func (s Spike) At(t float64) float64 {
+	if t >= s.Start && t < s.Start+s.Duration {
+		return s.Peak
+	}
+	return s.Base
+}
+
+func (s Spike) PeakRate() float64 { return math.Max(s.Base, s.Peak) }
+
+func (s Spike) Validate() error {
+	if err := checkRate("Spike.Base", s.Base); err != nil {
+		return err
+	}
+	if err := checkRate("Spike.Peak", s.Peak); err != nil {
+		return err
+	}
+	if math.IsNaN(s.Start) || math.IsInf(s.Start, 0) || s.Start < 0 {
+		return fmt.Errorf("load: Spike.Start must be >= 0, got %v", s.Start)
+	}
+	if math.IsNaN(s.Duration) || math.IsInf(s.Duration, 0) || s.Duration <= 0 {
+		return fmt.Errorf("load: Spike.Duration must be > 0, got %v", s.Duration)
+	}
+	return nil
+}
+
+func (s Spike) String() string {
+	return fmt.Sprintf("spike:%g,%g@%g+%g", s.Base, s.Peak, s.Start, s.Duration)
+}
+
+// Diurnal is a raised-cosine day/night cycle: rate Min at the trough, Max
+// at the crest, one full cycle per Period seconds. Compressing Period to a
+// few sim-seconds replays a day of traffic from millions of users inside
+// one run.
+type Diurnal struct {
+	Min    float64 // trough rate
+	Max    float64 // crest rate
+	Period float64 // seconds per full cycle
+	Phase  float64 // fraction of a cycle to shift the origin, in [0,1)
+}
+
+func (d Diurnal) At(t float64) float64 {
+	x := 2 * math.Pi * (t/d.Period + d.Phase)
+	// Trough at the origin when Phase is 0: traffic builds from night.
+	return d.Min + (d.Max-d.Min)*0.5*(1-math.Cos(x))
+}
+
+func (d Diurnal) PeakRate() float64 { return d.Max }
+
+func (d Diurnal) Validate() error {
+	if math.IsNaN(d.Min) || math.IsInf(d.Min, 0) || d.Min < 0 {
+		return fmt.Errorf("load: Diurnal.Min must be >= 0, got %v", d.Min)
+	}
+	if err := checkRate("Diurnal.Max", d.Max); err != nil {
+		return err
+	}
+	if d.Max < d.Min {
+		return fmt.Errorf("load: Diurnal.Max (%v) must be >= Min (%v)", d.Max, d.Min)
+	}
+	if math.IsNaN(d.Period) || math.IsInf(d.Period, 0) || d.Period <= 0 {
+		return fmt.Errorf("load: Diurnal.Period must be > 0, got %v", d.Period)
+	}
+	if math.IsNaN(d.Phase) || math.IsInf(d.Phase, 0) || d.Phase < 0 || d.Phase >= 1 {
+		return fmt.Errorf("load: Diurnal.Phase must be in [0,1), got %v", d.Phase)
+	}
+	return nil
+}
+
+func (d Diurnal) String() string {
+	return fmt.Sprintf("diurnal:%g..%g/%g", d.Min, d.Max, d.Period)
+}
+
+// Bursty is a two-state Markov-modulated Poisson process: traffic dwells
+// at Base, jumps to Burst for exponentially distributed bursts, and back.
+// Dwell times are drawn from the Arrivals substream, so the burst schedule
+// is deterministic per seed.
+type Bursty struct {
+	Base      float64 // rate in the quiet state
+	Burst     float64 // rate in the burst state
+	MeanBurst float64 // mean burst dwell, seconds
+	MeanGap   float64 // mean quiet dwell, seconds
+}
+
+func (b Bursty) At(float64) float64 { return b.Base } // unbound fallback: quiet state
+func (b Bursty) PeakRate() float64  { return math.Max(b.Base, b.Burst) }
+
+func (b Bursty) Validate() error {
+	if err := checkRate("Bursty.Base", b.Base); err != nil {
+		return err
+	}
+	if err := checkRate("Bursty.Burst", b.Burst); err != nil {
+		return err
+	}
+	if err := checkRate("Bursty.MeanBurst", b.MeanBurst); err != nil {
+		return err
+	}
+	return checkRate("Bursty.MeanGap", b.MeanGap)
+}
+
+func (b Bursty) String() string {
+	return fmt.Sprintf("bursty:%g,%g,%g,%g", b.Base, b.Burst, b.MeanBurst, b.MeanGap)
+}
+
+func (b Bursty) bind(src *rng.Source) Profile {
+	return &burstyState{Bursty: b, src: src}
+}
+
+// burstyState carries the modulation cursor. At is only ever called with
+// non-decreasing t (the thinning clock), so a single forward cursor
+// suffices and Next stays allocation-free.
+type burstyState struct {
+	Bursty
+	src     *rng.Source
+	started bool
+	inBurst bool
+	next    float64 // time of the next state flip
+}
+
+func (s *burstyState) At(t float64) float64 {
+	if !s.started {
+		s.started = true
+		s.next = s.src.Exp(s.MeanGap)
+	}
+	for t >= s.next {
+		s.inBurst = !s.inBurst
+		if s.inBurst {
+			s.next += s.src.Exp(s.MeanBurst)
+		} else {
+			s.next += s.src.Exp(s.MeanGap)
+		}
+	}
+	if s.inBurst {
+		return s.Burst
+	}
+	return s.Base
+}
+
+// Arrivals samples concrete arrival instants from a Profile by thinning a
+// homogeneous Poisson process at PeakRate. Next is allocation-free.
+type Arrivals struct {
+	prof    Profile
+	src     *rng.Source
+	peak    float64
+	horizon float64
+	t       float64
+}
+
+// NewArrivals builds a sampler over [0, horizon] seconds. It panics on an
+// invalid profile (callers validate user input through Profile.Validate
+// first; reaching here invalid is a programming error). Stochastic shapes
+// are bound to a derived substream of src, so the caller's stream only
+// ever sees thinning draws.
+func NewArrivals(p Profile, src *rng.Source, horizon float64) *Arrivals {
+	if err := p.Validate(); err != nil {
+		panic(err)
+	}
+	if math.IsNaN(horizon) || math.IsInf(horizon, 0) || horizon <= 0 {
+		panic(fmt.Errorf("load: horizon must be > 0, got %v", horizon))
+	}
+	if b, ok := p.(binder); ok {
+		p = b.bind(src.Derive("load/modulation"))
+	}
+	return &Arrivals{prof: p, src: src, peak: p.PeakRate(), horizon: horizon}
+}
+
+// Next returns the instant of the next arrival, in seconds after the
+// origin, strictly increasing across calls. ok is false once the process
+// has run past the horizon; the returned instant is then past the horizon
+// and must not be scheduled.
+func (a *Arrivals) Next() (t float64, ok bool) {
+	for {
+		a.t += a.src.Exp(1 / a.peak)
+		if a.t > a.horizon {
+			return a.t, false
+		}
+		if a.src.Float64()*a.peak < a.prof.At(a.t) {
+			return a.t, true
+		}
+	}
+}

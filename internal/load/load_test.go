@@ -1,0 +1,190 @@
+package load
+
+import (
+	"math"
+	"testing"
+
+	"edisim/internal/rng"
+)
+
+func count(t *testing.T, p Profile, seed int64, horizon, from, to float64) int {
+	t.Helper()
+	a := NewArrivals(p, rng.New(seed).Derive("arrivals"), horizon)
+	n := 0
+	for {
+		at, ok := a.Next()
+		if !ok {
+			return n
+		}
+		if at >= from && at < to {
+			n++
+		}
+	}
+}
+
+// Empirical rate over a long window must track the profiled rate.
+func TestSteadyRateAccuracy(t *testing.T) {
+	const rate, horizon = 200.0, 100.0
+	n := count(t, Steady{Rate: rate}, 1, horizon, 0, horizon)
+	want := rate * horizon
+	if math.Abs(float64(n)-want) > 4*math.Sqrt(want) { // ±4σ for a Poisson count
+		t.Fatalf("steady arrivals = %d, want %v ± %v", n, want, 4*math.Sqrt(want))
+	}
+}
+
+func TestSpikeShape(t *testing.T) {
+	p := Spike{Base: 50, Peak: 500, Start: 40, Duration: 20}
+	horizon := 100.0
+	pre := count(t, p, 3, horizon, 0, 40)
+	mid := count(t, p, 3, horizon, 40, 60)
+	post := count(t, p, 3, horizon, 60, 100)
+	if got, want := float64(mid), 500.0*20; math.Abs(got-want) > 4*math.Sqrt(want) {
+		t.Fatalf("spike window arrivals = %v, want %v", got, want)
+	}
+	if got, want := float64(pre+post), 50.0*80; math.Abs(got-want) > 4*math.Sqrt(want) {
+		t.Fatalf("base window arrivals = %v, want %v", got, want)
+	}
+}
+
+func TestDiurnalShape(t *testing.T) {
+	p := Diurnal{Min: 20, Max: 400, Period: 100}
+	// Trough at the origin, crest at half a period.
+	if r := p.At(0); math.Abs(r-20) > 1e-9 {
+		t.Fatalf("At(0) = %v, want trough 20", r)
+	}
+	if r := p.At(50); math.Abs(r-400) > 1e-9 {
+		t.Fatalf("At(50) = %v, want crest 400", r)
+	}
+	// Integral over a full cycle is the mean of Min and Max.
+	n := count(t, p, 5, 100, 0, 100)
+	want := (20 + 400) / 2.0 * 100
+	if math.Abs(float64(n)-want) > 4*math.Sqrt(want) {
+		t.Fatalf("diurnal cycle arrivals = %d, want %v", n, want)
+	}
+}
+
+func TestBurstyLongRunMean(t *testing.T) {
+	p := Bursty{Base: 50, Burst: 500, MeanBurst: 2, MeanGap: 8}
+	horizon := 400.0
+	n := count(t, p, 9, horizon, 0, horizon)
+	// Stationary split: 20% of time in burst, 80% quiet.
+	want := (0.8*50 + 0.2*500) * horizon
+	// MMPP counts are overdispersed vs Poisson; allow a wide band.
+	if math.Abs(float64(n)-want) > 0.25*want {
+		t.Fatalf("bursty arrivals = %d, want ~%v", n, want)
+	}
+	// Bursts must actually modulate: some 1-second window near a burst
+	// should far exceed the base rate.
+	a := NewArrivals(p, rng.New(9).Derive("arrivals"), horizon)
+	peakWindow := 0
+	cur, curStart := 0, 0.0
+	for {
+		at, ok := a.Next()
+		if !ok {
+			break
+		}
+		for at >= curStart+1 {
+			if cur > peakWindow {
+				peakWindow = cur
+			}
+			cur, curStart = 0, curStart+1
+		}
+		cur++
+	}
+	if peakWindow < 200 {
+		t.Fatalf("max 1s window = %d arrivals, expected burst windows near 500", peakWindow)
+	}
+}
+
+// The same (profile, seed) pair must replay the identical instant sequence.
+func TestArrivalsDeterministic(t *testing.T) {
+	mk := func() *Arrivals {
+		return NewArrivals(Bursty{Base: 100, Burst: 800, MeanBurst: 1, MeanGap: 4}, rng.New(11).Derive("arrivals"), 30)
+	}
+	a, b := mk(), mk()
+	for i := 0; ; i++ {
+		at1, ok1 := a.Next()
+		at2, ok2 := b.Next()
+		if at1 != at2 || ok1 != ok2 {
+			t.Fatalf("arrival %d diverged: (%v,%v) vs (%v,%v)", i, at1, ok1, at2, ok2)
+		}
+		if !ok1 {
+			return
+		}
+	}
+}
+
+func TestArrivalsStrictlyIncreasingAndBounded(t *testing.T) {
+	a := NewArrivals(Steady{Rate: 300}, rng.New(2).Derive("arrivals"), 10)
+	prev := 0.0
+	for {
+		at, ok := a.Next()
+		if !ok {
+			if at <= 10 {
+				t.Fatalf("final instant %v should exceed the horizon", at)
+			}
+			return
+		}
+		if at <= prev {
+			t.Fatalf("non-increasing arrival: %v after %v", at, prev)
+		}
+		if at > 10 {
+			t.Fatalf("arrival %v past horizon reported ok", at)
+		}
+		prev = at
+	}
+}
+
+func TestProfileValidation(t *testing.T) {
+	bad := []Profile{
+		Steady{},
+		Steady{Rate: -1},
+		Steady{Rate: math.NaN()},
+		Steady{Rate: math.Inf(1)},
+		Spike{Base: 10, Peak: 0, Start: 1, Duration: 1},
+		Spike{Base: 10, Peak: 20, Start: -1, Duration: 1},
+		Spike{Base: 10, Peak: 20, Start: 0, Duration: 0},
+		Diurnal{Min: -1, Max: 10, Period: 5},
+		Diurnal{Min: 20, Max: 10, Period: 5},
+		Diurnal{Min: 1, Max: 10, Period: 0},
+		Diurnal{Min: 1, Max: 10, Period: 5, Phase: 1.5},
+		Bursty{Base: 10, Burst: 100, MeanBurst: 0, MeanGap: 1},
+		Bursty{Base: 0, Burst: 100, MeanBurst: 1, MeanGap: 1},
+	}
+	for i, p := range bad {
+		if err := p.Validate(); err == nil {
+			t.Errorf("case %d (%+v): Validate accepted an invalid profile", i, p)
+		}
+	}
+	good := []Profile{
+		Steady{Rate: 100},
+		Spike{Base: 10, Peak: 200, Start: 0, Duration: 3},
+		Diurnal{Min: 0, Max: 10, Period: 5, Phase: 0.25},
+		Bursty{Base: 10, Burst: 100, MeanBurst: 1, MeanGap: 4},
+	}
+	for i, p := range good {
+		if err := p.Validate(); err != nil {
+			t.Errorf("case %d (%+v): Validate rejected a valid profile: %v", i, p, err)
+		}
+	}
+}
+
+// The arrival generator runs once per request at datacenter rates; it must
+// not allocate in steady state (CI-gated alongside the web request path).
+func TestArrivalsNextSteadyStateNoAlloc(t *testing.T) {
+	a := NewArrivals(Bursty{Base: 500, Burst: 2000, MeanBurst: 1, MeanGap: 2}, rng.New(4).Derive("arrivals"), 1e9)
+	allocs := testing.AllocsPerRun(2000, func() {
+		a.Next()
+	})
+	if allocs != 0 {
+		t.Fatalf("Arrivals.Next allocates %v allocs/op, want 0", allocs)
+	}
+}
+
+func BenchmarkArrivalsNext(b *testing.B) {
+	a := NewArrivals(Diurnal{Min: 100, Max: 2000, Period: 60}, rng.New(1).Derive("arrivals"), 1e12)
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		a.Next()
+	}
+}

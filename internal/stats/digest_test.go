@@ -1,0 +1,130 @@
+package stats
+
+import (
+	"math"
+	"testing"
+
+	"edisim/internal/rng"
+)
+
+func TestDigestEmpty(t *testing.T) {
+	d := NewDigest()
+	if d.N() != 0 || d.Mean() != 0 || d.Min() != 0 || d.Max() != 0 {
+		t.Fatalf("empty digest not zeroed: n=%d mean=%v min=%v max=%v", d.N(), d.Mean(), d.Min(), d.Max())
+	}
+	if q := d.Quantile(0.99); q != 0 {
+		t.Fatalf("empty quantile = %v, want 0", q)
+	}
+}
+
+func TestDigestExactMoments(t *testing.T) {
+	d := NewDigest()
+	vals := []float64{0.001, 0.5, 0.25, 2.0, 0.125}
+	var sum float64
+	for _, v := range vals {
+		d.Add(v)
+		sum += v
+	}
+	if d.N() != int64(len(vals)) {
+		t.Fatalf("N = %d, want %d", d.N(), len(vals))
+	}
+	if got, want := d.Mean(), sum/float64(len(vals)); math.Abs(got-want) > 1e-12 {
+		t.Fatalf("Mean = %v, want %v", got, want)
+	}
+	if d.Min() != 0.001 || d.Max() != 2.0 {
+		t.Fatalf("Min/Max = %v/%v, want 0.001/2", d.Min(), d.Max())
+	}
+}
+
+// Quantiles must track a Sample (which keeps everything) to within the
+// bucket resolution on a realistic latency-shaped distribution.
+func TestDigestQuantileAccuracy(t *testing.T) {
+	src := rng.New(42).Derive("digest")
+	d := NewDigest()
+	s := &Sample{}
+	for i := 0; i < 200000; i++ {
+		// Lognormal-ish latency: 5ms base with heavy multiplicative noise.
+		v := 0.005 * math.Exp(src.Normal(0, 1))
+		d.Add(v)
+		s.Add(v)
+	}
+	for _, q := range []float64{0.5, 0.9, 0.99, 0.999} {
+		got := d.Quantile(q)
+		want := s.Quantile(q)
+		rel := math.Abs(got-want) / want
+		if rel > 0.05 {
+			t.Errorf("q=%v: digest %v vs exact %v (rel err %.3f > 0.05)", q, got, want, rel)
+		}
+	}
+}
+
+func TestDigestTailClamps(t *testing.T) {
+	d := NewDigest()
+	d.Add(0)          // below bottom bucket
+	d.Add(1e-9)       // below bottom bucket
+	d.Add(1e9)        // beyond top bucket
+	d.Add(math.NaN()) // ignored
+	if d.N() != 3 {
+		t.Fatalf("N = %d, want 3 (NaN ignored)", d.N())
+	}
+	if d.Min() != 0 || d.Max() != 1e9 {
+		t.Fatalf("Min/Max = %v/%v, want 0/1e9", d.Min(), d.Max())
+	}
+	// Quantiles stay clamped inside the observed range even for clamped
+	// observations.
+	if q := d.Quantile(1); q != 1e9 {
+		t.Fatalf("Quantile(1) = %v, want 1e9", q)
+	}
+	if q := d.Quantile(0); q != 0 {
+		t.Fatalf("Quantile(0) = %v, want 0", q)
+	}
+}
+
+func TestDigestMergeMatchesCombinedAdds(t *testing.T) {
+	src := rng.New(7).Derive("merge")
+	a, b, all := NewDigest(), NewDigest(), NewDigest()
+	for i := 0; i < 5000; i++ {
+		v := src.Exp(0.01)
+		if i%2 == 0 {
+			a.Add(v)
+		} else {
+			b.Add(v)
+		}
+		all.Add(v)
+	}
+	a.Merge(b)
+	if a.N() != all.N() || math.Abs(a.Mean()-all.Mean()) > 1e-12 {
+		t.Fatalf("merge: n=%d mean=%v, want n=%d mean=%v", a.N(), a.Mean(), all.N(), all.Mean())
+	}
+	for _, q := range []float64{0.5, 0.99} {
+		if got, want := a.Quantile(q), all.Quantile(q); got != want {
+			t.Errorf("q=%v: merged %v != combined %v", q, got, want)
+		}
+	}
+	a.Merge(nil) // no-op, must not panic
+}
+
+func TestDigestReset(t *testing.T) {
+	d := NewDigest()
+	for i := 0; i < 100; i++ {
+		d.Add(float64(i) * 0.001)
+	}
+	d.Reset()
+	if d.N() != 0 || d.Quantile(0.5) != 0 {
+		t.Fatalf("reset digest not empty: n=%d", d.N())
+	}
+}
+
+// The digest backs per-request latency tracking on the hot settle path, so
+// Add must stay allocation-free.
+func TestDigestAddSteadyStateNoAlloc(t *testing.T) {
+	d := NewDigest()
+	v := 0.003
+	allocs := testing.AllocsPerRun(1000, func() {
+		d.Add(v)
+		v *= 1.0001
+	})
+	if allocs != 0 {
+		t.Fatalf("Digest.Add allocates %v allocs/op, want 0", allocs)
+	}
+}

@@ -42,7 +42,7 @@ type webReq struct {
 	arrivedFn, startFn, prologueFn, atCacheFn, cacheGetFn func()
 	hitReturnFn, hitDoneFn                                func()
 	missReturnFn, atDBFn, dbCPUFn, dbReadFn, dbReturnFn   func()
-	dbDoneFn, assembledFn, okFn, errFn                    func()
+	dbDoneFn, assembledFn, okFn, errFn, shedFn            func()
 }
 
 // reqChunk is how many request records the freelist grows by at once.
@@ -71,6 +71,7 @@ func (d *Deployment) allocReq() *webReq {
 			r.assembledFn = r.assembled
 			r.okFn = r.deliverOK
 			r.errFn = r.deliverErr
+			r.shedFn = r.shedComputed
 			d.freeReqs = append(d.freeReqs, r)
 		}
 	}
@@ -102,13 +103,25 @@ func (d *Deployment) request(client string, w *WebServer, cfg RunConfig, done fu
 	d.Fab.Send(client, w.Node.ID, requestBytes, r.arrivedFn)
 }
 
-// arrivedAtWeb runs when the request bytes reach the web server: admission,
-// or a short 500 error page (still delivered) when overloaded.
+// arrivedAtWeb runs when the request bytes reach the web server: admission
+// control first (a fast-fail 503 at a fraction of full service cost), then
+// admission, or a short 500 error page (still delivered) when overloaded.
 func (r *webReq) arrivedAtWeb() {
 	r.arrived = r.d.Eng.Now()
+	if r.d.shed.Enabled() && r.w.shouldShed() {
+		r.d.noteShed()
+		r.w.refused++
+		r.w.Node.ComputeSeconds(r.d.fastFailCPU, r.shedFn)
+		return
+	}
 	if !r.w.admitRequest(r.startFn) {
 		r.d.Fab.Send(r.w.Node.ID, r.client, 512, r.errFn)
 	}
+}
+
+// shedComputed pushes the 503 rejection page after its fast-fail CPU burn.
+func (r *webReq) shedComputed() {
+	r.d.Fab.Send(r.w.Node.ID, r.client, 512, r.errFn)
 }
 
 // start runs when a worker thread picks the request up: choose the table
@@ -168,11 +181,22 @@ func (r *webReq) hitUnmarshaled() {
 	r.finish(r.replySize)
 }
 
+// degradedReplyBytes is the size of a brownout answer: a stale or partial
+// page assembled without the database round trip.
+const degradedReplyBytes = 512
+
 // missReturned runs when the negative response arrives: close the cache
-// interval and fall through to MySQL.
+// interval and fall through to MySQL — unless the SLO controller has
+// engaged brownout, in which case the server answers with a cheap stale
+// page and skips the DB trip entirely.
 func (r *webReq) missReturned() {
 	d := r.d
 	d.recordCacheDelay(float64(d.Eng.Now() - r.cacheStart))
+	if d.brownout {
+		d.noteDegraded()
+		r.finish(degradedReplyBytes)
+		return
+	}
 	r.db = d.DBs[d.rnd.db.Intn(len(d.DBs))]
 	r.dbStart = d.Eng.Now()
 	d.Fab.Send(r.w.Node.ID, r.db.Node.ID, requestBytes, r.atDBFn)

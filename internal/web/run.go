@@ -6,6 +6,7 @@ import (
 
 	"edisim/internal/cluster"
 	"edisim/internal/hw"
+	"edisim/internal/load"
 	"edisim/internal/netsim"
 	"edisim/internal/power"
 	"edisim/internal/rng"
@@ -45,7 +46,7 @@ type Deployment struct {
 	meter *power.Meter
 
 	rnd struct {
-		arrival, table, row, db *rng.Source
+		arrival, table, row, db, class *rng.Source
 	}
 
 	// loadFactor scales admission intervals with the mean reply size of
@@ -54,6 +55,21 @@ type Deployment struct {
 
 	// freeReqs is the pooled webReq freelist (see request.go).
 	freeReqs []*webReq
+
+	// Overload-resilience state, reset by Run and inert at its zero values
+	// (see overload.go): the resolved shedding policy and the CPU cost of
+	// one fast-fail rejection, the active routing-rotation prefix of Web,
+	// the brownout flag, the client retry budget, the SLO controller's
+	// window digest, the measurement window bounds for gating, and the
+	// overload counters.
+	shed             ShedPolicy
+	fastFailCPU      float64
+	active           int
+	brownout         bool
+	budget           retryBudget
+	sloDig           *stats.Digest
+	winStart, winEnd sim.Time
+	ovl              overloadCounters
 
 	decomposition
 }
@@ -111,6 +127,9 @@ func NewTieredDeployment(tb *cluster.Testbed, webPlat *hw.Platform, nWeb int, ca
 	d.rnd.table = root.Derive("web/table")
 	d.rnd.row = root.Derive("web/row")
 	d.rnd.db = root.Derive("web/db")
+	// Priority-class draws (only consumed under ShedPriority; deriving the
+	// substream draws nothing, so healthy runs are untouched).
+	d.rnd.class = root.Derive("web/class")
 	return d
 }
 
@@ -178,6 +197,26 @@ type RunConfig struct {
 	RequestTimeout float64 // seconds; 0 disables all recovery machinery
 	MaxRetries     int     // retries after the first attempt; 0 means 3 when enabled
 	RetryBase      float64 // first backoff in seconds; 0 means 0.05 when enabled
+
+	// Overload resilience (all zero = off, with an event stream
+	// byte-identical to builds without these knobs).
+	//
+	// Profile switches the generator open-loop: connection arrivals follow
+	// the profiled rate instead of the closed-loop Concurrency ladder, and
+	// keep coming whether or not the servers keep up. Mutually exclusive
+	// with Concurrency. Per-request Sample retention is replaced by the
+	// bounded Latency digest so million-request runs stay flat in memory.
+	Profile load.Profile
+	// Shed configures server-side admission control (see ShedPolicy).
+	Shed ShedPolicy
+	// RetryBudget bounds client retries as a fraction of first attempts
+	// (token bucket: each first attempt deposits RetryBudget tokens, each
+	// retry spends one, burst-capped). 0 leaves PR 6's unbudgeted retries;
+	// it only matters when RequestTimeout arms the retry machinery.
+	RetryBudget float64
+	// SLO attaches the reactive controller (windowed quantile +
+	// availability checks, reserve activation, brownout). Nil = off.
+	SLO *SLO
 }
 
 // withDefaults fills unset fields with the values used across the paper
@@ -218,7 +257,14 @@ func badDur(v float64) bool { return math.IsNaN(v) || math.IsInf(v, 0) || v < 0 
 // rather than loudly: NaN/Inf anywhere, negative times, rates and counts.
 // Run panics on an invalid config; the public API surfaces the error.
 func (c RunConfig) Validate() error {
-	if math.IsNaN(c.Concurrency) || math.IsInf(c.Concurrency, 0) || c.Concurrency <= 0 {
+	if c.Profile != nil {
+		if err := c.Profile.Validate(); err != nil {
+			return err
+		}
+		if c.Concurrency != 0 {
+			return fmt.Errorf("web: set either Concurrency (closed-loop) or Profile (open-loop), not both")
+		}
+	} else if math.IsNaN(c.Concurrency) || math.IsInf(c.Concurrency, 0) || c.Concurrency <= 0 {
 		return fmt.Errorf("web: concurrency %g must be positive and finite", c.Concurrency)
 	}
 	if c.CallsPerConn < 0 {
@@ -245,7 +291,13 @@ func (c RunConfig) Validate() error {
 	if badDur(c.RetryBase) {
 		return fmt.Errorf("web: retry base %g must be finite and non-negative", c.RetryBase)
 	}
-	return nil
+	if math.IsNaN(c.RetryBudget) || c.RetryBudget < 0 || c.RetryBudget > 1 {
+		return fmt.Errorf("web: retry budget %g must be in [0,1]", c.RetryBudget)
+	}
+	if err := c.Shed.Validate(); err != nil {
+		return err
+	}
+	return c.SLO.Validate()
 }
 
 // Result is the outcome of one run.
@@ -276,6 +328,19 @@ type Result struct {
 
 	WebCPU, CacheCPU float64 // mean utilization over the window
 	HitRatio         float64
+
+	// Overload accounting (all zero when the overload knobs are off).
+	// Latency is always populated: the bounded-memory digest of in-window
+	// response times that replaces Delays as the quantile source on
+	// open-loop runs (where per-request Sample retention is skipped).
+	Latency      *stats.Digest
+	Offered      int64   // open-loop connection arrivals in the window
+	Shed         int64   // operations rejected early by admission control (SYN refusals + request rejections) in the window
+	Degraded     int64   // brownout cache-only answers in the window
+	RetryDenied  int64   // retries suppressed by the budget in the window
+	SLOBreaches  int64   // in-window controller evaluations that burned the SLO
+	BrownoutSecs float64 // total time brownout was engaged
+	ActivePeak   int     // high-water routing-rotation size (0 unless SLO set)
 }
 
 // Run executes one measurement on a fresh traffic epoch. The deployment's
@@ -288,13 +353,33 @@ func (d *Deployment) Run(cfg RunConfig) Result {
 	// ft gates every piece of recovery machinery: with it false the run's
 	// event stream is byte-identical to the pre-fault-injection code.
 	ft := cfg.RequestTimeout > 0
+	// openLoop switches the generator to profiled arrivals; exact per-request
+	// Sample retention is then dropped in favor of the bounded digest so
+	// million-request runs stay flat in memory.
+	openLoop := cfg.Profile != nil
+	exact := !openLoop
 	eng := d.Eng
 	d.loadFactor = 1 + d.Params.TransferPenaltyPerKB*AvgReplyBytes(cfg.ImageFrac)/1024
 
-	res := Result{Config: cfg, Delays: &stats.Sample{}, ConnDelays: &stats.Sample{}}
+	res := Result{Config: cfg, Delays: &stats.Sample{}, ConnDelays: &stats.Sample{}, Latency: stats.NewDigest()}
 	winStart := eng.Now() + sim.Time(cfg.Duration*cfg.WarmupFrac)
 	winEnd := eng.Now() + sim.Time(cfg.Duration)
 	inWindow := func() bool { return eng.Now() >= winStart && eng.Now() <= winEnd }
+
+	// Overload-resilience state (inert at the zero knobs: no extra events,
+	// no extra RNG draws, identical routing).
+	d.winStart, d.winEnd = winStart, winEnd
+	d.shed, d.fastFailCPU = ShedPolicy{}, 0
+	if cfg.Shed.Enabled() {
+		d.shed = cfg.Shed.withDefaults(d.Plat.Web)
+		d.fastFailCPU = d.shed.FastFailFrac * (d.Plat.Web.BaseCPU + d.Plat.Web.ReplyCPU)
+	}
+	budgeted := ft && cfg.RetryBudget > 0
+	d.budget = retryBudget{rate: cfg.RetryBudget, tokens: retryBurst}
+	d.active = len(d.Web)
+	d.brownout = false
+	d.sloDig = nil
+	d.ovl = overloadCounters{}
 
 	var served, errored, attempts int64
 
@@ -312,6 +397,88 @@ func (d *Deployment) Run(cfg RunConfig) Result {
 	defer webUtil.detach()
 	defer cacheUtil.detach()
 
+	// SLO controller: every Window seconds, judge the window's quantile and
+	// availability, react (activate a reserve server, engage brownout), and
+	// wind back after two consecutive healthy windows.
+	sloOn := cfg.SLO != nil
+	if sloOn {
+		slo := cfg.SLO.withDefaults()
+		baseActive := len(d.Web)
+		if slo.Reserve > 0 {
+			baseActive -= slo.Reserve
+			if baseActive < 1 {
+				baseActive = 1
+			}
+			d.active = baseActive
+		}
+		d.sloDig = stats.NewDigest()
+		res.ActivePeak = d.active
+		runStart := eng.Now()
+		healthy := 0
+		var brownoutAt sim.Time
+		var tick func()
+		tick = func() {
+			now := eng.Now()
+			q := d.sloDig.Quantile(slo.Percentile)
+			avail := 1.0
+			if d.ovl.winOps > 0 {
+				avail = float64(d.ovl.winServed) / float64(d.ovl.winOps)
+			}
+			burning := (d.sloDig.N() > 0 && q > slo.Latency) ||
+				(d.ovl.winOps > 0 && slo.Availability > 0 && avail < slo.Availability)
+			if burning {
+				healthy = 0
+				if inWindow() {
+					res.SLOBreaches++
+				}
+				if d.active < len(d.Web) {
+					d.active++
+				}
+				if slo.Brownout && !d.brownout {
+					d.brownout = true
+					brownoutAt = now
+				}
+			} else {
+				healthy++
+				if healthy >= 2 {
+					if d.brownout {
+						d.brownout = false
+						res.BrownoutSecs += float64(now - brownoutAt)
+					}
+					if d.active > baseActive {
+						d.active--
+					}
+				}
+			}
+			if d.active > res.ActivePeak {
+				res.ActivePeak = d.active
+			}
+			if slo.Observer != nil {
+				slo.Observer(SLOWindow{
+					T:            float64(now - runStart),
+					Served:       d.ovl.winServed,
+					Ops:          d.ovl.winOps,
+					Shed:         d.ovl.winShed,
+					Quantile:     q,
+					Availability: avail,
+					Burning:      burning,
+					Brownout:     d.brownout,
+					Active:       d.active,
+				})
+			}
+			d.sloDig.Reset()
+			d.ovl.winServed, d.ovl.winOps, d.ovl.winShed = 0, 0, 0
+			if now < winEnd {
+				eng.After(slo.Window, tick)
+			} else if d.brownout {
+				// Close the books on a brownout still engaged at run end.
+				d.brownout = false
+				res.BrownoutSecs += float64(now - brownoutAt)
+			}
+		}
+		eng.After(slo.Window, tick)
+	}
+
 	// Connection generator: Poisson arrivals at Concurrency conn/s spread
 	// over the client machines, each conn routed round-robin by HAProxy.
 	// With recovery on, the balancer health-checks: a conn aimed at a dead
@@ -321,12 +488,12 @@ func (d *Deployment) Run(cfg RunConfig) Result {
 	var gen func()
 	stopGen := eng.Now() + sim.Time(cfg.Duration)
 	var launch func(client string, w *WebServer)
-	gen = func() {
-		if eng.Now() >= stopGen {
-			return
-		}
+	// fire starts one connection from the next client at the next web server
+	// in the routing rotation (only the SLO controller ever shrinks the
+	// rotation below the full tier).
+	fire := func() {
 		client := d.Clients[next%len(d.Clients)]
-		w := d.Web[next%len(d.Web)]
+		w := d.Web[next%d.active]
 		next++
 		if ft && !w.Node.Up() {
 			if nl := d.nextLive(w); nl != nil {
@@ -334,6 +501,12 @@ func (d *Deployment) Run(cfg RunConfig) Result {
 			}
 		}
 		launch(client, w)
+	}
+	gen = func() {
+		if eng.Now() >= stopGen {
+			return
+		}
+		fire()
 		eng.After(d.rnd.arrival.Exp(1/cfg.Concurrency), gen)
 	}
 
@@ -360,12 +533,16 @@ func (d *Deployment) Run(cfg RunConfig) Result {
 					attempts++
 					d.request(client, conn, cfg, func(ok bool) {
 						delay := float64(eng.Now() - reqStart)
+						d.noteSettled(ok, delay)
 						if inWindow() {
 							if ok {
 								served++
-								res.Delays.Add(delay)
-								if first {
-									res.ConnDelays.Add(float64(eng.Now() - connStart))
+								res.Latency.Add(delay)
+								if exact {
+									res.Delays.Add(delay)
+									if first {
+										res.ConnDelays.Add(float64(eng.Now() - connStart))
+									}
 								}
 							} else {
 								errored++
@@ -391,12 +568,17 @@ func (d *Deployment) Run(cfg RunConfig) Result {
 					tryNo := 0
 					settle := func(ok bool) {
 						settled = true
+						delay := float64(eng.Now() - reqStart)
+						d.noteSettled(ok, delay)
 						if inWindow() {
 							if ok {
 								served++
-								res.Delays.Add(float64(eng.Now() - reqStart))
-								if first {
-									res.ConnDelays.Add(float64(eng.Now() - connStart))
+								res.Latency.Add(delay)
+								if exact {
+									res.Delays.Add(delay)
+									if first {
+										res.ConnDelays.Add(float64(eng.Now() - connStart))
+									}
 								}
 							} else {
 								errored++
@@ -410,6 +592,9 @@ func (d *Deployment) Run(cfg RunConfig) Result {
 						id := tryNo
 						attempts++
 						res.Attempts++
+						if budgeted && id == 1 {
+							d.budget.deposit()
+						}
 						timer := eng.After(cfg.RequestTimeout, func() {
 							if settled || id != tryNo {
 								return
@@ -419,6 +604,16 @@ func (d *Deployment) Run(cfg RunConfig) Result {
 								res.Timeouts++
 							}
 							if id > cfg.MaxRetries {
+								settle(false)
+								return
+							}
+							// The retry budget keeps a crash under peak from
+							// amplifying into a storm: no token, no retry —
+							// the operation fails fast instead.
+							if budgeted && !d.budget.spend() {
+								if inWindow() {
+									res.RetryDenied++
+								}
 								settle(false)
 								return
 							}
@@ -458,10 +653,28 @@ func (d *Deployment) Run(cfg RunConfig) Result {
 			}
 			doCall()
 		}
+		// refused delivers a shed SYN's RST: the client gives up immediately
+		// (no kernel retries), keeping the backlog below the thrash region.
+		refused := func(srv *WebServer) {
+			d.noteShed()
+			d.Fab.Send(srv.Node.ID, client, rpcHeaderBytes, func() {
+				d.ovl.winOps++
+				if inWindow() {
+					res.ConnFailures++
+					if exact {
+						res.ConnDelays.Add(float64(eng.Now() - connStart))
+					}
+				}
+			})
+		}
 		if !ft {
 			try = func() {
 				// SYN travels to the server; ~60 bytes.
 				d.Fab.Send(client, w.Node.ID, rpcHeaderBytes, func() {
+					if w.refuseConn() {
+						refused(w)
+						return
+					}
 					if w.admitConn(func() {
 						// SYN-ACK back, then the conn is usable.
 						d.Fab.Send(w.Node.ID, client, rpcHeaderBytes, func() { established(w) })
@@ -475,9 +688,12 @@ func (d *Deployment) Run(cfg RunConfig) Result {
 						eng.After(backoff, try)
 						return
 					}
+					d.ovl.winOps++
 					if inWindow() {
 						res.ConnFailures++
-						res.ConnDelays.Add(float64(eng.Now() - connStart))
+						if exact {
+							res.ConnDelays.Add(float64(eng.Now() - connStart))
+						}
 					}
 				})
 			}
@@ -490,9 +706,12 @@ func (d *Deployment) Run(cfg RunConfig) Result {
 			synNo := 0
 			var est bool
 			giveUp := func() {
+				d.ovl.winOps++
 				if inWindow() {
 					res.ConnFailures++
-					res.ConnDelays.Add(float64(eng.Now() - connStart))
+					if exact {
+						res.ConnDelays.Add(float64(eng.Now() - connStart))
+					}
 				}
 			}
 			dropped := func() {
@@ -524,6 +743,11 @@ func (d *Deployment) Run(cfg RunConfig) Result {
 					if est || id != synNo {
 						return
 					}
+					if target.refuseConn() {
+						synNo++ // RST settles the attempt; the retransmit timer is stale
+						refused(target)
+						return
+					}
 					if !target.admitConn(func() {
 						d.Fab.Send(target.Node.ID, client, rpcHeaderBytes, func() {
 							if est || id != synNo {
@@ -549,14 +773,41 @@ func (d *Deployment) Run(cfg RunConfig) Result {
 		}
 		try()
 	}
-	eng.After(d.rnd.arrival.Exp(1/cfg.Concurrency), gen)
+	if openLoop {
+		// Open-loop pump: the profiled arrival process fires connections at
+		// absolute instants regardless of how the fleet is doing — the
+		// client population does not wait for responses.
+		arr := load.NewArrivals(cfg.Profile, d.rnd.arrival, cfg.Duration)
+		origin := eng.Now()
+		var pump func()
+		pump = func() {
+			at, ok := arr.Next()
+			if !ok {
+				return
+			}
+			eng.At(origin+sim.Time(at), func() {
+				if inWindow() {
+					res.Offered++
+				}
+				fire()
+				pump()
+			})
+		}
+		pump()
+	} else {
+		eng.After(d.rnd.arrival.Exp(1/cfg.Concurrency), gen)
+	}
 
 	// Run to completion: generation stops at Duration, stragglers drain.
 	eng.RunUntil(winEnd + sim.Time(20))
 
 	window := float64(winEnd - winStart)
 	res.Throughput = float64(served) / window
-	res.MeanDelay = res.Delays.Mean()
+	if exact {
+		res.MeanDelay = res.Delays.Mean()
+	} else {
+		res.MeanDelay = res.Latency.Mean()
+	}
 	res.Errors500 = errored
 	total := served + errored + res.ConnFailures
 	if total > 0 {
@@ -578,6 +829,11 @@ func (d *Deployment) Run(cfg RunConfig) Result {
 	res.CacheDelay = d.cacheDelay
 	res.WebTotal = d.webTotal
 	d.dbDelay, d.cacheDelay, d.webTotal = stats.Summary{}, stats.Summary{}, stats.Summary{}
+	res.Shed = d.ovl.shed
+	res.Degraded = d.ovl.degraded
+	d.ovl = overloadCounters{}
+	d.sloDig = nil
+	d.brownout = false
 	return res
 }
 

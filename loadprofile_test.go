@@ -1,0 +1,85 @@
+package edisim
+
+import (
+	"fmt"
+	"strings"
+	"testing"
+)
+
+func TestParseLoadProfile(t *testing.T) {
+	cases := []struct {
+		spec string
+		want LoadProfile
+	}{
+		{"steady:400", SteadyLoad{Rate: 400}},
+		{" steady:12.5 ", SteadyLoad{Rate: 12.5}},
+		{"spike:120,600@6+4", SpikeLoad{Base: 120, Peak: 600, Start: 6, Duration: 4}},
+		{"diurnal:50..400/86400", DiurnalLoad{Min: 50, Max: 400, Period: 86400}},
+		{"bursty:100,800,2,10", BurstyLoad{Base: 100, Burst: 800, MeanBurst: 2, MeanGap: 10}},
+	}
+	for _, c := range cases {
+		got, err := ParseLoadProfile(c.spec)
+		if err != nil {
+			t.Errorf("ParseLoadProfile(%q): %v", c.spec, err)
+			continue
+		}
+		if got != c.want {
+			t.Errorf("ParseLoadProfile(%q) = %#v, want %#v", c.spec, got, c.want)
+		}
+	}
+}
+
+// TestParseLoadProfileRoundTrip: every profile's String() is re-parseable
+// to the same profile — the grammar and the display form never drift.
+func TestParseLoadProfileRoundTrip(t *testing.T) {
+	profiles := []LoadProfile{
+		SteadyLoad{Rate: 400},
+		SpikeLoad{Base: 120, Peak: 600, Start: 6, Duration: 4},
+		DiurnalLoad{Min: 50, Max: 400, Period: 86400},
+		BurstyLoad{Base: 100, Burst: 800, MeanBurst: 2, MeanGap: 10},
+	}
+	for _, p := range profiles {
+		spec := fmt.Sprint(p)
+		got, err := ParseLoadProfile(spec)
+		if err != nil {
+			t.Errorf("ParseLoadProfile(%q) [String of %#v]: %v", spec, p, err)
+			continue
+		}
+		if got != p {
+			t.Errorf("round trip %#v -> %q -> %#v", p, spec, got)
+		}
+	}
+}
+
+func TestParseLoadProfileEmpty(t *testing.T) {
+	p, err := ParseLoadProfile("  ")
+	if err != nil || p != nil {
+		t.Fatalf("empty spec: got (%v, %v), want (nil, nil)", p, err)
+	}
+}
+
+func TestParseLoadProfileErrors(t *testing.T) {
+	bad := []string{
+		"steady",               // no colon
+		"square:100",           // unknown kind
+		"steady:fast",          // bad number
+		"steady:-5",            // invalid rate
+		"steady:0",             // zero rate
+		"spike:120@6+4",        // missing peak
+		"spike:120,600@6",      // missing duration
+		"spike:120,600",        // missing timing
+		"spike:120,600@6+0",    // zero duration
+		"diurnal:50..400",      // missing period
+		"diurnal:50/86400",     // missing max
+		"diurnal:400..50/3600", // max below min
+		"bursty:100,800,2",     // missing gap
+		"bursty:100,800,2,0",   // zero gap
+	}
+	for _, spec := range bad {
+		if p, err := ParseLoadProfile(spec); err == nil {
+			t.Errorf("ParseLoadProfile(%q) = %#v, want error", spec, p)
+		} else if !strings.Contains(err.Error(), "edisim: load profile") {
+			t.Errorf("ParseLoadProfile(%q) error %q lacks context prefix", spec, err)
+		}
+	}
+}

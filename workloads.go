@@ -6,6 +6,7 @@ import (
 
 	"edisim/internal/cluster"
 	"edisim/internal/core"
+	"edisim/internal/faults"
 	"edisim/internal/hw"
 	"edisim/internal/jobs"
 	"edisim/internal/report"
@@ -104,26 +105,35 @@ type WebSweep struct {
 // zero value means "use the paper's 0.93 default").
 const ColdCache = web.ColdCache
 
-func (ws *WebSweep) expand(cfg core.Config) ([]unit, error) {
-	id := ws.ID
-	if id == "" {
-		id = "web_sweep"
-	}
-	webPlat, err := ws.Web.Platform.resolve()
+// tierSetup is a resolved middle-tier shape: platforms, sizes and the
+// shared infrastructure tier, with every default applied and every cap
+// checked. WebSweep and OverloadStudy resolve through it identically.
+type tierSetup struct {
+	webPlat, cachePlat *hw.Platform
+	nWeb, nCache       int
+	db, clients        int
+}
+
+// resolveTiers applies the shared tier defaults: baseline-micro web tier at
+// its fleet size, cache tier on the web platform at its fleet size, the
+// paper's 2 DB servers and 8 clients.
+func resolveTiers(id string, webTier, cacheTier TierSpec, dbNodes, clients int) (tierSetup, error) {
+	var ts tierSetup
+	webPlat, err := webTier.Platform.resolve()
 	if err != nil {
-		return nil, err
+		return ts, err
 	}
 	if webPlat == nil {
 		webPlat, _ = hw.BaselinePair()
 	}
-	cachePlat, err := ws.Cache.Platform.resolve()
+	cachePlat, err := cacheTier.Platform.resolve()
 	if err != nil {
-		return nil, err
+		return ts, err
 	}
 	if cachePlat == nil {
 		cachePlat = webPlat
 	}
-	nWeb, nCache := ws.Web.Nodes, ws.Cache.Nodes
+	nWeb, nCache := webTier.Nodes, cacheTier.Nodes
 	if nWeb == 0 {
 		nWeb = webPlat.Fleet.Web
 	}
@@ -131,7 +141,7 @@ func (ws *WebSweep) expand(cfg core.Config) ([]unit, error) {
 		nCache = cachePlat.Fleet.Cache
 	}
 	if nWeb <= 0 || nCache <= 0 {
-		return nil, fmt.Errorf("edisim: %s: web and cache tiers need at least one node (got %d web, %d cache)", id, nWeb, nCache)
+		return ts, fmt.Errorf("edisim: %s: web and cache tiers need at least one node (got %d web, %d cache)", id, nWeb, nCache)
 	}
 	// Same-platform tiers share one node group; split tiers get one each.
 	grp := max(nWeb, nCache)
@@ -139,18 +149,35 @@ func (ws *WebSweep) expand(cfg core.Config) ([]unit, error) {
 		grp = nWeb + nCache
 	}
 	if grp > cluster.MaxGroupNodes {
-		return nil, fmt.Errorf("edisim: %s: tier group of %d nodes exceeds the %d-node group cap", id, grp, cluster.MaxGroupNodes)
+		return ts, fmt.Errorf("edisim: %s: tier group of %d nodes exceeds the %d-node group cap", id, grp, cluster.MaxGroupNodes)
 	}
-	db, clients := ws.DBNodes, ws.Clients
-	if db == 0 {
-		db = 2
+	if dbNodes == 0 {
+		dbNodes = 2
 	}
 	if clients == 0 {
 		clients = 8
 	}
-	if db < 0 || clients < 0 {
-		return nil, fmt.Errorf("edisim: %s: DBNodes and Clients must be positive (got %d, %d)", id, db, clients)
+	if dbNodes < 0 || clients < 0 {
+		return ts, fmt.Errorf("edisim: %s: DBNodes and Clients must be positive (got %d, %d)", id, dbNodes, clients)
 	}
+	return tierSetup{webPlat: webPlat, cachePlat: cachePlat, nWeb: nWeb, nCache: nCache, db: dbNodes, clients: clients}, nil
+}
+
+// clusterConfig builds the testbed config for the resolved tiers.
+func (ts tierSetup) clusterConfig() cluster.Config {
+	return tierClusterConfig(ts.webPlat, ts.nWeb, ts.cachePlat, ts.nCache, ts.db, ts.clients)
+}
+
+func (ws *WebSweep) expand(cfg core.Config) ([]unit, error) {
+	id := ws.ID
+	if id == "" {
+		id = "web_sweep"
+	}
+	ts, err := resolveTiers(id, ws.Web, ws.Cache, ws.DBNodes, ws.Clients)
+	if err != nil {
+		return nil, err
+	}
+	webPlat, cachePlat, nWeb, nCache := ts.webPlat, ts.cachePlat, ts.nWeb, ts.nCache
 	concs := ws.Concurrencies
 	if len(concs) == 0 {
 		if cfg.Quick {
@@ -179,7 +206,7 @@ func (ws *WebSweep) expand(cfg core.Config) ([]unit, error) {
 				CacheHit:    ws.CacheHit,
 				Duration:    duration,
 			}
-			tb := cluster.New(tierClusterConfig(webPlat, nWeb, cachePlat, nCache, db, clients))
+			tb := cluster.New(ts.clusterConfig())
 			dep := web.NewTieredDeployment(tb, webPlat, nWeb, cachePlat, nCache, seed)
 			dep.WarmFor(rc)
 			return dep.Run(rc)
@@ -230,6 +257,189 @@ func tierClusterConfig(webPlat *hw.Platform, nWeb int, cachePlat *hw.Platform, n
 		}
 	}
 	return cluster.Config{Groups: groups, DBNodes: db, Clients: clients}
+}
+
+// --- Overload study ----------------------------------------------------------
+
+// OverloadStudy drives a middle tier with an open-loop LoadProfile — the
+// traffic the paper's closed-loop httperf sessions cannot produce, where
+// arrivals keep coming whether or not the fleet keeps up — and measures how
+// it degrades: goodput vs offered load, shed and brownout rates, bounded
+// tail quantiles from the streaming digest, retry-budget accounting and the
+// SLO controller's window-by-window verdicts. Scenario.Faults, when set, is
+// injected into the run (roles "web" and "cache"), so a flash crowd and a
+// mid-spike crash compose into one drill.
+type OverloadStudy struct {
+	// ID names the artifact (default "overload_study") and namespaces the
+	// run's seed: two studies in one scenario need distinct IDs.
+	ID string
+
+	// Web and Cache size the middle tier exactly like WebSweep: the web
+	// platform defaults to the baseline micro server at its fleet size, the
+	// cache tier to the web platform at its fleet size.
+	Web   TierSpec
+	Cache TierSpec
+	// DBNodes and Clients size the shared infrastructure tier (defaults:
+	// the paper's 2 database servers and 8 load generators).
+	DBNodes, Clients int
+
+	// Profile is the open-loop arrival profile (required): SteadyLoad,
+	// SpikeLoad, DiurnalLoad, BurstyLoad or ParseLoadProfile's result.
+	Profile LoadProfile
+	// Duration is the simulated seconds (default 15, 4 in Quick). Profile
+	// times are absolute into the run.
+	Duration float64
+	// ImageFrac and CacheHit mirror WebSweep's workload knobs.
+	ImageFrac float64
+	CacheHit  float64
+
+	// RequestTimeout is the client timeout in seconds enabling
+	// timeout/retry/failover recovery (default 0.5).
+	RequestTimeout float64
+	// RetryBudget caps client retries at this fraction of first attempts
+	// (plus a small burst); 0 leaves retries unbudgeted.
+	RetryBudget float64
+	// Shed is the server-side admission-control policy; the zero value
+	// accepts everything (the paper's behavior).
+	Shed ShedPolicy
+	// SLO, when non-nil, arms the reactive controller (reserve activation,
+	// brownout) and adds the window-by-window time-series figure. The
+	// study chains its own Observer in front of any caller-provided one.
+	SLO *SLO
+}
+
+func (ov *OverloadStudy) expand(cfg core.Config) ([]unit, error) {
+	id := ov.ID
+	if id == "" {
+		id = "overload_study"
+	}
+	ts, err := resolveTiers(id, ov.Web, ov.Cache, ov.DBNodes, ov.Clients)
+	if err != nil {
+		return nil, err
+	}
+	if ov.Profile == nil {
+		return nil, fmt.Errorf("edisim: %s: an overload study needs a load Profile (e.g. SteadyLoad{Rate: 400})", id)
+	}
+	if err := ov.Profile.Validate(); err != nil {
+		return nil, fmt.Errorf("edisim: %s: %w", id, err)
+	}
+	if err := ov.Shed.Validate(); err != nil {
+		return nil, fmt.Errorf("edisim: %s: %w", id, err)
+	}
+	if err := ov.SLO.Validate(); err != nil {
+		return nil, fmt.Errorf("edisim: %s: %w", id, err)
+	}
+
+	title := fmt.Sprintf("Overload study: %v on %d %s web + %d %s cache",
+		ov.Profile, ts.nWeb, ts.webPlat.Label, ts.nCache, ts.cachePlat.Label)
+
+	run := func(cfg core.Config) (*core.Outcome, error) {
+		duration := ov.Duration
+		if duration == 0 {
+			duration = 15
+			if cfg.Quick {
+				duration = 4
+			}
+		}
+		timeout := ov.RequestTimeout
+		if timeout == 0 {
+			timeout = 0.5
+		}
+		rc := web.RunConfig{
+			Profile:        ov.Profile,
+			Duration:       duration,
+			ImageFrac:      ov.ImageFrac,
+			CacheHit:       ov.CacheHit,
+			RequestTimeout: timeout,
+			RetryBudget:    ov.RetryBudget,
+			Shed:           ov.Shed,
+		}
+		// The controller time series backs the figure; a caller-provided
+		// Observer still sees every window.
+		var wins []SLOWindow
+		if ov.SLO != nil {
+			s := *ov.SLO
+			chain := s.Observer
+			s.Observer = func(w SLOWindow) {
+				wins = append(wins, w)
+				if chain != nil {
+					chain(w)
+				}
+			}
+			rc.SLO = &s
+		}
+
+		seed := cfg.PointSeed(id, 0)
+		tb := cluster.New(ts.clusterConfig())
+		dep := web.NewTieredDeployment(tb, ts.webPlat, ts.nWeb, ts.cachePlat, ts.nCache, seed)
+		dep.WarmFor(rc)
+		if cfg.Faults != nil {
+			roster := map[string][]faults.Target{}
+			for _, w := range dep.Web {
+				roster["web"] = append(roster["web"], faults.Target{Node: w.Node, Fab: dep.Fab})
+			}
+			for _, c := range dep.Cache {
+				roster["cache"] = append(roster["cache"], faults.Target{Node: c.Node, Fab: dep.Fab})
+			}
+			plan := cfg.Faults.Filter("web", "cache")
+			if !plan.Empty() {
+				faults.Schedule(dep.Eng, plan, seed, roster)
+			}
+		}
+		res := dep.Run(rc)
+
+		// Rates are over the measurement window (Duration minus warmup).
+		window := duration * 0.75
+		o := &core.Outcome{}
+		t := report.NewTable(title,
+			"offered conn/s", "goodput req/s", "shed /s", "degraded /s", "p50 ms", "p99 ms", "p999 ms", "err rate", "retries", "denied", "power W").
+			WithUnits("conn/s", "req/s", "/s", "/s", "ms", "ms", "ms", "", "", "", "W")
+		t.AddRow(
+			report.Num(float64(res.Offered)/window, "conn/s"),
+			report.Num(res.Throughput, "req/s"),
+			report.Num(float64(res.Shed)/window, "/s"),
+			report.Num(float64(res.Degraded)/window, "/s"),
+			report.Num(res.Latency.Quantile(0.5)*1e3, "ms"),
+			report.Num(res.Latency.Quantile(0.99)*1e3, "ms"),
+			report.Num(res.Latency.Quantile(0.999)*1e3, "ms"),
+			report.Num(res.ErrorRate, ""),
+			report.Count(res.Retries, ""),
+			report.Count(res.RetryDenied, ""),
+			report.Num(float64(res.MeanPower), "W"),
+		)
+		o.Tables = append(o.Tables, t)
+		if len(wins) > 0 {
+			x := make([]float64, len(wins))
+			served := make([]float64, len(wins))
+			shed := make([]float64, len(wins))
+			active := make([]float64, len(wins))
+			for i, w := range wins {
+				x[i] = w.T
+				served[i] = float64(w.Served) / rc.SLO.Window
+				shed[i] = float64(w.Shed) / rc.SLO.Window
+				active[i] = float64(w.Active)
+			}
+			f := report.NewFigure(title+" — SLO controller windows", "t (s)", "per second / servers", x)
+			f.Add("served ops/s", served)
+			f.Add("shed/s", shed)
+			f.Add("active web servers", active)
+			o.Figures = append(o.Figures, f)
+			o.Notes = append(o.Notes, fmt.Sprintf(
+				"SLO: p%g of window latency <= %gs, availability >= %g; %d window(s) burned, brownout engaged for %.1fs, routing rotation peaked at %d servers",
+				100*effPercentile(rc.SLO.Percentile), rc.SLO.Latency, rc.SLO.Availability,
+				res.SLOBreaches, res.BrownoutSecs, res.ActivePeak))
+		}
+		return o, nil
+	}
+	return []unit{{id: id, title: title, section: "scenario", run: run}}, nil
+}
+
+// effPercentile resolves the SLO percentile default for display.
+func effPercentile(p float64) float64 {
+	if p == 0 {
+		return 0.99
+	}
+	return p
 }
 
 // --- MapReduce job ---------------------------------------------------------
