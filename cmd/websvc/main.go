@@ -46,7 +46,7 @@ func main() {
 		brownout    = flag.Bool("brownout", false, "degrade cache misses to stale answers while the SLO burns (needs -slo)")
 	)
 	flag.Parse()
-	profile, err := edisim.ParseLoadProfile(*profileSpec)
+	profile, err := parseProfileArg(*profileSpec)
 	if err != nil {
 		fmt.Fprintf(os.Stderr, "websvc: %v\n", err)
 		os.Exit(2)
@@ -146,6 +146,25 @@ func main() {
 	fmt.Println(fig)
 	fmt.Println(dfig)
 	fmt.Println(pfig)
+}
+
+// profileGrammar is the whole -profile grammar, one line per kind, shown
+// whenever a spec fails to parse so the operator never has to dig the
+// shapes out of API.md mid-flight.
+const profileGrammar = `  steady:RATE                          constant RATE conn/s
+  spike:BASE,PEAK@START+DURATION       flash crowd to PEAK during the window
+  diurnal:MIN..MAX/PERIOD              raised-cosine day/night cycle
+  bursty:BASE,BURST,MEANBURST,MEANGAP  two-state MMPP`
+
+// parseProfileArg wraps edisim.ParseLoadProfile so a bad -profile value
+// fails with the specific parse error followed by the full grammar and the
+// valid kinds, not just whichever token tripped first.
+func parseProfileArg(spec string) (edisim.LoadProfile, error) {
+	p, err := edisim.ParseLoadProfile(spec)
+	if err != nil {
+		return nil, fmt.Errorf("%w\nvalid -profile forms (kinds: steady, spike, diurnal, bursty):\n%s", err, profileGrammar)
+	}
+	return p, nil
 }
 
 // parseShed parses the -shed grammar: MODE[:PARAM], where drop takes a

@@ -1,0 +1,80 @@
+package main
+
+import (
+	"strings"
+	"testing"
+
+	"edisim"
+)
+
+// TestParseProfileArgErrors: every malformed -profile value must fail with
+// the specific parse error plus the full grammar and the list of valid
+// kinds, so the operator can fix the spec without opening API.md.
+func TestParseProfileArgErrors(t *testing.T) {
+	grammarLines := []string{
+		"steady:RATE",
+		"spike:BASE,PEAK@START+DURATION",
+		"diurnal:MIN..MAX/PERIOD",
+		"bursty:BASE,BURST,MEANBURST,MEANGAP",
+		"kinds: steady, spike, diurnal, bursty",
+	}
+	cases := []struct {
+		name, spec string
+		wantErr    string // the spec-specific part of the message
+	}{
+		{"no colon", "steady", "missing ':'"},
+		{"unknown kind", "sawtooth:10..90/5", `unknown profile kind "sawtooth"`},
+		{"bad number", "steady:fast", `bad number "fast"`},
+		{"spike missing timing", "spike:100,900", "missing '@START+DURATION'"},
+		{"spike missing duration", "spike:100,900@5", "missing '+DURATION'"},
+		{"diurnal missing period", "diurnal:10..90", "missing '/PERIOD'"},
+		{"diurnal missing range", "diurnal:90/5", "missing '..'"},
+		{"bursty wrong arity", "bursty:10,200", "want 4 comma-separated numbers"},
+		{"invalid profile", "steady:-5", "Rate"},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			p, err := parseProfileArg(tc.spec)
+			if err == nil {
+				t.Fatalf("parseProfileArg(%q) accepted a bad spec: %v", tc.spec, p)
+			}
+			msg := err.Error()
+			if !strings.Contains(msg, tc.wantErr) {
+				t.Errorf("error %q missing the specific cause %q", msg, tc.wantErr)
+			}
+			for _, line := range grammarLines {
+				if !strings.Contains(msg, line) {
+					t.Errorf("error for %q missing grammar line %q:\n%s", tc.spec, line, msg)
+				}
+			}
+		})
+	}
+}
+
+// TestParseProfileArgValid: good specs pass through untouched and an empty
+// spec keeps the closed-loop default (nil profile, no error).
+func TestParseProfileArgValid(t *testing.T) {
+	p, err := parseProfileArg("")
+	if err != nil || p != nil {
+		t.Fatalf("empty spec: got (%v, %v), want (nil, nil)", p, err)
+	}
+	cases := []struct {
+		spec string
+		want edisim.LoadProfile
+	}{
+		{"steady:120", edisim.SteadyLoad{Rate: 120}},
+		{"spike:120,600@6+6", edisim.SpikeLoad{Base: 120, Peak: 600, Start: 6, Duration: 6}},
+		{"diurnal:30..230/12", edisim.DiurnalLoad{Min: 30, Max: 230, Period: 12}},
+		{"bursty:50,400,2,8", edisim.BurstyLoad{Base: 50, Burst: 400, MeanBurst: 2, MeanGap: 8}},
+	}
+	for _, tc := range cases {
+		p, err := parseProfileArg(tc.spec)
+		if err != nil {
+			t.Errorf("parseProfileArg(%q): %v", tc.spec, err)
+			continue
+		}
+		if p != tc.want {
+			t.Errorf("parseProfileArg(%q) = %#v, want %#v", tc.spec, p, tc.want)
+		}
+	}
+}

@@ -1,0 +1,485 @@
+package autoscale
+
+import (
+	"fmt"
+	"math"
+
+	"edisim/internal/sim"
+	"edisim/internal/stats"
+)
+
+// Pool is the fleet the Manager drives: a fixed array of server slots the
+// web layer adapts onto its deployment. Slot indices are stable for the
+// life of the run. The Manager guarantees it never calls PowerOff on a
+// slot whose Busy still reports true — drain-before-park is the contract
+// that scale-down cannot kill in-flight work.
+type Pool interface {
+	// Len is the number of slots (the provisioned fleet).
+	Len() int
+	// Join adds slot i to the serving rotation (boot completed, or a drain
+	// was cancelled).
+	Join(i int)
+	// Leave removes slot i from the serving rotation; in-flight work on it
+	// keeps running until Busy reports false.
+	Leave(i int)
+	// Busy reports whether slot i still holds in-flight work (connections,
+	// requests or pending accepts).
+	Busy(i int) bool
+	// PowerOn begins slot i's boot: powered and drawing boot power, not
+	// yet serving.
+	PowerOn(i int)
+	// PowerOff parks the drained slot i: zero draw.
+	PowerOff(i int)
+	// SetSpeed applies the warm-up penalty to slot i: factor 1 restores
+	// nominal speed.
+	SetSpeed(i int, factor float64)
+}
+
+// Config drives one Manager. The zero value of each knob selects the
+// documented default; the web layer resolves BootDelay/Warmup/WarmupFactor
+// from the platform's Boot calibration before it gets here.
+type Config struct {
+	// Policy decides the desired serving count each window (required).
+	Policy Policy
+	// BootDelay is power-on → serving in seconds (default 5). Boot energy
+	// is charged at the node's busy draw for the whole delay.
+	BootDelay float64
+	// Warmup is the cold-start penalty window after a boot joins the
+	// rotation, seconds (default 0: none). Negative disables explicitly.
+	Warmup float64
+	// WarmupFactor is the speed factor applied while warming (default 0.5).
+	WarmupFactor float64
+	// CooldownUp is the minimum seconds between scale-up reactions
+	// (default 2); CooldownDown the same for scale-downs (default 6, so
+	// the fleet grows faster than it shrinks).
+	CooldownUp   float64
+	CooldownDown float64
+	// MinServing floors the rotation (default 1); MaxServing caps it
+	// (default: the pool size). InitialServing is the rotation at run
+	// start (default MaxServing — start provisioned, let the policy park).
+	MinServing     int
+	MaxServing     int
+	InitialServing int
+	// StepUp caps servers added per reaction (default 2). Scale-down is
+	// always one server per reaction.
+	StepUp int
+	// DrainPoll is the busy-recheck period while draining, seconds
+	// (default 0.25).
+	DrainPoll float64
+	// Observer, when non-nil, receives every fleet transition — the run's
+	// scale-event time series.
+	Observer func(Event)
+}
+
+// withDefaults resolves unset knobs against the pool size.
+func (c Config) withDefaults(poolLen int) Config {
+	if c.BootDelay == 0 {
+		c.BootDelay = 5
+	}
+	if c.WarmupFactor == 0 {
+		c.WarmupFactor = 0.5
+	}
+	if c.Warmup < 0 || c.WarmupFactor >= 1 {
+		c.Warmup = 0
+	}
+	if c.CooldownUp == 0 {
+		c.CooldownUp = 2
+	}
+	if c.CooldownDown == 0 {
+		c.CooldownDown = 6
+	}
+	if c.MinServing == 0 {
+		c.MinServing = 1
+	}
+	if c.MaxServing == 0 || c.MaxServing > poolLen {
+		c.MaxServing = poolLen
+	}
+	if c.InitialServing == 0 {
+		c.InitialServing = c.MaxServing
+	}
+	if c.StepUp == 0 {
+		c.StepUp = 2
+	}
+	if c.DrainPoll == 0 {
+		c.DrainPoll = 0.25
+	}
+	return c
+}
+
+// Validate rejects configs whose values would fail silently. Pool-relative
+// bounds (MaxServing vs pool size) are checked by NewManager, which knows
+// the pool.
+func (c Config) Validate() error {
+	if c.Policy == nil {
+		return fmt.Errorf("autoscale: config needs a Policy")
+	}
+	if err := c.Policy.Validate(); err != nil {
+		return err
+	}
+	for _, v := range [...]struct {
+		name string
+		v    float64
+	}{
+		{"boot delay", c.BootDelay}, {"cooldown up", c.CooldownUp},
+		{"cooldown down", c.CooldownDown}, {"drain poll", c.DrainPoll},
+	} {
+		if math.IsNaN(v.v) || math.IsInf(v.v, 0) || v.v < 0 {
+			return fmt.Errorf("autoscale: %s %g must be finite and non-negative", v.name, v.v)
+		}
+	}
+	// Warmup may be negative (explicit "none"); NaN/Inf would still poison.
+	if math.IsNaN(c.Warmup) || math.IsInf(c.Warmup, 0) {
+		return fmt.Errorf("autoscale: warmup %g must be finite", c.Warmup)
+	}
+	if math.IsNaN(c.WarmupFactor) || c.WarmupFactor < 0 || c.WarmupFactor > 1 {
+		return fmt.Errorf("autoscale: warmup factor %g must be in [0,1]", c.WarmupFactor)
+	}
+	if c.MinServing < 0 || c.MaxServing < 0 || c.InitialServing < 0 || c.StepUp < 0 {
+		return fmt.Errorf("autoscale: serving bounds and step must be non-negative")
+	}
+	if c.MaxServing > 0 && c.MinServing > c.MaxServing {
+		return fmt.Errorf("autoscale: MinServing %d above MaxServing %d", c.MinServing, c.MaxServing)
+	}
+	return nil
+}
+
+// EventKind labels one fleet transition.
+type EventKind string
+
+const (
+	// EventBootStart: a parked slot was powered on.
+	EventBootStart EventKind = "boot-start"
+	// EventBootAbort: a scale-down caught a boot in flight; the slot goes
+	// straight back to parked (it held no work).
+	EventBootAbort EventKind = "boot-abort"
+	// EventJoin: a booted slot entered the serving rotation.
+	EventJoin EventKind = "join"
+	// EventDrainStart: a serving slot left the rotation to drain.
+	EventDrainStart EventKind = "drain-start"
+	// EventDrainCancel: a scale-up reclaimed a draining slot — the
+	// cheapest capacity there is (no boot, warm caches).
+	EventDrainCancel EventKind = "drain-cancel"
+	// EventPark: a drained slot was powered off.
+	EventPark EventKind = "park"
+)
+
+// Event is one fleet transition, with the fleet state after it.
+type Event struct {
+	T    float64
+	Kind EventKind
+	Slot int
+
+	Serving, Booting, Draining, Parked int
+}
+
+// Stats is the Manager's run accounting.
+type Stats struct {
+	// ScaleUps counts servers that entered the rotation by a policy
+	// decision (boot joins + drain cancels); ScaleDowns counts drain
+	// starts. Initial convergence to InitialServing is not counted.
+	ScaleUps, ScaleDowns int64
+	Boots                int64 // power-ons
+	DrainCancels         int64
+	Parks                int64 // power-offs after a drain
+	// BootSecs is the total time slots spent booting (aborted boots count
+	// their partial time); boot energy is BootSecs × the busy draw.
+	BootSecs float64
+}
+
+type slotState uint8
+
+const (
+	slotServing slotState = iota
+	slotBooting
+	slotDraining
+	slotParked
+)
+
+type slot struct {
+	state slotState
+	// seq invalidates pending timers (boot completion, warm-up end, drain
+	// poll) when the slot transitions out from under them.
+	seq uint64
+	// since is when the current state began (boot accounting).
+	since sim.Time
+}
+
+// Manager owns the fleet lifecycle: Observe feeds it one Signals window,
+// it asks the Policy for a desired size and moves the pool there through
+// boot/drain transitions. All decisions run on engine time, so runs are
+// deterministic for a fixed seed and worker count.
+type Manager struct {
+	eng  *sim.Engine
+	pool Pool
+	cfg  Config
+
+	slots                              []slot
+	serving, booting, draining, parked int
+
+	lastUp, lastDown sim.Time
+	acted            bool // a reaction happened since start (gates cooldown)
+
+	integ *stats.Integrator // serving count over time
+	stats Stats
+	dead  bool
+}
+
+// NewManager validates cfg against the pool, brings the pool to
+// InitialServing (slots [0, initial) join, the rest park — not counted as
+// scale events) and returns the manager ready for Observe calls.
+func NewManager(eng *sim.Engine, pool Pool, cfg Config) (*Manager, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	n := pool.Len()
+	if n == 0 {
+		return nil, fmt.Errorf("autoscale: pool is empty")
+	}
+	cfg = cfg.withDefaults(n)
+	if cfg.MinServing > n {
+		return nil, fmt.Errorf("autoscale: MinServing %d above pool size %d", cfg.MinServing, n)
+	}
+	if cfg.InitialServing < cfg.MinServing || cfg.InitialServing > cfg.MaxServing {
+		return nil, fmt.Errorf("autoscale: InitialServing %d outside [%d,%d]",
+			cfg.InitialServing, cfg.MinServing, cfg.MaxServing)
+	}
+	m := &Manager{eng: eng, pool: pool, cfg: cfg, slots: make([]slot, n)}
+	now := eng.Now()
+	for i := range m.slots {
+		m.slots[i].since = now
+		if i < cfg.InitialServing {
+			m.slots[i].state = slotServing
+			m.serving++
+			pool.Join(i)
+		} else {
+			m.slots[i].state = slotParked
+			m.parked++
+			pool.PowerOff(i)
+		}
+	}
+	m.integ = stats.NewIntegrator(float64(now), float64(m.serving))
+	return m, nil
+}
+
+// Observe feeds one controller window to the policy and reacts. The fleet
+// fields of sig are filled in here; callers provide the traffic and SLO
+// signals. Steady-state calls (no transition) are allocation-free.
+func (m *Manager) Observe(sig Signals) {
+	if m.dead {
+		return
+	}
+	sig.Serving, sig.Booting, sig.Draining, sig.Parked = m.serving, m.booting, m.draining, m.parked
+	sig.BootDelay = m.cfg.BootDelay
+	want := m.cfg.Policy.Desired(sig)
+	if want < m.cfg.MinServing {
+		want = m.cfg.MinServing
+	}
+	if want > m.cfg.MaxServing {
+		want = m.cfg.MaxServing
+	}
+	committed := m.serving + m.booting
+	now := m.eng.Now()
+	switch {
+	case want > committed:
+		if m.acted && float64(now-m.lastUp) < m.cfg.CooldownUp {
+			return
+		}
+		n := want - committed
+		if n > m.cfg.StepUp {
+			n = m.cfg.StepUp
+		}
+		added := 0
+		// Reclaim draining slots first: no boot delay, warm caches.
+		for i := range m.slots {
+			if added == n {
+				break
+			}
+			if m.slots[i].state == slotDraining {
+				m.cancelDrain(i)
+				added++
+			}
+		}
+		for i := range m.slots {
+			if added == n {
+				break
+			}
+			if m.slots[i].state == slotParked {
+				m.startBoot(i)
+				added++
+			}
+		}
+		if added > 0 {
+			m.lastUp = now
+			m.acted = true
+		}
+	case want < committed:
+		if m.acted && float64(now-m.lastDown) < m.cfg.CooldownDown {
+			return
+		}
+		// One server per reaction, cheapest first: abort a boot in flight
+		// (it holds no work) before draining a serving slot.
+		for i := len(m.slots) - 1; i >= 0; i-- {
+			if m.slots[i].state == slotBooting {
+				m.abortBoot(i)
+				m.lastDown = now
+				m.acted = true
+				return
+			}
+		}
+		if m.serving > m.cfg.MinServing {
+			for i := len(m.slots) - 1; i >= 0; i-- {
+				if m.slots[i].state == slotServing {
+					m.startDrain(i)
+					m.lastDown = now
+					m.acted = true
+					return
+				}
+			}
+		}
+	}
+}
+
+func (m *Manager) startBoot(i int) {
+	m.slots[i].state = slotBooting
+	m.slots[i].seq++
+	m.slots[i].since = m.eng.Now()
+	m.parked--
+	m.booting++
+	m.pool.PowerOn(i)
+	m.stats.Boots++
+	m.event(EventBootStart, i)
+	seq := m.slots[i].seq
+	m.eng.After(m.cfg.BootDelay, func() {
+		if m.dead || m.slots[i].seq != seq {
+			return
+		}
+		m.join(i, true)
+	})
+}
+
+func (m *Manager) abortBoot(i int) {
+	m.stats.BootSecs += float64(m.eng.Now() - m.slots[i].since)
+	m.slots[i].state = slotParked
+	m.slots[i].seq++
+	m.slots[i].since = m.eng.Now()
+	m.booting--
+	m.parked++
+	m.pool.PowerOff(i)
+	m.event(EventBootAbort, i)
+}
+
+// join moves a booted slot (or, via cancelDrain, a reclaimed draining
+// slot) into the rotation.
+func (m *Manager) join(i int, fromBoot bool) {
+	now := m.eng.Now()
+	if fromBoot {
+		m.stats.BootSecs += float64(now - m.slots[i].since)
+		m.booting--
+	}
+	m.slots[i].state = slotServing
+	m.slots[i].seq++
+	m.slots[i].since = now
+	m.serving++
+	m.integ.Set(float64(now), float64(m.serving))
+	m.pool.Join(i)
+	m.stats.ScaleUps++
+	if fromBoot {
+		// Cold start: caches, JITs and connection pools are empty; the
+		// server runs at WarmupFactor speed for the warm-up window.
+		if m.cfg.Warmup > 0 {
+			m.pool.SetSpeed(i, m.cfg.WarmupFactor)
+			seq := m.slots[i].seq
+			m.eng.After(m.cfg.Warmup, func() {
+				if m.dead || m.slots[i].seq != seq {
+					return
+				}
+				m.pool.SetSpeed(i, 1)
+			})
+		}
+		m.event(EventJoin, i)
+	}
+}
+
+func (m *Manager) cancelDrain(i int) {
+	m.draining--
+	m.stats.DrainCancels++
+	m.join(i, false)
+	m.event(EventDrainCancel, i)
+}
+
+func (m *Manager) startDrain(i int) {
+	now := m.eng.Now()
+	m.slots[i].state = slotDraining
+	m.slots[i].seq++
+	m.slots[i].since = now
+	m.serving--
+	m.draining++
+	m.integ.Set(float64(now), float64(m.serving))
+	m.pool.Leave(i)
+	m.stats.ScaleDowns++
+	m.event(EventDrainStart, i)
+	if !m.pool.Busy(i) {
+		m.park(i)
+		return
+	}
+	seq := m.slots[i].seq
+	var poll func()
+	poll = func() {
+		if m.dead || m.slots[i].seq != seq {
+			return
+		}
+		if m.pool.Busy(i) {
+			m.eng.After(m.cfg.DrainPoll, poll)
+			return
+		}
+		m.park(i)
+	}
+	m.eng.After(m.cfg.DrainPoll, poll)
+}
+
+func (m *Manager) park(i int) {
+	m.slots[i].state = slotParked
+	m.slots[i].seq++
+	m.slots[i].since = m.eng.Now()
+	m.draining--
+	m.parked++
+	m.pool.PowerOff(i)
+	m.stats.Parks++
+	m.event(EventPark, i)
+}
+
+func (m *Manager) event(kind EventKind, i int) {
+	if m.cfg.Observer == nil {
+		return
+	}
+	m.cfg.Observer(Event{
+		T: float64(m.eng.Now()), Kind: kind, Slot: i,
+		Serving: m.serving, Booting: m.booting, Draining: m.draining, Parked: m.parked,
+	})
+}
+
+// Counts reports the current fleet split.
+func (m *Manager) Counts() (serving, booting, draining, parked int) {
+	return m.serving, m.booting, m.draining, m.parked
+}
+
+// Stats reports the run accounting so far.
+func (m *Manager) Stats() Stats { return m.stats }
+
+// ServingIntegral reports ∫ serving dt from manager creation to t, which
+// must be at or after the last transition. Two readings bracket a window's
+// time-weighted mean serving count.
+func (m *Manager) ServingIntegral(t sim.Time) float64 {
+	return m.integ.Total(float64(t))
+}
+
+// Halt deactivates the manager: pending boot/warm-up/drain timers become
+// no-ops and further Observe calls are ignored. The pool is left as-is;
+// the owner restores node state (the web layer re-powers parked nodes so
+// the deployment is reusable).
+func (m *Manager) Halt() {
+	m.dead = true
+	for i := range m.slots {
+		m.slots[i].seq++
+	}
+}

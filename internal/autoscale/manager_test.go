@@ -1,0 +1,386 @@
+package autoscale
+
+import (
+	"fmt"
+	"testing"
+
+	"edisim/internal/sim"
+)
+
+// fakePool is an in-memory Pool that records every transition and lets a
+// test script per-slot busyness.
+type fakePool struct {
+	n     int
+	inRot []bool
+	on    []bool
+	busy  []bool
+	speed []float64
+	log   []string
+}
+
+func newFakePool(n int) *fakePool {
+	p := &fakePool{
+		n:     n,
+		inRot: make([]bool, n),
+		on:    make([]bool, n),
+		busy:  make([]bool, n),
+		speed: make([]float64, n),
+	}
+	for i := range p.on {
+		p.on[i] = true
+		p.speed[i] = 1
+	}
+	return p
+}
+
+func (p *fakePool) Len() int { return p.n }
+func (p *fakePool) Join(i int) {
+	p.inRot[i] = true
+	p.log = append(p.log, fmt.Sprintf("join %d", i))
+}
+func (p *fakePool) Leave(i int) {
+	p.inRot[i] = false
+	p.log = append(p.log, fmt.Sprintf("leave %d", i))
+}
+func (p *fakePool) Busy(i int) bool { return p.busy[i] }
+func (p *fakePool) PowerOn(i int) {
+	p.on[i] = true
+	p.log = append(p.log, fmt.Sprintf("on %d", i))
+}
+func (p *fakePool) PowerOff(i int) {
+	if p.busy[i] {
+		panic(fmt.Sprintf("fakePool: PowerOff busy slot %d", i))
+	}
+	p.on[i] = false
+	p.log = append(p.log, fmt.Sprintf("off %d", i))
+}
+func (p *fakePool) SetSpeed(i int, f float64) {
+	p.speed[i] = f
+	p.log = append(p.log, fmt.Sprintf("speed %d %g", i, f))
+}
+
+// holdAt is a scriptable policy: Desired returns whatever the test set.
+type holdAt struct{ want *int }
+
+func (h holdAt) Name() string        { return "hold-at" }
+func (h holdAt) Desired(Signals) int { return *h.want }
+func (h holdAt) Validate() error     { return nil }
+
+func testManager(t *testing.T, n int, cfg Config) (*sim.Engine, *fakePool, *Manager, *int) {
+	t.Helper()
+	eng := sim.NewEngine()
+	pool := newFakePool(n)
+	want := new(int)
+	*want = cfg.InitialServing
+	if cfg.Policy == nil {
+		cfg.Policy = holdAt{want}
+	}
+	m, err := NewManager(eng, pool, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return eng, pool, m, want
+}
+
+func TestManagerInitialSplit(t *testing.T) {
+	_, pool, m, _ := testManager(t, 8, Config{InitialServing: 3})
+	serving, booting, draining, parked := m.Counts()
+	if serving != 3 || booting != 0 || draining != 0 || parked != 5 {
+		t.Fatalf("initial split = %d/%d/%d/%d, want 3/0/0/5", serving, booting, draining, parked)
+	}
+	for i := 0; i < 8; i++ {
+		if wantRot := i < 3; pool.inRot[i] != wantRot {
+			t.Fatalf("slot %d inRot=%v, want %v", i, pool.inRot[i], wantRot)
+		}
+		if wantOn := i < 3; pool.on[i] != wantOn {
+			t.Fatalf("slot %d on=%v, want %v", i, pool.on[i], wantOn)
+		}
+	}
+	if st := m.Stats(); st.Boots != 0 || st.ScaleUps != 0 || st.Parks != 0 {
+		t.Fatalf("initial convergence counted as scale events: %+v", st)
+	}
+}
+
+func TestManagerBootDelayGatesJoin(t *testing.T) {
+	eng, pool, m, want := testManager(t, 4, Config{InitialServing: 1, BootDelay: 5})
+	*want = 3
+	m.Observe(Signals{})
+	serving, booting, _, parked := m.Counts()
+	if serving != 1 || booting != 2 || parked != 1 {
+		t.Fatalf("after observe: %d/%d serving/booting, want 1/2", serving, booting)
+	}
+	// The booting slots are powered but not in rotation yet.
+	if !pool.on[1] || !pool.on[2] || pool.inRot[1] || pool.inRot[2] {
+		t.Fatalf("booting slots should be on but out of rotation: on=%v rot=%v", pool.on, pool.inRot)
+	}
+	eng.RunUntil(sim.Time(4.99))
+	if s, _, _, _ := m.Counts(); s != 1 {
+		t.Fatalf("joined before the boot delay elapsed: serving=%d", s)
+	}
+	eng.RunUntil(sim.Time(5.01))
+	if s, b, _, _ := m.Counts(); s != 3 || b != 0 {
+		t.Fatalf("after boot delay: serving=%d booting=%d, want 3/0", s, b)
+	}
+	st := m.Stats()
+	if st.Boots != 2 || st.ScaleUps != 2 {
+		t.Fatalf("stats: %+v, want 2 boots, 2 scale-ups", st)
+	}
+	if st.BootSecs < 9.99 || st.BootSecs > 10.01 {
+		t.Fatalf("BootSecs = %g, want 10 (2 boots × 5s)", st.BootSecs)
+	}
+}
+
+func TestManagerWarmupPenalty(t *testing.T) {
+	eng, pool, m, want := testManager(t, 2, Config{
+		InitialServing: 1, BootDelay: 2, Warmup: 3, WarmupFactor: 0.5,
+	})
+	*want = 2
+	m.Observe(Signals{})
+	eng.RunUntil(sim.Time(2.5)) // boot done at t=2, warming until t=5
+	if pool.speed[1] != 0.5 {
+		t.Fatalf("warming slot speed = %g, want 0.5", pool.speed[1])
+	}
+	eng.RunUntil(sim.Time(5.5))
+	if pool.speed[1] != 1 {
+		t.Fatalf("post-warm-up speed = %g, want 1", pool.speed[1])
+	}
+}
+
+func TestManagerDrainWaitsForBusy(t *testing.T) {
+	eng, pool, m, want := testManager(t, 3, Config{InitialServing: 3, DrainPoll: 0.25})
+	pool.busy[2] = true // highest index drains first
+	*want = 2
+	m.Observe(Signals{})
+	if s, _, d, _ := m.Counts(); s != 2 || d != 1 {
+		t.Fatalf("after observe: serving=%d draining=%d, want 2/1", s, d)
+	}
+	if pool.inRot[2] {
+		t.Fatal("draining slot still in rotation")
+	}
+	if !pool.on[2] {
+		t.Fatal("draining slot was powered off while busy")
+	}
+	eng.RunUntil(sim.Time(3))
+	if !pool.on[2] {
+		t.Fatal("busy slot was parked")
+	}
+	pool.busy[2] = false
+	eng.RunUntil(sim.Time(6))
+	if pool.on[2] {
+		t.Fatal("idle drained slot was not parked")
+	}
+	if _, _, d, parked := m.Counts(); d != 0 || parked != 1 {
+		t.Fatalf("after park: draining=%d parked=%d, want 0/1", d, parked)
+	}
+	if st := m.Stats(); st.Parks != 1 || st.ScaleDowns != 1 {
+		t.Fatalf("stats: %+v, want 1 park, 1 scale-down", st)
+	}
+}
+
+func TestManagerIdleDrainParksImmediately(t *testing.T) {
+	_, pool, m, want := testManager(t, 2, Config{InitialServing: 2})
+	*want = 1
+	m.Observe(Signals{})
+	if pool.on[1] {
+		t.Fatal("idle slot should park in the same event")
+	}
+}
+
+func TestManagerDrainCancelReclaimsBeforeBooting(t *testing.T) {
+	eng, pool, m, want := testManager(t, 3, Config{
+		InitialServing: 3, BootDelay: 100, CooldownUp: 1, CooldownDown: 1,
+	})
+	pool.busy[2] = true
+	*want = 2
+	m.Observe(Signals{}) // slot 2 starts draining
+	*want = 3
+	eng.RunUntil(sim.Time(2)) // past CooldownUp
+	m.Observe(Signals{})
+	// The draining slot must rejoin instantly — no boot, no 100s delay.
+	if s, b, d, _ := m.Counts(); s != 3 || b != 0 || d != 0 {
+		t.Fatalf("after reclaim: %d/%d/%d serving/booting/draining, want 3/0/0", s, b, d)
+	}
+	if !pool.inRot[2] {
+		t.Fatal("reclaimed slot not back in rotation")
+	}
+	st := m.Stats()
+	if st.DrainCancels != 1 || st.Boots != 0 {
+		t.Fatalf("stats: %+v, want 1 drain-cancel and 0 boots", st)
+	}
+	// The stale drain poll must not park the slot later.
+	pool.busy[2] = false
+	eng.RunUntil(sim.Time(10))
+	if !pool.inRot[2] || !pool.on[2] {
+		t.Fatal("stale drain poll parked a reclaimed slot")
+	}
+}
+
+func TestManagerAbortsBootBeforeDraining(t *testing.T) {
+	eng, pool, m, want := testManager(t, 4, Config{
+		InitialServing: 2, BootDelay: 50, CooldownUp: 1, CooldownDown: 1,
+	})
+	*want = 3
+	m.Observe(Signals{}) // slot 2 starts booting
+	*want = 2
+	eng.RunUntil(sim.Time(2))
+	m.Observe(Signals{})
+	// The boot is aborted (cheapest: holds no work); nobody drains.
+	if s, b, d, parked := m.Counts(); s != 2 || b != 0 || d != 0 || parked != 2 {
+		t.Fatalf("after abort: %d/%d/%d/%d, want 2/0/0/2", s, b, d, parked)
+	}
+	if pool.on[2] {
+		t.Fatal("aborted boot left the slot powered")
+	}
+	// BootSecs charges the partial boot (2s), and the stale completion
+	// timer at t=50 must not join the slot.
+	if st := m.Stats(); st.BootSecs < 1.99 || st.BootSecs > 2.01 {
+		t.Fatalf("BootSecs = %g, want 2 (partial boot)", st.BootSecs)
+	}
+	eng.RunUntil(sim.Time(60))
+	if s, _, _, _ := m.Counts(); s != 2 {
+		t.Fatalf("stale boot timer fired: serving=%d", s)
+	}
+}
+
+func TestManagerCooldownsGateReactions(t *testing.T) {
+	eng, _, m, want := testManager(t, 8, Config{
+		InitialServing: 2, BootDelay: 0.1, CooldownUp: 5, CooldownDown: 5, StepUp: 1,
+	})
+	*want = 8
+	m.Observe(Signals{})
+	if _, b, _, _ := m.Counts(); b != 1 {
+		t.Fatalf("first reaction: booting=%d, want 1 (StepUp)", b)
+	}
+	// A second observe inside the cooldown must be ignored.
+	eng.RunUntil(sim.Time(1))
+	m.Observe(Signals{})
+	if s, b, _, _ := m.Counts(); s+b != 3 {
+		t.Fatalf("cooldown violated: committed=%d, want 3", s+b)
+	}
+	// After the cooldown it reacts again.
+	eng.RunUntil(sim.Time(6))
+	m.Observe(Signals{})
+	if s, b, _, _ := m.Counts(); s+b != 4 {
+		t.Fatalf("post-cooldown: committed=%d, want 4", s+b)
+	}
+}
+
+func TestManagerClampsToBounds(t *testing.T) {
+	_, _, m, want := testManager(t, 6, Config{
+		InitialServing: 3, MinServing: 2, MaxServing: 4, StepUp: 10, BootDelay: 0.1,
+	})
+	*want = 100
+	m.Observe(Signals{})
+	if s, b, _, _ := m.Counts(); s+b != 4 {
+		t.Fatalf("MaxServing violated: committed=%d, want 4", s+b)
+	}
+	m2eng, _, m2, want2 := testManager(t, 6, Config{InitialServing: 3, MinServing: 2})
+	_ = m2eng
+	*want2 = 0
+	m2.Observe(Signals{})
+	m2.Observe(Signals{})
+	if s, _, d, _ := m2.Counts(); s+d < 2 {
+		t.Fatalf("MinServing violated: serving+draining=%d, want >= 2", s+d)
+	}
+}
+
+func TestManagerScaleDownOnePerReaction(t *testing.T) {
+	_, _, m, want := testManager(t, 6, Config{InitialServing: 6, CooldownDown: 0.1})
+	*want = 1
+	m.Observe(Signals{})
+	// Idle slots park in the same event, so the reaction shows up as one
+	// fewer serving — never more than one per Observe.
+	if s, _, _, _ := m.Counts(); s != 5 {
+		t.Fatalf("one reaction left %d serving, want 5 (exactly one down)", s)
+	}
+	if st := m.Stats(); st.ScaleDowns != 1 {
+		t.Fatalf("ScaleDowns = %d, want 1", st.ScaleDowns)
+	}
+}
+
+func TestManagerHaltSilencesTimers(t *testing.T) {
+	eng, pool, m, want := testManager(t, 4, Config{InitialServing: 1, BootDelay: 5})
+	*want = 3
+	m.Observe(Signals{})
+	m.Halt()
+	eng.RunUntil(sim.Time(10))
+	// Boot completions after Halt must not touch the pool.
+	if pool.inRot[1] || pool.inRot[2] {
+		t.Fatal("halted manager joined a slot")
+	}
+	m.Observe(Signals{}) // ignored, no panic
+}
+
+func TestManagerObserverSeesTransitions(t *testing.T) {
+	var kinds []EventKind
+	eng := sim.NewEngine()
+	pool := newFakePool(3)
+	want := 1
+	m, err := NewManager(eng, pool, Config{
+		Policy: holdAt{&want}, InitialServing: 1, BootDelay: 2, CooldownUp: 1, CooldownDown: 1,
+		Observer: func(e Event) { kinds = append(kinds, e.Kind) },
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	want = 2
+	m.Observe(Signals{})
+	eng.RunUntil(sim.Time(3))
+	want = 1
+	m.Observe(Signals{})
+	eng.RunUntil(sim.Time(6))
+	got := fmt.Sprint(kinds)
+	exp := fmt.Sprint([]EventKind{EventBootStart, EventJoin, EventDrainStart, EventPark})
+	if got != exp {
+		t.Fatalf("event stream %v, want %v", got, exp)
+	}
+}
+
+func TestManagerServingIntegral(t *testing.T) {
+	eng, _, m, want := testManager(t, 4, Config{InitialServing: 2, BootDelay: 1})
+	// 2 serving on [0,10): integral 20.
+	eng.RunUntil(sim.Time(10))
+	*want = 3
+	m.Observe(Signals{})
+	eng.RunUntil(sim.Time(20))
+	// Joined at t=11: 2×11 + 3×9 = 49.
+	got := m.ServingIntegral(sim.Time(20))
+	if got < 48.99 || got > 49.01 {
+		t.Fatalf("ServingIntegral(20) = %g, want 49", got)
+	}
+}
+
+func TestNewManagerRejectsBadShapes(t *testing.T) {
+	eng := sim.NewEngine()
+	w := 1
+	if _, err := NewManager(eng, newFakePool(0), Config{Policy: holdAt{&w}}); err == nil {
+		t.Fatal("empty pool accepted")
+	}
+	if _, err := NewManager(eng, newFakePool(2), Config{Policy: holdAt{&w}, MinServing: 5}); err == nil {
+		t.Fatal("MinServing above pool size accepted")
+	}
+	if _, err := NewManager(eng, newFakePool(4), Config{Policy: holdAt{&w}, InitialServing: 1, MinServing: 2}); err == nil {
+		t.Fatal("InitialServing below MinServing accepted")
+	}
+	if _, err := NewManager(eng, newFakePool(4), Config{}); err == nil {
+		t.Fatal("nil policy accepted")
+	}
+}
+
+// BenchmarkAutoscaleTick pins the steady-state Observe path: a policy
+// decision that changes nothing must not allocate (it runs every SLO window
+// on every run with autoscale armed).
+func BenchmarkAutoscaleTick(b *testing.B) {
+	eng := sim.NewEngine()
+	pool := newFakePool(8)
+	m, err := NewManager(eng, pool, Config{Policy: TargetUtil{}, InitialServing: 4})
+	if err != nil {
+		b.Fatal(err)
+	}
+	sig := Signals{T: 1, Util: 0.6, Queue: 3, ArrivalRate: 100, Availability: 1}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		m.Observe(sig)
+	}
+}

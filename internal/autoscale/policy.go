@@ -1,0 +1,280 @@
+// Package autoscale is the elasticity engine over the web tier: pluggable
+// policies decide how many servers should be serving, and a lifecycle
+// manager moves the fleet there through realistic transitions — power-on
+// boot delays, cold-start warm-up penalties, drain-before-park scale-down —
+// with cooldown hysteresis so policies cannot flap.
+//
+// The package is deliberately a leaf: it knows nothing about web servers or
+// platforms. Policies read Signals (the SLO controller's windowed verdicts
+// plus fleet state), the Manager drives an abstract Pool, and per-platform
+// calibration arrives through Capacity binding — mirroring how
+// internal/load binds RNG substreams.
+package autoscale
+
+import (
+	"fmt"
+	"math"
+
+	"edisim/internal/load"
+)
+
+// Signals is one observation window delivered to a Policy: the SLO
+// controller's verdict for the window plus the fleet state the Manager
+// fills in before asking for a decision. All rates are per second over the
+// window just ended.
+type Signals struct {
+	T float64 // seconds since run start
+
+	// Fleet state (filled by the Manager; policies need not track it).
+	Serving  int // servers in the routing rotation, including warming ones
+	Booting  int // powered on, not yet serving
+	Draining int // removed from the rotation, finishing in-flight work
+	Parked   int // powered off
+	// BootDelay is the fleet's power-on → serving latency in seconds;
+	// predictive policies lead the profile by at least this much.
+	BootDelay float64
+
+	Util         float64 // mean CPU utilization of serving servers over the window, [0,1]
+	Queue        float64 // mean in-flight requests per serving server at window end
+	ShedRate     float64 // admission-control rejections per second in the window
+	ArrivalRate  float64 // offered connection arrivals per second in the window
+	Quantile     float64 // the window's latency quantile at the SLO percentile, seconds
+	Availability float64 // served/settled in the window
+	Burning      bool    // the SLO controller's verdict for the window
+}
+
+// Committed is the capacity already paid for: serving servers plus boots in
+// flight. Policies return a desired serving count; the Manager compares it
+// against Committed so a pending boot is not ordered twice.
+func (s Signals) Committed() int { return s.Serving + s.Booting }
+
+// Policy decides how many servers should be serving. Desired is evaluated
+// once per SLO controller window; the Manager clamps the answer to
+// [MinServing, MaxServing] and applies step limits and cooldowns, so a
+// policy can be aggressive without flapping the fleet. Implementations must
+// be deterministic pure functions of Signals (no wall clock, no RNG) and
+// allocation-free in steady state — the tick is pinned at 0 allocs/op.
+type Policy interface {
+	// Name labels the policy in reports and events.
+	Name() string
+	// Desired returns the serving count the policy wants.
+	Desired(s Signals) int
+	// Validate rejects configurations that would fail silently.
+	Validate() error
+}
+
+// Capacity is the per-platform calibration a policy may need: what one
+// server sustains. The web layer binds it before the run starts, so zero
+// thresholds in QueueDepth and Predictive resolve to platform-appropriate
+// defaults instead of magic numbers.
+type Capacity struct {
+	// ConnRate is one server's sustainable new-connection accept rate /s.
+	ConnRate float64
+	// MaxInflight is one server's admitted-but-unfinished request bound.
+	MaxInflight int
+}
+
+// CapacityBinder is implemented by policies whose defaults depend on the
+// platform. BindCapacity returns a policy with unset thresholds resolved;
+// it must not mutate the receiver.
+type CapacityBinder interface {
+	Policy
+	BindCapacity(c Capacity) Policy
+}
+
+// Bind resolves a policy's platform-dependent defaults when it asks for
+// them, and returns any other policy unchanged.
+func Bind(p Policy, c Capacity) Policy {
+	if b, ok := p.(CapacityBinder); ok {
+		return b.BindCapacity(c)
+	}
+	return p
+}
+
+// --- Target utilization ------------------------------------------------------
+
+// TargetUtil sizes the fleet so the measured serving-tier utilization sits
+// at Target: desired = ceil(serving × util/Target), with a dead band of
+// ±Tolerance around the target so measurement noise does not flap the
+// fleet. This is the classic horizontal-pod-autoscaler shape.
+type TargetUtil struct {
+	// Target is the desired mean utilization (default 0.6).
+	Target float64
+	// Tolerance is the relative dead band around Target within which the
+	// current size is kept (default 0.15).
+	Tolerance float64
+}
+
+func (p TargetUtil) Name() string { return "target-util" }
+
+func (p TargetUtil) Desired(s Signals) int {
+	target := p.Target
+	if target == 0 {
+		target = 0.6
+	}
+	tol := p.Tolerance
+	if tol == 0 {
+		tol = 0.15
+	}
+	ratio := s.Util / target
+	if ratio > 1-tol && ratio < 1+tol {
+		return s.Committed()
+	}
+	// Size against the serving tier the utilization was measured on; a
+	// burning SLO overrides a comfortable-looking utilization (queues can
+	// grow while the CPU integral still reads low).
+	want := int(math.Ceil(float64(s.Serving) * ratio))
+	if s.Burning && want <= s.Committed() {
+		want = s.Committed() + 1
+	}
+	return want
+}
+
+func (p TargetUtil) Validate() error {
+	if math.IsNaN(p.Target) || p.Target < 0 || p.Target > 1 {
+		return fmt.Errorf("autoscale: target utilization %g must be in [0,1]", p.Target)
+	}
+	if math.IsNaN(p.Tolerance) || p.Tolerance < 0 || p.Tolerance >= 1 {
+		return fmt.Errorf("autoscale: utilization tolerance %g must be in [0,1)", p.Tolerance)
+	}
+	return nil
+}
+
+// --- Queue depth / shed rate -------------------------------------------------
+
+// QueueDepth is the reactive policy: add a server while the mean per-server
+// in-flight queue is above High or admission control is shedding, remove
+// one when the queue falls below Low with no shedding. Thresholds default
+// from the platform's MaxInflight through Capacity binding.
+type QueueDepth struct {
+	// High is the mean per-server in-flight depth above which a server is
+	// added (default: MaxInflight/2 via Capacity binding).
+	High float64
+	// Low is the depth below which a server is removed (default High/8).
+	Low float64
+	// ShedTrips is the shed rate (/s) above which the policy scales up
+	// regardless of queue depth (default 1).
+	ShedTrips float64
+	// Step is how many servers one high-queue reaction adds (default 1).
+	Step int
+}
+
+func (p QueueDepth) Name() string { return "queue-depth" }
+
+// BindCapacity resolves the queue thresholds against the platform bound.
+func (p QueueDepth) BindCapacity(c Capacity) Policy {
+	if p.High == 0 && c.MaxInflight > 0 {
+		p.High = float64(c.MaxInflight) / 2
+	}
+	if p.Low == 0 {
+		p.Low = p.High / 8
+	}
+	return p
+}
+
+func (p QueueDepth) Desired(s Signals) int {
+	high := p.High
+	if high == 0 {
+		high = 32 // unbound fallback
+	}
+	low := p.Low
+	if low == 0 {
+		low = high / 8
+	}
+	trips := p.ShedTrips
+	if trips == 0 {
+		trips = 1
+	}
+	step := p.Step
+	if step == 0 {
+		step = 1
+	}
+	if s.Queue >= high || s.ShedRate > trips || s.Burning {
+		return s.Committed() + step
+	}
+	if s.Queue <= low && s.ShedRate == 0 {
+		return s.Committed() - 1
+	}
+	return s.Committed()
+}
+
+func (p QueueDepth) Validate() error {
+	for _, v := range [...]struct {
+		name string
+		v    float64
+	}{{"high watermark", p.High}, {"low watermark", p.Low}, {"shed trip rate", p.ShedTrips}} {
+		if math.IsNaN(v.v) || math.IsInf(v.v, 0) || v.v < 0 {
+			return fmt.Errorf("autoscale: queue %s %g must be finite and non-negative", v.name, v.v)
+		}
+	}
+	if p.Low > p.High && p.High != 0 {
+		return fmt.Errorf("autoscale: queue low watermark %g above high watermark %g", p.Low, p.High)
+	}
+	if p.Step < 0 {
+		return fmt.Errorf("autoscale: queue step %d must be non-negative", p.Step)
+	}
+	return nil
+}
+
+// --- Predictive --------------------------------------------------------------
+
+// Predictive extrapolates the arrival profile: it reads the profiled rate
+// one boot delay (plus Lead) ahead and provisions capacity for it now, so
+// a server ordered today is serving when the load it was ordered for
+// arrives. It is the only policy that can beat the boot delay on a known
+// diurnal cycle; on traffic the profile does not describe (faults,
+// unmodeled spikes) it is blind, which is why it composes with the SLO
+// controller's brownout rather than replacing it.
+type Predictive struct {
+	// Profile is the arrival profile to extrapolate (required). Note
+	// Bursty's At reports its quiet-state base — the burst schedule is
+	// random, so a predictive policy cannot see it by construction.
+	Profile load.Profile
+	// Lead is extra lookahead in seconds beyond the boot delay (default 0).
+	Lead float64
+	// PerServer is the conn/s one serving server should absorb
+	// (default: 0.7 × the platform ConnRate via Capacity binding).
+	PerServer float64
+}
+
+func (p Predictive) Name() string { return "predictive" }
+
+// BindCapacity resolves the per-server absorption rate against the
+// platform's accept rate, with 30% headroom for the Poisson spread.
+func (p Predictive) BindCapacity(c Capacity) Policy {
+	if p.PerServer == 0 && c.ConnRate > 0 {
+		p.PerServer = 0.7 * c.ConnRate
+	}
+	return p
+}
+
+func (p Predictive) Desired(s Signals) int {
+	per := p.PerServer
+	if per <= 0 {
+		return s.Committed() // unbound: hold
+	}
+	rate := p.Profile.At(s.T + s.BootDelay + p.Lead)
+	want := int(math.Ceil(rate / per))
+	// The profile is a model of the offered load, not of failures: while
+	// the SLO burns, never scale below what is already committed.
+	if s.Burning && want < s.Committed()+1 {
+		want = s.Committed() + 1
+	}
+	return want
+}
+
+func (p Predictive) Validate() error {
+	if p.Profile == nil {
+		return fmt.Errorf("autoscale: predictive policy needs a load profile")
+	}
+	if err := p.Profile.Validate(); err != nil {
+		return err
+	}
+	if math.IsNaN(p.Lead) || math.IsInf(p.Lead, 0) || p.Lead < 0 {
+		return fmt.Errorf("autoscale: predictive lead %g must be finite and non-negative", p.Lead)
+	}
+	if math.IsNaN(p.PerServer) || math.IsInf(p.PerServer, 0) || p.PerServer < 0 {
+		return fmt.Errorf("autoscale: predictive per-server rate %g must be finite and non-negative", p.PerServer)
+	}
+	return nil
+}

@@ -1,0 +1,170 @@
+package autoscale
+
+import (
+	"math"
+	"strings"
+	"testing"
+
+	"edisim/internal/load"
+)
+
+func TestTargetUtilDeadBandHolds(t *testing.T) {
+	p := TargetUtil{Target: 0.6, Tolerance: 0.15}
+	s := Signals{Serving: 4, Booting: 1, Util: 0.6}
+	if got := p.Desired(s); got != s.Committed() {
+		t.Fatalf("on-target util: desired %d, want committed %d", got, s.Committed())
+	}
+	// Edges of the dead band still hold.
+	for _, u := range []float64{0.6 * (1 - 0.14), 0.6 * (1 + 0.14)} {
+		s.Util = u
+		if got := p.Desired(s); got != s.Committed() {
+			t.Fatalf("util %g inside band: desired %d, want %d", u, got, s.Committed())
+		}
+	}
+}
+
+func TestTargetUtilScalesProportionally(t *testing.T) {
+	p := TargetUtil{Target: 0.5}
+	// 4 servers at 1.0 util against a 0.5 target: want ceil(4×2) = 8.
+	if got := p.Desired(Signals{Serving: 4, Util: 1.0}); got != 8 {
+		t.Fatalf("overload: desired %d, want 8", got)
+	}
+	// 8 servers at 0.1 util: want ceil(8×0.2) = 2.
+	if got := p.Desired(Signals{Serving: 8, Util: 0.1}); got != 2 {
+		t.Fatalf("idle: desired %d, want 2", got)
+	}
+}
+
+func TestTargetUtilBurningOverridesComfortableUtil(t *testing.T) {
+	p := TargetUtil{Target: 0.6}
+	// Low measured util but a burning SLO (queues grow while the CPU
+	// integral lags): must still add capacity.
+	s := Signals{Serving: 4, Util: 0.2, Burning: true}
+	if got := p.Desired(s); got <= s.Committed() {
+		t.Fatalf("burning SLO at low util: desired %d, want > %d", got, s.Committed())
+	}
+}
+
+func TestQueueDepthReacts(t *testing.T) {
+	p := QueueDepth{High: 40, Low: 5}
+	base := Signals{Serving: 3}
+
+	s := base
+	s.Queue = 50
+	if got := p.Desired(s); got != 4 {
+		t.Fatalf("deep queue: desired %d, want 4", got)
+	}
+	s = base
+	s.Queue = 10 // between Low and High
+	if got := p.Desired(s); got != 3 {
+		t.Fatalf("mid queue: desired %d, want hold at 3", got)
+	}
+	s = base
+	s.Queue = 2
+	if got := p.Desired(s); got != 2 {
+		t.Fatalf("shallow queue: desired %d, want 2", got)
+	}
+	// Shedding forces growth even with an empty queue.
+	s = base
+	s.ShedRate = 10
+	if got := p.Desired(s); got != 4 {
+		t.Fatalf("shedding: desired %d, want 4", got)
+	}
+	// A shallow queue with residual shedding must NOT scale down.
+	s = base
+	s.Queue = 2
+	s.ShedRate = 0.5
+	if got := p.Desired(s); got != 3 {
+		t.Fatalf("shallow queue while shedding: desired %d, want hold at 3", got)
+	}
+}
+
+func TestQueueDepthBindsToMaxInflight(t *testing.T) {
+	p := Bind(QueueDepth{}, Capacity{MaxInflight: 96}).(QueueDepth)
+	if p.High != 48 {
+		t.Fatalf("bound High = %g, want 48 (MaxInflight/2)", p.High)
+	}
+	if p.Low != 6 {
+		t.Fatalf("bound Low = %g, want 6 (High/8)", p.Low)
+	}
+	// Explicit thresholds survive binding.
+	q := Bind(QueueDepth{High: 10, Low: 2}, Capacity{MaxInflight: 96}).(QueueDepth)
+	if q.High != 10 || q.Low != 2 {
+		t.Fatalf("explicit thresholds rebound: %+v", q)
+	}
+}
+
+func TestPredictiveLeadsBootDelay(t *testing.T) {
+	// A spike starting at t=60. With boot delay 5 and per-server 100, the
+	// policy provisioning at t=55 already reads the spike rate (600 → 6
+	// servers) even though the instantaneous rate is still the 50/s base.
+	prof := load.Spike{Base: 50, Peak: 600, Start: 60, Duration: 40}
+	p := Bind(Predictive{Profile: prof}, Capacity{ConnRate: 1000.0 / 7}).(Predictive)
+	if math.Abs(p.PerServer-100) > 1e-9 {
+		t.Fatalf("bound PerServer = %g, want 100", p.PerServer)
+	}
+	if got := p.Desired(Signals{T: 0, BootDelay: 5, Serving: 1}); got != 1 {
+		t.Fatalf("t=0: desired %d, want 1 (base 50/s)", got)
+	}
+	if got := p.Desired(Signals{T: 55, BootDelay: 5, Serving: 1}); got != 6 {
+		t.Fatalf("t=55: desired %d, want 6 (spike rate 600 one boot delay ahead)", got)
+	}
+}
+
+func TestPredictiveBurningFloorsAtCommitted(t *testing.T) {
+	prof := load.Steady{Rate: 10}
+	p := Predictive{Profile: prof, PerServer: 100}
+	// Profile says 1 server is plenty; a burning SLO (load the profile does
+	// not model) must still grow the fleet.
+	s := Signals{Serving: 3, Burning: true}
+	if got := p.Desired(s); got != 4 {
+		t.Fatalf("burning: desired %d, want committed+1 = 4", got)
+	}
+}
+
+func TestPredictiveUnboundHolds(t *testing.T) {
+	p := Predictive{Profile: load.Steady{Rate: 1000}}
+	s := Signals{Serving: 2, Booting: 1}
+	if got := p.Desired(s); got != s.Committed() {
+		t.Fatalf("unbound PerServer: desired %d, want hold at %d", got, s.Committed())
+	}
+}
+
+func TestPolicyValidate(t *testing.T) {
+	cases := []struct {
+		name string
+		p    Policy
+		want string // substring of the error, "" = valid
+	}{
+		{"target default", TargetUtil{}, ""},
+		{"target range", TargetUtil{Target: 1.5}, "must be in [0,1]"},
+		{"target NaN", TargetUtil{Target: math.NaN()}, "must be in [0,1]"},
+		{"tolerance range", TargetUtil{Tolerance: 1}, "must be in [0,1)"},
+		{"queue default", QueueDepth{}, ""},
+		{"queue negative", QueueDepth{High: -1}, "non-negative"},
+		{"queue inverted", QueueDepth{High: 5, Low: 10}, "above high watermark"},
+		{"queue step", QueueDepth{Step: -1}, "must be non-negative"},
+		{"predictive no profile", Predictive{}, "needs a load profile"},
+		{"predictive ok", Predictive{Profile: load.Steady{Rate: 5}}, ""},
+		{"predictive lead", Predictive{Profile: load.Steady{Rate: 5}, Lead: math.Inf(1)}, "finite"},
+	}
+	for _, c := range cases {
+		err := c.p.Validate()
+		if c.want == "" {
+			if err != nil {
+				t.Errorf("%s: unexpected error %v", c.name, err)
+			}
+			continue
+		}
+		if err == nil || !strings.Contains(err.Error(), c.want) {
+			t.Errorf("%s: error %v, want substring %q", c.name, err, c.want)
+		}
+	}
+}
+
+func TestBindLeavesUnbindablePoliciesAlone(t *testing.T) {
+	p := TargetUtil{Target: 0.5}
+	if got := Bind(p, Capacity{ConnRate: 100}); got != Policy(p) {
+		t.Fatalf("Bind changed a non-binder policy: %#v", got)
+	}
+}

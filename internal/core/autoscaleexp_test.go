@@ -1,0 +1,99 @@
+package core
+
+import (
+	"math"
+	"runtime"
+	"strings"
+	"testing"
+)
+
+// TestAutoscaleExperimentQuick checks the autoscale experiment's artifact
+// shape: the elasticity ladder table, the fleet-size trace figure, finite
+// comparisons, and the PR's headline pin — on the micro fleet some elastic
+// policy beats the static fleet on energy at SLO parity.
+func TestAutoscaleExperimentQuick(t *testing.T) {
+	if testing.Short() {
+		t.Skip("sweep experiment in -short mode")
+	}
+	e, ok := Lookup("autoscale")
+	if !ok {
+		t.Fatal("autoscale experiment not registered")
+	}
+	if !e.OptIn {
+		t.Fatal("autoscale must be opt-in: it is beyond the paper's artifact set")
+	}
+	o := e.Run(overloadPairConfig(1, runtime.GOMAXPROCS(0)))
+	if len(o.Tables) != 1 {
+		t.Fatalf("got %d tables, want 1 (elasticity ladder)", len(o.Tables))
+	}
+	if len(o.Figures) != 1 {
+		t.Fatalf("got %d figures, want 1 (fleet-size trace)", len(o.Figures))
+	}
+	if len(o.Comparisons) == 0 {
+		t.Fatal("no comparisons recorded")
+	}
+	for _, c := range o.Comparisons {
+		if math.IsNaN(c.Measured) || math.IsInf(c.Measured, 0) {
+			t.Errorf("comparison %q measured %v is not finite", c.Metric, c.Measured)
+		}
+	}
+	ladder := o.Tables[0].String()
+	for _, want := range []string{"static", "target-util", "queue-depth", "predictive", "diurnal", "spike"} {
+		if !strings.Contains(ladder, want) {
+			t.Errorf("ladder table missing %q:\n%s", want, ladder)
+		}
+	}
+	if strings.Contains(ladder, "NaN") {
+		t.Errorf("ladder table contains NaN:\n%s", ladder)
+	}
+
+	// The headline pin: on the baseline micro fleet (24 × ~1.5 W servers,
+	// 2 s boots) at least one elastic policy must beat the static fleet on
+	// energy over the diurnal cycle without giving up SLO attainment, and
+	// must improve the energy-proportionality score. The brawny fleet
+	// (2 servers, 10 s boots) is allowed to lose — that asymmetry is the
+	// experiment's point — so only the micro side is pinned.
+	comp := func(metric string) float64 {
+		t.Helper()
+		for _, c := range o.Comparisons {
+			if c.Metric == metric {
+				return c.Measured
+			}
+		}
+		t.Fatalf("comparison %q missing", metric)
+		return 0
+	}
+	microEnergy := comp("Edison best elastic energy vs static")
+	if microEnergy <= 0 || microEnergy >= 1 {
+		t.Errorf("micro elastic energy ratio %.3f: no elastic policy beat the static fleet at SLO parity", microEnergy)
+	}
+	if bestEP, staticEP := comp("Edison best EP score"), comp("Edison static EP score"); bestEP <= staticEP {
+		t.Errorf("micro best EP %.3f did not improve on static EP %.3f", bestEP, staticEP)
+	}
+	if perW := comp("Edison best elastic req/s/W vs static"); perW <= 1 {
+		t.Errorf("micro elastic req/s/W ratio %.3f: elasticity should raise efficiency at parity", perW)
+	}
+}
+
+// TestAutoscaleParallelMatchesSerial pins the -j guarantee for the
+// autoscale experiment: boot timers, drain polls, warm-up penalties and the
+// policy ticks must be deterministic per point, so Workers 1 and 4 produce
+// byte-identical outcomes — at more than one seed, since fleet trajectories
+// are seed-dependent.
+func TestAutoscaleParallelMatchesSerial(t *testing.T) {
+	if testing.Short() {
+		t.Skip("sweep experiment in -short mode")
+	}
+	e, ok := Lookup("autoscale")
+	if !ok {
+		t.Fatal("autoscale experiment not registered")
+	}
+	for _, seed := range []int64{1, 7} {
+		serial := renderOutcome(e.Run(overloadPairConfig(seed, 1)))
+		parallel := renderOutcome(e.Run(overloadPairConfig(seed, 4)))
+		if serial != parallel {
+			t.Errorf("seed %d: parallel outcome differs from serial:\n--- serial ---\n%s\n--- parallel ---\n%s",
+				seed, serial, parallel)
+		}
+	}
+}

@@ -26,7 +26,12 @@ type Node struct {
 	// draw is zero until Restore. slow is the straggler factor (0 = never
 	// set = nominal speed); it survives a crash/reboot cycle.
 	down bool
-	slow float64
+	// parked marks a deliberate power-off (autoscaling): the node is down
+	// like a crashed one, but fault-recovery Restore will not revive it —
+	// only PowerUp does. This keeps a fault plan's crash/recover pair from
+	// silently re-powering a node the autoscaler parked.
+	parked bool
+	slow   float64
 	// incarnation counts crashes, letting services detect across a reboot
 	// that their in-kernel state (backlogs, inflight counts) was wiped.
 	incarnation uint64
@@ -135,8 +140,16 @@ func (n *Node) Crash() {
 // Restore reboots a crashed node: it accepts work again (empty CPU and
 // disk — the crash dropped everything) and resumes idle power draw. Any
 // straggler slow factor set before the crash still applies. Restoring an
-// up node is a no-op.
+// up node is a no-op, and so is restoring a parked node: a deliberate
+// power-off outlives fault recovery and ends only with PowerUp.
 func (n *Node) Restore() {
+	if n.parked {
+		return
+	}
+	n.restore()
+}
+
+func (n *Node) restore() {
 	if !n.down {
 		return
 	}
@@ -144,6 +157,32 @@ func (n *Node) Restore() {
 	n.dsk.restore()
 	n.updatePower()
 }
+
+// PowerDown parks the node: a deliberate power-off for elasticity, distinct
+// from a crash only in who may revive it (PowerUp, not Restore). The caller
+// is expected to have drained the node — parking is mechanically a crash,
+// so anything still in flight is dropped. Parking a parked node is a no-op.
+func (n *Node) PowerDown() {
+	if n.parked {
+		return
+	}
+	n.parked = true
+	n.Crash()
+}
+
+// PowerUp un-parks the node and boots it (idle draw resumes, empty CPU and
+// disk). It also revives a node that was crashed when parked. No-op unless
+// parked.
+func (n *Node) PowerUp() {
+	if !n.parked {
+		return
+	}
+	n.parked = false
+	n.restore()
+}
+
+// Parked reports whether the node is deliberately powered off.
+func (n *Node) Parked() bool { return n.parked }
 
 // Incarnation reports how many times the node has crashed — 0 for a node
 // that never failed. Services compare it against a remembered value to

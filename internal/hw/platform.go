@@ -41,6 +41,24 @@ type Platform struct {
 	Web    WebCosts
 	Hadoop HadoopProfile
 	Fleet  Fleet
+	Boot   BootCosts
+}
+
+// BootCosts is the platform's provisioning calibration for elasticity:
+// what it costs to bring a parked node into service. Values are
+// sim-seconds on the same compressed timescale as the load profiles —
+// what matters across platforms is the ratio (micro boards boot a minimal
+// image in seconds; brawny servers pay BIOS/firmware POST measured in
+// minutes), scaled so a compressed diurnal day still contains several
+// boot opportunities. During Delay the node draws full busy power.
+type BootCosts struct {
+	// Delay is power-on → serving, seconds.
+	Delay float64
+	// Warmup is the cold-start window after joining the rotation, during
+	// which the node runs at WarmupFactor speed (empty caches, cold JITs).
+	Warmup float64
+	// WarmupFactor is the speed factor while warming, in (0,1].
+	WarmupFactor float64
 }
 
 // NetworkProfile describes how a cluster of this platform is cabled: hosts
@@ -269,6 +287,8 @@ func edisonPlatform() *Platform {
 		},
 
 		Fleet: Fleet{Web: 24, Cache: 11, Slaves: 35},
+		// Minimal Yocto image over a slow eMMC: quick to boot, slow to warm.
+		Boot: BootCosts{Delay: 2, Warmup: 3, WarmupFactor: 0.6},
 	}
 }
 
@@ -334,6 +354,9 @@ func dellR620Platform() *Platform {
 		},
 
 		Fleet: Fleet{Web: 2, Cache: 1, Slaves: 2},
+		// Server-class BIOS/RAID POST dominates: 5× the Edison delay on the
+		// compressed timescale (minutes vs seconds in real fleets).
+		Boot: BootCosts{Delay: 10, Warmup: 4, WarmupFactor: 0.7},
 	}
 }
 
@@ -440,6 +463,8 @@ func pi3Platform() *Platform {
 		},
 
 		Fleet: Fleet{Web: 8, Cache: 4, Slaves: 12},
+		// SD-card Linux boot: board-class delay, Edison-class warm-up.
+		Boot: BootCosts{Delay: 3, Warmup: 3, WarmupFactor: 0.6},
 	}
 }
 
@@ -538,5 +563,8 @@ func xeonModernPlatform() *Platform {
 		},
 
 		Fleet: Fleet{Web: 1, Cache: 1, Slaves: 1},
+		// Longest POST of the catalog — the amortization end-point: one huge
+		// box that cannot scale in anyway (Fleet.Web is 1).
+		Boot: BootCosts{Delay: 15, Warmup: 5, WarmupFactor: 0.7},
 	}
 }

@@ -80,6 +80,62 @@ func TestDigestTailClamps(t *testing.T) {
 	}
 }
 
+// A single observation is every quantile: the bucket midpoint would be an
+// estimate, but the [Min, Max] clamp collapses it to the exact value.
+func TestDigestSingleSample(t *testing.T) {
+	d := NewDigest()
+	d.Add(0.007)
+	if d.N() != 1 || d.Mean() != 0.007 || d.Min() != 0.007 || d.Max() != 0.007 {
+		t.Fatalf("single-sample moments wrong: n=%d mean=%v min=%v max=%v", d.N(), d.Mean(), d.Min(), d.Max())
+	}
+	for _, q := range []float64{0, 0.001, 0.5, 0.99, 0.999, 1} {
+		if got := d.Quantile(q); got != 0.007 {
+			t.Errorf("Quantile(%v) = %v, want the lone sample 0.007", q, got)
+		}
+	}
+}
+
+// Values exactly at the bucket-range edges: digestMin itself belongs to the
+// bottom bucket, anything beyond the covered range shares the top bucket —
+// and a digest made only of clamped values still answers quantiles inside
+// its exact observed [Min, Max].
+func TestDigestBucketEdgeClamp(t *testing.T) {
+	d := NewDigest()
+	if i := bucketIndex(digestMin); i != 0 {
+		t.Fatalf("bucketIndex(digestMin) = %d, want the bottom bucket 0", i)
+	}
+	if i := bucketIndex(digestMin * digestGamma * digestGamma); i <= 0 || i >= digestBuckets-1 {
+		t.Fatalf("bucketIndex just above digestMin = %d, want an interior bucket", i)
+	}
+	if i := bucketIndex(1e12); i != digestBuckets-1 {
+		t.Fatalf("bucketIndex(1e12) = %d, want the top bucket %d", i, digestBuckets-1)
+	}
+	// All observations clamp into the two edge buckets; quantiles must stay
+	// inside the exact observed range, never at a bucket midpoint outside it.
+	for i := 0; i < 10; i++ {
+		d.Add(1e-8) // bottom bucket
+		d.Add(1e7)  // top bucket
+	}
+	for _, q := range []float64{0, 0.25, 0.5, 0.75, 1} {
+		got := d.Quantile(q)
+		if got < d.Min() || got > d.Max() {
+			t.Errorf("Quantile(%v) = %v escaped the observed range [%v, %v]", q, got, d.Min(), d.Max())
+		}
+	}
+	// Interior quantiles answer the bucket representative, not the exact
+	// clamped observation: digestMin for the bottom bucket, the geometric
+	// midpoint for the top — only q=0 and q=1 are exact at the tails.
+	if got := d.Quantile(0.25); got != digestMin {
+		t.Errorf("lower-half quantile %v, want the bottom bucket's representative %v", got, digestMin)
+	}
+	if got, want := d.Quantile(0.75), bucketMid(digestBuckets-1); got != want {
+		t.Errorf("upper-half quantile %v, want the top bucket's representative %v", got, want)
+	}
+	if d.Quantile(0) != 1e-8 || d.Quantile(1) != 1e7 {
+		t.Errorf("tail quantiles %v/%v, want the exact Min/Max 1e-8/1e7", d.Quantile(0), d.Quantile(1))
+	}
+}
+
 func TestDigestMergeMatchesCombinedAdds(t *testing.T) {
 	src := rng.New(7).Derive("merge")
 	a, b, all := NewDigest(), NewDigest(), NewDigest()

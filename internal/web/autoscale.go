@@ -1,0 +1,218 @@
+package web
+
+import (
+	"fmt"
+
+	"edisim/internal/autoscale"
+	"edisim/internal/sim"
+	"edisim/internal/stats"
+)
+
+// This file adapts a Deployment's web tier onto the autoscale.Pool
+// contract. When RunConfig.Autoscale arms the elasticity engine, routing
+// switches from the SLO reserve prefix (d.Web[next%d.active]) to an
+// explicit rotation slice the lifecycle manager edits; parked nodes are
+// powered off (hw.Node.PowerDown, zero draw), booting nodes burn busy
+// power for the platform's boot delay, and freshly joined nodes run at
+// the platform's warm-up factor until their caches are hot. With
+// Autoscale nil none of this code runs and the event stream is
+// byte-identical to builds without it.
+
+// fleetPool is the autoscale.Pool over a deployment's web servers. It
+// snapshots each node's busy floor and straggler factor at construction so
+// boot-burn and warm-up overrides can be unwound, both per transition and
+// at run teardown (deployments are reusable).
+type fleetPool struct {
+	d          *Deployment
+	inRot      []bool
+	savedFloor []float64
+	savedSlow  []float64
+}
+
+func newFleetPool(d *Deployment) *fleetPool {
+	p := &fleetPool{
+		d:          d,
+		inRot:      make([]bool, len(d.Web)),
+		savedFloor: make([]float64, len(d.Web)),
+		savedSlow:  make([]float64, len(d.Web)),
+	}
+	for i, w := range d.Web {
+		p.savedFloor[i] = w.Node.BusyFloor
+		p.savedSlow[i] = w.Node.SlowFactor()
+	}
+	return p
+}
+
+func (p *fleetPool) Len() int { return len(p.d.Web) }
+
+func (p *fleetPool) Join(i int) {
+	if p.inRot[i] {
+		return
+	}
+	w := p.d.Web[i]
+	w.Node.SetBusyFloor(p.savedFloor[i]) // boot burn off
+	p.d.rotation = append(p.d.rotation, w)
+	p.inRot[i] = true
+}
+
+func (p *fleetPool) Leave(i int) {
+	if !p.inRot[i] {
+		return
+	}
+	w := p.d.Web[i]
+	rot := p.d.rotation
+	for j, s := range rot {
+		if s == w {
+			p.d.rotation = append(rot[:j], rot[j+1:]...)
+			break
+		}
+	}
+	p.inRot[i] = false
+}
+
+func (p *fleetPool) Busy(i int) bool {
+	w := p.d.Web[i]
+	w.syncIncarnation()
+	return w.pendingSyn > 0 || w.activeConns > 0 || w.inflight > 0
+}
+
+// PowerOn boots the node: powered (PowerUp revives a parked node) and
+// drawing full busy power for the boot's duration — firmware, kernel and
+// service start-up peg the package — but not serving yet.
+func (p *fleetPool) PowerOn(i int) {
+	n := p.d.Web[i].Node
+	n.PowerUp()
+	n.SetBusyFloor(1)
+}
+
+// PowerOff parks the drained node at zero draw. The manager's drain
+// contract means nothing is in flight; a busy park would silently kill
+// requests, so it fails loudly instead.
+func (p *fleetPool) PowerOff(i int) {
+	if p.Busy(i) {
+		panic(fmt.Sprintf("web: autoscale parked busy server %s", p.d.Web[i].Node.ID))
+	}
+	n := p.d.Web[i].Node
+	n.SetBusyFloor(p.savedFloor[i])
+	n.PowerDown()
+}
+
+// SetSpeed applies the warm-up penalty on top of whatever straggler factor
+// the node carried at run start; factor 1 restores that baseline.
+func (p *fleetPool) SetSpeed(i int, factor float64) {
+	p.d.Web[i].Node.SetSlowFactor(p.savedSlow[i] * factor)
+}
+
+// restore unwinds every autoscale override so the deployment is reusable:
+// parked nodes are re-powered, busy floors and straggler factors return to
+// their run-start values, and the rotation is dropped.
+func (p *fleetPool) restore() {
+	for i, w := range p.d.Web {
+		n := w.Node
+		if n.Parked() {
+			n.PowerUp()
+		}
+		n.SetBusyFloor(p.savedFloor[i])
+		n.SetSlowFactor(p.savedSlow[i])
+	}
+	p.d.rotation = nil
+	for i := range p.inRot {
+		p.inRot[i] = false
+	}
+}
+
+// tickUtil integrates each web node's CPU utilization continuously so the
+// SLO tick can hand the policy a windowed mean over the serving set —
+// instantaneous utilization of a few-core micro server is far too noisy to
+// size a fleet on.
+type tickUtil struct {
+	integs  []*stats.Integrator
+	prev    []float64
+	cancels []func()
+}
+
+func newTickUtil(d *Deployment) *tickUtil {
+	eng := d.Eng
+	now := float64(eng.Now())
+	tu := &tickUtil{
+		integs: make([]*stats.Integrator, len(d.Web)),
+		prev:   make([]float64, len(d.Web)),
+	}
+	for i, w := range d.Web {
+		tu.integs[i] = stats.NewIntegrator(now, w.Node.Utilization())
+		i := i
+		tu.cancels = append(tu.cancels, w.Node.SubscribeUtil(func(u float64) {
+			tu.integs[i].Set(float64(eng.Now()), u)
+		}))
+	}
+	return tu
+}
+
+// window reports the mean utilization and mean in-flight depth across the
+// current rotation for the window of the given length ending now, then
+// advances every node's baseline to now.
+func (tu *tickUtil) window(d *Deployment, pool *fleetPool, now sim.Time, window float64) (util, queue float64) {
+	nowF := float64(now)
+	n := 0
+	for i, w := range d.Web {
+		tot := tu.integs[i].Total(nowF)
+		if pool.inRot[i] {
+			util += (tot - tu.prev[i]) / window
+			queue += float64(w.inflight)
+			n++
+		}
+		tu.prev[i] = tot
+	}
+	if n > 0 {
+		util /= float64(n)
+		queue /= float64(n)
+	}
+	return util, queue
+}
+
+func (tu *tickUtil) detach() {
+	for _, cancel := range tu.cancels {
+		cancel()
+	}
+}
+
+// armAutoscale resolves platform defaults into cfg.Autoscale, binds the
+// policy's capacity thresholds and starts the lifecycle manager over the
+// web tier. Returned pieces are owned by Run, which must call
+// teardownAutoscale when the run ends.
+func (d *Deployment) armAutoscale(cfg RunConfig) (*autoscale.Manager, *fleetPool, *tickUtil) {
+	ac := *cfg.Autoscale
+	if ac.BootDelay == 0 {
+		ac.BootDelay = d.Plat.Boot.Delay
+	}
+	if ac.Warmup == 0 {
+		ac.Warmup = d.Plat.Boot.Warmup
+	}
+	if ac.WarmupFactor == 0 {
+		ac.WarmupFactor = d.Plat.Boot.WarmupFactor
+	}
+	ac.Policy = autoscale.Bind(ac.Policy, autoscale.Capacity{
+		ConnRate:    d.Plat.Web.ConnRate,
+		MaxInflight: d.Plat.Web.MaxInflight,
+	})
+	pool := newFleetPool(d)
+	d.rotation = nil
+	mgr, err := autoscale.NewManager(d.Eng, pool, ac)
+	if err != nil {
+		// Config.Validate ran in RunConfig.Validate; what reaches here is a
+		// pool-shape mismatch (e.g. MinServing above the tier size), which
+		// is a caller bug exactly like an invalid RunConfig.
+		panic(err)
+	}
+	d.scaler = mgr
+	return mgr, pool, newTickUtil(d)
+}
+
+// teardownAutoscale stops the manager (pending timers become no-ops) and
+// restores every node override so the deployment can run again.
+func (d *Deployment) teardownAutoscale(mgr *autoscale.Manager, pool *fleetPool, tu *tickUtil) {
+	mgr.Halt()
+	tu.detach()
+	pool.restore()
+	d.scaler = nil
+}

@@ -271,6 +271,10 @@ func (b *retryBudget) spend() bool {
 type overloadCounters struct {
 	shed, degraded             int64
 	winServed, winOps, winShed int64
+	// winArr counts connection arrivals per controller window; only
+	// maintained when autoscale is armed (the predictive policies read an
+	// arrival rate, closed-loop runs leave it zero).
+	winArr int64
 }
 
 // noteShed records one rejected request (run total gated to the

@@ -4,6 +4,7 @@ import (
 	"fmt"
 	"math"
 
+	"edisim/internal/autoscale"
 	"edisim/internal/cluster"
 	"edisim/internal/hw"
 	"edisim/internal/load"
@@ -70,6 +71,13 @@ type Deployment struct {
 	sloDig           *stats.Digest
 	winStart, winEnd sim.Time
 	ovl              overloadCounters
+
+	// Elasticity state (see autoscale.go), nil/empty unless
+	// RunConfig.Autoscale arms the lifecycle manager: the manager itself
+	// and the explicit routing rotation that replaces the d.active prefix
+	// while it runs.
+	scaler   *autoscale.Manager
+	rotation []*WebServer
 
 	decomposition
 }
@@ -217,6 +225,13 @@ type RunConfig struct {
 	// SLO attaches the reactive controller (windowed quantile +
 	// availability checks, reserve activation, brownout). Nil = off.
 	SLO *SLO
+	// Autoscale arms the elasticity engine: a lifecycle manager that
+	// grows and shrinks the web tier mid-run under the configured policy,
+	// with platform-calibrated boot delays and warm-up penalties (zero
+	// knobs resolve from hw.Platform.Boot). Requires SLO (the policy
+	// observes the controller's windows) and excludes SLO.Reserve (both
+	// would edit the routing rotation). Nil = a fixed fleet.
+	Autoscale *autoscale.Config
 }
 
 // withDefaults fills unset fields with the values used across the paper
@@ -297,7 +312,21 @@ func (c RunConfig) Validate() error {
 	if err := c.Shed.Validate(); err != nil {
 		return err
 	}
-	return c.SLO.Validate()
+	if err := c.SLO.Validate(); err != nil {
+		return err
+	}
+	if c.Autoscale != nil {
+		if c.SLO == nil {
+			return fmt.Errorf("web: Autoscale needs an SLO controller (policies observe its windows)")
+		}
+		if c.SLO.Reserve > 0 {
+			return fmt.Errorf("web: Autoscale and SLO.Reserve both edit the routing rotation; use one")
+		}
+		if err := c.Autoscale.Validate(); err != nil {
+			return err
+		}
+	}
+	return nil
 }
 
 // Result is the outcome of one run.
@@ -341,6 +370,14 @@ type Result struct {
 	SLOBreaches  int64   // in-window controller evaluations that burned the SLO
 	BrownoutSecs float64 // total time brownout was engaged
 	ActivePeak   int     // high-water routing-rotation size (0 unless SLO set)
+
+	// Elasticity accounting (all zero unless Autoscale is armed).
+	ScaleUps     int64        // servers that joined the rotation by policy decision
+	ScaleDowns   int64        // drain-before-park scale-downs started
+	Boots        int64        // parked servers powered on
+	DrainCancels int64        // drains reclaimed by a scale-up before parking
+	BootEnergy   units.Joules // energy burned booting (busy draw × boot time), already inside Energy
+	MeanActive   float64      // time-weighted mean serving servers over the window
 }
 
 // Run executes one measurement on a fresh traffic epoch. The deployment's
@@ -381,6 +418,20 @@ func (d *Deployment) Run(cfg RunConfig) Result {
 	d.sloDig = nil
 	d.ovl = overloadCounters{}
 
+	// Elasticity: the lifecycle manager takes over routing through
+	// d.rotation (the SLO tick feeds it windowed signals below), parked
+	// nodes power off and booting nodes burn busy draw — all inside the
+	// same meter, so MeanPower/Energy price provisioning overhead too.
+	var asMgr *autoscale.Manager
+	var asPool *fleetPool
+	var asUtil *tickUtil
+	var asIntegWinStart, asIntegWinEnd float64
+	if cfg.Autoscale != nil {
+		asMgr, asPool, asUtil = d.armAutoscale(cfg)
+		eng.At(winStart, func() { asIntegWinStart = asMgr.ServingIntegral(winStart) })
+		eng.At(winEnd, func() { asIntegWinEnd = asMgr.ServingIntegral(winEnd) })
+	}
+
 	var served, errored, attempts int64
 
 	// Window power accounting.
@@ -413,6 +464,9 @@ func (d *Deployment) Run(cfg RunConfig) Result {
 		}
 		d.sloDig = stats.NewDigest()
 		res.ActivePeak = d.active
+		if asMgr != nil {
+			res.ActivePeak = len(d.rotation)
+		}
 		runStart := eng.Now()
 		healthy := 0
 		var brownoutAt sim.Time
@@ -431,7 +485,7 @@ func (d *Deployment) Run(cfg RunConfig) Result {
 				if inWindow() {
 					res.SLOBreaches++
 				}
-				if d.active < len(d.Web) {
+				if asMgr == nil && d.active < len(d.Web) {
 					d.active++
 				}
 				if slo.Brownout && !d.brownout {
@@ -445,13 +499,31 @@ func (d *Deployment) Run(cfg RunConfig) Result {
 						d.brownout = false
 						res.BrownoutSecs += float64(now - brownoutAt)
 					}
-					if d.active > baseActive {
+					if asMgr == nil && d.active > baseActive {
 						d.active--
 					}
 				}
 			}
-			if d.active > res.ActivePeak {
-				res.ActivePeak = d.active
+			activeNow := d.active
+			if asMgr != nil {
+				// Autoscale replaces the reserve reaction above: the policy
+				// sees this window's signals and the manager moves servers
+				// through boot/drain/park around them.
+				util, queue := asUtil.window(d, asPool, now, slo.Window)
+				asMgr.Observe(autoscale.Signals{
+					T:            float64(now - runStart),
+					Util:         util,
+					Queue:        queue,
+					ShedRate:     float64(d.ovl.winShed) / slo.Window,
+					ArrivalRate:  float64(d.ovl.winArr) / slo.Window,
+					Quantile:     q,
+					Availability: avail,
+					Burning:      burning,
+				})
+				activeNow = len(d.rotation)
+			}
+			if activeNow > res.ActivePeak {
+				res.ActivePeak = activeNow
 			}
 			if slo.Observer != nil {
 				slo.Observer(SLOWindow{
@@ -463,11 +535,11 @@ func (d *Deployment) Run(cfg RunConfig) Result {
 					Availability: avail,
 					Burning:      burning,
 					Brownout:     d.brownout,
-					Active:       d.active,
+					Active:       activeNow,
 				})
 			}
 			d.sloDig.Reset()
-			d.ovl.winServed, d.ovl.winOps, d.ovl.winShed = 0, 0, 0
+			d.ovl.winServed, d.ovl.winOps, d.ovl.winShed, d.ovl.winArr = 0, 0, 0, 0
 			if now < winEnd {
 				eng.After(slo.Window, tick)
 			} else if d.brownout {
@@ -489,11 +561,18 @@ func (d *Deployment) Run(cfg RunConfig) Result {
 	stopGen := eng.Now() + sim.Time(cfg.Duration)
 	var launch func(client string, w *WebServer)
 	// fire starts one connection from the next client at the next web server
-	// in the routing rotation (only the SLO controller ever shrinks the
-	// rotation below the full tier).
+	// in the routing rotation: the explicit d.rotation slice when autoscale
+	// is armed, else the d.Web prefix (only the SLO controller ever shrinks
+	// that prefix below the full tier).
 	fire := func() {
 		client := d.Clients[next%len(d.Clients)]
-		w := d.Web[next%d.active]
+		var w *WebServer
+		if d.scaler != nil {
+			d.ovl.winArr++
+			w = d.rotation[next%len(d.rotation)]
+		} else {
+			w = d.Web[next%d.active]
+		}
 		next++
 		if ft && !w.Node.Up() {
 			if nl := d.nextLive(w); nl != nil {
@@ -831,6 +910,16 @@ func (d *Deployment) Run(cfg RunConfig) Result {
 	d.dbDelay, d.cacheDelay, d.webTotal = stats.Summary{}, stats.Summary{}, stats.Summary{}
 	res.Shed = d.ovl.shed
 	res.Degraded = d.ovl.degraded
+	if asMgr != nil {
+		st := asMgr.Stats()
+		res.ScaleUps = st.ScaleUps
+		res.ScaleDowns = st.ScaleDowns
+		res.Boots = st.Boots
+		res.DrainCancels = st.DrainCancels
+		res.BootEnergy = units.Joules(st.BootSecs * float64(d.Plat.Spec.Power.BusyDraw()))
+		res.MeanActive = (asIntegWinEnd - asIntegWinStart) / window
+		d.teardownAutoscale(asMgr, asPool, asUtil)
+	}
 	d.ovl = overloadCounters{}
 	d.sloDig = nil
 	d.brownout = false
@@ -839,17 +928,26 @@ func (d *Deployment) Run(cfg RunConfig) Result {
 
 // nextLive returns the first web server after w in ring order whose node is
 // up, or nil when the whole tier is down. Ring order keeps failover
-// deterministic and spreads a dead server's inherited load evenly.
+// deterministic and spreads a dead server's inherited load evenly. With
+// autoscale armed the ring is the serving rotation, so retries never land on
+// a booting or parked server (Up, but not serving).
 func (d *Deployment) nextLive(w *WebServer) *WebServer {
+	ring := d.Web
+	if d.scaler != nil {
+		ring = d.rotation
+		if len(ring) == 0 {
+			return nil
+		}
+	}
 	start := 0
-	for i, s := range d.Web {
+	for i, s := range ring {
 		if s == w {
 			start = i
 			break
 		}
 	}
-	for k := 1; k <= len(d.Web); k++ {
-		if s := d.Web[(start+k)%len(d.Web)]; s.Node.Up() {
+	for k := 1; k <= len(ring); k++ {
+		if s := ring[(start+k)%len(ring)]; s.Node.Up() {
 			return s
 		}
 	}
