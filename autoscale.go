@@ -193,7 +193,9 @@ func (as *AutoscaleStudy) expand(cfg core.Config) ([]unit, error) {
 		rc.SLO = s
 
 		seed := cfg.PointSeed(id, 0)
-		tb := cluster.New(ts.clusterConfig())
+		cc := ts.clusterConfig()
+		cc.Energy = cfg.Energy
+		tb := cluster.New(cc)
 		dep := web.NewTieredDeployment(tb, ts.webPlat, ts.nWeb, ts.cachePlat, ts.nCache, seed)
 		dep.WarmFor(rc)
 		if cfg.Faults != nil {

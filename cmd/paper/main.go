@@ -18,6 +18,7 @@
 //	paper -only fig4_fig7
 //	paper -only fig4_fig7 -format json   # the documented JSON schema
 //	paper -only platform_matrix -platforms pi3,xeon-modern
+//	paper -only platform_matrix -energy tdp-curve -region eu-north
 //	paper -only fault_tolerance -platforms edison,r620 \
 //	      -faults 'node_crash@30+120:slave[1];straggler@10+60x0.25:web'
 //	paper -experiments > comparisons.md
@@ -27,6 +28,13 @@
 // given, keeping the default output exactly the paper reproduction.
 // -platforms selects which hw catalog platforms those matrices cover
 // (default: the whole catalog).
+//
+// -energy selects the node power model (linear is the paper-calibrated
+// default; tdp-curve arms the component model) and -region attributes
+// energy to an electricity grid for carbon and price accounting; either
+// flag makes the matrix experiments report their gCO2e and per-region
+// columns. The default run with neither flag is byte-identical to the
+// paper reproduction.
 //
 // -faults overrides the built-in fault schedules of the fault-injecting
 // experiments (fault_tolerance) with the API.md schedule grammar; the
@@ -56,6 +64,8 @@ func main() {
 		format    = flag.String("format", "text", "output format: text, json or csv")
 		faultSpec = flag.String("faults", "", "fault schedule for fault-injecting experiments, e.g. 'node_crash@30+120:slave[1];straggler@10+60x0.25:web' (see API.md)")
 		jitter    = flag.Float64("fault-jitter", 0, "uniform seed-derived jitter bound in seconds added to every fault time")
+		energy    = flag.String("energy", "", "node power model: linear (default, paper-calibrated) or tdp-curve (component model; see API.md)")
+		region    = flag.String("region", "", "grid region for carbon/price accounting (see API.md; arms the matrix experiments' gCO2e columns)")
 	)
 	flag.Parse()
 
@@ -68,7 +78,8 @@ func main() {
 		os.Exit(2)
 	}
 
-	scn := edisim.Scenario{Name: "paper", Seed: *seed, Quick: *quick, Workers: *jobs}
+	scn := edisim.Scenario{Name: "paper", Seed: *seed, Quick: *quick, Workers: *jobs,
+		EnergyModel: *energy, Region: *region}
 	if *faultSpec != "" || *jitter != 0 {
 		plan, err := edisim.ParseFaultPlan(*faultSpec)
 		if err != nil {

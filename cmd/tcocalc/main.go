@@ -12,9 +12,17 @@
 //	tcocalc -custom -micro 35 -brawny 3 -util 0.75
 //	tcocalc -platforms pi3,xeon-modern -nodes 16,1 -util 0.5
 //	tcocalc -platforms edison,dell -budget 8236 -util 0.75
+//	tcocalc -platforms edison,dell -region eu-north -carbonprice 80
+//	tcocalc -platforms edison,dell -energy tdp-curve -pue 1.3
+//
+// -region prices at a grid region's electricity tariff with that grid's
+// carbon intensity (adding tCO2e and carbon-cost columns), -carbonprice
+// prices the carbon in USD/tCO2e, -pue overrides the facility overhead, and
+// -energy switches the power endpoints to the component TDP-curve model —
+// the energy/carbon/price layers of API.md.
 //
 // Invalid inputs (utilization outside [0,1], non-positive node counts or
-// budgets) exit 2 with a usage message.
+// budgets, PUE below 1, unknown regions) exit 2 with a usage message.
 package main
 
 import (
@@ -48,6 +56,10 @@ func run(args []string, stdout, stderr io.Writer) int {
 		nodes     = fs.String("nodes", "", "comma-separated node counts matching -platforms (default: catalog fleet slave counts)")
 		budget    = fs.Float64("budget", 0, "3-year budget in USD: size each -platforms fleet to it instead of fixed node counts")
 		format    = fs.String("format", "text", "output format: text, json or csv")
+		region    = fs.String("region", "", "grid region for electricity tariff and carbon intensity (-platforms; see API.md)")
+		pue       = fs.Float64("pue", 0, "facility PUE override >= 1 (-platforms; default: 1.15 with -region, none otherwise)")
+		carbonFee = fs.Float64("carbonprice", 0, "carbon price in USD per tCO2e (-platforms; 0 = no carbon cost)")
+		energy    = fs.String("energy", "", "node power model: linear (default, paper-calibrated) or tdp-curve (-platforms)")
 	)
 	if err := fs.Parse(args); err != nil {
 		return 2
@@ -66,10 +78,17 @@ func run(args []string, stdout, stderr io.Writer) int {
 	}
 
 	if *platforms != "" {
-		return priceMatrix(*platforms, *nodes, *budget, *util, *format, stdout, stderr, usage)
+		return priceMatrix(matrixSpec{
+			platforms: *platforms, nodes: *nodes, budget: *budget, util: *util,
+			region: *region, pue: *pue, carbonPrice: *carbonFee, energy: *energy,
+			format: *format,
+		}, stdout, stderr, usage)
 	}
 	if *budget != 0 {
 		return usage("-budget needs a -platforms selection to size")
+	}
+	if *region != "" || *pue != 0 || *carbonFee != 0 || *energy != "" {
+		return usage("-region, -pue, -carbonprice and -energy need a -platforms selection")
 	}
 
 	micro, brawny := edisim.BaselinePair()
@@ -113,10 +132,21 @@ func run(args []string, stdout, stderr io.Writer) int {
 	return emit(*format, stdout, stderr, &edisim.Artifact{ID: "table10", Title: t.Title, Section: "6", Tables: []*edisim.Table{t}})
 }
 
+// matrixSpec carries the -platforms pricing mode's flags.
+type matrixSpec struct {
+	platforms, nodes string
+	budget, util     float64
+	region, energy   string
+	pue, carbonPrice float64
+	format           string
+}
+
 // priceMatrix prices an arbitrary catalog platform set side by side — a
-// TCOStudy scenario, at fixed node counts or sized to an equal budget.
-func priceMatrix(platforms, nodes string, budget, util float64, format string,
-	stdout, stderr io.Writer, usage func(string, ...any) int) int {
+// TCOStudy scenario, at fixed node counts or sized to an equal budget,
+// optionally at a region's tariff/grid with a carbon price and a
+// non-default power model.
+func priceMatrix(ms matrixSpec, stdout, stderr io.Writer, usage func(string, ...any) int) int {
+	util, budget, nodes, format := ms.util, ms.budget, ms.nodes, ms.format
 	if util == 0 {
 		// An explicit -util 0 prices an idle fleet; the TCOStudy zero
 		// value would mean "use the 50% default", so pass the sentinel.
@@ -129,9 +159,10 @@ func priceMatrix(platforms, nodes string, budget, util float64, format string,
 		return usage("-budget and -nodes are mutually exclusive")
 	}
 	study := &edisim.TCOStudy{Utilization: util, Budget: budget,
-		Platforms: edisim.ParsePlatformRefs(platforms)}
+		Platforms: edisim.ParsePlatformRefs(ms.platforms),
+		Region:    ms.region, PUE: ms.pue, CarbonPricePerTonne: ms.carbonPrice}
 	if len(study.Platforms) == 0 {
-		return usage("no platforms in %q", platforms)
+		return usage("no platforms in %q", ms.platforms)
 	}
 	if nodes != "" {
 		for _, c := range strings.Split(nodes, ",") {
@@ -144,7 +175,8 @@ func priceMatrix(platforms, nodes string, budget, util float64, format string,
 	}
 
 	var col edisim.Collector
-	scn := edisim.Scenario{Name: "tcocalc", Workloads: []edisim.Workload{study}}
+	scn := edisim.Scenario{Name: "tcocalc", EnergyModel: ms.energy,
+		Workloads: []edisim.Workload{study}}
 	if err := edisim.Run(context.Background(), scn, &col); err != nil {
 		fmt.Fprintf(stderr, "tcocalc: %v\n", err)
 		return 2

@@ -36,8 +36,10 @@ import (
 	"runtime/debug"
 	"sync"
 
+	"edisim/internal/carbon"
 	"edisim/internal/core"
 	"edisim/internal/faults"
+	"edisim/internal/hw"
 	"edisim/internal/runner"
 )
 
@@ -66,6 +68,18 @@ type Scenario struct {
 	// Matrix lists the platforms cross-platform matrix experiments cover;
 	// empty selects the whole catalog.
 	Matrix []PlatformRef
+
+	// EnergyModel selects the node power model for every testbed the
+	// scenario builds: "" (or "linear"/"paper") keeps the paper-calibrated
+	// linear model — byte-identical defaults — while "tdp-curve" arms the
+	// component-level TDP interpolation model for platforms with energy
+	// catalog data (see PLATFORMS.md). Unknown names fail at Run.
+	EnergyModel string
+	// Region attributes energy to an electricity-grid region for carbon and
+	// price accounting (see RegionNames). Empty means unattributed; setting
+	// either EnergyModel or Region makes the matrix experiments report their
+	// gCO2e and per-region columns.
+	Region string
 
 	// Faults, when non-nil, overrides the built-in fault schedule of the
 	// fault-injecting workloads (the fault_tolerance experiment; the default
@@ -172,6 +186,16 @@ func (s *Scenario) config() (core.Config, error) {
 	}
 	if cfg.Faults, err = s.Faults.compile(); err != nil {
 		return cfg, err
+	}
+	if cfg.Energy, err = hw.ParsePowerModelKind(s.EnergyModel); err != nil {
+		return cfg, fmt.Errorf("edisim: %w", err)
+	}
+	if s.Region != "" {
+		g, ok := carbon.Lookup(s.Region)
+		if !ok {
+			return cfg, unknownNameError("region", s.Region, carbon.RegionNames())
+		}
+		cfg.Region = g.Region // canonical spelling
 	}
 	return cfg, nil
 }

@@ -1,0 +1,77 @@
+package carbon
+
+import (
+	"math"
+	"testing"
+
+	"edisim/internal/units"
+)
+
+func TestRegionsWellFormed(t *testing.T) {
+	if len(Regions()) < 4 {
+		t.Fatalf("grid map has %d regions, want several", len(Regions()))
+	}
+	seen := map[string]bool{}
+	for _, g := range Regions() {
+		if g.Region == "" || g.Label == "" || g.Grams <= 0 {
+			t.Errorf("malformed grid entry %+v", g)
+		}
+		if seen[g.Region] {
+			t.Errorf("duplicate region %q", g.Region)
+		}
+		seen[g.Region] = true
+	}
+	if _, ok := Lookup("global"); !ok {
+		t.Error("the world-average region must exist")
+	}
+	// Lookup is case/whitespace tolerant; RegionNames matches the map.
+	if g, ok := Lookup("  EU-North "); !ok || g.Region != "eu-north" {
+		t.Errorf("tolerant lookup failed: %+v, %v", g, ok)
+	}
+	if _, ok := Lookup("mars-1"); ok {
+		t.Error("bogus region resolved")
+	}
+	if len(RegionNames()) != len(Regions()) {
+		t.Error("RegionNames out of sync")
+	}
+}
+
+func TestOperational(t *testing.T) {
+	g := Grid{Region: "test", Label: "test", Grams: 500}
+	// 3.6 MJ = 1 kWh; at PUE 1.15 and 500 g/kWh → 575 g.
+	if got := Operational(units.Joules(3.6e6), 1.15, g); math.Abs(got-575) > 1e-9 {
+		t.Errorf("Operational = %v g, want 575 g", got)
+	}
+	// Zero and sub-1 PUE mean "no facility overhead", not a discount.
+	if got := Operational(units.Joules(3.6e6), 0, g); math.Abs(got-500) > 1e-9 {
+		t.Errorf("Operational at PUE 0 = %v g, want 500 g", got)
+	}
+	if Operational(0, 1.15, g) != 0 {
+		t.Error("zero energy must be zero grams")
+	}
+}
+
+func TestEmbodied(t *testing.T) {
+	// 1000 kg over 3 years: one server for one year carries a third.
+	year := 365.0 * 24 * 3600
+	if got, want := Embodied(1000, 3, 1, year), 1000.0*1000/3; math.Abs(got-want) > 1e-6 {
+		t.Errorf("Embodied = %v g, want %v g", got, want)
+	}
+	// Linear in fleet size and window length.
+	if got, want := Embodied(1000, 3, 10, year), 10*Embodied(1000, 3, 1, year); math.Abs(got-want) > 1e-6*want {
+		t.Errorf("not linear in nodes: %v vs %v", got, want)
+	}
+	for _, zero := range []float64{Embodied(0, 3, 1, year), Embodied(1000, 0, 1, year),
+		Embodied(1000, 3, 0, year), Embodied(1000, 3, 1, 0)} {
+		if zero != 0 {
+			t.Error("degenerate inputs must contribute nothing")
+		}
+	}
+}
+
+func TestFootprintTotal(t *testing.T) {
+	f := Footprint{Operational: 2, Embodied: 3}
+	if f.Total() != 5 {
+		t.Errorf("Total = %v, want 5", f.Total())
+	}
+}

@@ -92,6 +92,10 @@ type Config struct {
 	// cooperative cancellation — edisim.Run wires the caller's context here
 	// so a long faulty simulation honors cancellation mid-run).
 	Interrupt func() bool
+	// Energy selects the power model armed on every node the builder
+	// creates (group, DB); the zero value keeps each platform's calibrated
+	// linear model, byte-identical to the seed behavior.
+	Energy hw.PowerModelKind
 }
 
 // PairConfig sizes a two-group testbed over the baseline pair — the shape
@@ -172,7 +176,11 @@ func NewOn(eng *sim.Engine, cfg Config) *Testbed {
 				attach = fmt.Sprintf("%s%d", net.LeafPrefix, i/net.LeafFanout)
 			}
 			f.Connect(name, attach, p.Spec.NIC.TCPGoodput, net.AccessDelay)
-			g.Nodes = append(g.Nodes, hw.NewNode(eng, p.Spec, name))
+			n := hw.NewNode(eng, p.Spec, name)
+			if cfg.Energy != hw.PowerLinear {
+				n.SetPowerModel(p.PowerModelFor(cfg.Energy))
+			}
+			g.Nodes = append(g.Nodes, n)
 		}
 		tb.Groups = append(tb.Groups, g)
 	}
@@ -187,7 +195,11 @@ func NewOn(eng *sim.Engine, cfg Config) *Testbed {
 		name := fmt.Sprintf("db%d", i)
 		f.AddVertex(name)
 		f.Connect(name, infra.Net.SwitchName, infra.Spec.NIC.TCPGoodput, infra.Net.AccessDelay)
-		tb.DB = append(tb.DB, hw.NewNode(eng, infra.Spec, name))
+		n := hw.NewNode(eng, infra.Spec, name)
+		if cfg.Energy != hw.PowerLinear {
+			n.SetPowerModel(infra.PowerModelFor(cfg.Energy))
+		}
+		tb.DB = append(tb.DB, n)
 	}
 	// Clients: each with its own 1 Gbps-class access link.
 	for i := 0; i < cfg.Clients; i++ {

@@ -4,11 +4,13 @@ import (
 	"fmt"
 
 	"edisim/internal/autoscale"
+	"edisim/internal/carbon"
 	"edisim/internal/hw"
 	"edisim/internal/load"
 	"edisim/internal/power"
 	"edisim/internal/report"
 	"edisim/internal/sim"
+	"edisim/internal/tco"
 	"edisim/internal/web"
 )
 
@@ -136,7 +138,9 @@ func runAutoscale(cfg Config) *Outcome {
 
 			res := dep.Run(rc)
 
-			ideal := float64(res.Offered) / p.Web.ConnRate * float64(p.Spec.Power.BusyDraw())
+			// Ideal joules price offered work at the armed model's busy draw,
+			// so the EP score stays consistent with what the nodes meter.
+			ideal := float64(res.Offered) / p.Web.ConnRate * float64(p.PowerModelFor(cfg.Energy).BusyDraw())
 			ep := safeDiv(ideal, webEnergy, 0)
 			if ep > 1 {
 				ep = 1
@@ -154,9 +158,16 @@ func runAutoscale(cfg Config) *Outcome {
 		return points[pi*len(profiles)*len(policies)+fi*len(policies)+ci]
 	}
 
+	armed := cfg.CarbonArmed()
+	asCols := []string{"platform", "profile", "policy", "SLO met", "goodput req/s", "power W", "req/s/W", "mean active", "scale events", "boots", "boot J", "EP score"}
+	asUnits := []string{"", "", "", "", "req/s", "W", "req/s/W", "servers", "", "", "J", ""}
+	if armed {
+		asCols = append(asCols, "gCO2e/h", "req per gCO2e", fmt.Sprintf("energy $/h (%s)", cfg.Grid().Region))
+		asUnits = append(asUnits, "g/h", "req/g", "$/h")
+	}
+	regionPrice, _ := tco.RegionPrice(cfg.Grid().Region)
 	tab := report.NewTable("Autoscaling ladder — fleet elasticity per platform, boot and idle energy priced in (SLO: p99 <= 0.5 s, availability >= 99%)",
-		"platform", "profile", "policy", "SLO met", "goodput req/s", "power W", "req/s/W", "mean active", "scale events", "boots", "boot J", "EP score").
-		WithUnits("", "", "", "", "req/s", "W", "req/s/W", "servers", "", "", "J", "")
+		asCols...).WithUnits(asUnits...)
 	for pi, p := range plats {
 		for fi, prof := range profiles {
 			for ci, pol := range policies {
@@ -166,7 +177,7 @@ func runAutoscale(cfg Config) *Outcome {
 				if pol.key == "static" {
 					meanActive = float64(p.Fleet.Web)
 				}
-				tab.AddRow(p.Label, prof.key, pol.key,
+				row := []any{p.Label, prof.key, pol.key,
 					report.Num(pt.sloMet, ""),
 					report.Num(r.Throughput, "req/s"),
 					report.Num(float64(r.MeanPower), "W"),
@@ -175,7 +186,15 @@ func runAutoscale(cfg Config) *Outcome {
 					report.Count(r.ScaleUps+r.ScaleDowns, ""),
 					report.Count(r.Boots, ""),
 					report.Num(float64(r.BootEnergy), "J"),
-					report.Num(pt.ep, ""))
+					report.Num(pt.ep, "")}
+				if armed {
+					gph := gramsPerHourAt(cfg, float64(r.MeanPower))
+					perG := safeDiv(r.Throughput*3600, gph, 0)
+					dollarsPerHour := float64(r.MeanPower) / 1000 * carbon.DefaultPUE * regionPrice
+					row = append(row, report.Num(gph, "g/h"), report.Num(perG, "req/g"),
+						report.Num(dollarsPerHour, "$/h"))
+				}
+				tab.AddRow(row...)
 			}
 		}
 	}
@@ -246,5 +265,8 @@ func runAutoscale(cfg Config) *Outcome {
 		"scale-down always drains before parking: a server leaves the rotation, finishes its in-flight work, then powers off — the drain pin in internal/web proves no request is ever killed by elasticity",
 		"the predictive policy reads the declared load profile one boot delay ahead, so it pre-boots for the diurnal crest but is blind to anything the profile does not model",
 	)
+	if armed {
+		o.Notes = append(o.Notes, carbonLensNote(cfg))
+	}
 	return o
 }

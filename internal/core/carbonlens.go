@@ -1,0 +1,57 @@
+package core
+
+import (
+	"fmt"
+
+	"edisim/internal/carbon"
+	"edisim/internal/hw"
+	"edisim/internal/tco"
+	"edisim/internal/units"
+)
+
+// The carbon lens: when Config arms the energy/carbon layers (a non-default
+// power model or a region), the matrix experiments attribute metered joules
+// and steady wall draws to the configured grid at the default facility PUE,
+// and price fleets at the region's electricity tariff. Helpers here are the
+// shared arithmetic; each experiment decides which columns it grows.
+
+// gramsFromJoules converts metered IT energy to operational gCO2e under the
+// configured grid and the default facility PUE.
+func gramsFromJoules(cfg Config, e units.Joules) float64 {
+	return carbon.Operational(e, carbon.DefaultPUE, cfg.Grid())
+}
+
+// gramsPerHourAt converts a steady wall draw to an hourly emission rate.
+func gramsPerHourAt(cfg Config, watts float64) float64 {
+	return watts / 1000 * carbon.DefaultPUE * cfg.Grid().Grams
+}
+
+// regionalFleetCost prices n nodes of p at utilization u in the configured
+// region with the armed power model — the per-region TCO column. Zero nodes
+// price to zero (budget-sized fleets can be empty).
+func regionalFleetCost(cfg Config, p *hw.Platform, n int, u float64) float64 {
+	if n <= 0 {
+		return 0
+	}
+	in, err := tco.ForPlatformInRegion(p, n, u, cfg.Energy, cfg.Grid().Region, 0)
+	if err != nil {
+		panic(fmt.Sprintf("core: regional TCO: %v", err)) // Config.Region is pre-validated
+	}
+	return tco.MustCompute(in).Total()
+}
+
+// regionCostHeader labels the per-region TCO column.
+func regionCostHeader(cfg Config) string {
+	return fmt.Sprintf("3y TCO $ (%s)", cfg.Grid().Region)
+}
+
+// carbonLensNote documents the armed lens at the bottom of an experiment.
+func carbonLensNote(cfg Config) string {
+	g := cfg.Grid()
+	model := "calibrated linear power model"
+	if cfg.Energy == hw.PowerTDPCurve {
+		model = "component TDP-curve power model"
+	}
+	return fmt.Sprintf("carbon lens armed: %s; grid %s (%s, %.0f gCO2e/kWh) at PUE %.2f; per-region TCO uses that grid's electricity tariff",
+		model, g.Region, g.Label, float64(g.Grams), carbon.DefaultPUE)
+}

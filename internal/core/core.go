@@ -8,6 +8,7 @@ import (
 	"fmt"
 	"sort"
 
+	"edisim/internal/carbon"
 	"edisim/internal/faults"
 	"edisim/internal/hw"
 	"edisim/internal/report"
@@ -43,6 +44,29 @@ type Config struct {
 	// returning true aborts the simulation early. edisim.Run wires context
 	// cancellation here.
 	Interrupt func() bool
+
+	// Energy selects the node power model for every testbed the experiments
+	// build. The zero value keeps the paper's calibrated linear model —
+	// byte-identical defaults; hw.PowerTDPCurve arms the component model.
+	Energy hw.PowerModelKind
+	// Region attributes metered energy to a grid region for carbon and
+	// price accounting ("" = none). Callers validate the key against
+	// carbon.Regions before it reaches experiments.
+	Region string
+}
+
+// CarbonArmed reports whether the energy/carbon layers are in play — either
+// a non-default power model or a region was selected — and therefore whether
+// matrix experiments add their gCO2e and per-region columns.
+func (c Config) CarbonArmed() bool { return c.Energy != hw.PowerLinear || c.Region != "" }
+
+// Grid resolves the carbon-accounting grid: the configured region, or the
+// world average when only the power model was armed.
+func (c Config) Grid() carbon.Grid {
+	if c.Region == "" {
+		return carbon.MustLookup("global")
+	}
+	return carbon.MustLookup(c.Region)
 }
 
 // Interrupted reports whether the run has been cancelled (nil-safe).

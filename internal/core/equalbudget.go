@@ -251,7 +251,7 @@ func EqualBudget(cfg Config, spec EqualBudgetSpec) (*Outcome, error) {
 		}
 	}
 	s.Point = func(_ int, c webCell, seed int64) web.Result {
-		return runWebPoint(sizings[c.sizing].p, c.web, c.cache, web.RunConfig{
+		return runWebPoint(cfg, sizings[c.sizing].p, c.web, c.cache, web.RunConfig{
 			Concurrency: c.conc,
 			Duration:    webDuration(cfg),
 		}, seed)
@@ -271,13 +271,24 @@ func EqualBudget(cfg Config, spec EqualBudgetSpec) (*Outcome, error) {
 		}
 	}
 
+	armed := cfg.CarbonArmed()
+	webCols := []string{"platform", "web", "cache", "fleet 3y $", "peak req/s", "W at peak", "req/s per W", "req/s per TCO-k$"}
+	webColUnits := []string{"", "nodes", "nodes", "$", "req/s", "W", "req/s/W", "req/s/k$"}
+	if armed {
+		webCols = append(webCols, "gCO2e/h at peak", "req per gCO2e", regionCostHeader(cfg))
+		webColUnits = append(webColUnits, "g/h", "req/g", "$")
+	}
 	webTab := report.NewTable("Equal-budget web serving — what the same spend buys",
-		"platform", "web", "cache", "fleet 3y $", "peak req/s", "W at peak", "req/s per W", "req/s per TCO-k$").
-		WithUnits("", "nodes", "nodes", "$", "req/s", "W", "req/s/W", "req/s/k$")
+		webCols...).WithUnits(webColUnits...)
 	for i, sz := range sizings {
+		row := []any{sz.p.Label, report.Count(int64(sz.web), "nodes"), report.Count(int64(sz.cache), "nodes"),
+			report.Num(sz.webCost, "$"), report.Num(0, "req/s"), report.Num(0, "W"),
+			report.Num(0, "req/s/W"), report.Num(0, "req/s/k$")}
 		if sz.web == 0 {
-			webTab.AddRow(sz.p.Label, report.Count(0, "nodes"), report.Count(0, "nodes"),
-				report.Num(0, "$"), report.Num(0, "req/s"), report.Num(0, "W"), report.Num(0, "req/s/W"), report.Num(0, "req/s/k$"))
+			if armed {
+				row = append(row, report.Num(0, "g/h"), report.Num(0, "req/g"), report.Num(0, "$"))
+			}
+			webTab.AddRow(row...)
 			continue
 		}
 		pk := peaks[i][0]
@@ -288,10 +299,21 @@ func EqualBudget(cfg Config, spec EqualBudgetSpec) (*Outcome, error) {
 		if sz.webCost > 0 {
 			perK = pk.peak / (sz.webCost / 1000)
 		}
-		webTab.AddRow(sz.p.Label,
-			report.Count(int64(sz.web), "nodes"), report.Count(int64(sz.cache), "nodes"),
-			report.Num(sz.webCost, "$"), report.Num(pk.peak, "req/s"), report.Num(pk.power, "W"),
-			report.Num(perWatt, "req/s/W"), report.Num(perK, "req/s/k$"))
+		row[4] = report.Num(pk.peak, "req/s")
+		row[5] = report.Num(pk.power, "W")
+		row[6] = report.Num(perWatt, "req/s/W")
+		row[7] = report.Num(perK, "req/s/k$")
+		if armed {
+			gph := gramsPerHourAt(cfg, pk.power)
+			reqPerG := 0.0
+			if gph > 0 {
+				reqPerG = pk.peak * 3600 / gph
+			}
+			row = append(row, report.Num(gph, "g/h"), report.Num(reqPerG, "req/g"),
+				report.Num(regionalFleetCost(cfg, sz.p, sz.web+sz.cache, equalBudgetWebUtil), "$"))
+			o.AddComparison("equal budget / web", sz.p.Label+" req per gCO2e", 0, reqPerG)
+		}
+		webTab.AddRow(row...)
 		o.AddComparison("equal budget / web", sz.p.Label+" peak req/s per TCO-k$", 0, perK)
 	}
 	o.Tables = append(o.Tables, webTab)
@@ -325,7 +347,7 @@ func EqualBudget(cfg Config, spec EqualBudgetSpec) (*Outcome, error) {
 	hResults := RunSweep(cfg, name+"/hadoop", len(hCells),
 		func(i int, seed int64) *mapred.JobResult {
 			sz := sizings[hCells[i].sizing]
-			r, err := jobs.Run(job, sz.p, sz.slaves, seed)
+			r, err := jobs.RunEnergy(job, sz.p, sz.slaves, seed, cfg.Energy)
 			if err != nil {
 				panic(fmt.Sprintf("core: %s: %s on %s: %v", name, job, sz.p.Label, err))
 			}
@@ -341,14 +363,23 @@ func EqualBudget(cfg Config, spec EqualBudgetSpec) (*Outcome, error) {
 	case "pi":
 		jobBytes = 0 // compute-bound: per-byte ratios are meaningless
 	}
+	hCols := []string{"platform", "slaves", "fleet 3y $", "time s", "energy J", "MB per J", "GB per TCO-$"}
+	hColUnits := []string{"", "nodes", "$", "s", "J", "MB/J", "GB/$"}
+	if armed {
+		hCols = append(hCols, "gCO2e per run", "MB per gCO2e", regionCostHeader(cfg))
+		hColUnits = append(hColUnits, "g", "MB/g", "$")
+	}
 	hTab := report.NewTable(fmt.Sprintf("Equal-budget %s — what the same spend buys", job),
-		"platform", "slaves", "fleet 3y $", "time s", "energy J", "MB per J", "GB per TCO-$").
-		WithUnits("", "nodes", "$", "s", "J", "MB/J", "GB/$")
+		hCols...).WithUnits(hColUnits...)
 	hi := 0
 	for _, sz := range sizings {
 		if sz.slaves == 0 {
-			hTab.AddRow(sz.p.Label, report.Count(0, "nodes"), report.Num(0, "$"),
-				report.Num(0, "s"), report.Num(0, "J"), report.Num(0, "MB/J"), report.Num(0, "GB/$"))
+			row := []any{sz.p.Label, report.Count(0, "nodes"), report.Num(0, "$"),
+				report.Num(0, "s"), report.Num(0, "J"), report.Num(0, "MB/J"), report.Num(0, "GB/$")}
+			if armed {
+				row = append(row, report.Num(0, "g"), report.Num(0, "MB/g"), report.Num(0, "$"))
+			}
+			hTab.AddRow(row...)
 			continue
 		}
 		r := hResults[hi]
@@ -360,9 +391,20 @@ func EqualBudget(cfg Config, spec EqualBudgetSpec) (*Outcome, error) {
 		if sz.hadoopCost > 0 && jobBytes > 0 {
 			perDollar = jobBytes / float64(units.GB) / sz.hadoopCost
 		}
-		hTab.AddRow(sz.p.Label, report.Count(int64(sz.slaves), "nodes"), report.Num(sz.hadoopCost, "$"),
+		row := []any{sz.p.Label, report.Count(int64(sz.slaves), "nodes"), report.Num(sz.hadoopCost, "$"),
 			report.Num(r.Duration, "s"), report.Num(float64(r.Energy), "J"),
-			report.Num(mbPerJ, "MB/J"), report.Num(perDollar, "GB/$"))
+			report.Num(mbPerJ, "MB/J"), report.Num(perDollar, "GB/$")}
+		if armed {
+			grams := gramsFromJoules(cfg, r.Energy)
+			mbPerG := 0.0
+			if grams > 0 && jobBytes > 0 {
+				mbPerG = jobBytes / float64(units.MB) / grams
+			}
+			row = append(row, report.Num(grams, "g"), report.Num(mbPerG, "MB/g"),
+				report.Num(regionalFleetCost(cfg, sz.p, sz.slaves, hadoopUtil(sz.p)), "$"))
+			o.AddComparison("equal budget / "+job, sz.p.Label+" MB per gCO2e", 0, mbPerG)
+		}
+		hTab.AddRow(row...)
 		o.AddComparison("equal budget / "+job, sz.p.Label+" MB per J", 0, mbPerJ)
 	}
 	o.Tables = append(o.Tables, hTab)
@@ -370,5 +412,8 @@ func EqualBudget(cfg Config, spec EqualBudgetSpec) (*Outcome, error) {
 	o.Notes = append(o.Notes,
 		fmt.Sprintf("fleets sized by tco.SizeForBudget to the %s baseline's 3-year TCO (web at %.0f%% utilization; big data pinned at 100%% on micro platforms, 74%% on brawny, as in Table 10)",
 			baseline.Label, equalBudgetWebUtil*100))
+	if armed {
+		o.Notes = append(o.Notes, carbonLensNote(cfg))
+	}
 	return o, nil
 }

@@ -3,11 +3,13 @@ package core
 import (
 	"fmt"
 
+	"edisim/internal/carbon"
 	"edisim/internal/cluster"
 	"edisim/internal/faults"
 	"edisim/internal/hw"
 	"edisim/internal/load"
 	"edisim/internal/report"
+	"edisim/internal/tco"
 	"edisim/internal/web"
 )
 
@@ -60,6 +62,7 @@ func overloadTestbed(cfg Config, p *hw.Platform, seed int64) *web.Deployment {
 		Groups:  []cluster.GroupConfig{{Platform: p, Nodes: p.Fleet.Web + p.Fleet.Cache}},
 		DBNodes: 2, Clients: 8,
 		Interrupt: cfg.Interrupt,
+		Energy:    cfg.Energy,
 	})
 	return web.NewDeployment(tb, p, p.Fleet.Web, p.Fleet.Cache, seed)
 }
@@ -118,13 +121,21 @@ func runOverload(cfg Config) *Outcome {
 			}
 		})
 
+	armed := cfg.CarbonArmed()
+	ladderCols := []string{"platform", "offered conn/s", "×capacity", "goodput req/s", "shed/s", "p99 s", "p999 s", "power W", "req/s/W", "SLO"}
+	ladderUnits := []string{"", "conn/s", "x", "req/s", "/s", "s", "s", "W", "req/s/W", ""}
+	if armed {
+		ladderCols = append(ladderCols, "gCO2e/h", "req per gCO2e", fmt.Sprintf("energy $/h (%s)", cfg.Grid().Region))
+		ladderUnits = append(ladderUnits, "g/h", "req/g", "$/h")
+	}
+	regionPrice, _ := tco.RegionPrice(cfg.Grid().Region)
 	tab := report.NewTable("Overload ladder — open-loop goodput, shedding and tails at the SLO (p99 ≤ 0.5 s, availability ≥ 99%)",
-		"platform", "offered conn/s", "×capacity", "goodput req/s", "shed/s", "p99 s", "p999 s", "power W", "req/s/W", "SLO").
-		WithUnits("", "conn/s", "x", "req/s", "/s", "s", "s", "W", "req/s/W", "")
+		ladderCols...).WithUnits(ladderUnits...)
 	for pi, p := range plats {
 		window := dur * 0.9
 		bestAtSLO := 0.0 // req/s/W of the highest-goodput SLO-compliant point
 		bestGoodput := 0.0
+		bestPerG := 0.0 // req per gCO2e at the same SLO-compliant point
 		for mi, m := range mults {
 			lp := ladder[pi*len(mults)+mi]
 			r := lp.res
@@ -133,10 +144,12 @@ func runOverload(cfg Config) *Outcome {
 			if !lp.ok {
 				verdict = "burned"
 			}
+			gph := gramsPerHourAt(cfg, float64(r.MeanPower))
+			perG := safeDiv(r.Throughput*3600, gph, 0)
 			if lp.ok && r.Throughput > bestGoodput {
-				bestGoodput, bestAtSLO = r.Throughput, perW
+				bestGoodput, bestAtSLO, bestPerG = r.Throughput, perW, perG
 			}
-			tab.AddRow(p.Label,
+			row := []any{p.Label,
 				report.Num(connCapacity(p)*m, "conn/s"),
 				report.Num(m, "x"),
 				report.Num(r.Throughput, "req/s"),
@@ -145,10 +158,20 @@ func runOverload(cfg Config) *Outcome {
 				report.Num(lp.p999, "s"),
 				report.Num(float64(r.MeanPower), "W"),
 				report.Num(perW, "req/s/W"),
-				verdict)
+				verdict}
+			if armed {
+				// Wall draw at the regional tariff, facility overhead included.
+				dollarsPerHour := float64(r.MeanPower) / 1000 * carbon.DefaultPUE * regionPrice
+				row = append(row, report.Num(gph, "g/h"), report.Num(perG, "req/g"),
+					report.Num(dollarsPerHour, "$/h"))
+			}
+			tab.AddRow(row...)
 		}
 		o.AddComparison("overload / ladder", p.Label+" req/s/W at SLO", 0, bestAtSLO)
 		o.AddComparison("overload / ladder", p.Label+" goodput at SLO req/s", 0, bestGoodput)
+		if armed {
+			o.AddComparison("overload / ladder", p.Label+" req per gCO2e at SLO", 0, bestPerG)
+		}
 	}
 	o.Tables = append(o.Tables, tab)
 
@@ -266,5 +289,8 @@ func runOverload(cfg Config) *Outcome {
 		"every point runs with deadline shedding (0.5 s), a 10% retry budget and 0.5 s client timeouts; the drill adds brownout (stale cache-only answers while the SLO burns)",
 		"req/s/W at SLO takes each platform's highest-goodput ladder point that met p99 <= 0.5 s and availability >= 99% — the energy-proportionality lens of Subramaniam & Feng rather than peak-throughput-per-watt",
 	)
+	if armed {
+		o.Notes = append(o.Notes, carbonLensNote(cfg))
+	}
 	return o
 }

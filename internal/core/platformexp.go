@@ -54,16 +54,22 @@ func runPlatformMatrix(cfg Config) *Outcome {
 		}
 	}
 	s.Point = func(_ int, c webCell, seed int64) web.Result {
-		return runWebPoint(c.p, c.p.Fleet.Web, c.p.Fleet.Cache, web.RunConfig{
+		return runWebPoint(cfg, c.p, c.p.Fleet.Web, c.p.Fleet.Cache, web.RunConfig{
 			Concurrency: c.conc,
 			Duration:    webDuration(cfg),
 		}, seed)
 	}
 	webResults := s.Run(cfg)
 
+	armed := cfg.CarbonArmed()
+	webCols := []string{"platform", "web", "cache", "peak req/s", "W at peak", "req/s per W", "3y TCO $", "req/s per TCO-k$"}
+	webUnits := []string{"", "nodes", "nodes", "req/s", "W", "req/s/W", "$", "req/s/k$"}
+	if armed {
+		webCols = append(webCols, "gCO2e/h at peak", "req per gCO2e", regionCostHeader(cfg))
+		webUnits = append(webUnits, "g/h", "req/g", "$")
+	}
 	webTab := report.NewTable("Platform matrix — web serving (catalog fleets, 93% cache hit)",
-		"platform", "web", "cache", "peak req/s", "W at peak", "req/s per W", "3y TCO $", "req/s per TCO-k$").
-		WithUnits("", "nodes", "nodes", "req/s", "W", "req/s/W", "$", "req/s/k$")
+		webCols...).WithUnits(webUnits...)
 	for pi, p := range plats {
 		var peak, peakPower float64
 		for _, r := range webResults[pi*len(concs) : (pi+1)*len(concs)] {
@@ -76,14 +82,26 @@ func runPlatformMatrix(cfg Config) *Outcome {
 		if peakPower > 0 {
 			perWatt = peak / peakPower
 		}
-		// Web-service TCO at the paper's high-utilization point (75%).
-		cost := tco.MustCompute(tco.ForPlatform(p, p.Fleet.Web+p.Fleet.Cache, 0.75)).Total()
+		// Web-service TCO at the paper's high-utilization point (75%),
+		// priced with the armed power model's endpoints.
+		cost := tco.MustCompute(tco.ForPlatformModel(p, p.Fleet.Web+p.Fleet.Cache, 0.75, cfg.Energy)).Total()
 		perK := 0.0
 		if cost > 0 {
 			perK = peak / (cost / 1000)
 		}
-		webTab.AddRow(p.Label, p.Fleet.Web, p.Fleet.Cache, report.Num(peak, "req/s"),
-			report.Num(peakPower, "W"), report.Num(perWatt, "req/s/W"), report.Num(cost, "$"), report.Num(perK, "req/s/k$"))
+		row := []any{p.Label, p.Fleet.Web, p.Fleet.Cache, report.Num(peak, "req/s"),
+			report.Num(peakPower, "W"), report.Num(perWatt, "req/s/W"), report.Num(cost, "$"), report.Num(perK, "req/s/k$")}
+		if armed {
+			gph := gramsPerHourAt(cfg, peakPower)
+			reqPerG := 0.0
+			if gph > 0 {
+				reqPerG = peak * 3600 / gph
+			}
+			row = append(row, report.Num(gph, "g/h"), report.Num(reqPerG, "req/g"),
+				report.Num(regionalFleetCost(cfg, p, p.Fleet.Web+p.Fleet.Cache, 0.75), "$"))
+			o.AddComparison("platform matrix / web", p.Label+" req per gCO2e", 0, reqPerG)
+		}
+		webTab.AddRow(row...)
 		o.AddComparison("platform matrix / web", p.Label+" peak req/s per W", 0, perWatt)
 	}
 	o.Tables = append(o.Tables, webTab)
@@ -92,16 +110,21 @@ func runPlatformMatrix(cfg Config) *Outcome {
 	teraResults := RunSweep(cfg, "platform_matrix/terasort", len(plats),
 		func(i int, seed int64) *mapred.JobResult {
 			p := plats[i]
-			r, err := jobs.Run("terasort", p, p.Fleet.Slaves, seed)
+			r, err := jobs.RunEnergy("terasort", p, p.Fleet.Slaves, seed, cfg.Energy)
 			if err != nil {
 				panic(fmt.Sprintf("core: terasort on %s: %v", p.Label, err))
 			}
 			return r
 		})
 
+	teraCols := []string{"platform", "slaves", "time s", "energy J", "MB per J", "3y TCO $", "GB per TCO-$"}
+	teraUnits := []string{"", "nodes", "s", "J", "MB/J", "$", "GB/$"}
+	if armed {
+		teraCols = append(teraCols, "gCO2e per run", "MB per gCO2e", regionCostHeader(cfg))
+		teraUnits = append(teraUnits, "g", "MB/g", "$")
+	}
 	teraTab := report.NewTable("Platform matrix — TeraSort (10 GB, catalog fleets)",
-		"platform", "slaves", "time s", "energy J", "MB per J", "3y TCO $", "GB per TCO-$").
-		WithUnits("", "nodes", "s", "J", "MB/J", "$", "GB/$")
+		teraCols...).WithUnits(teraUnits...)
 	for pi, p := range plats {
 		r := teraResults[pi]
 		mbPerJ := 0.0
@@ -114,18 +137,32 @@ func runPlatformMatrix(cfg Config) *Outcome {
 		if p.Micro {
 			util = 1.0
 		}
-		cost := tco.MustCompute(tco.ForPlatform(p, p.Fleet.Slaves, util)).Total()
+		cost := tco.MustCompute(tco.ForPlatformModel(p, p.Fleet.Slaves, util, cfg.Energy)).Total()
 		perDollar := 0.0
 		if cost > 0 {
 			perDollar = float64(jobs.TerasortBytes) / float64(units.GB) / cost
 		}
-		teraTab.AddRow(p.Label, p.Fleet.Slaves, report.Num(r.Duration, "s"), report.Num(float64(r.Energy), "J"),
-			report.Num(mbPerJ, "MB/J"), report.Num(cost, "$"), report.Num(perDollar, "GB/$"))
+		row := []any{p.Label, p.Fleet.Slaves, report.Num(r.Duration, "s"), report.Num(float64(r.Energy), "J"),
+			report.Num(mbPerJ, "MB/J"), report.Num(cost, "$"), report.Num(perDollar, "GB/$")}
+		if armed {
+			grams := gramsFromJoules(cfg, r.Energy)
+			mbPerG := 0.0
+			if grams > 0 {
+				mbPerG = float64(jobs.TerasortBytes) / float64(units.MB) / grams
+			}
+			row = append(row, report.Num(grams, "g"), report.Num(mbPerG, "MB/g"),
+				report.Num(regionalFleetCost(cfg, p, p.Fleet.Slaves, util), "$"))
+			o.AddComparison("platform matrix / terasort", p.Label+" MB per gCO2e", 0, mbPerG)
+		}
+		teraTab.AddRow(row...)
 		o.AddComparison("platform matrix / terasort", p.Label+" MB per J", 0, mbPerJ)
 	}
 	o.Tables = append(o.Tables, teraTab)
 
 	o.Notes = append(o.Notes,
 		"fleets and calibration are catalog data (internal/hw, PLATFORMS.md); peak is the best point of the swept concurrency axis")
+	if armed {
+		o.Notes = append(o.Notes, carbonLensNote(cfg))
+	}
 	return o
 }

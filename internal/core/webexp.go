@@ -34,11 +34,12 @@ func webConcurrencies(cfg Config) []float64 {
 }
 
 // runWebPoint executes one concurrency level on a fresh single-platform
-// testbed.
-func runWebPoint(p *hw.Platform, nWeb, nCache int, rc web.RunConfig, seed int64) web.Result {
+// testbed, under the config's power model.
+func runWebPoint(cfg Config, p *hw.Platform, nWeb, nCache int, rc web.RunConfig, seed int64) web.Result {
 	tb := cluster.New(cluster.Config{
 		Groups:  []cluster.GroupConfig{{Platform: p, Nodes: nWeb + nCache}},
 		DBNodes: 2, Clients: 8,
+		Energy: cfg.Energy,
 	})
 	dep := web.NewDeployment(tb, p, nWeb, nCache, seed)
 	dep.WarmFor(rc)
@@ -73,7 +74,7 @@ func sweepWebCurves(cfg Config, name string, curves []webCurve) [][]web.Result {
 		}
 	}
 	s.Point = func(_ int, p webPoint, seed int64) web.Result {
-		return runWebPoint(p.curve.p, p.curve.nWeb, p.curve.nCache, web.RunConfig{
+		return runWebPoint(cfg, p.curve.p, p.curve.nWeb, p.curve.nCache, web.RunConfig{
 			Concurrency: p.conc,
 			ImageFrac:   p.curve.image,
 			CacheHit:    p.curve.hit,
@@ -235,7 +236,7 @@ func runWebDelayDist(cfg Config) *Outcome {
 		{brawny, bt.Web, bt.Cache, "Figure 11 — " + brawny.Label},
 	}
 	results := RunSweep(cfg, "fig10_fig11", len(sides), func(i int, seed int64) web.Result {
-		return runWebPoint(sides[i].p, sides[i].nWeb, sides[i].nCache, rc, seed)
+		return runWebPoint(cfg, sides[i].p, sides[i].nWeb, sides[i].nCache, rc, seed)
 	})
 	for i, side := range sides {
 		r := results[i]
@@ -290,9 +291,9 @@ func runTable7(cfg Config) *Outcome {
 	results := RunSweep(cfg, "table7", 2*len(rates), func(i int, seed int64) web.Result {
 		rc := web.RunConfig{Concurrency: rates[i/2] / 8, ImageFrac: 0.20, CacheHit: 0.93, Duration: webDuration(cfg)}
 		if i%2 == 0 {
-			return runWebPoint(micro, mt.Web, mt.Cache, rc, seed)
+			return runWebPoint(cfg, micro, mt.Web, mt.Cache, rc, seed)
 		}
-		return runWebPoint(brawny, bt.Web, bt.Cache, rc, seed)
+		return runWebPoint(cfg, brawny, bt.Web, bt.Cache, rc, seed)
 	})
 	for ri, rate := range rates {
 		re, rd := results[2*ri], results[2*ri+1]

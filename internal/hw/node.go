@@ -10,10 +10,14 @@ import (
 
 // Node is a running server instance inside a simulation: a processor-sharing
 // CPU, a FIFO disk, a memory accountant and an energy integrator driven by
-// CPU utilization through the platform's linear power model.
+// CPU utilization through a pluggable PowerModel (the platform's calibrated
+// linear model unless SetPowerModel arms another).
 type Node struct {
 	Spec NodeSpec
 	ID   string
+
+	// power maps utilization to draw; defaults to Spec.Power (linear).
+	power PowerModel
 
 	eng *sim.Engine
 	cpu *sim.ProcShare
@@ -58,6 +62,7 @@ func NewNode(eng *sim.Engine, spec NodeSpec, id string) *Node {
 	n := &Node{
 		Spec:   spec,
 		ID:     id,
+		power:  spec.Power,
 		eng:    eng,
 		energy: stats.NewIntegrator(float64(eng.Now()), float64(spec.Power.IdleDraw())),
 	}
@@ -115,8 +120,23 @@ func (n *Node) updatePower() {
 	if u < n.BusyFloor {
 		u = n.BusyFloor
 	}
-	n.energy.Set(float64(n.eng.Now()), float64(n.Spec.Power.Draw(u)))
+	n.energy.Set(float64(n.eng.Now()), float64(n.power.Draw(u)))
 }
+
+// SetPowerModel swaps the node's utilization→draw model and immediately
+// re-evaluates the energy integrator at the current utilization. A nil model
+// restores the spec's linear default. Swapping models mid-run is legal: past
+// energy was integrated under the old model, future segments use the new one.
+func (n *Node) SetPowerModel(pm PowerModel) {
+	if pm == nil {
+		pm = n.Spec.Power
+	}
+	n.power = pm
+	n.updatePower()
+}
+
+// PowerModel reports the active utilization→draw model.
+func (n *Node) PowerModel() PowerModel { return n.power }
 
 // Up reports whether the node is powered and serving (not crashed).
 func (n *Node) Up() bool { return !n.down }
@@ -249,7 +269,7 @@ func (n *Node) Power() units.Watts {
 	if u < n.BusyFloor {
 		u = n.BusyFloor
 	}
-	return n.Spec.Power.Draw(u)
+	return n.power.Draw(u)
 }
 
 // Energy reports joules consumed from node creation until now.

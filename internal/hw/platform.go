@@ -42,6 +42,13 @@ type Platform struct {
 	Hadoop HadoopProfile
 	Fleet  Fleet
 	Boot   BootCosts
+
+	// Energy is the component-level energy and carbon data behind the
+	// TDPCurve power model and the embodied-carbon amortization
+	// (PLATFORMS.md documents each figure's provenance). The paper's
+	// calibrated linear model in Spec.Power stays the default; this block
+	// only arms when a config selects PowerTDPCurve.
+	Energy EnergyProfile
 }
 
 // BootCosts is the platform's provisioning calibration for elasticity:
@@ -289,6 +296,20 @@ func edisonPlatform() *Platform {
 		Fleet: Fleet{Web: 24, Cache: 11, Slaves: 35},
 		// Minimal Yocto image over a slow eMMC: quick to boot, slow to warm.
 		Boot: BootCosts{Delay: 2, Warmup: 3, WarmupFactor: 0.6},
+
+		// Atom-class "Tangier" SoC at ≈1 W scenario design power; the USB
+		// Ethernet adapter is the fixed board draw (Table 3 measures it
+		// bigger than the SoC). Board-scale embodied footprint.
+		Energy: EnergyProfile{
+			TDPWatts:         1.0,
+			MemWattsPerGB:    0.38,
+			Disks:            1,
+			DiskWatts:        0.1, // microSD
+			FixedWatts:       1.0, // USB Ethernet adapter
+			PSUOverhead:      0.10,
+			EmbodiedKgCO2e:   15,
+			ServiceLifeYears: 3,
+		},
 	}
 }
 
@@ -357,14 +378,29 @@ func dellR620Platform() *Platform {
 		// Server-class BIOS/RAID POST dominates: 5× the Edison delay on the
 		// compressed timescale (minutes vs seconds in real fleets).
 		Boot: BootCosts{Delay: 10, Warmup: 4, WarmupFactor: 0.7},
+
+		// Xeon E5-2620 published TDP 95 W; one 15K SAS spindle at the HDD
+		// class draw; fans/baseboard/RAID as fixed draw. Rack-server-class
+		// embodied footprint (Dell LCA reports ≈1 tCO2e manufacturing).
+		Energy: EnergyProfile{
+			TDPWatts:         95,
+			MemWattsPerGB:    0.38,
+			Disks:            1,
+			DiskWatts:        7.5, // HDD
+			FixedWatts:       20,
+			PSUOverhead:      0.08,
+			EmbodiedKgCO2e:   1000,
+			ServiceLifeYears: 3,
+		},
 	}
 }
 
-// pi3Platform is a Raspberry-Pi-3-class ARM micro server: a pure-data
-// catalog entry beyond the paper's testbed (see PLATFORMS.md for the
-// derivation of each constant). Per-core ≈4.3× an Edison core; the same
-// 100 Mbps NIC class and SD-card storage keep it in the paper's
-// sensor-class envelope.
+// pi3Platform is the Raspberry Pi 3 Model B: a catalog entry beyond the
+// paper's testbed, calibrated from published data (ARM's 2.3 DMIPS/MHz
+// Cortex-A53 figure, measured STREAM bandwidth, the Foundation's $35 list
+// price and published idle/load power measurements — PLATFORMS.md cites
+// each). Per-core ≈4.3× an Edison core; the same 100 Mbps NIC class and
+// SD-card storage keep it in the paper's sensor-class envelope.
 func pi3Platform() *Platform {
 	return &Platform{
 		Name:     "RPi3",
@@ -382,8 +418,11 @@ func pi3Platform() *Platform {
 				HTYield: 0,
 			},
 			Mem: MemSpec{
-				Capacity:          1 * units.GB,
-				Bandwidth:         units.BytesPerSec(2.8 * float64(units.GBps)),
+				Capacity: 1 * units.GB,
+				// Measured STREAM-class copy rate on the 32-bit LPDDR2-900
+				// bus (~60% of the 3.6 GB/s nameplate), per the published
+				// RPi3 memory benchmarks cited in PLATFORMS.md.
+				Bandwidth:         units.BytesPerSec(2.2 * float64(units.GBps)),
 				ClockMHz:          900,
 				SaturationThreads: 4,
 			},
@@ -401,7 +440,9 @@ func pi3Platform() *Platform {
 				TCPGoodput: units.Mbps(94.1),
 				UDPGoodput: units.Mbps(95.0),
 			},
-			Power: PowerSpec{Idle: 1.3, Busy: 3.7}, // no external adapter
+			// Published board measurements: ≈1.4 W idle (≈270 mA at 5.1 V),
+			// ≈3.7 W under full CPU load (≈730 mA). No external adapter.
+			Power: PowerSpec{Idle: 1.4, Busy: 3.7},
 			Cost:  55,
 		},
 
@@ -465,31 +506,50 @@ func pi3Platform() *Platform {
 		Fleet: Fleet{Web: 8, Cache: 4, Slaves: 12},
 		// SD-card Linux boot: board-class delay, Edison-class warm-up.
 		Boot: BootCosts{Delay: 3, Warmup: 3, WarmupFactor: 0.6},
+
+		// BCM2837 package power under sustained load (no official TDP is
+		// published; ≈2.5 W reproduces the measured 1.4→3.7 W board
+		// envelope once LPDDR2, SD and the USB/LAN bridge are added).
+		Energy: EnergyProfile{
+			TDPWatts:         2.5,
+			MemWattsPerGB:    0.38,
+			Disks:            1,
+			DiskWatts:        0.1, // microSD
+			FixedWatts:       0.5, // USB hub + LAN9514 bridge
+			PSUOverhead:      0.10,
+			EmbodiedKgCO2e:   20,
+			ServiceLifeYears: 3,
+		},
 	}
 }
 
-// xeonModernPlatform is a modern high-core-count Xeon server: the brawny
-// end-point for cross-platform scenarios (see PLATFORMS.md).
+// xeonModernPlatform is a modern high-core-count Xeon server, anchored to
+// the published Intel Xeon Gold 6248R datasheet (24C/48T at 3.0 GHz base,
+// 205 W TDP, six DDR4-2933 channels, $2700 list) in a single-socket 1U
+// chassis; PLATFORMS.md cites each figure. The brawny end-point for
+// cross-platform scenarios.
 func xeonModernPlatform() *Platform {
 	return &Platform{
 		Name:     "XeonModern",
 		Label:    "Xeon",
-		FullName: "modern Xeon",
+		FullName: "modern Xeon (Gold 6248R class)",
 		Aliases:  []string{"xeon-modern", "xeon"},
 		Micro:    false,
 		Spec: NodeSpec{
 			Name: "XeonModern",
 			CPU: CPUSpec{
 				Cores:   24,
-				Clock:   2400,
-				DMIPS:   32000,
+				Clock:   3000,  // 6248R base clock
+				DMIPS:   32000, // ≈10.7 DMIPS/MHz server-core estimate
 				Threads: 48,
 				HTYield: 0.30,
 			},
 			Mem: MemSpec{
-				Capacity:          128 * units.GB,
-				Bandwidth:         units.BytesPerSec(120 * float64(units.GBps)),
-				ClockMHz:          3200,
+				Capacity: 128 * units.GB,
+				// Published single-socket STREAM triad for six DDR4-2933
+				// channels (≈75% of the 140.8 GB/s nameplate).
+				Bandwidth:         units.BytesPerSec(105 * float64(units.GBps)),
+				ClockMHz:          2933,
 				SaturationThreads: 48,
 			},
 			Disk: DiskSpec{ // datacenter NVMe
@@ -506,7 +566,11 @@ func xeonModernPlatform() *Platform {
 				TCPGoodput: units.Gbps(9.4),
 				UDPGoodput: units.Gbps(9.6),
 			},
-			Power: PowerSpec{Idle: 105, Busy: 380},
+			// Wall endpoints derived from the published 205 W TDP through
+			// the Boavizta 12%/102%-of-TDP mapping plus 0.38 W/GB DRAM,
+			// one NVMe SSD and fan/board draw at 90% PSU efficiency —
+			// the same component model the TDPCurve uses (PLATFORMS.md).
+			Power: PowerSpec{Idle: 122, Busy: 325},
 			Cost:  9000,
 		},
 
@@ -566,5 +630,20 @@ func xeonModernPlatform() *Platform {
 		// Longest POST of the catalog — the amortization end-point: one huge
 		// box that cannot scale in anyway (Fleet.Web is 1).
 		Boot: BootCosts{Delay: 15, Warmup: 5, WarmupFactor: 0.7},
+
+		// Published 6248R TDP; one datacenter NVMe drive at the SSD class
+		// draw; fans/BMC/baseboard as fixed draw. Rack-server LCA-class
+		// embodied footprint, heavier than the R620 for the larger DIMM
+		// population.
+		Energy: EnergyProfile{
+			TDPWatts:         205,
+			MemWattsPerGB:    0.38,
+			Disks:            1,
+			DiskWatts:        3.0, // SSD
+			FixedWatts:       35,
+			PSUOverhead:      0.10,
+			EmbodiedKgCO2e:   1300,
+			ServiceLifeYears: 3,
+		},
 	}
 }

@@ -1,0 +1,154 @@
+package hw
+
+import (
+	"fmt"
+
+	"edisim/internal/units"
+)
+
+// PowerModel maps CPU utilization to instantaneous node draw. The paper's
+// calibrated linear model (PowerSpec, Table 3) is the default everywhere; a
+// TDPCurve built from the platform's EnergyProfile is the production-shaped
+// alternative. Models must be pure functions of utilization — nodes call
+// Draw on every utilization change, inside the event hot path, so
+// implementations must not allocate.
+type PowerModel interface {
+	// Draw reports instantaneous power at CPU utilization in [0,1]
+	// (out-of-range inputs are clamped).
+	Draw(util float64) units.Watts
+	// IdleDraw is Draw(0); BusyDraw is Draw(1).
+	IdleDraw() units.Watts
+	BusyDraw() units.Watts
+}
+
+// The linear Table 3 model is itself a PowerModel.
+var _ PowerModel = PowerSpec{}
+var _ PowerModel = TDPCurve{}
+
+// PowerModelKind names a PowerModel choice in configs, CLIs and the public
+// Scenario API. The zero value is the paper-calibrated linear model, so a
+// zero-knob config is byte-identical to the seed behavior.
+type PowerModelKind string
+
+const (
+	// PowerLinear is the paper's calibrated two-point linear model (default).
+	PowerLinear PowerModelKind = ""
+	// PowerTDPCurve is the component-level model: piecewise TDP
+	// interpolation plus memory, disk, board and PSU draws.
+	PowerTDPCurve PowerModelKind = "tdp-curve"
+)
+
+// ParsePowerModelKind resolves a user-supplied model name. The empty string
+// and "linear" select the default linear model.
+func ParsePowerModelKind(s string) (PowerModelKind, error) {
+	switch s {
+	case "", "linear", "paper":
+		return PowerLinear, nil
+	case "tdp-curve", "tdp", "curve":
+		return PowerTDPCurve, nil
+	}
+	return PowerLinear, fmt.Errorf("hw: unknown power model %q (want linear or tdp-curve)", s)
+}
+
+// EnergyProfile is a platform's component-level energy and carbon data: the
+// published CPU TDP and per-component draws that parameterize the TDPCurve
+// model, and the embodied-carbon figures the carbon layer amortizes over the
+// service life. Catalog provenance is documented in PLATFORMS.md.
+type EnergyProfile struct {
+	// TDPWatts is the CPU package's published thermal design power.
+	TDPWatts float64
+	// MemWattsPerGB is DRAM draw per GB (≈0.38 W/GB for server DDR).
+	MemWattsPerGB float64
+	// Disks and DiskWatts: number of storage devices and draw per device
+	// (≈3 W SSD, ≈7.5 W HDD, ≈0.1 W for an SD card).
+	Disks     int
+	DiskWatts float64
+	// FixedWatts is everything utilization-independent outside CPU, memory
+	// and disk: fans, baseboard, NICs or USB Ethernet adapters.
+	FixedWatts float64
+	// PSUOverhead is the wall-side loss fraction (0.10 = 90%-efficient PSU).
+	PSUOverhead float64
+
+	// EmbodiedKgCO2e is the manufacturing footprint of one server;
+	// ServiceLifeYears is the amortization window.
+	EmbodiedKgCO2e   float64
+	ServiceLifeYears float64
+}
+
+// Modeled reports whether the profile carries enough data for a TDPCurve
+// (ad-hoc specs without catalog data fall back to the linear model).
+func (e EnergyProfile) Modeled() bool { return e.TDPWatts > 0 }
+
+// TDP-fraction anchors: the Boavizta/cloud-carbon mapping of CPU load to
+// fractions of TDP (SNIPPETS Snippet 1). 100% load exceeds TDP because real
+// workloads with turbo headroom do.
+const (
+	tdpFracIdle = 0.12 // 0% CPU
+	tdpFracLow  = 0.32 // 10% CPU
+	tdpFracMid  = 0.75 // 50% CPU
+	tdpFracBusy = 1.02 // 100% CPU
+)
+
+// TDPCurve is the component-level power model: CPU draw interpolated
+// piecewise-linearly through the published-TDP anchors
+// (0%→12%, 10%→32%, 50%→75%, 100%→102% of TDP), plus constant memory, disk
+// and board draws, all scaled by the PSU loss. Draw is monotone
+// non-decreasing and continuous in utilization, and allocation-free.
+type TDPCurve struct {
+	// TDP is the CPU package TDP in watts.
+	TDP float64
+	// Components is the utilization-independent draw (memory + disks +
+	// fixed board draw) in watts, before PSU overhead.
+	Components float64
+	// PSU is the wall-side multiplier (1 + loss fraction), >= 1.
+	PSU float64
+}
+
+// NewTDPCurve builds the curve for an energy profile and a memory capacity.
+func NewTDPCurve(e EnergyProfile, mem units.Bytes) TDPCurve {
+	psu := 1 + e.PSUOverhead
+	if psu < 1 {
+		psu = 1
+	}
+	return TDPCurve{
+		TDP:        e.TDPWatts,
+		Components: e.MemWattsPerGB*float64(mem)/float64(units.GB) + float64(e.Disks)*e.DiskWatts + e.FixedWatts,
+		PSU:        psu,
+	}
+}
+
+// Draw reports instantaneous wall power at the given CPU utilization.
+func (c TDPCurve) Draw(util float64) units.Watts {
+	if util < 0 {
+		util = 0
+	}
+	if util > 1 {
+		util = 1
+	}
+	var frac float64
+	switch {
+	case util <= 0.10:
+		frac = tdpFracIdle + util/0.10*(tdpFracLow-tdpFracIdle)
+	case util <= 0.50:
+		frac = tdpFracLow + (util-0.10)/0.40*(tdpFracMid-tdpFracLow)
+	default:
+		frac = tdpFracMid + (util-0.50)/0.50*(tdpFracBusy-tdpFracMid)
+	}
+	return units.Watts((c.TDP*frac + c.Components) * c.PSU)
+}
+
+// IdleDraw reports wall power at zero utilization.
+func (c TDPCurve) IdleDraw() units.Watts { return c.Draw(0) }
+
+// BusyDraw reports wall power at full utilization.
+func (c TDPCurve) BusyDraw() units.Watts { return c.Draw(1) }
+
+// PowerModelFor resolves the platform's model of the given kind. The TDP
+// curve requires catalog energy data; platforms without it (ad-hoc custom
+// specs) keep the calibrated linear model for any kind.
+func (p *Platform) PowerModelFor(kind PowerModelKind) PowerModel {
+	if kind == PowerTDPCurve && p.Energy.Modeled() {
+		return NewTDPCurve(p.Energy, p.Spec.Mem.Capacity)
+	}
+	return p.Spec.Power
+}

@@ -72,6 +72,14 @@ func MasterGroupIndex(groups []SlaveGroup) int {
 // node, so a hybrid Edison+Dell slave set schedules exactly like the real
 // thing would.
 func NewHadoopGroups(groups []SlaveGroup, blockSize units.Bytes, seed int64) (*Hadoop, error) {
+	return NewHadoopGroupsEnergy(groups, blockSize, seed, hw.PowerLinear)
+}
+
+// NewHadoopGroupsEnergy is NewHadoopGroups with a node power model armed on
+// every node of the deployment (slaves and master alike) — how the energy
+// layer reaches Hadoop testbeds.
+func NewHadoopGroupsEnergy(groups []SlaveGroup, blockSize units.Bytes, seed int64,
+	energy hw.PowerModelKind) (*Hadoop, error) {
 	if len(groups) == 0 {
 		return nil, fmt.Errorf("jobs: deployment needs at least one slave group")
 	}
@@ -117,7 +125,7 @@ func NewHadoopGroups(groups []SlaveGroup, blockSize units.Bytes, seed int64) (*H
 	if selfIdx < 0 {
 		gcs = append(gcs, cluster.GroupConfig{Platform: masterPlat, Nodes: 1})
 	}
-	tb := cluster.New(cluster.Config{Groups: gcs})
+	tb := cluster.New(cluster.Config{Groups: gcs, Energy: energy})
 
 	var master *hw.Node
 	var workers []*hw.Node
@@ -231,17 +239,30 @@ func Run(job string, p *hw.Platform, slaves int, seed int64) (*mapred.JobResult,
 	return RunGroups(job, []SlaveGroup{{Platform: p, Nodes: slaves}}, seed)
 }
 
+// RunEnergy is Run with a node power model armed on the deployment.
+func RunEnergy(job string, p *hw.Platform, slaves int, seed int64,
+	energy hw.PowerModelKind) (*mapred.JobResult, error) {
+	return RunGroupsEnergy(job, []SlaveGroup{{Platform: p, Nodes: slaves}}, seed, energy)
+}
+
 // RunGroups stages and executes one named job on a fresh deployment over a
 // (possibly mixed-platform) slave set — the heterogeneous-cluster
 // counterpart of Run. Job tuning follows the first group's platform.
 func RunGroups(job string, groups []SlaveGroup, seed int64) (*mapred.JobResult, error) {
+	return RunGroupsEnergy(job, groups, seed, hw.PowerLinear)
+}
+
+// RunGroupsEnergy is RunGroups with a node power model armed on the
+// deployment's testbed (experiments thread core Config.Energy here).
+func RunGroupsEnergy(job string, groups []SlaveGroup, seed int64,
+	energy hw.PowerModelKind) (*mapred.JobResult, error) {
 	if len(groups) == 0 {
 		return nil, fmt.Errorf("jobs: %s needs at least one slave group", job)
 	}
 	if groups[0].Platform == nil {
 		return nil, fmt.Errorf("jobs: slave group without a platform")
 	}
-	h, err := NewHadoopGroups(groups, BlockSizeFor(job, groups[0].Platform), seed)
+	h, err := NewHadoopGroupsEnergy(groups, BlockSizeFor(job, groups[0].Platform), seed, energy)
 	if err != nil {
 		return nil, err
 	}

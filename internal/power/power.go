@@ -5,6 +5,9 @@
 package power
 
 import (
+	"fmt"
+	"math"
+
 	"edisim/internal/hw"
 	"edisim/internal/sim"
 	"edisim/internal/stats"
@@ -78,7 +81,14 @@ type gauge struct {
 
 // NewSampler starts sampling the meter every interval seconds, beginning
 // immediately. Stop it with Stop; it also stops when the engine drains.
+// The interval must be a positive finite number of seconds: each tick
+// reschedules the next at Now()+interval, so a zero (or negative, clamped
+// to zero by the engine) delay would re-fire at the same simulated instant
+// forever and livelock the run.
 func NewSampler(eng *sim.Engine, m *Meter, interval float64) *Sampler {
+	if math.IsNaN(interval) || math.IsInf(interval, 0) || interval <= 0 {
+		panic(fmt.Sprintf("power: sampler interval must be a positive finite number of seconds, got %v", interval))
+	}
 	s := &Sampler{eng: eng, interval: interval, Power: stats.NewTimeSeries(m.Name + "/power")}
 	var tick func()
 	tick = func() {

@@ -11,12 +11,16 @@ package tco
 import (
 	"fmt"
 	"math"
+	"strings"
 
+	"edisim/internal/carbon"
 	"edisim/internal/hw"
 	"edisim/internal/units"
 )
 
-// Inputs is the parameter set of Equation (1) for one cluster.
+// Inputs is the parameter set of Equation (1) for one cluster, extended with
+// the facility and carbon knobs of the layered model. All extensions default
+// to zero values that reproduce the paper's Equation (1) exactly.
 type Inputs struct {
 	Servers     int
 	CostPerUnit float64     // Cs per server, USD
@@ -25,6 +29,15 @@ type Inputs struct {
 	Utilization float64     // U in [0,1]
 	LifeYears   float64     // Ts
 	PricePerKWh float64     // Ceph
+
+	// PUE multiplies IT energy by the facility overhead; 0 (and 1) mean no
+	// overhead, values in (0,1) are invalid — a facility cannot return power.
+	PUE float64
+	// GramsPerKWh is the grid carbon intensity; 0 leaves carbon unmodeled.
+	GramsPerKWh float64
+	// CarbonPricePerTonne prices operational carbon in USD per tCO2e
+	// (a carbon tax or internal carbon fee); 0 adds no cost.
+	CarbonPricePerTonne float64
 }
 
 // Validate reports the first invalid field, if any. Every Compute input is
@@ -42,6 +55,12 @@ func (in Inputs) Validate() error {
 		return fmt.Errorf("tco: negative lifetime %v years", in.LifeYears)
 	case in.PricePerKWh < 0:
 		return fmt.Errorf("tco: negative electricity price %v", in.PricePerKWh)
+	case math.IsNaN(in.PUE) || in.PUE < 0 || (in.PUE > 0 && in.PUE < 1):
+		return fmt.Errorf("tco: PUE %v must be 0 (unmodeled) or >= 1", in.PUE)
+	case math.IsNaN(in.GramsPerKWh) || in.GramsPerKWh < 0:
+		return fmt.Errorf("tco: negative grid intensity %v gCO2e/kWh", in.GramsPerKWh)
+	case math.IsNaN(in.CarbonPricePerTonne) || in.CarbonPricePerTonne < 0:
+		return fmt.Errorf("tco: negative carbon price %v $/tCO2e", in.CarbonPricePerTonne)
 	}
 	return nil
 }
@@ -52,17 +71,28 @@ const (
 	LifeYears   = 3.0
 )
 
-// Result is the cost breakdown in USD.
+// Result is the cost breakdown in USD, plus the energy and carbon totals
+// the costs were derived from (zero when the corresponding knob is off).
 type Result struct {
 	Equipment   float64
 	Electricity float64
+	// Carbon is the carbon-price cost in USD (0 without a carbon price).
+	Carbon float64
+
+	// KWh is lifetime wall energy (PUE included); CarbonGrams is lifetime
+	// operational carbon at the configured grid intensity.
+	KWh         float64
+	CarbonGrams float64
 }
 
-// Total reports equipment plus electricity.
-func (r Result) Total() float64 { return r.Equipment + r.Electricity }
+// Total reports equipment plus electricity plus carbon cost.
+func (r Result) Total() float64 { return r.Equipment + r.Electricity + r.Carbon }
 
-// Compute evaluates Equation (1), rejecting invalid inputs (non-positive
-// server counts, utilization outside [0,1], negative costs) with an error.
+// Compute evaluates Equation (1) — extended by the facility (PUE) and
+// carbon-price layers when those knobs are set — rejecting invalid inputs
+// (non-positive server counts, utilization outside [0,1], negative costs)
+// with an error. With the zero-valued knobs the arithmetic is exactly the
+// paper's Equation (1).
 func Compute(in Inputs) (Result, error) {
 	if err := in.Validate(); err != nil {
 		return Result{}, err
@@ -70,9 +100,16 @@ func Compute(in Inputs) (Result, error) {
 	hours := in.LifeYears * 365 * 24
 	meanWatts := in.Utilization*float64(in.Peak) + (1-in.Utilization)*float64(in.Idle)
 	kwh := meanWatts / 1000 * hours * float64(in.Servers)
+	if in.PUE > 1 {
+		kwh *= in.PUE
+	}
+	grams := kwh * in.GramsPerKWh
 	return Result{
 		Equipment:   float64(in.Servers) * in.CostPerUnit,
 		Electricity: kwh * in.PricePerKWh,
+		Carbon:      grams / 1e6 * in.CarbonPricePerTonne,
+		KWh:         kwh,
+		CarbonGrams: grams,
 	}, nil
 }
 
@@ -90,16 +127,75 @@ func MustCompute(in Inputs) Result {
 // utilization u, using the platform's unit cost and measured per-node
 // power endpoints (with Ethernet adapter where applicable, Table 3).
 func ForPlatform(p *hw.Platform, n int, u float64) Inputs {
-	pw := p.Spec.Power
+	return ForPlatformModel(p, n, u, hw.PowerLinear)
+}
+
+// ForPlatformModel is ForPlatform with the power endpoints taken from the
+// named power model — armed with hw.PowerTDPCurve, the TCO prices the
+// component-level curve's idle/busy wall draw instead of the calibrated
+// linear endpoints.
+func ForPlatformModel(p *hw.Platform, n int, u float64, kind hw.PowerModelKind) Inputs {
+	// Concrete model types, not the PowerModel interface: boxing would
+	// allocate, and budget sizing runs this per sweep point under the
+	// allocation-free pin.
+	var peak, idle units.Watts
+	if kind == hw.PowerTDPCurve && p.Energy.Modeled() {
+		c := hw.NewTDPCurve(p.Energy, p.Spec.Mem.Capacity)
+		peak, idle = c.BusyDraw(), c.IdleDraw()
+	} else {
+		peak, idle = p.Spec.Power.BusyDraw(), p.Spec.Power.IdleDraw()
+	}
 	return Inputs{
 		Servers:     n,
 		CostPerUnit: p.UnitCost,
-		Peak:        pw.BusyDraw(),
-		Idle:        pw.IdleDraw(),
+		Peak:        peak,
+		Idle:        idle,
 		Utilization: u,
 		LifeYears:   LifeYears,
 		PricePerKWh: PricePerKWh,
 	}
+}
+
+// regionPrices maps the carbon package's region grammar to industrial
+// electricity prices in USD/kWh (rounded recent annual averages; PLATFORMS.md
+// cites the sources alongside the grid intensities). Cheap hydro in eu-north
+// and the US Northwest, expensive post-2022 grids in Central Europe.
+var regionPrices = map[string]float64{
+	"us-east":      0.083,
+	"us-west":      0.095,
+	"eu-west":      0.17,
+	"eu-north":     0.09,
+	"eu-central":   0.20,
+	"ap-south":     0.10,
+	"ap-southeast": 0.13,
+	"global":       PricePerKWh,
+}
+
+// RegionPrice reports the region's electricity price in USD/kWh. The region
+// grammar is the carbon package's (case/whitespace tolerant).
+func RegionPrice(region string) (float64, bool) {
+	p, ok := regionPrices[strings.ToLower(strings.TrimSpace(region))]
+	return p, ok
+}
+
+// ForPlatformInRegion builds regional Inputs: the region's electricity
+// price and grid intensity, the default facility PUE, and power endpoints
+// from the named model. carbonPricePerTonne prices the resulting
+// operational carbon (0 = no carbon price).
+func ForPlatformInRegion(p *hw.Platform, n int, u float64, kind hw.PowerModelKind,
+	region string, carbonPricePerTonne float64) (Inputs, error) {
+	price, ok := RegionPrice(region)
+	grid, gok := carbon.Lookup(region)
+	if !ok || !gok {
+		return Inputs{}, fmt.Errorf("tco: unknown region %q (want one of %s)",
+			region, strings.Join(carbon.RegionNames(), ", "))
+	}
+	in := ForPlatformModel(p, n, u, kind)
+	in.PricePerKWh = price
+	in.PUE = carbon.DefaultPUE
+	in.GramsPerKWh = grid.Grams
+	in.CarbonPricePerTonne = carbonPricePerTonne
+	return in, nil
 }
 
 // sizeSlack absorbs float rounding when a budget is an exact multiple of

@@ -7,6 +7,7 @@ import (
 	"testing"
 	"testing/quick"
 
+	"edisim/internal/carbon"
 	"edisim/internal/hw"
 )
 
@@ -239,5 +240,116 @@ func TestTCOLinearInServers(t *testing.T) {
 	}
 	if err := quick.Check(f, &quick.Config{MaxCount: 50, Rand: rand.New(rand.NewSource(11))}); err != nil {
 		t.Fatal(err)
+	}
+}
+
+// TestZeroKnobsMatchEquationOne pins the layering contract: with the PUE,
+// intensity and carbon-price knobs at their zero values, the extended
+// Compute is arithmetically the paper's Equation (1) — same electricity to
+// the last bit, zero carbon cost.
+func TestZeroKnobsMatchEquationOne(t *testing.T) {
+	micro, _ := basePair()
+	in := ForPlatform(micro, 35, 0.75)
+	r := MustCompute(in)
+	hours := in.LifeYears * 365 * 24
+	meanWatts := in.Utilization*float64(in.Peak) + (1-in.Utilization)*float64(in.Idle)
+	kwh := meanWatts / 1000 * hours * float64(in.Servers)
+	if r.Electricity != kwh*in.PricePerKWh {
+		t.Fatalf("electricity drifted from Equation (1): %v vs %v", r.Electricity, kwh*in.PricePerKWh)
+	}
+	if r.Carbon != 0 || r.CarbonGrams != 0 {
+		t.Fatalf("zero knobs produced carbon: %+v", r)
+	}
+	if r.Total() != r.Equipment+r.Electricity {
+		t.Fatal("carbon term leaked into the zero-knob total")
+	}
+}
+
+// TestFacilityAndCarbonKnobs: PUE scales energy, intensity fills grams,
+// the carbon price adds a cost term.
+func TestFacilityAndCarbonKnobs(t *testing.T) {
+	micro, _ := basePair()
+	base := MustCompute(ForPlatform(micro, 10, 0.5))
+
+	in := ForPlatform(micro, 10, 0.5)
+	in.PUE = 1.5
+	r := MustCompute(in)
+	if !almost(r.KWh, 1.5*base.KWh, 1e-9*r.KWh) || !almost(r.Electricity, 1.5*base.Electricity, 1e-9) {
+		t.Fatalf("PUE 1.5 did not scale energy: %+v vs %+v", r, base)
+	}
+
+	in.GramsPerKWh = 400
+	in.CarbonPricePerTonne = 100
+	r = MustCompute(in)
+	if wantG := r.KWh * 400; !almost(r.CarbonGrams, wantG, 1e-6) {
+		t.Fatalf("grams %v, want %v", r.CarbonGrams, wantG)
+	}
+	if wantC := r.CarbonGrams / 1e6 * 100; !almost(r.Carbon, wantC, 1e-9) {
+		t.Fatalf("carbon cost %v, want %v", r.Carbon, wantC)
+	}
+	if !almost(r.Total(), r.Equipment+r.Electricity+r.Carbon, 1e-9) {
+		t.Fatal("total does not include the carbon term")
+	}
+
+	// Invalid knobs are rejected like every other input.
+	for _, bad := range []Inputs{
+		func() Inputs { i := ForPlatform(micro, 1, 0.5); i.PUE = 0.8; return i }(),
+		func() Inputs { i := ForPlatform(micro, 1, 0.5); i.PUE = math.NaN(); return i }(),
+		func() Inputs { i := ForPlatform(micro, 1, 0.5); i.GramsPerKWh = -1; return i }(),
+		func() Inputs { i := ForPlatform(micro, 1, 0.5); i.CarbonPricePerTonne = -5; return i }(),
+	} {
+		if _, err := Compute(bad); err == nil {
+			t.Fatalf("invalid knob accepted: %+v", bad)
+		}
+	}
+}
+
+// TestRegionPricesCoverCarbonRegions: the price table and the carbon
+// package's grid map share one region grammar — every region priced, every
+// price positive.
+func TestRegionPricesCoverCarbonRegions(t *testing.T) {
+	for _, g := range carbon.Regions() {
+		p, ok := RegionPrice(g.Region)
+		if !ok || p <= 0 {
+			t.Errorf("region %q has no positive price (got %v, %v)", g.Region, p, ok)
+		}
+	}
+	if len(carbon.Regions()) == 0 {
+		t.Fatal("no regions")
+	}
+	if _, ok := RegionPrice(" EU-NORTH "); !ok {
+		t.Error("region price lookup not tolerant")
+	}
+	if _, ok := RegionPrice("atlantis"); ok {
+		t.Error("bogus region priced")
+	}
+}
+
+// TestForPlatformInRegion: regional inputs carry the region's price and
+// intensity plus the default PUE, and the TDP-curve kind swaps the power
+// endpoints.
+func TestForPlatformInRegion(t *testing.T) {
+	micro, _ := basePair()
+	in, err := ForPlatformInRegion(micro, 5, 0.5, hw.PowerLinear, "eu-north", 80)
+	if err != nil {
+		t.Fatal(err)
+	}
+	grid := carbon.MustLookup("eu-north")
+	price, _ := RegionPrice("eu-north")
+	if in.PricePerKWh != price || in.GramsPerKWh != grid.Grams ||
+		in.PUE != carbon.DefaultPUE || in.CarbonPricePerTonne != 80 {
+		t.Fatalf("regional inputs wrong: %+v", in)
+	}
+	if _, err := ForPlatformInRegion(micro, 5, 0.5, hw.PowerLinear, "atlantis", 0); err == nil {
+		t.Fatal("unknown region accepted")
+	}
+
+	curved := ForPlatformModel(micro, 5, 0.5, hw.PowerTDPCurve)
+	pm := micro.PowerModelFor(hw.PowerTDPCurve)
+	if curved.Peak != pm.BusyDraw() || curved.Idle != pm.IdleDraw() {
+		t.Fatalf("curve endpoints not used: %+v", curved)
+	}
+	if curved.Peak == ForPlatform(micro, 5, 0.5).Peak {
+		t.Fatal("curve endpoints identical to linear — kind not threaded")
 	}
 }

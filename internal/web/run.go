@@ -916,7 +916,13 @@ func (d *Deployment) Run(cfg RunConfig) Result {
 		res.ScaleDowns = st.ScaleDowns
 		res.Boots = st.Boots
 		res.DrainCancels = st.DrainCancels
-		res.BootEnergy = units.Joules(st.BootSecs * float64(d.Plat.Spec.Power.BusyDraw()))
+		// Boot burn at the busy draw of whatever power model the web nodes
+		// actually run (the cluster builder may have armed a non-default one).
+		busy := d.Plat.Spec.Power.BusyDraw()
+		if len(d.Web) > 0 {
+			busy = d.Web[0].Node.PowerModel().BusyDraw()
+		}
+		res.BootEnergy = units.Joules(st.BootSecs * float64(busy))
 		res.MeanActive = (asIntegWinEnd - asIntegWinStart) / window
 		d.teardownAutoscale(asMgr, asPool, asUtil)
 	}

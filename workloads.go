@@ -4,6 +4,7 @@ import (
 	"fmt"
 	"math"
 
+	"edisim/internal/carbon"
 	"edisim/internal/cluster"
 	"edisim/internal/core"
 	"edisim/internal/faults"
@@ -206,7 +207,9 @@ func (ws *WebSweep) expand(cfg core.Config) ([]unit, error) {
 				CacheHit:    ws.CacheHit,
 				Duration:    duration,
 			}
-			tb := cluster.New(ts.clusterConfig())
+			cc := ts.clusterConfig()
+			cc.Energy = cfg.Energy
+			tb := cluster.New(cc)
 			dep := web.NewTieredDeployment(tb, webPlat, nWeb, cachePlat, nCache, seed)
 			dep.WarmFor(rc)
 			return dep.Run(rc)
@@ -370,7 +373,9 @@ func (ov *OverloadStudy) expand(cfg core.Config) ([]unit, error) {
 		}
 
 		seed := cfg.PointSeed(id, 0)
-		tb := cluster.New(ts.clusterConfig())
+		cc := ts.clusterConfig()
+		cc.Energy = cfg.Energy
+		tb := cluster.New(cc)
 		dep := web.NewTieredDeployment(tb, ts.webPlat, ts.nWeb, ts.cachePlat, ts.nCache, seed)
 		dep.WarmFor(rc)
 		if cfg.Faults != nil {
@@ -588,7 +593,7 @@ func (mj *MapReduceJob) expand(core.Config) ([]unit, error) {
 	}
 
 	run := func(cfg core.Config) (*core.Outcome, error) {
-		r, err := jobs.RunGroups(job, groups, cfg.Seed)
+		r, err := jobs.RunGroupsEnergy(job, groups, cfg.Seed, cfg.Energy)
 		if err != nil {
 			return nil, err
 		}
@@ -640,6 +645,19 @@ type TCOStudy struct {
 	// Utilization in [0,1] (default 0.5). The zero value means "use the
 	// default"; pass ZeroUtilization for a genuinely idle fleet.
 	Utilization float64
+	// Region prices the fleet at a grid region's electricity tariff instead
+	// of the paper's Table 9 US average, with the default facility PUE and
+	// the region's carbon intensity applied (see RegionNames). The table
+	// gains tCO2e and carbon-cost columns.
+	Region string
+	// CarbonPricePerTonne prices operational carbon in USD per tCO2e; it
+	// implies carbon accounting even without Region (the world-average
+	// grid is used then).
+	CarbonPricePerTonne float64
+	// PUE overrides the facility power overhead multiplier (must be >= 1);
+	// 0 keeps the default — DefaultPUE when carbon accounting is on, no
+	// overhead otherwise (the paper's Equation 1).
+	PUE float64
 }
 
 // ZeroUtilization is the TCOStudy.Utilization sentinel for pricing a fully
@@ -690,16 +708,38 @@ func (ts *TCOStudy) expand(core.Config) ([]unit, error) {
 	if util > 1 {
 		return nil, fmt.Errorf("edisim: %s: utilization %v outside [0,1]", id, util)
 	}
+	if math.IsNaN(ts.CarbonPricePerTonne) || ts.CarbonPricePerTonne < 0 {
+		return nil, fmt.Errorf("edisim: %s: negative carbon price %v $/tCO2e", id, ts.CarbonPricePerTonne)
+	}
+	// Carbon accounting is on when a region or a carbon price is set; a bare
+	// carbon price attributes to the world-average grid.
+	region := ts.Region
+	carbonOn := region != "" || ts.CarbonPricePerTonne > 0
+	if carbonOn && region == "" {
+		region = "global"
+	}
+	if region != "" {
+		if _, ok := carbon.Lookup(region); !ok {
+			return nil, unknownNameError("region", region, carbon.RegionNames())
+		}
+	}
 	title := fmt.Sprintf("3-year TCO at %.0f%% utilization", util*100)
 	if ts.Budget > 0 {
 		title = fmt.Sprintf("3-year TCO at %.0f%% utilization, fleets sized to $%.0f", util*100, ts.Budget)
 	}
+	if carbonOn {
+		title += fmt.Sprintf(" (%s grid)", region)
+	}
 
-	run := func(core.Config) (*core.Outcome, error) {
+	run := func(cfg core.Config) (*core.Outcome, error) {
 		o := &core.Outcome{}
-		t := report.NewTable(title,
-			"platform", "nodes", "equipment $", "electricity $", "total $", "$ per node").
-			WithUnits("", "nodes", "$", "$", "$", "$")
+		cols := []string{"platform", "nodes", "equipment $", "electricity $", "total $", "$ per node"}
+		colUnits := []string{"", "nodes", "$", "$", "$", "$"}
+		if carbonOn {
+			cols = append(cols, "tCO2e (3y)", "carbon $")
+			colUnits = append(colUnits, "t", "$")
+		}
+		t := report.NewTable(title, cols...).WithUnits(colUnits...)
 		for i, p := range plats {
 			n := p.Fleet.Slaves
 			if ts.Nodes != nil {
@@ -711,8 +751,12 @@ func (ts *TCOStudy) expand(core.Config) ([]unit, error) {
 					return nil, fmt.Errorf("edisim: %s: %w", id, err)
 				}
 				if n == 0 {
-					t.AddRow(p.Label, report.Count(0, "nodes"),
-						report.Num(0, "$"), report.Num(0, "$"), report.Num(0, "$"), report.Num(0, "$"))
+					row := []any{p.Label, report.Count(0, "nodes"),
+						report.Num(0, "$"), report.Num(0, "$"), report.Num(0, "$"), report.Num(0, "$")}
+					if carbonOn {
+						row = append(row, report.Num(0, "t"), report.Num(0, "$"))
+					}
+					t.AddRow(row...)
 					o.Notes = append(o.Notes, fmt.Sprintf(
 						"%s: one server already exceeds the $%.0f budget", p.Label, ts.Budget))
 					continue
@@ -721,20 +765,39 @@ func (ts *TCOStudy) expand(core.Config) ([]unit, error) {
 			if n <= 0 {
 				return nil, fmt.Errorf("edisim: %s: bad node count %d for %s", id, n, p.Label)
 			}
-			r, err := tco.Compute(tco.ForPlatform(p, n, util))
+			in := tco.ForPlatformModel(p, n, util, cfg.Energy)
+			if carbonOn {
+				var err error
+				if in, err = tco.ForPlatformInRegion(p, n, util, cfg.Energy, region, ts.CarbonPricePerTonne); err != nil {
+					return nil, fmt.Errorf("edisim: %s: %w", id, err)
+				}
+			}
+			if ts.PUE != 0 {
+				in.PUE = ts.PUE // validated by Compute (must be >= 1)
+			}
+			r, err := tco.Compute(in)
 			if err != nil {
 				return nil, fmt.Errorf("edisim: %s: %w", id, err)
 			}
-			t.AddRow(
+			row := []any{
 				p.Label,
 				report.Count(int64(n), "nodes"),
 				report.Num(r.Equipment, "$"),
 				report.Num(r.Electricity, "$"),
 				report.Num(r.Total(), "$"),
 				report.Num(r.Total()/float64(n), "$"),
-			)
+			}
+			if carbonOn {
+				row = append(row, report.Num(r.CarbonGrams/1e6, "t"), report.Num(r.Carbon, "$"))
+			}
+			t.AddRow(row...)
 		}
 		o.Tables = append(o.Tables, t)
+		if carbonOn {
+			o.Notes = append(o.Notes, fmt.Sprintf(
+				"regional pricing: %s electricity tariff, facility PUE %.2f, grid carbon intensity applied to lifetime wall energy; carbon priced at $%g/tCO2e",
+				region, carbon.DefaultPUE, ts.CarbonPricePerTonne))
+		}
 		return o, nil
 	}
 	return []unit{{id: id, title: title, section: "scenario", run: run}}, nil
